@@ -1,0 +1,31 @@
+# Convenience targets for the FVC reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-quick examples experiments clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	$(PYTHON) -m pytest benchmarks/bench_fig09_access_time.py \
+		benchmarks/bench_table4_constancy.py --benchmark-only
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+experiments:
+	$(PYTHON) -m repro run all
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

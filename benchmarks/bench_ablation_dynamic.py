@@ -1,0 +1,11 @@
+"""Regenerates Extension ablation of the paper at full scale.
+
+Online (Space-Saving) value identification vs offline profiling.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_dynamic(benchmark, store):
+    result = run_experiment(benchmark, store, "ablation-dynamic")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Section 3 ablation of the paper at full scale.
+
+Exclusive (paper) vs inclusive FVC contents.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_exclusive(benchmark, store):
+    result = run_experiment(benchmark, store, "ablation-exclusive")
+    assert result.rows

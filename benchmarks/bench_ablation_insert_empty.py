@@ -1,0 +1,11 @@
+"""Regenerates Section 3 ablation of the paper at full scale.
+
+Inserting all-infrequent lines into the FVC on eviction.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_insert_empty(benchmark, store):
+    result = run_experiment(benchmark, store, "ablation-insert-empty")
+    assert result.rows

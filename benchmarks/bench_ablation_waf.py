@@ -1,0 +1,11 @@
+"""Regenerates Section 3 ablation of the paper at full scale.
+
+The paper's write-allocate-frequent exception, quantified.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_waf(benchmark, store):
+    result = run_experiment(benchmark, store, "ablation-waf")
+    assert result.rows

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the core simulation loops.
+
+Unlike the per-figure benchmarks (one full experiment per run), these
+use pytest-benchmark's statistical mode to track the throughput of the
+hot paths: the baseline cache, the DMC+FVC system, the encoder, and the
+profiling counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.experiments.common import encoder_for
+from repro.fvc.system import FvcSystem
+from repro.profiling.access import profile_accessed_values
+from repro.profiling.topk import SpaceSaving
+
+GEOMETRY = CacheGeometry(16 * 1024, 32)
+
+
+@pytest.fixture(scope="module")
+def records(store):
+    return store.get("gcc", "test").records
+
+
+@pytest.fixture(scope="module")
+def encoder(store):
+    return encoder_for(store.get("gcc", "test"), 7)
+
+
+def test_direct_mapped_throughput(benchmark, records):
+    benchmark(lambda: DirectMappedCache(GEOMETRY).simulate(records))
+
+
+def test_two_way_throughput(benchmark, records):
+    geometry = CacheGeometry(16 * 1024, 32, ways=2)
+    benchmark(lambda: SetAssociativeCache(geometry).simulate(records))
+
+
+def test_fvc_system_throughput(benchmark, records, encoder):
+    benchmark(lambda: FvcSystem(GEOMETRY, 512, encoder).simulate(records))
+
+
+def test_access_profile_throughput(benchmark, store):
+    trace = store.get("gcc", "test")
+    benchmark(lambda: profile_accessed_values(trace))
+
+
+def test_encoder_line_ops(benchmark, encoder):
+    line = [0, 1, 42, 0, 7, 0xFFFFFFFF, 3, 0]
+
+    def work():
+        codes = encoder.encode_line(line)
+        encoder.count_frequent(codes)
+        fetched = [0] * 8
+        encoder.merge_line(fetched, codes)
+
+    benchmark(work)
+
+
+def test_space_saving_throughput(benchmark, records):
+    values = [record[2] for record in records[:50_000]]
+
+    def work():
+        summary = SpaceSaving(64)
+        add = summary.add
+        for value in values:
+            add(value)
+
+    benchmark(work)

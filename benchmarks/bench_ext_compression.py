@@ -1,0 +1,13 @@
+"""Extension benchmark: the frequent-value compression cache of the
+paper's reference [11] — two compressed lines per physical slot.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_compression(benchmark, store):
+    result = run_experiment(benchmark, store, "ext-compression")
+    # Compression adds effective capacity wherever lines compress.
+    for row in result.rows:
+        if row["compressible_%"] > 60:
+            assert row["compression_red_%"] > 0

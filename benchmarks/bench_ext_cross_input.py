@@ -1,0 +1,11 @@
+"""Extension benchmark: FVC configured from a train-input profile, deployed on ref.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_cross_input(benchmark, store):
+    result = run_experiment(benchmark, store, "ext-cross-input")
+    retained = [r["retained_%"] for r in result.rows
+                if r["self_profiled_red_%"] > 5]
+    assert retained and sum(retained) / len(retained) > 30

@@ -1,0 +1,10 @@
+"""Extension benchmark: energy of 16KB DMC vs 16KB+FVC vs 32KB DMC (the power argument).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_energy(benchmark, store):
+    result = run_experiment(benchmark, store, "ext-energy")
+    savings = [r["fvc_saving_%"] for r in result.rows]
+    assert sum(savings) / len(savings) > 0

@@ -1,0 +1,10 @@
+"""Extension benchmark: direct-mapped vs set-associative FVC arrays.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_fvc_assoc(benchmark, store):
+    result = run_experiment(benchmark, store, "ext-fvc-assoc")
+    for row in result.rows:
+        assert row["red_2way_%"] > row["red_direct_%"] - 10

@@ -1,0 +1,12 @@
+"""Extension benchmark: the FVC behind a unified 64KB 4-way L2 —
+does the benefit survive hierarchy composition?
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_hierarchy(benchmark, store):
+    result = run_experiment(benchmark, store, "ext-hierarchy")
+    # The FVC's first-order effect behind an L2 is L1-L2 traffic saved.
+    saved = [r["l2_read_traffic_saved_%"] for r in result.rows]
+    assert sum(saved) / len(saved) > 5

@@ -1,0 +1,17 @@
+"""Extension benchmark: content-routed FVC + victim buffer hybrid
+(following the paper's closing suggestion to exploit FVL further).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_hybrid(benchmark, store):
+    result = run_experiment(benchmark, store, "ext-hybrid")
+    # The hybrid should not lose to the better of its two parts by much
+    # on average, and should win somewhere (complementary strengths).
+    margins = [
+        row["hybrid_red_%"] - max(row["fvc_only_red_%"], row["vc_only_red_%"])
+        for row in result.rows
+    ]
+    assert sum(margins) / len(margins) > -10
+    assert max(margins) > -2

@@ -1,0 +1,14 @@
+"""Extension benchmark: estimated memory access time (the paper's
+execution-time claim under the calibrated CACTI + memory model).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_performance(benchmark, store):
+    result = run_experiment(benchmark, store, "ext-performance")
+    speedups = [r["fvc_speedup_%"] for r in result.rows]
+    assert sum(speedups) / len(speedups) > 0
+    # The FVC never slows the access path (cycle time is DMC-bound).
+    for row in result.rows:
+        assert row["fvc_amat_ns"] <= row["base_amat_ns"] + 0.01

@@ -1,0 +1,14 @@
+"""Extension benchmark: write-through vs write-back traffic (the paper's §1 premise).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_writethrough(benchmark, store):
+    result = run_experiment(benchmark, store, "ext-writethrough")
+    # Write-through costs more traffic on average, dramatically so for
+    # programs with store locality (m88ksim); workloads whose stores
+    # scatter across lines can tilt the other way (see EXPERIMENTS.md).
+    factors = [r["traffic_factor_x"] for r in result.rows]
+    assert sum(factors) / len(factors) > 1.0
+    assert max(factors) > 1.4

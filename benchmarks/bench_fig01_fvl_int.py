@@ -1,0 +1,17 @@
+"""Regenerates Figure 1 of the paper at full scale.
+
+Frequent value locality of the SPECint95 analogs: % of live
+locations occupied / % of accesses covered by the top 1/3/7/10 values.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig01_fvl_int(benchmark, store):
+    result = run_experiment(benchmark, store, "fig1")
+    fvl = [r for r in result.rows if r["benchmark"] not in ("compress", "ijpeg")]
+    controls = [r for r in result.rows if r["benchmark"] in ("compress", "ijpeg")]
+    # Paper shape: the six FVL benchmarks dominate the two controls.
+    assert min(r["acc_top10_%"] for r in fvl) > max(
+        r["acc_top10_%"] for r in controls
+    )

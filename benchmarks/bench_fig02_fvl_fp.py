@@ -1,0 +1,11 @@
+"""Regenerates Figure 2 of the paper at full scale.
+
+Frequent value locality of the SPECfp95 analogs.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig02_fvl_fp(benchmark, store):
+    result = run_experiment(benchmark, store, "fig2")
+    assert all(r["occ_top10_%"] > 25 for r in result.rows)

@@ -1,0 +1,11 @@
+"""Regenerates Figure 3 of the paper at full scale.
+
+Coverage-over-time curves for the gcc analog.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig03_timeline(benchmark, store):
+    result = run_experiment(benchmark, store, "fig3")
+    assert len(result.rows) >= 10

@@ -1,0 +1,13 @@
+"""Regenerates Figure 4 of the paper at full scale.
+
+Share of 16KB-DMC misses attributable to the top-10 values
+(paper: about half).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig04_miss_attrib(benchmark, store):
+    result = run_experiment(benchmark, store, "fig4")
+    shares = [r["miss_top10_accessed_%"] for r in result.rows]
+    assert sum(shares) / len(shares) > 40

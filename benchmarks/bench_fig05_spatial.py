@@ -1,0 +1,11 @@
+"""Regenerates Figure 5 of the paper at full scale.
+
+Spatial density of frequent values across memory blocks (gcc).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig05_spatial(benchmark, store):
+    result = run_experiment(benchmark, store, "fig5")
+    assert result.rows

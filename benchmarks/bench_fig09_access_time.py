@@ -1,0 +1,11 @@
+"""Regenerates Figure 9 of the paper at full scale.
+
+CACTI-style access times of FVC vs DMC configurations.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig09_access_time(benchmark, store):
+    result = run_experiment(benchmark, store, "fig9")
+    assert result.notes[0].startswith("12 of 15")

@@ -1,0 +1,18 @@
+"""Regenerates Figure 10 of the paper at full scale.
+
+Miss-rate reduction vs FVC size (64-4096 entries), 16KB DMC,
+8-word lines, top-7 values.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10_fvc_size(benchmark, store):
+    result = run_experiment(benchmark, store, "fig10")
+    rows = {r["benchmark"]: r for r in result.rows}
+    # m88ksim and perl saturate with the smallest FVC.
+    for name in ("m88ksim", "perl"):
+        assert rows[name]["red_64e_%"] > rows[name]["red_4096e_%"] - 25
+    # go/gcc/vortex grow steadily with size.
+    for name in ("go", "gcc", "vortex"):
+        assert rows[name]["red_4096e_%"] > rows[name]["red_64e_%"] + 10

@@ -1,0 +1,13 @@
+"""Regenerates Figure 11 of the paper at full scale.
+
+Frequent value content of the FVC and the derived storage factor
+(paper: >40% content, ~4.27x less storage).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig11_compression(benchmark, store):
+    result = run_experiment(benchmark, store, "fig11")
+    contents = [r["frequent_content_%"] for r in result.rows]
+    assert sum(contents) / len(contents) > 40

@@ -1,0 +1,21 @@
+"""Regenerates Figure 12 of the paper at full scale.
+
+Reductions with top-1 vs top-3 vs top-7 values over the twelve
+admissible DMC configurations.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig12_value_count(benchmark, store):
+    result = run_experiment(benchmark, store, "fig12")
+    gains_3 = [r["red_top3_%"] - r["red_top1_%"] for r in result.rows]
+    gains_7 = [r["red_top7_%"] - r["red_top3_%"] for r in result.rows]
+    # Paper: exploiting more values helps at every step, and the
+    # reductions span a wide range (~1-68%).  (Deviation note: on the
+    # analogs the 3->7 step helps at least as much as 1->3, because
+    # their value mass sits deeper in the ranking — see EXPERIMENTS.md.)
+    assert sum(gains_3) / len(gains_3) > 0
+    assert sum(gains_7) / len(gains_7) > 0
+    assert max(r["red_top7_%"] for r in result.rows) > 50
+    assert min(r["red_top7_%"] for r in result.rows) < 25

@@ -1,0 +1,13 @@
+"""Regenerates Figure 13 of the paper at full scale.
+
+Small DMC + FVC against a doubled DMC (m88ksim, perl).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig13_dmc_vs_fvc(benchmark, store):
+    result = run_experiment(benchmark, store, "fig13")
+    top7 = [r for r in result.rows if r["top_k"] == 7]
+    wins = sum(1 for r in top7 if r["fvc_wins"] == "yes")
+    assert wins >= len(top7) * 0.7

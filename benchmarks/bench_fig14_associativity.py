@@ -1,0 +1,16 @@
+"""Regenerates Figure 14 of the paper at full scale.
+
+FVC benefit under 1/2/4-way base caches (conflict benchmarks
+collapse; capacity benchmarks persist).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig14_associativity(benchmark, store):
+    result = run_experiment(benchmark, store, "fig14")
+    rows = {r["benchmark"]: r for r in result.rows}
+    for name in ("m88ksim", "li", "perl"):
+        assert rows[name]["2w_red_%"] < rows[name]["1w_red_%"] * 0.6
+    for name in ("go", "gcc", "vortex"):
+        assert rows[name]["4w_red_%"] > 5

@@ -1,0 +1,22 @@
+"""Regenerates Figure 15 of the paper at full scale.
+
+Victim cache vs FVC at equal storage and at equal access time.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig15_victim(benchmark, store):
+    result = run_experiment(benchmark, store, "fig15")
+    # Paper: the VC wins the equal-storage pairing; at equal access
+    # time the FVC is at least competitive (it wins outright in the
+    # paper; on the analogs the two tie on average because their
+    # conflict sets are small enough for a 4-entry VC — see
+    # EXPERIMENTS.md).  Both help a small DMC substantially.
+    vc4 = [r["vc4_red_%"] for r in result.rows]
+    fvc512 = [r["fvc512_red_%"] for r in result.rows]
+    vc16 = [r["vc16_red_%"] for r in result.rows]
+    fvc128 = [r["fvc128_red_%"] for r in result.rows]
+    assert sum(vc16) / 6 > sum(fvc128) / 6  # equal storage: VC wins
+    assert sum(fvc512) / 6 > sum(vc4) / 6 - 5  # equal time: FVC competitive
+    assert sum(fvc512) / 6 > 10 and sum(vc4) / 6 > 10

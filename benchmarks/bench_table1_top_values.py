@@ -1,0 +1,11 @@
+"""Regenerates Table 1 of the paper at full scale.
+
+Top-10 occurring and accessed values per benchmark (hex).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table1_top_values(benchmark, store):
+    result = run_experiment(benchmark, store, "table1")
+    assert len(result.rows) == 10

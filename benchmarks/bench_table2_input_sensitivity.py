@@ -1,0 +1,11 @@
+"""Regenerates Table 2 of the paper at full scale.
+
+Overlap of top-7/10 accessed values across test/train/ref inputs.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table2_input_sensitivity(benchmark, store):
+    result = run_experiment(benchmark, store, "table2")
+    assert len(result.rows) == 6

@@ -1,0 +1,12 @@
+"""Regenerates Table 3 of the paper at full scale.
+
+Execution fraction after which the top-k value sets stabilise.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table3_stability(benchmark, store):
+    result = run_experiment(benchmark, store, "table3")
+    for row in result.rows:
+        assert row["in_top10_top1_%"] <= 60.0

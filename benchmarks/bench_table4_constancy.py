@@ -1,0 +1,16 @@
+"""Regenerates Table 4 of the paper at full scale.
+
+Fraction of referenced addresses holding a constant value
+(paper: high for the FVL six, ~3-7% for compress/ijpeg).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table4_constancy(benchmark, store):
+    result = run_experiment(benchmark, store, "table4")
+    rows = {r["benchmark"]: r["constant_%"] for r in result.rows}
+    assert rows["compress"] < 10 and rows["ijpeg"] < 10
+    assert rows["m88ksim"] > 60 and rows["perl"] > 60
+    assert rows["li"] == min(v for k, v in rows.items()
+                             if k not in ("compress", "ijpeg"))

@@ -1,0 +1,45 @@
+"""Benchmark fixtures: a session-wide trace store and result emission.
+
+Each ``bench_*`` module runs one paper experiment at full scale
+(reference inputs, full configuration sweeps) under pytest-benchmark,
+prints the regenerated table through the capture bypass (so it lands in
+``pytest ... | tee`` output), and saves it under benchmarks/results/.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment
+from repro.workloads.store import TraceStore
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def store() -> TraceStore:
+    """One store for the whole benchmark session (ref traces are big)."""
+    return TraceStore(max_traces=8)
+
+
+def emit(result: ExperimentResult) -> None:
+    """Print the regenerated table (bypassing capture) and archive it."""
+    text = result.format_table()
+    print("\n" + text, file=sys.__stdout__, flush=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+
+
+def run_experiment(benchmark, store: TraceStore, experiment_id: str):
+    """Benchmark one full experiment run and emit its table."""
+    experiment = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(store, fast=False), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.rows
+    return result

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Beyond the paper: the extensions this repository adds.
+
+Four follow-ups the paper points at but does not evaluate, each run on
+one representative workload:
+
+1. the **compression cache** of reference [11] (two compressed lines
+   per slot) — the research line the FVC spawned;
+2. the **hybrid** of the conclusion's "creative ways" (evictions routed
+   by value content between an FVC and a victim buffer);
+3. the FVC behind a **two-level hierarchy** (what survives an L2);
+4. the **dynamic FVC** (no profiling run — values discovered online).
+
+Run:  python examples/beyond_the_paper.py
+"""
+
+from repro import (
+    CacheGeometry,
+    CompressedCache,
+    DirectMappedCache,
+    DynamicFvcSystem,
+    FvcSystem,
+)
+from repro.cache.hierarchy import TwoLevelFvcSystem, TwoLevelSystem
+from repro.experiments.common import encoder_for, reduction_percent
+from repro.fvc.hybrid import HybridFvcVictimSystem
+from repro.workloads.store import get_trace
+
+
+def compression_cache() -> None:
+    trace = get_trace("perl", "train")
+    geometry = CacheGeometry(8 * 1024, 32)
+    encoder = encoder_for(trace, 7)
+    base = DirectMappedCache(geometry).simulate(trace.records)
+    side = FvcSystem(geometry, 256, encoder).simulate(trace.records)
+    compressed = CompressedCache(geometry, encoder)
+    packed = compressed.simulate(trace.records)
+    print("1. compression cache (reference [11]) on perl, 8KB:")
+    print(f"   side FVC reduction        {reduction_percent(base, side):5.1f}%")
+    print(f"   compression-cache red.    {reduction_percent(base, packed):5.1f}%"
+          f"  ({100 * compressed.compression_ratio():.0f}% of installs "
+          "compressed)\n")
+
+
+def hybrid() -> None:
+    trace = get_trace("vortex", "train")
+    geometry = CacheGeometry(4 * 1024, 32)
+    encoder = encoder_for(trace, 7)
+    base = DirectMappedCache(geometry).simulate(trace.records)
+    system = HybridFvcVictimSystem(geometry, 256, 8, encoder)
+    stats = system.simulate(trace.records)
+    routed = system.routed_to_fvc + system.routed_to_victim
+    print("2. content-routed hybrid on vortex, 4KB:")
+    print(f"   reduction {reduction_percent(base, stats):5.1f}%  "
+          f"({100 * system.routed_to_fvc / routed:.0f}% of evictions took "
+          "the compressed route)\n")
+
+
+def hierarchy() -> None:
+    trace = get_trace("m88ksim", "train")
+    l1 = CacheGeometry(16 * 1024, 32)
+    l2 = CacheGeometry(64 * 1024, 32, ways=4)
+    plain = TwoLevelSystem(l1, l2)
+    plain.simulate(trace.records)
+    fvc = TwoLevelFvcSystem(l1, l2, 512, encoder_for(trace, 7))
+    fvc.simulate(trace.records)
+    saved = 100 * (plain.l2_stats.accesses - fvc.l2_stats.accesses) / max(
+        1, plain.l2_stats.accesses
+    )
+    print("3. two-level hierarchy on m88ksim:")
+    print(f"   L1-L2 traffic saved by the FVC: {saved:.1f}% "
+          f"(global miss rate {100 * fvc.global_miss_rate:.3f}%)\n")
+
+
+def dynamic() -> None:
+    trace = get_trace("gcc", "train")
+    geometry = CacheGeometry(16 * 1024, 32)
+    base = DirectMappedCache(geometry).simulate(trace.records)
+    profiled = FvcSystem(geometry, 512, encoder_for(trace, 7)).simulate(
+        trace.records
+    )
+    online = DynamicFvcSystem(
+        geometry, 512, code_bits=3, warmup_accesses=len(trace) // 20
+    )
+    online_stats = online.simulate(trace.records)
+    print("4. dynamic value identification on gcc:")
+    print(f"   profiled FVC reduction {reduction_percent(base, profiled):5.1f}%")
+    print(f"   online   FVC reduction {reduction_percent(base, online_stats):5.1f}%"
+          f"  (values locked after a 5% warm-up: "
+          + ", ".join(format(v, 'x') for v in online.frequent_values[:5])
+          + ", ...)")
+
+
+def main() -> None:
+    compression_cache()
+    hybrid()
+    hierarchy()
+    dynamic()
+
+
+if __name__ == "__main__":
+    main()

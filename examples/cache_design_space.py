@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Design-space exploration: grow the cache, or add an FVC?
+
+The paper's headline engineering question (Fig. 13): given a
+direct-mapped cache, is the next transistor budget better spent
+doubling it or attaching a small frequent value cache?  This example
+sweeps both options across the conflict-dominated analogs and prints
+the answer together with the access-time picture from the CACTI-style
+model.
+
+Run:  python examples/cache_design_space.py
+"""
+
+from repro import CacheGeometry, DEFAULT_MODEL, DirectMappedCache, FvcSystem
+from repro.experiments.common import encoder_for
+from repro.workloads.store import get_trace
+
+
+def explore(benchmark: str, input_name: str = "train") -> None:
+    trace = get_trace(benchmark, input_name)
+    encoder = encoder_for(trace, 7)
+    print(f"\n=== {benchmark} ({len(trace):,} accesses) ===")
+    print(f"{'configuration':28s} {'miss%':>7s} {'access ns':>10s} "
+          f"{'extra KB':>9s}")
+    for size_kb in (8, 16, 32):
+        geometry = CacheGeometry(size_kb * 1024, 32)
+        double = CacheGeometry(size_kb * 2 * 1024, 32)
+        base = DirectMappedCache(geometry).simulate(trace.records)
+        doubled = DirectMappedCache(double).simulate(trace.records)
+        system = FvcSystem(geometry, 512, encoder)
+        augmented = system.simulate(trace.records)
+        fvc_kb = system.fvc.data_storage_bytes() / 1024
+        rows = [
+            (f"{geometry.describe()}", base.miss_rate,
+             DEFAULT_MODEL.direct_mapped_access_ns(geometry), 0.0),
+            (f"{double.describe()} (doubled)", doubled.miss_rate,
+             DEFAULT_MODEL.direct_mapped_access_ns(double), size_kb),
+            (f"{geometry.describe()} + 512e FVC", augmented.miss_rate,
+             max(
+                 DEFAULT_MODEL.direct_mapped_access_ns(geometry),
+                 DEFAULT_MODEL.fvc_access_ns(512, 3, geometry.words_per_line),
+             ), fvc_kb),
+        ]
+        for label, miss_rate, time_ns, extra_kb in rows:
+            print(f"{label:28s} {100 * miss_rate:7.3f} {time_ns:10.2f} "
+                  f"{extra_kb:9.2f}")
+        winner = "FVC" if augmented.miss_rate < doubled.miss_rate else "doubling"
+        print(f"  -> better use of area for {benchmark}: {winner}\n")
+
+
+def main() -> None:
+    for benchmark in ("m88ksim", "perl", "gcc"):
+        explore(benchmark)
+
+
+if __name__ == "__main__":
+    main()

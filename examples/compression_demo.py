@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The frequent-value compression scheme, end to end (paper §3, Fig. 7).
+
+Shows the 3-bit encoding of a cache line, the random-access property,
+the FVC's storage arithmetic, and the measured frequent-value content
+of a live FVC (the Fig. 11 effectiveness result) — plus the dynamic
+variant that discovers the value set online instead of profiling.
+
+Run:  python examples/compression_demo.py
+"""
+
+from repro import (
+    CacheGeometry,
+    DynamicFvcSystem,
+    FrequentValueEncoder,
+    FvcSystem,
+    FvcSystemConfig,
+)
+from repro.experiments.common import encoder_for
+from repro.workloads.store import get_trace
+
+
+def show_fig7() -> None:
+    """The paper's Fig. 7 worked example."""
+    encoder = FrequentValueEncoder([0, 0xFFFFFFFF, 1, 2, 4, 8, 0x10], 3)
+    line = [0, 1000, 0, 99999, 0xFFFFFFFF, 0x10, 1, 0xFFFFFFFF]
+    codes = encoder.encode_line(line)
+    print("uncompressed DMC line (8 words, 256 bits):")
+    print("  " + " ".join(f"{word:>8x}" for word in line))
+    print("compressed FVC field (8 codes, 24 bits):")
+    print("  " + " ".join(f"{code:03b}" for code in codes))
+    print(f"  ({sum(1 for c in codes if c != encoder.infrequent_code)} of 8 "
+          "words are frequent values; 111 marks the others)")
+    # Random access: decode word 4 without touching its neighbours.
+    print(f"random access to word 4: decode({codes[4]:03b}) = "
+          f"{encoder.decode(codes[4]):x}\n")
+
+
+def show_storage_and_content() -> None:
+    trace = get_trace("vortex", "train")
+    geometry = CacheGeometry(16 * 1024, 32)
+    system = FvcSystem(
+        geometry, 512, encoder_for(trace, 7),
+        config=FvcSystemConfig(occupancy_sample_interval=512),
+    )
+    system.simulate(trace.records)
+    content = system.mean_fvc_frequent_fraction
+    print("512-entry FVC next to a 16KB DMC on the vortex analog:")
+    print(f"  data array: {system.fvc.data_storage_bytes()} bytes "
+          f"(vs {512 * 32} bytes for the same lines uncompressed)")
+    print(f"  frequent-value content of valid lines: {100 * content:.1f}%")
+    print(f"  => stores cached values in {(32 / 3) * content:.2f}x less "
+          "storage than a DMC (paper: ~4.27x)\n")
+
+
+def show_dynamic() -> None:
+    trace = get_trace("m88ksim", "train")
+    geometry = CacheGeometry(16 * 1024, 32)
+    dynamic = DynamicFvcSystem(
+        geometry, 512, code_bits=3,
+        warmup_accesses=len(trace) // 20,
+    )
+    dynamic.simulate(trace.records)
+    print("dynamic FVC (no profiling run): after a 5% warm-up the "
+          "Space-Saving summary locked in:")
+    print("  " + ", ".join(f"{value:x}" for value in dynamic.frequent_values))
+    print(f"  FVC hits after lock-in: {dynamic.fvc_hits:,}")
+
+
+def main() -> None:
+    show_fig7()
+    show_storage_and_content()
+    show_dynamic()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The frequent value locality characterisation study (paper §2).
+
+Reproduces the measurements behind Figures 1-2 and Table 4 on the whole
+analog suite at train scale: how much of memory and of the access
+stream a handful of values cover, and how many addresses stay constant
+— the split that separates the six FVL benchmarks from compress/ijpeg.
+
+Run:  python examples/fvl_study.py
+"""
+
+from repro import get_workload, profile_accessed_values, profile_constancy
+from repro.profiling.occurrence import profile_occurring_values
+from repro.workloads.registry import FP_WORKLOADS, INT_WORKLOADS
+
+
+def study(workloads, input_name: str = "train") -> None:
+    header = (
+        f"{'benchmark':10s} {'analog of':12s} "
+        f"{'occ10%':>7s} {'acc10%':>7s} {'const%':>7s} {'verdict':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for workload in workloads:
+        trace = workload.generate_trace(input_name)
+        access = profile_accessed_values(trace)
+        occurrence = profile_occurring_values(
+            workload, input_name, sample_interval=max(1, len(trace) // 12)
+        )
+        constancy = profile_constancy(trace)
+        acc10 = 100 * access.coverage(10)
+        occ10 = 100 * occurrence.coverage(10)
+        verdict = "FVL" if acc10 > 25 else "no FVL"
+        print(
+            f"{workload.name:10s} {workload.spec_analog:12s} "
+            f"{occ10:7.1f} {acc10:7.1f} "
+            f"{100 * constancy.constant_fraction:7.1f} {verdict:>9s}"
+        )
+
+
+def main() -> None:
+    print("SPECint95 analogs "
+          "(paper Fig. 1 + Table 4: six FVL programs, two without):\n")
+    study(INT_WORKLOADS)
+    print("\nSPECfp95 analogs (paper Fig. 2: all show FVL):\n")
+    study(FP_WORKLOADS)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox has no `wheel` package, which PEP-517 editable installs
+require).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Trace-driven cache simulators.
+
+Implements the conventional side of the paper's evaluation: write-back,
+write-allocate direct-mapped and set-associative caches, Jouppi's victim
+cache, a main-memory backing store, hit/miss/traffic statistics, and 3C
+miss classification.  The value-centric FVC lives in :mod:`repro.fvc` and
+builds on the geometry and statistics defined here.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.cache.mainmem import MainMemory
+from repro.cache.direct import DirectMappedCache
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.victim import VictimCacheSystem
+from repro.cache.writethrough import WriteThroughCache
+from repro.cache.hierarchy import TwoLevelFvcSystem, TwoLevelSystem
+from repro.cache.classify import MissClassification, classify_misses
+
+__all__ = [
+    "CacheGeometry",
+    "CacheStats",
+    "MainMemory",
+    "DirectMappedCache",
+    "SetAssociativeCache",
+    "VictimCacheSystem",
+    "WriteThroughCache",
+    "TwoLevelSystem",
+    "TwoLevelFvcSystem",
+    "MissClassification",
+    "classify_misses",
+]

@@ -1,0 +1,85 @@
+"""Write-back, write-allocate direct-mapped cache (the paper's DMC)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.common.errors import ConfigurationError
+
+#: Tag value meaning "invalid line" (real tags are non-negative).
+_INVALID = -1
+
+
+class DirectMappedCache:
+    """The baseline DMC of the paper: direct-mapped, write-back,
+    write-allocate.
+
+    Tracks tags and dirty bits only — the conventional experiments need
+    miss rates and traffic, not data contents.  (The combined DMC+FVC
+    system in :mod:`repro.fvc.system` keeps its own data-carrying DMC,
+    because eviction there must inspect word values.)
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        if geometry.ways != 1:
+            raise ConfigurationError(
+                "DirectMappedCache requires ways=1; "
+                "use SetAssociativeCache for wider geometries"
+            )
+        self.geometry = geometry
+        self.stats = CacheStats()
+        self._tags = [_INVALID] * geometry.num_sets
+        self._dirty = [False] * geometry.num_sets
+
+    def access(self, op: int, byte_addr: int) -> bool:
+        """Simulate one access; returns True on a hit."""
+        geom = self.geometry
+        line_addr = byte_addr >> geom.line_shift
+        index = line_addr & geom.set_mask
+        stats = self.stats
+        if self._tags[index] == line_addr:
+            if op:  # store
+                self._dirty[index] = True
+                stats.write_hits += 1
+            else:
+                stats.read_hits += 1
+            return True
+        # Miss: evict (write back if dirty), then fill.
+        if self._dirty[index]:
+            stats.writebacks += 1
+            stats.writeback_words += geom.words_per_line
+        self._tags[index] = line_addr
+        stats.fills += 1
+        stats.fill_words += geom.words_per_line
+        if op:
+            self._dirty[index] = True
+            stats.write_misses += 1
+        else:
+            self._dirty[index] = False
+            stats.read_misses += 1
+        return False
+
+    def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
+        """Replay a whole trace (records of ``(op, addr, value)``)."""
+        access = self.access
+        for op, byte_addr, _ in records:
+            access(op, byte_addr)
+        return self.stats
+
+    def contains(self, byte_addr: int) -> bool:
+        """True when the line holding ``byte_addr`` is resident."""
+        geom = self.geometry
+        line_addr = byte_addr >> geom.line_shift
+        return self._tags[line_addr & geom.set_mask] == line_addr
+
+    def flush(self) -> None:
+        """Invalidate every line, writing back dirty ones."""
+        geom = self.geometry
+        for index in range(geom.num_sets):
+            if self._tags[index] != _INVALID and self._dirty[index]:
+                self.stats.writebacks += 1
+                self.stats.writeback_words += geom.words_per_line
+            self._tags[index] = _INVALID
+            self._dirty[index] = False

@@ -1,0 +1,45 @@
+"""Main-memory backing store for the cache simulators.
+
+Holds the authoritative word values during trace replay.  Replaying the
+trace's stores against this zero-initialised memory reproduces every
+value the traced program observed (see :meth:`WordMemory.mark_dead` for
+why), so the value-centric simulators can reconstruct full line contents
+on fills.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class MainMemory:
+    """Sparse word store with line-granular read/write helpers."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def read_word(self, byte_addr: int) -> int:
+        """Read one word (unbacked locations read as zero)."""
+        return self._words.get(byte_addr >> 2, 0)
+
+    def write_word(self, byte_addr: int, value: int) -> None:
+        """Write one word."""
+        self._words[byte_addr >> 2] = value
+
+    def read_line(self, line_addr: int, words_per_line: int) -> List[int]:
+        """Read a whole line; ``line_addr`` is ``byte_addr >> line_shift``."""
+        base_waddr = line_addr * words_per_line
+        get = self._words.get
+        return [get(base_waddr + offset, 0) for offset in range(words_per_line)]
+
+    def write_line(self, line_addr: int, data: List[int]) -> None:
+        """Write a whole line."""
+        base_waddr = line_addr * len(data)
+        words = self._words
+        for offset, value in enumerate(data):
+            words[base_waddr + offset] = value
+
+    def __len__(self) -> int:
+        return len(self._words)

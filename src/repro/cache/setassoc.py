@@ -1,0 +1,87 @@
+"""Set-associative (LRU) and fully-associative write-back caches."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+
+
+class SetAssociativeCache:
+    """Write-back, write-allocate set-associative cache with true LRU.
+
+    Each set is a recency-ordered list of ``[line_addr, dirty]`` entries,
+    most recent first.  Associativities in the experiments are small (2–4
+    ways, plus small fully-associative victim-cache-sized structures), so
+    the list scan beats fancier structures.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.stats = CacheStats()
+        self._sets: List[List[List[int]]] = [
+            [] for _ in range(geometry.num_sets)
+        ]
+
+    @classmethod
+    def fully_associative(
+        cls, num_lines: int, line_bytes: int
+    ) -> "SetAssociativeCache":
+        """A fully-associative LRU cache of ``num_lines`` lines."""
+        geometry = CacheGeometry(
+            size_bytes=num_lines * line_bytes,
+            line_bytes=line_bytes,
+            ways=num_lines,
+        )
+        return cls(geometry)
+
+    def access(self, op: int, byte_addr: int) -> bool:
+        """Simulate one access; returns True on a hit."""
+        geom = self.geometry
+        line_addr = byte_addr >> geom.line_shift
+        entries = self._sets[line_addr & geom.set_mask]
+        stats = self.stats
+        for position, entry in enumerate(entries):
+            if entry[0] == line_addr:
+                if position:
+                    del entries[position]
+                    entries.insert(0, entry)
+                if op:
+                    entry[1] = 1
+                    stats.write_hits += 1
+                else:
+                    stats.read_hits += 1
+                return True
+        # Miss: evict LRU if the set is full, then fill MRU.
+        if len(entries) >= geom.ways:
+            victim = entries.pop()
+            if victim[1]:
+                stats.writebacks += 1
+                stats.writeback_words += geom.words_per_line
+        entries.insert(0, [line_addr, 1 if op else 0])
+        stats.fills += 1
+        stats.fill_words += geom.words_per_line
+        if op:
+            stats.write_misses += 1
+        else:
+            stats.read_misses += 1
+        return False
+
+    def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
+        """Replay a whole trace (records of ``(op, addr, value)``)."""
+        access = self.access
+        for op, byte_addr, _ in records:
+            access(op, byte_addr)
+        return self.stats
+
+    def contains(self, byte_addr: int) -> bool:
+        """True when the line holding ``byte_addr`` is resident."""
+        geom = self.geometry
+        line_addr = byte_addr >> geom.line_shift
+        entries = self._sets[line_addr & geom.set_mask]
+        return any(entry[0] == line_addr for entry in entries)
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(entries) for entries in self._sets)

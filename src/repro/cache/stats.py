@@ -1,0 +1,89 @@
+"""Hit/miss and traffic statistics shared by every cache simulator."""
+
+from __future__ import annotations
+
+
+class CacheStats:
+    """Mutable counters accumulated during a simulation.
+
+    Traffic is measured in *words* moved between the cache system and
+    main memory, the paper's proxy for off-chip power: each line fill
+    moves ``words_per_line`` words in, each line write-back moves
+    ``words_per_line`` words out, and the FVC's word-granular flushes
+    move exactly the dirty words.
+    """
+
+    __slots__ = (
+        "read_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "fills",
+        "writebacks",
+        "fill_words",
+        "writeback_words",
+    )
+
+    def __init__(self) -> None:
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.fills = 0
+        self.writebacks = 0
+        self.fill_words = 0
+        self.writeback_words = 0
+
+    # Aggregates ---------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        """Total accesses simulated."""
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        """Total hits."""
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses (0.0 when no accesses were simulated)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    @property
+    def traffic_words(self) -> int:
+        """Total words exchanged with main memory."""
+        return self.fill_words + self.writeback_words
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats object into this one."""
+        for field in CacheStats.__slots__:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (for reports and JSON output)."""
+        snapshot = {field: getattr(self, field) for field in CacheStats.__slots__}
+        snapshot["accesses"] = self.accesses
+        snapshot["misses"] = self.misses
+        snapshot["miss_rate"] = self.miss_rate
+        snapshot["traffic_words"] = self.traffic_words
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(accesses={self.accesses}, "
+            f"miss_rate={100 * self.miss_rate:.3f}%, "
+            f"traffic={self.traffic_words} words)"
+        )

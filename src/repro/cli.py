@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+::
+
+    repro-fvc list                      # workloads and experiments
+    repro-fvc run fig10 [--fast]        # run one experiment
+    repro-fvc run all [--fast]          # run everything, paper order
+    repro-fvc trace gcc --input ref -o gcc.trc[.gz]
+    repro-fvc profile gcc [--input ref] # FVL summary of one workload
+    repro-fvc report gcc                # full S2-style locality report
+    repro-fvc classify gcc --size-kb 16 # 3C miss classification
+    repro-fvc reuse gcc                 # reuse-distance analysis
+    repro-fvc simulate gcc --size-kb 16 --line 32 --fvc 512 --top 7
+
+(Equivalent: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.cache.classify import classify_misses
+from repro.cache.geometry import CacheGeometry
+from repro.experiments.registry import experiment_ids, get_experiment
+from repro.experiments.common import (
+    baseline_stats,
+    fvc_stats,
+    reduction_percent,
+)
+from repro.profiling.access import profile_accessed_values
+from repro.profiling.report import build_report
+from repro.trace.io import write_trace, write_trace_compact
+from repro.trace.stats import compute_stats
+from repro.workloads.registry import ALL_WORKLOADS, get_workload
+from repro.workloads.store import shared_store
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for workload in ALL_WORKLOADS:
+        inputs = ", ".join(sorted(workload.inputs()))
+        print(f"  {workload.name:10s} ({workload.spec_analog}) inputs: {inputs}")
+    print("experiments:")
+    for experiment_id in experiment_ids():
+        experiment = get_experiment(experiment_id)
+        print(f"  {experiment_id:22s} {experiment.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.render import multi_bar_chart, to_csv
+
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        started = time.time()
+        result = experiment.run(shared_store, fast=args.fast)
+        elapsed = time.time() - started
+        if args.csv:
+            print(to_csv(result), end="")
+        else:
+            print(result.format_table())
+            if args.chart:
+                print()
+                print(multi_bar_chart(result))
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    trace = workload.generate_trace(args.input)
+    if args.compact:
+        write_trace_compact(trace, args.output)
+    else:
+        write_trace(trace, args.output)
+    print(f"wrote {len(trace)} accesses to {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    trace = shared_store.get(args.workload, args.input)
+    print(compute_stats(trace).format())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    trace = shared_store.get(args.workload, args.input)
+    report = build_report(
+        workload,
+        args.input,
+        trace=trace,
+        include_occurrence=not args.no_occurrence,
+    )
+    print(report.format())
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    trace = shared_store.get(args.workload, args.input)
+    geometry = CacheGeometry(args.size_kb * 1024, args.line, ways=args.ways)
+    result = classify_misses(trace.records, geometry)
+    print(
+        f"{geometry.describe()} on {args.workload}/{args.input}: "
+        f"miss rate {100 * result.miss_rate:.3f}%"
+    )
+    for kind in ("compulsory", "capacity", "conflict"):
+        count = getattr(result, kind)
+        print(f"  {kind:10s} {count:8d} ({100 * result.fraction(kind):5.1f}%)")
+    return 0
+
+
+def _cmd_reuse(args: argparse.Namespace) -> int:
+    from repro.profiling.reuse import (
+        fvc_catchable_fraction,
+        reuse_distance_profile,
+    )
+
+    trace = shared_store.get(args.workload, args.input)
+    profile = reuse_distance_profile(trace.records, line_bytes=args.line)
+    print(
+        f"{args.workload}/{args.input}: {profile.total_accesses:,} accesses, "
+        f"{profile.cold_accesses:,} cold"
+    )
+    for lines in (128, 256, 512, 1024, 2048):
+        size_kb = lines * args.line / 1024
+        print(
+            f"  fully-assoc LRU {size_kb:6.1f} KB: miss rate "
+            f"{100 * profile.miss_rate_at_capacity(lines):6.3f}%"
+        )
+    dmc_lines = args.size_kb * 1024 // args.line
+    band = fvc_catchable_fraction(profile, dmc_lines, args.fvc)
+    print(
+        f"  accesses in the FVC-reachable band [{dmc_lines}, "
+        f"{dmc_lines + args.fvc}) lines: {100 * band:.2f}% "
+        "(x frequent-word fraction = catchable misses)"
+    )
+    print(f"  95%-reuse working set: "
+          f"{profile.working_set_lines() * args.line / 1024:.1f} KB")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = shared_store.get(args.workload, args.input)
+    geometry = CacheGeometry(args.size_kb * 1024, args.line)
+    base = baseline_stats(trace, geometry)
+    print(
+        f"{geometry.describe()} baseline: "
+        f"miss rate {100 * base.miss_rate:.3f}%, "
+        f"traffic {base.traffic_words} words"
+    )
+    if args.fvc:
+        stats, system = fvc_stats(trace, geometry, args.fvc, args.top)
+        print(
+            f"+ {args.fvc}-entry top-{args.top} FVC: "
+            f"miss rate {100 * stats.miss_rate:.3f}% "
+            f"({reduction_percent(base, stats):.1f}% reduction), "
+            f"traffic {stats.traffic_words} words, "
+            f"FVC hits {system.fvc_hits}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fvc",
+        description="Frequent value locality / FVC reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. fig10, or 'all'")
+    run.add_argument(
+        "--fast", action="store_true", help="reduced configuration (tests)"
+    )
+    run.add_argument(
+        "--chart", action="store_true", help="append an ASCII bar chart"
+    )
+    run.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of the table"
+    )
+    run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser("trace", help="generate and save a trace file")
+    trace.add_argument("workload")
+    trace.add_argument("--input", default="ref")
+    trace.add_argument("-o", "--output", required=True)
+    trace.add_argument(
+        "--compact",
+        action="store_true",
+        help="delta/varint format (3-4x smaller)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    profile = sub.add_parser("profile", help="frequent value summary")
+    profile.add_argument("workload")
+    profile.add_argument("--input", default="ref")
+    profile.set_defaults(func=_cmd_profile)
+
+    report = sub.add_parser("report", help="full S2-style FVL report")
+    report.add_argument("workload")
+    report.add_argument("--input", default="ref")
+    report.add_argument(
+        "--no-occurrence",
+        action="store_true",
+        help="skip the (slower) live-memory occurrence study",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    classify = sub.add_parser("classify", help="3C miss classification")
+    classify.add_argument("workload")
+    classify.add_argument("--input", default="ref")
+    classify.add_argument("--size-kb", type=int, default=16)
+    classify.add_argument("--line", type=int, default=32)
+    classify.add_argument("--ways", type=int, default=1)
+    classify.set_defaults(func=_cmd_classify)
+
+    reuse = sub.add_parser("reuse", help="reuse-distance analysis")
+    reuse.add_argument("workload")
+    reuse.add_argument("--input", default="ref")
+    reuse.add_argument("--line", type=int, default=32)
+    reuse.add_argument("--size-kb", type=int, default=16)
+    reuse.add_argument("--fvc", type=int, default=512)
+    reuse.set_defaults(func=_cmd_reuse)
+
+    simulate = sub.add_parser("simulate", help="simulate one configuration")
+    simulate.add_argument("workload")
+    simulate.add_argument("--input", default="ref")
+    simulate.add_argument("--size-kb", type=int, default=16)
+    simulate.add_argument("--line", type=int, default=32)
+    simulate.add_argument("--fvc", type=int, default=0, help="FVC entries")
+    simulate.add_argument("--top", type=int, default=7, choices=(1, 3, 7))
+    simulate.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

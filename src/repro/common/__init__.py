@@ -1,0 +1,51 @@
+"""Shared low-level utilities: 32-bit word arithmetic, errors, RNG helpers.
+
+Everything in the simulated machine is a 32-bit word, exactly as in the
+paper (SPEC95 on a 32-bit target).  This package centralises the word
+conventions so every other subsystem agrees on them.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    MemoryError_,
+    TraceFormatError,
+)
+from repro.common.words import (
+    WORD_BYTES,
+    WORD_BITS,
+    WORD_MASK,
+    to_u32,
+    to_s32,
+    u32_add,
+    u32_sub,
+    u32_mul,
+    float_to_word,
+    word_to_float,
+    word_to_hex,
+    is_power_of_two,
+    log2_int,
+)
+from repro.common.rng import make_rng, derive_seed
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "MemoryError_",
+    "TraceFormatError",
+    "WORD_BYTES",
+    "WORD_BITS",
+    "WORD_MASK",
+    "to_u32",
+    "to_s32",
+    "u32_add",
+    "u32_sub",
+    "u32_mul",
+    "float_to_word",
+    "word_to_float",
+    "word_to_hex",
+    "is_power_of_two",
+    "log2_int",
+    "make_rng",
+    "derive_seed",
+]

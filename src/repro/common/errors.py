@@ -1,0 +1,39 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cache, FVC, workload, or experiment configuration.
+
+    Raised eagerly at construction time (e.g. a cache size that is not a
+    power of two, an FVC code width outside 1..3 bits) so that simulation
+    loops never have to validate per access.
+    """
+
+
+class MemoryError_(ReproError):
+    """An invalid access to the simulated word memory.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError` (which means the host ran out of RAM, an entirely
+    different condition).
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file or stream is malformed or truncated."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload was misconfigured or failed internally."""
+
+
+class SimulatedMachineError(ReproError):
+    """The simulated RISC machine (m88ksim analog) hit an illegal state."""

@@ -1,0 +1,103 @@
+"""32-bit word conventions used across the whole simulated machine.
+
+The paper traces a 32-bit machine: every memory value is a 32-bit word,
+every address is a byte address, and a cache "word" is 4 bytes.  All
+simulated-memory values in this library are Python ints constrained to
+``0 <= v <= 0xFFFFFFFF``; these helpers do the wrapping arithmetic and the
+float bit-pattern packing the FP workloads need.
+"""
+
+from __future__ import annotations
+
+import struct
+
+#: Bytes per machine word (32-bit target, as in the paper).
+WORD_BYTES = 4
+
+#: Bits per machine word.
+WORD_BITS = 32
+
+#: Mask selecting the low 32 bits.
+WORD_MASK = 0xFFFFFFFF
+
+
+def to_u32(value: int) -> int:
+    """Wrap an arbitrary Python int to its unsigned 32-bit representation.
+
+    >>> to_u32(-1)
+    4294967295
+    >>> to_u32(2**32 + 5)
+    5
+    """
+    return value & WORD_MASK
+
+
+def to_s32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed 32-bit integer.
+
+    >>> to_s32(0xFFFFFFFF)
+    -1
+    >>> to_s32(5)
+    5
+    """
+    value &= WORD_MASK
+    if value >= 0x80000000:
+        return value - 0x100000000
+    return value
+
+
+def u32_add(a: int, b: int) -> int:
+    """32-bit wrapping addition."""
+    return (a + b) & WORD_MASK
+
+
+def u32_sub(a: int, b: int) -> int:
+    """32-bit wrapping subtraction."""
+    return (a - b) & WORD_MASK
+
+
+def u32_mul(a: int, b: int) -> int:
+    """32-bit wrapping multiplication."""
+    return (a * b) & WORD_MASK
+
+
+def float_to_word(value: float) -> int:
+    """Pack a Python float into its IEEE-754 single-precision bit pattern.
+
+    The FP workload analogs store their arrays as single-precision words,
+    which is what makes 0.0 (bit pattern 0) such a dominant frequent value
+    in SPECfp95-like programs.
+    """
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def word_to_float(word: int) -> float:
+    """Unpack an IEEE-754 single-precision bit pattern into a float."""
+    return struct.unpack("<f", struct.pack("<I", word & WORD_MASK))[0]
+
+
+def word_to_hex(word: int) -> str:
+    """Render a word the way the paper's Table 1 does (bare lowercase hex).
+
+    >>> word_to_hex(0xFFFFFFFF)
+    'ffffffff'
+    >>> word_to_hex(0)
+    '0'
+    """
+    return format(word & WORD_MASK, "x")
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises ``ValueError`` when ``value`` is not a positive power of two;
+    cache geometry code relies on this to validate configurations.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,20 @@
+"""Experiment harness: one runner per paper table and figure.
+
+Every experiment produces an :class:`ExperimentResult` whose rows carry
+the same quantities the paper plots; ``format_table()`` renders them as
+text.  ``repro.experiments.registry`` maps experiment ids ("fig10",
+"table4", "ablation-waf", …) to runners, and the CLI / benchmark suite
+drive everything through it.
+"""
+
+from repro.experiments.base import Experiment, ExperimentResult, render_table
+from repro.experiments.registry import EXPERIMENTS, get_experiment, experiment_ids
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "render_table",
+    "EXPERIMENTS",
+    "get_experiment",
+    "experiment_ids",
+]

@@ -1,0 +1,102 @@
+"""Experiment base classes and table rendering."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.workloads.store import TraceStore, shared_store
+
+Row = Dict[str, object]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    grid = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[col]) for row in grid)) if grid else len(header)
+        for col, header in enumerate(headers)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in grid)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``rows`` hold the measured quantities keyed by the column names in
+    ``headers``; ``notes`` records methodology details worth printing
+    beside the table (configuration, workload inputs, deviations).
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Row]
+    notes: List[str] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render the result the way the paper's table/figure reads."""
+        body = render_table(
+            self.headers,
+            [[row.get(header, "") for header in self.headers] for row in self.rows],
+        )
+        parts = [f"== {self.experiment_id}: {self.title} ==", body]
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List[object]:
+        """All values of one column, row order."""
+        return [row.get(header) for row in self.rows]
+
+    def row_for(self, key_header: str, key: object) -> Optional[Row]:
+        """First row whose ``key_header`` column equals ``key``."""
+        for row in self.rows:
+            if row.get(key_header) == key:
+                return row
+        return None
+
+
+class Experiment(ABC):
+    """One reproducible table/figure.
+
+    ``fast=True`` runs a reduced version (test inputs, fewer
+    configurations) used by the unit-test suite; the benchmark suite
+    always runs the full version.
+    """
+
+    #: Registry id, e.g. ``"fig10"``.
+    experiment_id: str = ""
+    #: Human title, e.g. ``"Miss rate reduction vs FVC size"``.
+    title: str = ""
+    #: Where in the paper the artefact lives.
+    paper_reference: str = ""
+
+    @abstractmethod
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        """Execute the experiment and return its result."""
+
+    def _store(self, store: Optional[TraceStore]) -> TraceStore:
+        return store if store is not None else shared_store
+
+    def _result(self, headers: List[str], rows: List[Row]) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=headers,
+            rows=rows,
+        )

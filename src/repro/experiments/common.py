@@ -1,0 +1,93 @@
+"""Shared experiment plumbing: encoders, simulations, configuration
+lists.
+
+Centralising these keeps every experiment honest: all of them profile
+values, build encoders, and replay caches exactly the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.system import FvcSystem, FvcSystemConfig
+from repro.profiling.access import AccessProfile, profile_accessed_values
+from repro.trace.trace import Trace
+
+#: The six FVL benchmarks, paper presentation order.
+FVL_NAMES: Tuple[str, ...] = ("go", "m88ksim", "gcc", "li", "perl", "vortex")
+#: All eight SPECint95 analogs.
+INT_NAMES: Tuple[str, ...] = FVL_NAMES + ("compress", "ijpeg")
+#: The SPECfp95 analogs.
+FP_NAMES: Tuple[str, ...] = ("swim", "tomcatv", "mgrid", "applu", "su2cor", "hydro2d")
+
+#: Code widths and the value counts they exploit (paper: top 1 / 3 / 7).
+CODE_BITS_BY_COUNT: Dict[int, int] = {1: 1, 3: 2, 7: 3}
+
+#: DMC sizes (KB) and line sizes (bytes) swept in the evaluation.
+DMC_SIZES_KB: Tuple[int, ...] = (4, 8, 16, 32, 64)
+LINE_SIZES: Tuple[int, ...] = (16, 32, 64)
+
+# Per-trace profile memo (profiles are pure functions of the trace).
+_PROFILE_MEMO: Dict[int, AccessProfile] = {}
+
+
+def access_profile(trace: Trace) -> AccessProfile:
+    """Memoised access-value profile for a trace object."""
+    key = id(trace)
+    profile = _PROFILE_MEMO.get(key)
+    if profile is None:
+        profile = profile_accessed_values(trace)
+        if len(_PROFILE_MEMO) > 16:
+            _PROFILE_MEMO.clear()
+        _PROFILE_MEMO[key] = profile
+    return profile
+
+
+def encoder_for(trace: Trace, top_values: int) -> FrequentValueEncoder:
+    """The paper's configuration flow: profile the run, take the top
+    ``top_values`` accessed values, encode them in the matching width."""
+    code_bits = CODE_BITS_BY_COUNT[top_values]
+    profile = access_profile(trace)
+    return FrequentValueEncoder.for_top_values(
+        profile.top_values(top_values), code_bits
+    )
+
+
+def baseline_stats(trace: Trace, geometry: CacheGeometry) -> CacheStats:
+    """Miss statistics of the conventional cache alone."""
+    if geometry.ways == 1:
+        return DirectMappedCache(geometry).simulate(trace.records)
+    return SetAssociativeCache(geometry).simulate(trace.records)
+
+
+def fvc_stats(
+    trace: Trace,
+    geometry: CacheGeometry,
+    fvc_entries: int,
+    top_values: int,
+    config: Optional[FvcSystemConfig] = None,
+) -> Tuple[CacheStats, FvcSystem]:
+    """Miss statistics of the cache + FVC system (and the system, for
+    occupancy/breakdown inspection)."""
+    system = FvcSystem(
+        geometry, fvc_entries, encoder_for(trace, top_values), config=config
+    )
+    stats = system.simulate(trace.records)
+    return stats, system
+
+
+def reduction_percent(base: CacheStats, improved: CacheStats) -> float:
+    """Percentage reduction in miss rate (the paper's headline metric)."""
+    if base.miss_rate == 0:
+        return 0.0
+    return 100.0 * (base.miss_rate - improved.miss_rate) / base.miss_rate
+
+
+def input_for(fast: bool) -> str:
+    """Reference inputs for real runs, test inputs for the fast mode."""
+    return "test" if fast else "ref"

@@ -1,0 +1,22 @@
+"""Fig. 2 — frequently encountered values in SPECfp95.
+
+Same measurement as Fig. 1, over the floating-point analogs.  Paper
+shape: the FP programs also show a high degree of frequent value
+locality (zero-dominated grids, repeated coordinate constants).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import FP_NAMES
+from repro.experiments.fig01_fvl import Fig01FrequentValues
+
+
+class Fig02FrequentValuesFp(Fig01FrequentValues):
+    """Occurrence and access coverage for the SPECfp95 analogs."""
+
+    experiment_id = "fig2"
+    title = "Frequently encountered values in SPECfp95 analogs"
+    paper_reference = "Figure 2"
+
+    def __init__(self) -> None:
+        super().__init__(names=FP_NAMES)

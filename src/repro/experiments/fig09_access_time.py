@@ -1,0 +1,77 @@
+"""Fig. 9 — access times of FVC vs DMC configurations.
+
+Evaluates the calibrated CACTI-style model for every DMC configuration
+(4-64 KB x 16/32/64 B lines) and FVC size (64-4096 entries, top-7
+code), and marks which DMC configurations a 512-entry FVC fits under
+(access time no greater than the DMC's).  Paper shape: many DMC
+configurations are no faster than the FVC; only the small-and-wide
+arrays beat it (exactly three of the fifteen here, leaving the twelve
+admissible configurations Fig. 12 uses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import DMC_SIZES_KB, LINE_SIZES
+from repro.timing.cacti import DEFAULT_MODEL
+from repro.workloads.store import TraceStore
+
+_FVC_ENTRIES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class Fig09AccessTime(Experiment):
+    """CACTI-style access-time comparison."""
+
+    experiment_id = "fig9"
+    title = "Access time of FVC vs DMC (calibrated 0.8um model)"
+    paper_reference = "Figure 9"
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        model = DEFAULT_MODEL
+        headers = ["structure", "config", "access_ns", "fvc512_fits"]
+        rows = []
+        for size_kb in DMC_SIZES_KB:
+            for line_bytes in LINE_SIZES:
+                geometry = CacheGeometry(size_kb * 1024, line_bytes)
+                time_ns = model.direct_mapped_access_ns(geometry)
+                rows.append(
+                    {
+                        "structure": "DMC",
+                        "config": geometry.describe(),
+                        "access_ns": round(time_ns, 2),
+                        "fvc512_fits": "yes"
+                        if model.fvc_fits_dmc(512, 3, geometry)
+                        else "no",
+                    }
+                )
+        for entries in _FVC_ENTRIES:
+            for line_bytes in LINE_SIZES:
+                time_ns = model.fvc_access_ns(entries, 3, line_bytes // 4)
+                rows.append(
+                    {
+                        "structure": "FVC",
+                        "config": f"{entries}e/{line_bytes}B-line/top7",
+                        "access_ns": round(time_ns, 2),
+                        "fvc512_fits": "",
+                    }
+                )
+        rows.append(
+            {
+                "structure": "VC",
+                "config": "4e fully-assoc/32B",
+                "access_ns": round(model.fully_associative_access_ns(4, 32), 2),
+                "fvc512_fits": "",
+            }
+        )
+        result = self._result(headers, rows)
+        admissible = sum(1 for row in rows if row["fvc512_fits"] == "yes")
+        result.notes.append(
+            f"{admissible} of 15 DMC configurations admit a 512-entry FVC "
+            "(paper: 12)"
+        )
+        return result

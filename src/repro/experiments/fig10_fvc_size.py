@@ -1,0 +1,60 @@
+"""Fig. 10 — miss-rate reduction vs FVC size.
+
+16 KB DMC with 8-word (32 B) lines, top-7 FVC swept from 64 to 4096
+entries.  Paper shape: m88ksim and perl saturate with the very smallest
+FVC (conflict pairs need only a few entries); go, gcc and vortex grow
+steadily with FVC size (compressed capacity); li shows the smallest
+reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cache.geometry import CacheGeometry
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import (
+    FVL_NAMES,
+    baseline_stats,
+    fvc_stats,
+    input_for,
+    reduction_percent,
+)
+from repro.workloads.store import TraceStore
+
+_FULL_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
+_FAST_SIZES = (64, 512, 4096)
+
+
+class Fig10FvcSize(Experiment):
+    """Reduction in miss rate as the FVC grows."""
+
+    experiment_id = "fig10"
+    title = "Miss rate reduction vs FVC size (16KB DMC, 8 words/line, top 7)"
+    paper_reference = "Figure 10"
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        store = self._store(store)
+        input_name = input_for(fast)
+        sizes: Sequence[int] = _FAST_SIZES if fast else _FULL_SIZES
+        geometry = CacheGeometry(16 * 1024, 32)
+        headers = ["benchmark", "base_miss_%"] + [
+            f"red_{entries}e_%" for entries in sizes
+        ]
+        rows = []
+        for name in FVL_NAMES:
+            trace = store.get(name, input_name)
+            base = baseline_stats(trace, geometry)
+            row = {
+                "benchmark": name,
+                "base_miss_%": round(100 * base.miss_rate, 3),
+            }
+            for entries in sizes:
+                stats, _ = fvc_stats(trace, geometry, entries, top_values=7)
+                row[f"red_{entries}e_%"] = round(
+                    reduction_percent(base, stats), 1
+                )
+            rows.append(row)
+        return self._result(headers, rows)

@@ -1,0 +1,99 @@
+"""Extra renderings of experiment results: CSV export and ASCII charts.
+
+The result tables are the ground truth; these helpers make them easier
+to consume — CSV for plotting pipelines, horizontal bar charts for
+reading a "figure" directly in the terminal (`repro-fvc run fig10
+--chart`).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render a result's rows as CSV (header order preserved)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=result.headers, extrasaction="ignore"
+    )
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({header: row.get(header, "") for header in result.headers})
+    return buffer.getvalue()
+
+
+def _numeric_columns(result: ExperimentResult) -> List[str]:
+    columns = []
+    for header in result.headers:
+        values = [row.get(header) for row in result.rows]
+        if values and all(isinstance(v, (int, float)) for v in values):
+            columns.append(header)
+    return columns
+
+
+def bar_chart(
+    result: ExperimentResult,
+    value_column: Optional[str] = None,
+    label_column: Optional[str] = None,
+    width: int = 48,
+) -> str:
+    """Horizontal ASCII bar chart of one numeric column.
+
+    Defaults: labels from the first column, values from the first
+    numeric column.  Bars are scaled to the maximum value.
+    """
+    if not result.rows:
+        return "(no rows)"
+    if label_column is None:
+        label_column = result.headers[0]
+    numeric = _numeric_columns(result)
+    if value_column is None:
+        if not numeric:
+            return "(no numeric columns to chart)"
+        value_column = numeric[0]
+    values = [float(row.get(value_column, 0) or 0) for row in result.rows]
+    labels = [str(row.get(label_column, "")) for row in result.rows]
+    peak = max(abs(value) for value in values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [f"{result.experiment_id}: {value_column}"]
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * abs(value) / peak))
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def multi_bar_chart(
+    result: ExperimentResult,
+    value_columns: Optional[Sequence[str]] = None,
+    label_column: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Grouped ASCII chart over several numeric columns (e.g. the
+    per-FVC-size reductions of Fig. 10)."""
+    if not result.rows:
+        return "(no rows)"
+    if label_column is None:
+        label_column = result.headers[0]
+    if value_columns is None:
+        value_columns = _numeric_columns(result)
+    if not value_columns:
+        return "(no numeric columns to chart)"
+    peak = max(
+        (abs(float(row.get(column, 0) or 0)))
+        for row in result.rows
+        for column in value_columns
+    ) or 1.0
+    column_width = max(len(column) for column in value_columns)
+    blocks = [f"{result.experiment_id}"]
+    for row in result.rows:
+        blocks.append(f"{row.get(label_column)}:")
+        for column in value_columns:
+            value = float(row.get(column, 0) or 0)
+            bar = "#" * max(0, round(width * abs(value) / peak))
+            blocks.append(f"  {column.rjust(column_width)} |{bar} {value:g}")
+    return "\n".join(blocks)

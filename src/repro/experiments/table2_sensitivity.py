@@ -1,0 +1,47 @@
+"""Table 2 — input sensitivity of the frequently accessed values.
+
+Compares each analog's top-7/top-10 accessed values on the test and
+train inputs against those on the reference input, reporting the
+paper's ``X/Y`` overlap notation.  Paper shape: roughly half the values
+carry across inputs — the small constants transfer, the pointer values
+often do not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import FVL_NAMES, access_profile
+from repro.profiling.sensitivity import top_value_overlap
+from repro.workloads.store import TraceStore
+
+
+class Table2InputSensitivity(Experiment):
+    """Cross-input overlap of the frequent value sets."""
+
+    experiment_id = "table2"
+    title = "Input sensitivity of frequently accessed values"
+    paper_reference = "Table 2"
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        store = self._store(store)
+        reference_input = "train" if fast else "ref"
+        headers = ["benchmark", "test_top7", "test_top10", "train_top7", "train_top10"]
+        rows = []
+        for name in FVL_NAMES:
+            reference = access_profile(store.get(name, reference_input))
+            row = {"benchmark": name}
+            for alt in ("test", "train"):
+                alternate = access_profile(store.get(name, alt))
+                overlap = top_value_overlap(reference, alternate, ks=(7, 10))
+                row[f"{alt}_top7"] = f"{overlap.overlap[7]}/7"
+                row[f"{alt}_top10"] = f"{overlap.overlap[10]}/10"
+            rows.append(row)
+        result = self._result(headers, rows)
+        result.notes.append(
+            f"reference ranking taken from the {reference_input} input"
+        )
+        return result

@@ -1,0 +1,57 @@
+"""Table 3 — how quickly the frequent value set stabilises.
+
+For each FVL analog, the fraction of execution after which the ordered
+top-1/3/7 accessed values never change, plus the paper's relaxation:
+when the final top-k values have permanently entered the running
+top-10 (identity is all an FVC needs).  Paper shape: most programs
+stabilise within a few percent of execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import FVL_NAMES, input_for
+from repro.profiling.stability import profile_stability
+from repro.workloads.store import TraceStore
+
+
+class Table3Stability(Experiment):
+    """Stabilisation points of the top-k accessed values."""
+
+    experiment_id = "table3"
+    title = "Finding frequently accessed values (stabilisation points)"
+    paper_reference = "Table 3"
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        store = self._store(store)
+        input_name = input_for(fast)
+        headers = [
+            "benchmark",
+            "accesses",
+            "order_top1_%",
+            "order_top3_%",
+            "order_top7_%",
+            "in_top10_top1_%",
+            "in_top10_top3_%",
+            "in_top10_top7_%",
+        ]
+        rows = []
+        for name in FVL_NAMES:
+            trace = store.get(name, input_name)
+            result = profile_stability(
+                trace, ks=(1, 3, 7), checkpoints=100 if fast else 200
+            )
+            row = {"benchmark": name, "accesses": len(trace)}
+            for k in (1, 3, 7):
+                row[f"order_top{k}_%"] = round(
+                    100 * result.order_stable_at[k], 1
+                )
+                row[f"in_top10_top{k}_%"] = round(
+                    100 * result.membership_stable_at[k], 1
+                )
+            rows.append(row)
+        return self._result(headers, rows)

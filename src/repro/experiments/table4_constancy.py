@@ -1,0 +1,42 @@
+"""Table 4 — addresses whose contents remain constant.
+
+The fraction of referenced addresses observing a single value over the
+whole run, for all eight integer analogs.  Paper shape: high (29-99%)
+for the six FVL benchmarks, near zero for compress and ijpeg.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import INT_NAMES, input_for
+from repro.profiling.constancy import profile_constancy
+from repro.workloads.store import TraceStore
+
+
+class Table4Constancy(Experiment):
+    """Constant-address fraction per benchmark."""
+
+    experiment_id = "table4"
+    title = "Addresses with constant values"
+    paper_reference = "Table 4"
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        store = self._store(store)
+        input_name = input_for(fast)
+        headers = ["benchmark", "referenced", "constant", "constant_%"]
+        rows = []
+        for name in INT_NAMES:
+            result = profile_constancy(store.get(name, input_name))
+            rows.append(
+                {
+                    "benchmark": name,
+                    "referenced": result.referenced_addresses,
+                    "constant": result.constant_addresses,
+                    "constant_%": round(100 * result.constant_fraction, 1),
+                }
+            )
+        return self._result(headers, rows)

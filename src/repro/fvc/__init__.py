@@ -1,0 +1,33 @@
+"""The frequent value cache (FVC) — the paper's core contribution.
+
+* :mod:`repro.fvc.encoding` — the k-bit frequent-value code (Fig. 7);
+* :mod:`repro.fvc.cache` — the raw value-centric cache array;
+* :mod:`repro.fvc.system` — the combined DMC+FVC protocol of §3;
+* :mod:`repro.fvc.dynamic` — online value identification (extension);
+* :mod:`repro.fvc.hybrid` — content-routed FVC + victim buffer
+  (extension of the conclusion's "creative ways");
+* :mod:`repro.fvc.compression` — the compression cache of the paper's
+  reference [11] (extension);
+* the victim cache itself lives in :mod:`repro.cache.victim`
+  (re-exported here for the Fig. 15 comparison).
+"""
+
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.cache import FrequentValueCacheArray, SetAssociativeFvcArray
+from repro.fvc.system import FvcSystem, FvcSystemConfig
+from repro.fvc.dynamic import DynamicFvcSystem
+from repro.fvc.hybrid import HybridFvcVictimSystem
+from repro.fvc.compression import CompressedCache
+from repro.cache.victim import VictimCacheSystem
+
+__all__ = [
+    "FrequentValueEncoder",
+    "FrequentValueCacheArray",
+    "SetAssociativeFvcArray",
+    "FvcSystem",
+    "FvcSystemConfig",
+    "DynamicFvcSystem",
+    "HybridFvcVictimSystem",
+    "CompressedCache",
+    "VictimCacheSystem",
+]

@@ -1,0 +1,315 @@
+"""The raw value-centric FVC array (paper §3, Fig. 8).
+
+Each entry holds a tag plus one ``code_bits``-wide subfield per word of
+the corresponding DMC line.  A subfield either names one of the frequent
+values or carries the reserved *infrequent* code.  Per-word dirty bits
+track values written while resident (FVC write hits), which must be
+flushed to memory on eviction.
+
+This module is the passive storage structure; the §3 transfer protocol
+between DMC, FVC and memory lives in :mod:`repro.fvc.system`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.words import is_power_of_two
+from repro.fvc.encoding import FrequentValueEncoder
+
+_INVALID = -1
+
+
+class FrequentValueCacheArray:
+    """Direct-mapped array of compressed line entries.
+
+    Parameters
+    ----------
+    entries:
+        Number of entries (power of two; the paper sweeps 64–4096).
+    words_per_line:
+        Subfields per entry — equals the DMC's words per line.
+    encoder:
+        The frequent-value code shared with the rest of the system.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        words_per_line: int,
+        encoder: FrequentValueEncoder,
+    ) -> None:
+        if not is_power_of_two(entries):
+            raise ConfigurationError(f"FVC entries={entries} must be a power of two")
+        if not is_power_of_two(words_per_line):
+            raise ConfigurationError(
+                f"words_per_line={words_per_line} must be a power of two"
+            )
+        self.entries = entries
+        self.words_per_line = words_per_line
+        self.encoder = encoder
+        self._mask = entries - 1
+        self._tags: List[int] = [_INVALID] * entries
+        # Parallel per-entry lists of word codes and per-word dirty flags.
+        self._codes: List[Optional[List[int]]] = [None] * entries
+        self._dirty: List[Optional[List[bool]]] = [None] * entries
+        # Occupancy counters for the Fig. 11 compression study.
+        self.valid_entries = 0
+        self.frequent_words = 0
+
+    # Address mapping ------------------------------------------------------
+    def index_of(self, line_addr: int) -> int:
+        """Entry index for a line address (direct mapping)."""
+        return line_addr & self._mask
+
+    # Lookup -----------------------------------------------------------
+    def probe(self, line_addr: int) -> bool:
+        """True when ``line_addr`` is resident."""
+        return self._tags[line_addr & self._mask] == line_addr
+
+    def codes_for(self, line_addr: int) -> Optional[List[int]]:
+        """The entry's code list when resident, else ``None``."""
+        index = line_addr & self._mask
+        if self._tags[index] == line_addr:
+            return self._codes[index]
+        return None
+
+    def read_word(self, line_addr: int, word_index: int) -> Optional[int]:
+        """Decoded value of one word, or ``None`` when not readable
+        (entry absent, or the word carries the infrequent code)."""
+        index = line_addr & self._mask
+        if self._tags[index] != line_addr:
+            return None
+        code = self._codes[index][word_index]  # type: ignore[index]
+        if code == self.encoder.infrequent_code:
+            return None
+        return self.encoder.decode(code)
+
+    def write_word(self, line_addr: int, word_index: int, value: int) -> bool:
+        """FVC write hit: store ``value``'s code if the entry is resident
+        and ``value`` is frequent.  Returns True on success."""
+        index = line_addr & self._mask
+        if self._tags[index] != line_addr:
+            return False
+        code = self.encoder.encode(value)
+        if code == self.encoder.infrequent_code:
+            return False
+        codes = self._codes[index]
+        if codes[word_index] == self.encoder.infrequent_code:  # type: ignore[index]
+            self.frequent_words += 1
+        codes[word_index] = code  # type: ignore[index]
+        self._dirty[index][word_index] = True  # type: ignore[index]
+        return True
+
+    # Installation / eviction ------------------------------------------
+    def install(
+        self,
+        line_addr: int,
+        codes: List[int],
+        dirty: Optional[List[bool]] = None,
+    ) -> Optional[Tuple[int, List[int], List[bool]]]:
+        """Install an entry, returning the displaced one (if any) as
+        ``(line_addr, codes, dirty)`` so the caller can flush it."""
+        if len(codes) != self.words_per_line:
+            raise ConfigurationError(
+                f"install of {len(codes)} codes into "
+                f"{self.words_per_line}-word entries"
+            )
+        index = line_addr & self._mask
+        displaced = self._extract(index)
+        self._tags[index] = line_addr
+        self._codes[index] = codes
+        self._dirty[index] = dirty if dirty is not None else [False] * len(codes)
+        self.valid_entries += 1
+        self.frequent_words += self.encoder.count_frequent(codes)
+        return displaced
+
+    def invalidate(self, line_addr: int) -> Optional[Tuple[int, List[int], List[bool]]]:
+        """Invalidate ``line_addr`` if resident, returning the entry."""
+        index = line_addr & self._mask
+        if self._tags[index] != line_addr:
+            return None
+        return self._extract(index)
+
+    def _extract(self, index: int) -> Optional[Tuple[int, List[int], List[bool]]]:
+        tag = self._tags[index]
+        if tag == _INVALID:
+            return None
+        codes = self._codes[index]
+        dirty = self._dirty[index]
+        self._tags[index] = _INVALID
+        self._codes[index] = None
+        self._dirty[index] = None
+        self.valid_entries -= 1
+        self.frequent_words -= self.encoder.count_frequent(codes)  # type: ignore[arg-type]
+        return tag, codes, dirty  # type: ignore[return-value]
+
+    # Occupancy / storage ------------------------------------------------
+    @property
+    def frequent_fraction(self) -> float:
+        """Mean fraction of frequent-coded words across valid entries
+        (instantaneous; Fig. 11 time-averages this)."""
+        if not self.valid_entries:
+            return 0.0
+        return self.frequent_words / (self.valid_entries * self.words_per_line)
+
+    def resident_line_addresses(self) -> List[int]:
+        """Line addresses of all valid entries (for invariant checks)."""
+        return [tag for tag in self._tags if tag != _INVALID]
+
+    def storage_bits(self, address_bits: int = 32) -> int:
+        """Total SRAM bits: per entry one valid bit, the tag, and
+        ``words_per_line`` code subfields plus their dirty bits."""
+        index_bits = (self.entries - 1).bit_length()
+        line_offset_bits = (self.words_per_line * 4 - 1).bit_length()
+        tag_bits = address_bits - index_bits - line_offset_bits
+        per_entry = 1 + tag_bits + self.words_per_line * (self.encoder.code_bits + 1)
+        return self.entries * per_entry
+
+    def data_storage_bytes(self) -> int:
+        """Data-array bytes only (the paper's "0.375 KB FVC" figures
+        count ``entries × words × code_bits``)."""
+        return (self.entries * self.words_per_line * self.encoder.code_bits + 7) // 8
+
+
+class SetAssociativeFvcArray:
+    """Set-associative (LRU) variant of the FVC array (extension).
+
+    The paper's FVC is direct-mapped; this variant explores whether the
+    FVC itself benefits from associativity (e.g. when hot lines a cache
+    size apart contend for one FVC entry, as the conflict pairs of the
+    m88ksim/perl analogs do).  Same interface as
+    :class:`FrequentValueCacheArray`, so :class:`repro.fvc.system.FvcSystem`
+    can use either.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        words_per_line: int,
+        encoder: FrequentValueEncoder,
+        ways: int = 2,
+    ) -> None:
+        if not is_power_of_two(entries):
+            raise ConfigurationError(f"FVC entries={entries} must be a power of two")
+        if not is_power_of_two(words_per_line):
+            raise ConfigurationError(
+                f"words_per_line={words_per_line} must be a power of two"
+            )
+        if not is_power_of_two(ways) or ways > entries:
+            raise ConfigurationError(f"bad FVC associativity {ways}")
+        self.entries = entries
+        self.words_per_line = words_per_line
+        self.encoder = encoder
+        self.ways = ways
+        self._num_sets = entries // ways
+        self._mask = self._num_sets - 1
+        # Per-set MRU-first lists of [tag, codes, dirty].
+        self._sets: List[List[list]] = [[] for _ in range(self._num_sets)]
+        self.valid_entries = 0
+        self.frequent_words = 0
+
+    # Lookup -----------------------------------------------------------
+    def _find(self, line_addr: int) -> Optional[list]:
+        bucket = self._sets[line_addr & self._mask]
+        for position, entry in enumerate(bucket):
+            if entry[0] == line_addr:
+                if position:
+                    del bucket[position]
+                    bucket.insert(0, entry)
+                return entry
+        return None
+
+    def probe(self, line_addr: int) -> bool:
+        """True when ``line_addr`` is resident."""
+        return self._find(line_addr) is not None
+
+    def codes_for(self, line_addr: int) -> Optional[List[int]]:
+        """The entry's code list when resident, else ``None``."""
+        entry = self._find(line_addr)
+        return entry[1] if entry is not None else None
+
+    def read_word(self, line_addr: int, word_index: int) -> Optional[int]:
+        """Decoded value of one word, or ``None`` when not readable."""
+        entry = self._find(line_addr)
+        if entry is None:
+            return None
+        code = entry[1][word_index]
+        if code == self.encoder.infrequent_code:
+            return None
+        return self.encoder.decode(code)
+
+    def write_word(self, line_addr: int, word_index: int, value: int) -> bool:
+        """FVC write hit; returns True when the value was frequent and
+        the entry resident."""
+        entry = self._find(line_addr)
+        if entry is None:
+            return False
+        code = self.encoder.encode(value)
+        if code == self.encoder.infrequent_code:
+            return False
+        if entry[1][word_index] == self.encoder.infrequent_code:
+            self.frequent_words += 1
+        entry[1][word_index] = code
+        entry[2][word_index] = True
+        return True
+
+    # Installation / eviction ------------------------------------------
+    def install(
+        self,
+        line_addr: int,
+        codes: List[int],
+        dirty: Optional[List[bool]] = None,
+    ) -> Optional[Tuple[int, List[int], List[bool]]]:
+        """Install an entry; returns the LRU entry displaced (if any)."""
+        if len(codes) != self.words_per_line:
+            raise ConfigurationError(
+                f"install of {len(codes)} codes into "
+                f"{self.words_per_line}-word entries"
+            )
+        displaced = self.invalidate(line_addr)
+        bucket = self._sets[line_addr & self._mask]
+        if displaced is None and len(bucket) >= self.ways:
+            victim = bucket.pop()
+            self.valid_entries -= 1
+            self.frequent_words -= self.encoder.count_frequent(victim[1])
+            displaced = (victim[0], victim[1], victim[2])
+        bucket.insert(
+            0,
+            [
+                line_addr,
+                codes,
+                dirty if dirty is not None else [False] * len(codes),
+            ],
+        )
+        self.valid_entries += 1
+        self.frequent_words += self.encoder.count_frequent(codes)
+        return displaced
+
+    def invalidate(self, line_addr: int) -> Optional[Tuple[int, List[int], List[bool]]]:
+        """Invalidate ``line_addr`` if resident, returning the entry."""
+        bucket = self._sets[line_addr & self._mask]
+        for position, entry in enumerate(bucket):
+            if entry[0] == line_addr:
+                del bucket[position]
+                self.valid_entries -= 1
+                self.frequent_words -= self.encoder.count_frequent(entry[1])
+                return entry[0], entry[1], entry[2]
+        return None
+
+    # Occupancy ----------------------------------------------------------
+    @property
+    def frequent_fraction(self) -> float:
+        """Mean fraction of frequent-coded words across valid entries."""
+        if not self.valid_entries:
+            return 0.0
+        return self.frequent_words / (self.valid_entries * self.words_per_line)
+
+    def resident_line_addresses(self) -> List[int]:
+        """Line addresses of all valid entries."""
+        return [entry[0] for bucket in self._sets for entry in bucket]
+
+    def data_storage_bytes(self) -> int:
+        """Data-array bytes (same arithmetic as the direct-mapped FVC)."""
+        return (self.entries * self.words_per_line * self.encoder.code_bits + 7) // 8

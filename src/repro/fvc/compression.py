@@ -1,0 +1,188 @@
+"""Frequent-value *compression* cache (the paper's reference [11]).
+
+The FVC paper's own forward pointer — "Frequent Value Compression in
+Data Caches" (Yang, Zhang, Gupta) — moves the compression from a side
+structure into the cache proper: each physical line slot can hold
+either **one uncompressed line** or **two compressed lines**, where a
+line is compressible when at least half of its words are frequent
+values (the frequent words shrink to k-bit codes, leaving room for the
+other line's compressed image in the same slot).
+
+This module implements that design as an extension, so the repository
+covers the research line the paper spawned:
+
+* a line with more than ``W/2`` infrequent words is stored
+  uncompressed and owns its whole slot;
+* a compressible line occupies half a slot; each set can therefore
+  hold up to two compressible lines (primary + buddy);
+* values are reconstructed on access (frequent words via the decode
+  registers, infrequent words from the stored remainder) — random
+  access within the line is preserved, as in the FVC;
+* replacement: an incoming uncompressed line evicts everything in the
+  slot; an incoming compressible line evicts only the buddy half when
+  one exists (LRU between the two halves).
+
+Effective capacity therefore floats between 1x and 2x the physical
+size depending on the program's frequent value content — exactly the
+phenomenon Fig. 11 measures for the FVC.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.mainmem import MainMemory
+from repro.cache.stats import CacheStats
+from repro.common.errors import ConfigurationError
+from repro.fvc.encoding import FrequentValueEncoder
+
+
+class CompressedCache:
+    """Direct-mapped-by-slot cache holding up to two compressed lines
+    per slot.
+
+    Parameters
+    ----------
+    geometry:
+        The *physical* geometry (size, line bytes); ``ways`` must be 1.
+        Effective capacity reaches twice this when everything
+        compresses.
+    encoder:
+        The frequent-value code used for compression.
+    """
+
+    def __init__(
+        self, geometry: CacheGeometry, encoder: FrequentValueEncoder
+    ) -> None:
+        if geometry.ways != 1:
+            raise ConfigurationError(
+                "CompressedCache models the direct-mapped organisation"
+            )
+        self.geometry = geometry
+        self.encoder = encoder
+        self.memory = MainMemory()
+        self.stats = CacheStats()
+        # Per slot: list of [line_addr, dirty, data, compressed] with at
+        # most one uncompressed entry or two compressed ones; MRU first.
+        self._slots: List[List[list]] = [
+            [] for _ in range(geometry.num_sets)
+        ]
+        self.compressed_residencies = 0
+        self.uncompressed_residencies = 0
+
+    # ------------------------------------------------------------------
+    def _compressible(self, data: List[int]) -> bool:
+        """True when at least half of the words are frequent values."""
+        frequent = sum(1 for word in data if self.encoder.is_frequent(word))
+        return 2 * frequent >= len(data)
+
+    def access(self, op: int, byte_addr: int, value: int) -> bool:
+        """Simulate one access; returns True on a hit."""
+        geom = self.geometry
+        line_addr = byte_addr >> geom.line_shift
+        word = (byte_addr >> 2) & geom.word_mask
+        slot = self._slots[line_addr & geom.set_mask]
+        stats = self.stats
+
+        for position, entry in enumerate(slot):
+            if entry[0] != line_addr:
+                continue
+            if position:
+                del slot[position]
+                slot.insert(0, entry)
+            if op:
+                entry[2][word] = value
+                entry[1] = 1
+                # A store can change the line's compressibility; the
+                # slot is re-packed lazily at replacement time, but an
+                # entry that stops compressing while sharing a slot
+                # must push its buddy out now (no space for both).
+                was_compressed = entry[3]
+                entry[3] = self._compressible(entry[2])
+                if was_compressed and not entry[3] and len(slot) > 1:
+                    self._evict(slot, keep=entry)
+                stats.write_hits += 1
+            else:
+                stats.read_hits += 1
+            return True
+
+        # Miss: fetch and install.
+        data = self.memory.read_line(line_addr, geom.words_per_line)
+        if op:
+            stats.write_misses += 1
+        else:
+            stats.read_misses += 1
+        stats.fills += 1
+        stats.fill_words += geom.words_per_line
+        incoming_compressed = self._compressible(data)
+        if incoming_compressed:
+            self.compressed_residencies += 1
+            # Make room: at most one buddy may stay, and only if it is
+            # itself compressed.
+            while len(slot) >= 2 or (slot and not slot[0][3]):
+                self._evict_lru(slot)
+        else:
+            self.uncompressed_residencies += 1
+            while slot:
+                self._evict_lru(slot)
+        slot.insert(0, [line_addr, 1 if op else 0, data, incoming_compressed])
+        if op:
+            entry = slot[0]
+            entry[2][word] = value
+            # The store may have broken the fetched line's
+            # compressibility; re-check and push out a buddy if so.
+            entry[3] = self._compressible(entry[2])
+            if not entry[3] and len(slot) > 1:
+                self._evict(slot, keep=entry)
+        return False
+
+    def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
+        """Replay a whole trace of ``(op, addr, value)`` records."""
+        access = self.access
+        for op, byte_addr, value in records:
+            access(op, byte_addr, value)
+        return self.stats
+
+    # Internal -----------------------------------------------------------
+    def _evict_lru(self, slot: List[list]) -> None:
+        entry = slot.pop()
+        self._write_back(entry)
+
+    def _evict(self, slot: List[list], keep: list) -> None:
+        """Evict every entry except ``keep``."""
+        for entry in list(slot):
+            if entry is not keep:
+                slot.remove(entry)
+                self._write_back(entry)
+
+    def _write_back(self, entry: list) -> None:
+        if entry[1]:
+            self.memory.write_line(entry[0], entry[2])
+            self.stats.writebacks += 1
+            self.stats.writeback_words += self.geometry.words_per_line
+
+    # Introspection ------------------------------------------------------
+    def resident_lines(self) -> int:
+        """Lines currently resident (up to 2x the physical slots)."""
+        return sum(len(slot) for slot in self._slots)
+
+    def compression_ratio(self) -> float:
+        """Share of installs that entered in compressed form."""
+        total = self.compressed_residencies + self.uncompressed_residencies
+        if not total:
+            return 0.0
+        return self.compressed_residencies / total
+
+    def check_slot_invariant(self) -> bool:
+        """Each slot holds one uncompressed line or ≤2 compressed —
+        with compressibility recomputed from the actual contents, so a
+        stale flag also fails the check."""
+        for slot in self._slots:
+            if len(slot) > 2:
+                return False
+            if len(slot) == 2:
+                for entry in slot:
+                    if not entry[3] or not self._compressible(entry[2]):
+                        return False
+        return True

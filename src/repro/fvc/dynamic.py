@@ -1,0 +1,117 @@
+"""Online frequent-value identification (extension; paper §2 "finding
+frequently accessed values" + reference [11]).
+
+The paper configures the FVC from an offline profiling run, observing
+that the top values stabilise within a small fraction of execution
+(Table 3).  This module closes the loop in "hardware": a Space-Saving
+summary watches the value stream during a warm-up window (the FVC stays
+idle), then the observed top values are locked into the encoder and the
+FVC starts operating — no profiling run required.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.common.errors import ConfigurationError
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.system import FvcSystem, FvcSystemConfig
+from repro.profiling.topk import SpaceSaving
+
+
+class DynamicFvcSystem:
+    """A DMC+FVC system that discovers its frequent values online.
+
+    Parameters
+    ----------
+    geometry, fvc_entries, config:
+        As for :class:`FvcSystem`.
+    code_bits:
+        Code width; the system locks in ``2**code_bits - 1`` values.
+    warmup_accesses:
+        Length of the observation window.  Table 3 suggests a few
+        percent of execution suffices for most programs.
+    summary_counters:
+        Size of the Space-Saving summary (hardware cost knob).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        fvc_entries: int,
+        code_bits: int,
+        warmup_accesses: int = 100_000,
+        summary_counters: int = 64,
+        config: Optional[FvcSystemConfig] = None,
+    ) -> None:
+        if warmup_accesses <= 0:
+            raise ConfigurationError("warm-up window must be positive")
+        if summary_counters < FrequentValueEncoder.capacity(code_bits):
+            raise ConfigurationError(
+                "summary must have at least as many counters as the "
+                "encoder has value slots"
+            )
+        self.code_bits = code_bits
+        self.warmup_accesses = warmup_accesses
+        self._summary = SpaceSaving(summary_counters)
+        # Until the swap the encoder is empty: nothing is frequent, the
+        # FVC never fills, and the system behaves as a bare main cache.
+        self._system = FvcSystem(
+            geometry,
+            fvc_entries,
+            FrequentValueEncoder([], code_bits),
+            config=config,
+        )
+        self._seen = 0
+        self.locked = False
+
+    # ------------------------------------------------------------------
+    def access(self, op: int, byte_addr: int, value: int) -> bool:
+        """Simulate one access; returns True on an overall hit."""
+        if not self.locked:
+            self._summary.add(value)
+            self._seen += 1
+            if self._seen >= self.warmup_accesses:
+                self._lock_values()
+        return self._system.access(op, byte_addr, value)
+
+    def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
+        """Replay a whole trace of ``(op, addr, value)`` records."""
+        access = self.access
+        for op, byte_addr, value in records:
+            access(op, byte_addr, value)
+        return self.stats
+
+    def _lock_values(self) -> None:
+        """Freeze the observed top values into the encoder."""
+        capacity = FrequentValueEncoder.capacity(self.code_bits)
+        values = self._summary.top_values(capacity)
+        encoder = FrequentValueEncoder(values, self.code_bits)
+        # The FVC is necessarily empty (nothing was frequent), so the
+        # encoder swap cannot orphan any stored codes.
+        self._system.encoder = encoder
+        self._system.fvc.encoder = encoder
+        self.locked = True
+
+    # Delegation ---------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Combined statistics (including the warm-up window)."""
+        return self._system.stats
+
+    @property
+    def frequent_values(self) -> Tuple[int, ...]:
+        """The locked-in value set (empty before the swap)."""
+        return self._system.encoder.values
+
+    @property
+    def fvc_hits(self) -> int:
+        """Hits provided by the FVC after lock-in."""
+        return self._system.fvc_hits
+
+    @property
+    def system(self) -> FvcSystem:
+        """The underlying static system (for invariant checks)."""
+        return self._system

@@ -1,0 +1,140 @@
+"""The k-bit frequent-value encoding (paper §3, Fig. 7).
+
+With ``code_bits`` bits per word, ``2**code_bits`` codes exist; the
+all-ones code is reserved to mean *infrequent value here*, leaving
+``2**code_bits - 1`` codes for actual frequent values.  The paper's
+configurations:
+
+====== ================== =============================
+bits   frequent values    paper usage
+====== ================== =============================
+1      1                  "top 1" FVC
+2      3                  "top 3" FVC
+3      7                  "top 7" FVC (headline results)
+====== ================== =============================
+
+The encoding compresses a 32-bit word to ``code_bits`` bits while
+preserving random access: word *i* of a line is always subfield *i*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.words import WORD_MASK
+
+
+class FrequentValueEncoder:
+    """Bidirectional map between frequent values and their short codes.
+
+    Parameters
+    ----------
+    values:
+        The frequent values, most frequent first.  At most
+        ``capacity(code_bits)`` of them; duplicates are rejected.
+    code_bits:
+        Width of each code subfield (1–3 in the paper; up to 8 allowed
+        here for ablation studies).
+    """
+
+    def __init__(self, values: Sequence[int], code_bits: int) -> None:
+        if not 1 <= code_bits <= 8:
+            raise ConfigurationError(f"code_bits={code_bits} outside 1..8")
+        limit = self.capacity(code_bits)
+        values = [v & WORD_MASK for v in values]
+        if len(values) > limit:
+            raise ConfigurationError(
+                f"{len(values)} values exceed the {limit}-value capacity "
+                f"of a {code_bits}-bit code"
+            )
+        if len(set(values)) != len(values):
+            raise ConfigurationError("frequent value list contains duplicates")
+        self.code_bits = code_bits
+        #: The reserved "not a frequent value" code (all ones).
+        self.infrequent_code = (1 << code_bits) - 1
+        self._decode: List[int] = list(values)
+        self._encode: Dict[int, int] = {
+            value: code for code, value in enumerate(values)
+        }
+
+    # Construction helpers -------------------------------------------------
+    @staticmethod
+    def capacity(code_bits: int) -> int:
+        """How many frequent values a ``code_bits``-bit code can hold."""
+        return (1 << code_bits) - 1
+
+    @classmethod
+    def for_top_values(
+        cls, ranked_values: Iterable[int], code_bits: int
+    ) -> "FrequentValueEncoder":
+        """Build from a ranked value list, keeping as many as fit.
+
+        This is the paper's flow: profile the program, rank values by
+        access count, keep the top ``2**code_bits - 1``.
+        """
+        limit = cls.capacity(code_bits)
+        kept: List[int] = []
+        for value in ranked_values:
+            value &= WORD_MASK
+            if value not in kept:
+                kept.append(value)
+            if len(kept) == limit:
+                break
+        return cls(kept, code_bits)
+
+    # Core API ---------------------------------------------------------
+    @property
+    def values(self) -> Tuple[int, ...]:
+        """The frequent values in code order."""
+        return tuple(self._decode)
+
+    @property
+    def num_values(self) -> int:
+        """How many frequent values are actually registered."""
+        return len(self._decode)
+
+    def is_frequent(self, value: int) -> bool:
+        """True when ``value`` has a code."""
+        return value in self._encode
+
+    def encode(self, value: int) -> int:
+        """Code for ``value``; the infrequent code when it has none."""
+        return self._encode.get(value, self.infrequent_code)
+
+    def decode(self, code: int) -> int:
+        """Value for a frequent ``code``.
+
+        Raises ``ConfigurationError`` for the infrequent code or an
+        unassigned code — callers must test against
+        :attr:`infrequent_code` first, mirroring the hardware's valid-bit
+        check.
+        """
+        if code == self.infrequent_code or not 0 <= code < len(self._decode):
+            raise ConfigurationError(f"code {code} does not name a frequent value")
+        return self._decode[code]
+
+    # Line-granular helpers ------------------------------------------------
+    def encode_line(self, words: Sequence[int]) -> List[int]:
+        """Encode a whole line of words into a list of codes."""
+        get = self._encode.get
+        infrequent = self.infrequent_code
+        return [get(word, infrequent) for word in words]
+
+    def merge_line(self, memory_words: List[int], codes: Sequence[int]) -> None:
+        """Overlay the frequent values named by ``codes`` onto a line
+        fetched from memory (the FVC→DMC merge of §3), in place."""
+        infrequent = self.infrequent_code
+        decode = self._decode
+        for index, code in enumerate(codes):
+            if code != infrequent:
+                memory_words[index] = decode[code]
+
+    def count_frequent(self, codes: Sequence[int]) -> int:
+        """Number of non-infrequent codes in a line."""
+        infrequent = self.infrequent_code
+        return sum(1 for code in codes if code != infrequent)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(format(v, "x") for v in self._decode)
+        return f"FrequentValueEncoder({self.code_bits}b: [{rendered}])"

@@ -1,0 +1,227 @@
+"""Hybrid FVC + victim cache (the conclusion's "creative ways").
+
+The paper closes by suggesting the frequent-value phenomenon "can be
+exploited in many creative ways"; Fig. 15 shows the FVC and the victim
+cache have complementary strengths (compressed reach vs full-line
+coverage).  This extension combines them with a *content-routed*
+eviction policy:
+
+* a line evicted from the main cache whose frequent-word fraction is
+  at least ``route_threshold`` goes to the FVC (its reloads are mostly
+  servable from codes);
+* any other line goes to a small fully-associative victim buffer,
+  which serves whole lines regardless of their values.
+
+Contents stay mutually exclusive across all three structures.  The
+``ext-hybrid`` experiment compares the hybrid against its parts at the
+same storage split.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.mainmem import MainMemory
+from repro.cache.stats import CacheStats
+from repro.common.errors import ConfigurationError
+from repro.fvc.cache import FrequentValueCacheArray
+from repro.fvc.encoding import FrequentValueEncoder
+
+
+class HybridFvcVictimSystem:
+    """Direct-mapped main cache + content-routed FVC and victim buffer.
+
+    Parameters
+    ----------
+    geometry:
+        Main-cache geometry (direct-mapped).
+    fvc_entries:
+        FVC size (compressed entries).
+    victim_entries:
+        Victim-buffer size (full uncompressed lines, fully associative).
+    encoder:
+        The frequent-value code.
+    route_threshold:
+        Minimum frequent-word fraction for an evicted line to be routed
+        to the FVC instead of the victim buffer.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        fvc_entries: int,
+        victim_entries: int,
+        encoder: FrequentValueEncoder,
+        route_threshold: float = 0.5,
+    ) -> None:
+        if geometry.ways != 1:
+            raise ConfigurationError("hybrid system augments a direct-mapped cache")
+        if victim_entries <= 0:
+            raise ConfigurationError("victim buffer needs at least one entry")
+        if not 0.0 <= route_threshold <= 1.0:
+            raise ConfigurationError("route threshold must lie in [0, 1]")
+        self.geometry = geometry
+        self.encoder = encoder
+        self.route_threshold = route_threshold
+        self.memory = MainMemory()
+        self.fvc = FrequentValueCacheArray(
+            entries=fvc_entries,
+            words_per_line=geometry.words_per_line,
+            encoder=encoder,
+        )
+        self.victim_entries = victim_entries
+        # Victim buffer: MRU-first [line_addr, dirty, data].
+        self._victims: List[list] = []
+        # Main cache: per-set [line_addr, dirty, data] or None.
+        self._lines: List[Optional[list]] = [None] * geometry.num_sets
+        self.stats = CacheStats()
+        self.main_hits = 0
+        self.fvc_hits = 0
+        self.victim_hits = 0
+        self.routed_to_fvc = 0
+        self.routed_to_victim = 0
+
+    # ------------------------------------------------------------------
+    def access(self, op: int, byte_addr: int, value: int) -> bool:
+        """Simulate one access; returns True on an overall hit."""
+        geom = self.geometry
+        line_addr = byte_addr >> geom.line_shift
+        word = (byte_addr >> 2) & geom.word_mask
+        index = line_addr & geom.set_mask
+        stats = self.stats
+
+        resident = self._lines[index]
+        if resident is not None and resident[0] == line_addr:
+            if op:
+                resident[2][word] = value
+                resident[1] = 1
+                stats.write_hits += 1
+            else:
+                stats.read_hits += 1
+            self.main_hits += 1
+            return True
+
+        # FVC probe (compressed path).
+        codes = self.fvc.codes_for(line_addr)
+        if codes is not None:
+            infrequent = self.encoder.infrequent_code
+            if op == 0 and codes[word] != infrequent:
+                stats.read_hits += 1
+                self.fvc_hits += 1
+                return True
+            if op == 1 and self.encoder.is_frequent(value):
+                self.fvc.write_word(line_addr, word, value)
+                stats.write_hits += 1
+                self.fvc_hits += 1
+                return True
+            entry = self.fvc.invalidate(line_addr)
+            line = self.memory.read_line(line_addr, geom.words_per_line)
+            self.encoder.merge_line(line, codes)
+            dirty = 1 if entry is not None and any(entry[2]) else 0
+            self._fill(line_addr, line, dirty)
+            self._apply(op, index, word, value)
+            return False
+
+        # Victim-buffer probe (whole-line path): swap on hit.
+        for position, victim in enumerate(self._victims):
+            if victim[0] == line_addr:
+                del self._victims[position]
+                displaced = self._lines[index]
+                self._lines[index] = [line_addr, victim[1], victim[2]]
+                if displaced is not None:
+                    self._victims.insert(0, displaced)
+                    self._trim_victims()
+                entry = self._lines[index]
+                if op:
+                    entry[2][word] = value
+                    entry[1] = 1
+                    stats.write_hits += 1
+                else:
+                    stats.read_hits += 1
+                self.victim_hits += 1
+                return True
+
+        # Miss everywhere: conventional fill; route the displaced line.
+        line = self.memory.read_line(line_addr, geom.words_per_line)
+        self._fill(line_addr, line, 0)
+        self._apply(op, index, word, value)
+        return False
+
+    def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
+        """Replay a whole trace of ``(op, addr, value)`` records."""
+        access = self.access
+        for op, byte_addr, value in records:
+            access(op, byte_addr, value)
+        return self.stats
+
+    # Internal plumbing --------------------------------------------------
+    def _apply(self, op: int, index: int, word: int, value: int) -> None:
+        entry = self._lines[index]
+        if op:
+            entry[2][word] = value
+            entry[1] = 1
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+
+    def _fill(self, line_addr: int, data: List[int], dirty: int) -> None:
+        geom = self.geometry
+        index = line_addr & geom.set_mask
+        displaced = self._lines[index]
+        self._lines[index] = [line_addr, dirty, data]
+        self.stats.fills += 1
+        self.stats.fill_words += geom.words_per_line
+        if displaced is None:
+            return
+        victim_addr, victim_dirty, victim_data = displaced
+        codes = self.encoder.encode_line(victim_data)
+        frequent = self.encoder.count_frequent(codes)
+        if frequent / geom.words_per_line >= self.route_threshold:
+            # Compressed route: write back first (the FVC keeps codes
+            # only), then store the identities.
+            if victim_dirty:
+                self.memory.write_line(victim_addr, victim_data)
+                self.stats.writebacks += 1
+                self.stats.writeback_words += geom.words_per_line
+            displaced_entry = self.fvc.install(victim_addr, codes)
+            if displaced_entry is not None:
+                self._flush_fvc_entry(displaced_entry)
+            self.routed_to_fvc += 1
+        else:
+            # Whole-line route: the buffer keeps the dirty data.
+            self._victims.insert(0, displaced)
+            self._trim_victims()
+            self.routed_to_victim += 1
+
+    def _trim_victims(self) -> None:
+        if len(self._victims) <= self.victim_entries:
+            return
+        evicted = self._victims.pop()
+        if evicted[1]:
+            self.memory.write_line(evicted[0], evicted[2])
+            self.stats.writebacks += 1
+            self.stats.writeback_words += self.geometry.words_per_line
+
+    def _flush_fvc_entry(self, entry) -> None:
+        line_addr, codes, dirty = entry
+        base = line_addr << self.geometry.line_shift
+        flushed = 0
+        for word_index, is_dirty in enumerate(dirty):
+            if is_dirty:
+                self.memory.write_word(
+                    base + word_index * 4,
+                    self.encoder.decode(codes[word_index]),
+                )
+                flushed += 1
+        if flushed:
+            self.stats.writebacks += 1
+            self.stats.writeback_words += flushed
+
+    # Introspection ------------------------------------------------------
+    def check_exclusive(self) -> bool:
+        """No line may live in more than one structure."""
+        main = {entry[0] for entry in self._lines if entry is not None}
+        fvc = set(self.fvc.resident_line_addresses())
+        victims = {victim[0] for victim in self._victims}
+        return not (main & fvc or main & victims or fvc & victims)

@@ -1,0 +1,23 @@
+"""Simulated 32-bit word-addressable memory.
+
+The workload analogs execute real algorithms against this memory; every
+load and store is recorded, producing the reference traces that the
+profilers and cache simulators consume — the Python equivalent of the
+paper's instrumented SPEC95 runs.
+"""
+
+from repro.mem.memory import AccessOp, WordMemory
+from repro.mem.layout import AddressSpaceLayout, DEFAULT_LAYOUT
+from repro.mem.allocator import HeapAllocator, StackAllocator, StaticAllocator
+from repro.mem.space import AddressSpace
+
+__all__ = [
+    "AccessOp",
+    "WordMemory",
+    "AddressSpaceLayout",
+    "DEFAULT_LAYOUT",
+    "HeapAllocator",
+    "StackAllocator",
+    "StaticAllocator",
+    "AddressSpace",
+]

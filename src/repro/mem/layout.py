@@ -1,0 +1,52 @@
+"""Address-space layout for the workload analogs.
+
+The paper's Table 1 shows that several of SPECint95's most frequent
+values are *pointers* clustered around 0x4000_0000 (heap) and 0x0804_8000
+(static data on Linux/x86 of the era).  The analogs use the same layout so
+the value populations — and the conflict behaviour of the address streams
+in a direct-mapped cache — resemble the originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AddressSpaceLayout:
+    """Base addresses of the three data segments.
+
+    Attributes
+    ----------
+    static_base:
+        Lowest address of the static data segment (grows up).
+    heap_base:
+        Lowest address of the heap (grows up).
+    stack_top:
+        Highest address of the stack (grows down).
+    """
+
+    static_base: int = 0x08048000
+    heap_base: int = 0x40000000
+    stack_top: int = 0x7FFFF000
+
+    def __post_init__(self) -> None:
+        for name, addr in (
+            ("static_base", self.static_base),
+            ("heap_base", self.heap_base),
+            ("stack_top", self.stack_top),
+        ):
+            if addr & 3:
+                raise ConfigurationError(f"{name} {addr:#x} is not word aligned")
+            if not 0 <= addr <= 0xFFFFFFFF:
+                raise ConfigurationError(f"{name} {addr:#x} outside 32-bit space")
+        if not self.static_base < self.heap_base < self.stack_top:
+            raise ConfigurationError(
+                "segments must be ordered static < heap < stack"
+            )
+
+
+#: The layout every workload uses unless an experiment overrides it.
+DEFAULT_LAYOUT = AddressSpaceLayout()

@@ -1,0 +1,60 @@
+"""The :class:`AddressSpace` facade that workloads program against.
+
+Bundles one :class:`WordMemory` with the three segment allocators so a
+workload reads like a small C program: allocate static tables, malloc and
+free heap objects, push and pop stack frames, and do aligned word loads
+and stores throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.mem.allocator import HeapAllocator, StackAllocator, StaticAllocator
+from repro.mem.layout import DEFAULT_LAYOUT, AddressSpaceLayout
+from repro.mem.memory import WordMemory
+
+
+class AddressSpace:
+    """A complete simulated process address space.
+
+    Parameters
+    ----------
+    record:
+        Optional list receiving ``(op, byte_addr, value)`` trace tuples.
+    layout:
+        Segment base addresses; defaults to the Linux/x86-style layout
+        that reproduces the paper's pointer value populations.
+    sample_interval / sampler:
+        Forwarded to :class:`WordMemory` for occurrence snapshots.
+    """
+
+    def __init__(
+        self,
+        record: Optional[List[Tuple[int, int, int]]] = None,
+        layout: AddressSpaceLayout = DEFAULT_LAYOUT,
+        sample_interval: int = 0,
+        sampler: Optional[Callable[[WordMemory], None]] = None,
+    ) -> None:
+        self.layout = layout
+        self.memory = WordMemory(
+            record=record, sample_interval=sample_interval, sampler=sampler
+        )
+        self.static = StaticAllocator(self.memory, layout.static_base)
+        self.heap = HeapAllocator(self.memory, layout.heap_base)
+        self.stack = StackAllocator(self.memory, layout.stack_top)
+        # Bind the hot methods once; workloads call these millions of times.
+        self.load = self.memory.load
+        self.store = self.memory.store
+
+    # Convenience words ------------------------------------------------
+    def store_block(self, base: int, values: List[int]) -> None:
+        """Store consecutive words starting at ``base`` (traced)."""
+        store = self.memory.store
+        for offset, value in enumerate(values):
+            store(base + offset * 4, value)
+
+    def load_block(self, base: int, nwords: int) -> List[int]:
+        """Load ``nwords`` consecutive words starting at ``base`` (traced)."""
+        load = self.memory.load
+        return [load(base + offset * 4) for offset in range(nwords)]

@@ -1,0 +1,59 @@
+"""Frequent value locality profilers (paper §2).
+
+Every measurement of the paper's characterisation study has a module
+here:
+
+* :mod:`repro.profiling.topk` — exact and streaming top-k counters;
+* :mod:`repro.profiling.access` — frequently *accessed* values (Fig. 1/2
+  right-hand bars, Table 1 "accessed" columns);
+* :mod:`repro.profiling.occurrence` — frequently *occurring* values via
+  sampled snapshots of live memory (Fig. 1/2 left-hand bars, Table 1
+  "occurring" columns);
+* :mod:`repro.profiling.timeline` — coverage curves over execution
+  (Fig. 3);
+* :mod:`repro.profiling.spatial` — frequent-value density across memory
+  blocks (Fig. 5);
+* :mod:`repro.profiling.stability` — when the top-k set stabilises
+  (Table 3);
+* :mod:`repro.profiling.constancy` — addresses whose value never changes
+  (Table 4);
+* :mod:`repro.profiling.sensitivity` — top-k overlap across inputs
+  (Table 2).
+"""
+
+from repro.profiling.topk import ExactTopK, MisraGries, SpaceSaving
+from repro.profiling.access import AccessProfile, profile_accessed_values
+from repro.profiling.occurrence import OccurrenceProfile, profile_occurring_values
+from repro.profiling.timeline import TimelinePoint, profile_timeline
+from repro.profiling.spatial import SpatialProfile, profile_spatial_distribution
+from repro.profiling.stability import StabilityResult, profile_stability
+from repro.profiling.constancy import ConstancyResult, profile_constancy
+from repro.profiling.sensitivity import OverlapResult, top_value_overlap
+from repro.profiling.reuse import (
+    ReuseProfile,
+    fvc_catchable_fraction,
+    reuse_distance_profile,
+)
+
+__all__ = [
+    "ExactTopK",
+    "MisraGries",
+    "SpaceSaving",
+    "AccessProfile",
+    "profile_accessed_values",
+    "OccurrenceProfile",
+    "profile_occurring_values",
+    "TimelinePoint",
+    "profile_timeline",
+    "SpatialProfile",
+    "profile_spatial_distribution",
+    "StabilityResult",
+    "profile_stability",
+    "ConstancyResult",
+    "profile_constancy",
+    "OverlapResult",
+    "top_value_overlap",
+    "ReuseProfile",
+    "reuse_distance_profile",
+    "fvc_catchable_fraction",
+]

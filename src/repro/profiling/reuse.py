@@ -1,0 +1,145 @@
+"""Reuse-distance (LRU stack distance) profiling.
+
+The classic Mattson measurement: for each access, how many *distinct*
+lines were touched since the previous access to the same line.  A fully
+associative LRU cache of C lines hits exactly the accesses with
+distance < C, so the histogram is a cache-size-independent fingerprint
+of a trace's locality.
+
+It also explains the FVC's reach precisely, which is how the analog
+suite was calibrated: a side FVC of E entries extends the effective
+line capacity from C to at most C+E *for frequent-valued words*, so
+the misses it can remove are the accesses whose stack distance falls
+in ``[C, C+E)`` (times the frequent-word fraction).  The helper
+:func:`fvc_catchable_fraction` computes that band's share.
+
+The implementation uses the standard Fenwick-tree formulation:
+O(N log U) for N accesses over U distinct lines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+class _Fenwick:
+    """Binary indexed tree over access timestamps."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+        self._size = size
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self._size:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Histogram of stack distances plus the cold (first-touch) count.
+
+    ``histogram[d]`` counts line accesses whose LRU stack distance was
+    exactly ``d`` distinct lines; first touches are ``cold_accesses``.
+    """
+
+    histogram: Dict[int, int]
+    cold_accesses: int
+    total_accesses: int
+
+    def hits_at_capacity(self, lines: int) -> int:
+        """Accesses a fully-associative LRU cache of ``lines`` lines
+        would hit."""
+        return sum(
+            count for distance, count in self.histogram.items()
+            if distance < lines
+        )
+
+    def miss_rate_at_capacity(self, lines: int) -> float:
+        """Fully-associative LRU miss rate at the given capacity."""
+        if not self.total_accesses:
+            return 0.0
+        return 1.0 - self.hits_at_capacity(lines) / self.total_accesses
+
+    def band_fraction(self, low: int, high: int) -> float:
+        """Share of all accesses with stack distance in ``[low, high)``."""
+        if not self.total_accesses:
+            return 0.0
+        in_band = sum(
+            count for distance, count in self.histogram.items()
+            if low <= distance < high
+        )
+        return in_band / self.total_accesses
+
+    def working_set_lines(self, coverage: float = 0.95) -> int:
+        """Smallest capacity hitting ``coverage`` of the non-cold hits."""
+        reusable = self.total_accesses - self.cold_accesses
+        if reusable <= 0:
+            return 0
+        needed = coverage * reusable
+        running = 0
+        for distance in sorted(self.histogram):
+            running += self.histogram[distance]
+            if running >= needed:
+                return distance + 1
+        return max(self.histogram, default=0) + 1
+
+
+def reuse_distance_profile(
+    records: Iterable[Tuple[int, int, int]], line_bytes: int = 32
+) -> ReuseProfile:
+    """Compute the line-granular stack-distance histogram of a trace."""
+    if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+        raise ValueError("line_bytes must be a positive power of two")
+    shift = line_bytes.bit_length() - 1
+    records = list(records)
+    tree = _Fenwick(len(records) + 1)
+    last_position: Dict[int, int] = {}
+    histogram: Counter = Counter()
+    cold = 0
+    total = 0
+    for position, (_, address, _) in enumerate(records):
+        line = address >> shift
+        total += 1
+        previous = last_position.get(line)
+        if previous is None:
+            cold += 1
+        else:
+            # Distinct lines touched strictly after `previous`.
+            distance = tree.prefix_sum(len(records)) - tree.prefix_sum(previous)
+            histogram[distance] += 1
+            tree.add(previous, -1)
+        tree.add(position, 1)
+        last_position[line] = position
+    return ReuseProfile(
+        histogram=dict(histogram), cold_accesses=cold, total_accesses=total
+    )
+
+
+def fvc_catchable_fraction(
+    profile: ReuseProfile,
+    dmc_lines: int,
+    fvc_entries: int,
+    frequent_word_fraction: float = 1.0,
+) -> float:
+    """Upper-bound estimate of the miss share a side FVC can remove.
+
+    Accesses with stack distance in ``[dmc_lines, dmc_lines +
+    fvc_entries)`` miss the cache but could be held by the FVC — when
+    the accessed word is a frequent value, hence the scaling factor.
+    """
+    if not 0.0 <= frequent_word_fraction <= 1.0:
+        raise ValueError("frequent_word_fraction must lie in [0, 1]")
+    band = profile.band_fraction(dmc_lines, dmc_lines + fvc_entries)
+    return band * frequent_word_fraction

@@ -1,0 +1,64 @@
+"""Input sensitivity of the frequent value set (paper Table 2).
+
+The paper compares the top-7 and top-10 accessed values between the
+reference input and the test/train inputs, reporting ``X/Y`` — how many
+of the top-``Y`` values for the alternate input also rank in the
+top-``Y`` for the reference input.  Small values (0, 1, -1, tags)
+transfer across inputs; large pointer values often do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.profiling.access import AccessProfile, profile_accessed_values
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class OverlapResult:
+    """Top-value overlap between an alternate input and the reference.
+
+    ``overlap[k]`` is the ``X`` of the paper's ``X/k`` notation.
+    """
+
+    overlap: Dict[int, int]
+    shared_values: Dict[int, Tuple[int, ...]]
+
+    def as_fractions(self) -> Dict[int, float]:
+        """Overlap expressed as ``X / k``."""
+        return {k: count / k for k, count in self.overlap.items()}
+
+    def format(self) -> str:
+        """The paper's ``X/Y`` rendering, e.g. ``"7/7 10/10"``."""
+        return " ".join(f"{x}/{k}" for k, x in sorted(self.overlap.items()))
+
+
+def top_value_overlap(
+    reference: AccessProfile,
+    alternate: AccessProfile,
+    ks: Sequence[int] = (7, 10),
+) -> OverlapResult:
+    """Overlap of the alternate input's top-``k`` values with the
+    reference input's top-``k`` values, for each ``k``."""
+    overlap: Dict[int, int] = {}
+    shared: Dict[int, Tuple[int, ...]] = {}
+    for k in ks:
+        ref_set = set(reference.top_values(k))
+        alt_top: List[int] = alternate.top_values(k)
+        common = tuple(value for value in alt_top if value in ref_set)
+        overlap[k] = len(common)
+        shared[k] = common
+    return OverlapResult(overlap=overlap, shared_values=shared)
+
+
+def trace_overlap(
+    reference_trace: Trace, alternate_trace: Trace, ks: Sequence[int] = (7, 10)
+) -> OverlapResult:
+    """Convenience wrapper profiling both traces first."""
+    return top_value_overlap(
+        profile_accessed_values(reference_trace),
+        profile_accessed_values(alternate_trace),
+        ks=ks,
+    )

@@ -1,0 +1,164 @@
+"""Top-k frequency counting: exact and streaming.
+
+The paper finds frequent values by profiling a full run (exact counts).
+A hardware implementation — and the dynamic-FVC extension in
+:mod:`repro.fvc.dynamic` — needs bounded state, so two classic streaming
+summaries are provided as well:
+
+* **Misra–Gries**: with ``k`` counters, any value whose true frequency
+  exceeds ``n / (k + 1)`` is guaranteed to be retained;
+* **Space-Saving** (Metwally et al.): additionally carries count
+  estimates with bounded overestimation error, making the final ranking
+  usable directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+
+class ExactTopK:
+    """Exact value-frequency counter (a thin, intent-revealing wrapper
+    over :class:`collections.Counter`)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self.total = 0
+
+    def add(self, value: int) -> None:
+        """Count one observation."""
+        self._counts[value] += 1
+        self.total += 1
+
+    def add_many(self, values: Iterable[int]) -> None:
+        """Count a batch of observations."""
+        self._counts.update(values)
+        self.total = sum(self._counts.values())
+
+    def top(self, k: int) -> List[Tuple[int, int]]:
+        """The ``k`` most frequent ``(value, count)`` pairs, ties broken
+        by value for determinism."""
+        ranked = sorted(self._counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+    def top_values(self, k: int) -> List[int]:
+        """Just the values of :meth:`top`."""
+        return [value for value, _ in self.top(k)]
+
+    def count(self, value: int) -> int:
+        """Exact count of ``value``."""
+        return self._counts[value]
+
+    def coverage(self, k: int) -> float:
+        """Fraction of all observations covered by the top ``k`` values."""
+        if not self.total:
+            return 0.0
+        return sum(count for _, count in self.top(k)) / self.total
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct values observed."""
+        return len(self._counts)
+
+
+class MisraGries:
+    """Misra–Gries heavy-hitters summary with ``k`` counters.
+
+    Guarantees: after ``n`` observations, every value with true count
+    greater than ``n / (k + 1)`` is present, and each reported count
+    understates the true count by at most ``n / (k + 1)``.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("MisraGries needs at least one counter")
+        self.k = k
+        self._counts: Dict[int, int] = {}
+        self.total = 0
+
+    def add(self, value: int) -> None:
+        """Process one observation."""
+        counts = self._counts
+        self.total += 1
+        if value in counts:
+            counts[value] += 1
+        elif len(counts) < self.k:
+            counts[value] = 1
+        else:
+            # Decrement everything; drop the zeros.
+            for key in list(counts):
+                counts[key] -= 1
+                if not counts[key]:
+                    del counts[key]
+
+    def candidates(self) -> List[Tuple[int, int]]:
+        """Surviving ``(value, lower-bound count)`` pairs, by count."""
+        return sorted(self._counts.items(), key=lambda item: (-item[1], item[0]))
+
+    def top_values(self, k: int) -> List[int]:
+        """The ``k`` best candidates (a superset guarantee, not a
+        ranking guarantee — see class docstring)."""
+        return [value for value, _ in self.candidates()[:k]]
+
+
+class SpaceSaving:
+    """Space-Saving summary with ``k`` monitored values.
+
+    Each monitored value carries an estimated count and a maximum
+    overestimation error; any value with true count above ``n / k`` is
+    guaranteed to be monitored.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("SpaceSaving needs at least one counter")
+        self.k = k
+        self._counts: Dict[int, int] = {}
+        self._errors: Dict[int, int] = {}
+        self.total = 0
+
+    def add(self, value: int) -> None:
+        """Process one observation."""
+        counts = self._counts
+        self.total += 1
+        if value in counts:
+            counts[value] += 1
+            return
+        if len(counts) < self.k:
+            counts[value] = 1
+            self._errors[value] = 0
+            return
+        # Replace the minimum-count victim.
+        victim = min(counts, key=lambda key: (counts[key], key))
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[value] = floor + 1
+        self._errors[value] = floor
+
+    def estimates(self) -> List[Tuple[int, int, int]]:
+        """``(value, estimated count, max error)`` by estimated count."""
+        return sorted(
+            (
+                (value, count, self._errors[value])
+                for value, count in self._counts.items()
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+
+    def top_values(self, k: int) -> List[int]:
+        """The ``k`` values with the highest estimated counts."""
+        return [value for value, _, _ in self.estimates()[:k]]
+
+    def guaranteed_top(self) -> List[int]:
+        """Values whose estimate minus error beats every other value's
+        estimate — provably among the true heavy hitters."""
+        estimates = self.estimates()
+        guaranteed = []
+        for index, (value, count, error) in enumerate(estimates):
+            rivals = estimates[index + 1 :]
+            if all(count - error >= rival[1] for rival in rivals):
+                guaranteed.append(value)
+            else:
+                break
+        return guaranteed

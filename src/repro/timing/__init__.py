@@ -1,0 +1,18 @@
+"""Cache access-time, energy, and execution-time modelling (CACTI
+substitute + the paper's power and performance arguments)."""
+
+from repro.timing.cacti import CactiModel, DEFAULT_MODEL
+from repro.timing.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.timing.performance import (
+    DEFAULT_PERFORMANCE_MODEL,
+    PerformanceModel,
+)
+
+__all__ = [
+    "CactiModel",
+    "DEFAULT_MODEL",
+    "EnergyModel",
+    "DEFAULT_ENERGY_MODEL",
+    "PerformanceModel",
+    "DEFAULT_PERFORMANCE_MODEL",
+]

@@ -1,0 +1,41 @@
+"""The trace record format.
+
+A record is the tuple ``(op, byte_address, value)`` with ``op`` 0 for a
+load and 1 for a store.  Plain tuples (rather than a class) keep trace
+replay fast; :class:`Access` offers a named view for code that prefers
+readability over speed (tests, examples, pretty-printing).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.mem.memory import LOAD, STORE
+
+__all__ = ["LOAD", "STORE", "Access"]
+
+
+class Access(NamedTuple):
+    """Named view of one trace record.
+
+    ``Access(*record)`` adapts a raw tuple; being a ``NamedTuple`` it
+    compares equal to the raw form, so the two representations mix freely.
+    """
+
+    op: int
+    address: int
+    value: int
+
+    @property
+    def is_load(self) -> bool:
+        """True for a load (read) access."""
+        return self.op == LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for a store (write) access."""
+        return self.op == STORE
+
+    def __str__(self) -> str:
+        kind = "LD" if self.op == LOAD else "ST"
+        return f"{kind} {self.address:#010x} = {self.value:#010x}"

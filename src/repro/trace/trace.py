@@ -1,0 +1,90 @@
+"""The :class:`Trace` container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.mem.memory import LOAD, STORE
+from repro.trace.record import Access
+
+Record = Tuple[int, int, int]
+
+
+class Trace:
+    """An ordered sequence of memory accesses plus provenance metadata.
+
+    The records live in a plain list so simulators can iterate the raw
+    tuples at full speed via :attr:`records`; the class-level API offers
+    named access for analysis code.
+    """
+
+    __slots__ = ("records", "workload", "input_name", "instruction_count")
+
+    def __init__(
+        self,
+        records: Optional[Sequence[Record]] = None,
+        workload: str = "",
+        input_name: str = "",
+        instruction_count: int = 0,
+    ) -> None:
+        self.records: List[Record] = list(records) if records is not None else []
+        self.workload = workload
+        self.input_name = input_name
+        # Workloads report a nominal instruction count (>= access count);
+        # the stability study (Table 3) reports percentages of it.
+        self.instruction_count = instruction_count or len(self.records)
+
+    # Container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(
+                self.records[index],
+                workload=self.workload,
+                input_name=self.input_name,
+            )
+        return self.records[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Trace) and self.records == other.records
+
+    def __repr__(self) -> str:
+        source = self.workload or "<anonymous>"
+        return f"Trace({source}/{self.input_name or '-'}, {len(self.records)} accesses)"
+
+    # Named access ---------------------------------------------------------
+    def accesses(self) -> Iterator[Access]:
+        """Iterate records as :class:`Access` named tuples."""
+        return (Access(*record) for record in self.records)
+
+    def append(self, op: int, address: int, value: int) -> None:
+        """Append one record (used by trace builders and tests)."""
+        self.records.append((op, address, value))
+
+    def extend(self, records: Iterable[Record]) -> None:
+        """Append many records."""
+        self.records.extend(records)
+
+    # Simple aggregates ------------------------------------------------
+    @property
+    def load_count(self) -> int:
+        """Number of load records."""
+        return sum(1 for op, _, _ in self.records if op == LOAD)
+
+    @property
+    def store_count(self) -> int:
+        """Number of store records."""
+        return sum(1 for op, _, _ in self.records if op == STORE)
+
+    def footprint_words(self) -> int:
+        """Number of distinct word addresses referenced."""
+        return len({address for _, address, _ in self.records})
+
+    def distinct_values(self) -> int:
+        """Number of distinct values read or written."""
+        return len({value for _, _, value in self.records})

@@ -1,0 +1,54 @@
+"""The SPEC95 analog workload suite.
+
+Each workload is a real program — a game-tree searcher, a working RISC
+CPU simulator, a Lisp interpreter, an LZW compressor, a DCT codec… —
+executing against the simulated 32-bit address space of
+:mod:`repro.mem` and emitting a full load/store trace.  The suite
+mirrors the paper's benchmark populations:
+
+========== ============== ========================================
+analog      SPEC95 twin    behavioural signature reproduced
+========== ============== ========================================
+go          099.go         board arrays of tiny values; search
+m88ksim     124.m88ksim    CPU simulator; 64 KB-aliased hot pair
+gcc         126.gcc        heap ASTs, pass pipeline; big footprint
+li          130.li         cons cells, tagged ints, heavy mutation
+perl        134.perl       packed-ASCII strings + hash tables
+vortex      147.vortex     object DB; index traversals
+compress    129.compress   LZW; diverse mutating values (no FVL)
+ijpeg       132.ijpeg      DCT codec; diverse pixel data (no FVL)
+swim        swim (fp)      zero-rich stencil grids
+tomcatv     tomcatv (fp)   mesh coordinates, repeated constants
+mgrid       mgrid (fp)     sparse 3D multigrid (zero-dominated)
+applu       applu (fp)     block solver with 0.0/1.0 structure
+su2cor      su2cor (fp)    identity-heavy complex lattice fields
+hydro2d     hydro2d (fp)   hydrodynamics with exact-zero vacuum
+========== ============== ========================================
+"""
+
+from repro.workloads.base import Workload, WorkloadInput
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    FP_WORKLOADS,
+    FVL_WORKLOADS,
+    INT_WORKLOADS,
+    NON_FVL_WORKLOADS,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.store import TraceStore, get_trace, shared_store
+
+__all__ = [
+    "Workload",
+    "WorkloadInput",
+    "ALL_WORKLOADS",
+    "FP_WORKLOADS",
+    "FVL_WORKLOADS",
+    "INT_WORKLOADS",
+    "NON_FVL_WORKLOADS",
+    "get_workload",
+    "workload_names",
+    "TraceStore",
+    "get_trace",
+    "shared_store",
+]

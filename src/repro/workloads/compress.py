@@ -1,0 +1,142 @@
+"""The 129.compress analog: a working LZW compressor.
+
+129.compress is the UNIX ``compress`` utility (LZW).  The analog
+implements LZW for real over simulated memory: input bytes stream
+through a ring buffer, a hash table of ``(prefix code, char)`` pairs is
+probed and extended per character, and emitted codes fill an output
+ring.
+
+This is one of the paper's two *counter-examples*: the hash and code
+tables hold densely packed, ever-changing values (the fcode of each
+dictionary string), the rings are rewritten block after block, and the
+table is cleared and rebuilt whenever it fills — so almost no address
+stays constant (Table 4: 3.2%) and no small set of values dominates
+(Fig. 1: negligible frequent value locality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.mem.space import AddressSpace
+from repro.workloads.base import Workload, WorkloadInput
+
+# Prime, like compress's prime-sized htab: double hashing then probes
+# every slot, so a non-full table always yields a hit or an empty slot.
+_HASH_SIZE = 4801
+_FIRST_CODE = 257
+#: Stop growing the dictionary at 90% table load (like compress, which
+#: then waits for the ratio check before clearing).
+_MAX_CODE = int(_HASH_SIZE * 0.8)
+#: Characters between compression-ratio checks (clear happens only at a
+#: check point with a full dictionary — so clears stay rare).
+_RATIO_CHECK_INTERVAL = 16_000
+_CLEAR_MARK = 0xFFFFFFFF  # empty hash slot, as in compress's htab
+
+_IN_RING_WORDS = 2048
+_OUT_RING_WORDS = 2048
+
+
+class CompressWorkload(Workload):
+    """LZW analog — the no-frequent-value-locality control."""
+
+    name = "compress"
+    spec_analog = "129.compress"
+    exhibits_fvl = False
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput("test", {"input_bytes": 16_000}, data_seed=1),
+            "train": WorkloadInput("train", {"input_bytes": 34_000}, data_seed=2),
+            "ref": WorkloadInput("ref", {"input_bytes": 52_000}, data_seed=3),
+        }
+
+    # ------------------------------------------------------------------
+    def _make_input(self, inp: WorkloadInput) -> bytes:
+        """Markov-ish byte stream: compressible but value-diverse."""
+        rng = self._rng(inp, "input")
+        output = bytearray()
+        state = rng.randrange(256)
+        while len(output) < inp.params["input_bytes"]:
+            if output and rng.random() < 0.30:
+                # Repeat a recent run (gives LZW something to find).
+                start = rng.randrange(max(1, len(output) - 64), len(output) + 1)
+                chunk = output[max(0, start - rng.randrange(3, 12)) : start]
+                output.extend(chunk)
+            else:
+                state = (state * 131 + rng.randrange(97)) & 0xFF
+                output.append(state)
+        return bytes(output[: inp.params["input_bytes"]])
+
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        load, store = space.load, space.store
+        static = space.static
+
+        htab = static.alloc(_HASH_SIZE)
+        codetab = static.alloc(_HASH_SIZE)
+        in_ring = static.alloc(_IN_RING_WORDS)
+        out_ring = static.alloc(_OUT_RING_WORDS)
+
+        def clear_table() -> None:
+            # Both tables are wiped (compress resets its whole
+            # dictionary), so their slots never hold one value for the
+            # whole run — the source of the 3.2% constant-address figure.
+            for index in range(_HASH_SIZE):
+                store(htab + index * 4, _CLEAR_MARK)
+                store(codetab + index * 4, 0)
+
+        clear_table()
+        data = self._make_input(inp)
+
+        out_cursor = 0
+
+        def emit(code: int) -> None:
+            nonlocal out_cursor
+            store(out_ring + (out_cursor % _OUT_RING_WORDS) * 4, code)
+            out_cursor += 1
+
+        # Stream input through the ring, one byte per word (compress
+        # reads chars; the ring rewrite is what kills address constancy).
+        next_code = _FIRST_CODE
+        prefix = -1
+        chars_since_check = 0
+        for position, byte in enumerate(data):
+            chars_since_check += 1
+            slot = in_ring + (position % _IN_RING_WORDS) * 4
+            store(slot, byte)
+            char = load(slot)
+            if prefix < 0:
+                prefix = char
+                continue
+            fcode = (char << 16) | prefix  # the packed dictionary key
+            probe = ((char << 5) ^ prefix) % _HASH_SIZE
+            step = 1 if probe == 0 else _HASH_SIZE - probe
+            found = False
+            for _ in range(_HASH_SIZE):
+                current = load(htab + probe * 4)
+                if current == _CLEAR_MARK:
+                    break
+                if current == fcode:
+                    prefix = load(codetab + probe * 4)
+                    found = True
+                    break
+                probe -= step
+                if probe < 0:
+                    probe += _HASH_SIZE
+            if found:
+                continue
+            # New dictionary string: emit prefix, maybe insert, restart.
+            emit(prefix)
+            if next_code < _MAX_CODE:
+                store(codetab + probe * 4, next_code)
+                store(htab + probe * 4, fcode)
+                next_code += 1
+            elif chars_since_check >= _RATIO_CHECK_INTERVAL:
+                # Ratio check with a full dictionary: clear and rebuild.
+                emit(_FIRST_CODE - 1)
+                clear_table()
+                next_code = _FIRST_CODE
+                chars_since_check = 0
+            prefix = char
+        if prefix >= 0:
+            emit(prefix)

@@ -1,0 +1,370 @@
+"""SPECfp95 analogs (Fig. 2 frequent-value study).
+
+The paper's floating-point benchmarks show strong frequent value
+locality too, driven by zero-dominated grids and repeated physical
+constants whose IEEE-754 bit patterns recur everywhere.  Six analogs
+cover the spread, each a real numerical kernel over float32 words:
+
+* **swim** — shallow-water stencils on mostly-zero velocity grids;
+* **tomcatv** — mesh generation whose coordinate arrays repeat the
+  same values along rows and columns;
+* **mgrid** — a sparse 3D multigrid relaxation (zeros dominate);
+* **applu** — block-structured solver with identity-like 4x4 blocks
+  (0.0 and 1.0 everywhere);
+* **su2cor** — complex lattice fields with identity links (1.0 + 0i);
+* **hydro2d** — hydrodynamics with exact-zero vacuum regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.words import float_to_word, word_to_float
+from repro.mem.space import AddressSpace
+from repro.workloads.base import Workload, WorkloadInput
+
+
+class _FpWorkload(Workload):
+    """Shared conveniences for the FP analogs."""
+
+    exhibits_fvl = True
+
+    @staticmethod
+    def _fstore(space: AddressSpace, addr: int, value: float) -> None:
+        space.store(addr, float_to_word(value))
+
+    @staticmethod
+    def _fload(space: AddressSpace, addr: int) -> float:
+        return word_to_float(space.load(addr))
+
+
+class SwimWorkload(_FpWorkload):
+    """Shallow-water stencil: velocity grids start zero and stay
+    mostly zero away from the disturbance."""
+
+    name = "swim"
+    spec_analog = "102.swim"
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput("test", {"n": 40, "steps": 6}, data_seed=1),
+            "train": WorkloadInput("train", {"n": 56, "steps": 8}, data_seed=2),
+            "ref": WorkloadInput("ref", {"n": 72, "steps": 10}, data_seed=3),
+        }
+
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        n = inp.params["n"]
+        static = space.static
+        u = static.alloc(n * n)
+        v = static.alloc(n * n)
+        p = static.alloc(n * n)
+        rng = self._rng(inp, "init")
+        for row in range(n):
+            for col in range(n):
+                index = (row * n + col) * 4
+                self._fstore(space, u + index, 0.0)
+                self._fstore(space, v + index, 0.0)
+                centre = 1.0 if abs(row - n // 2) + abs(col - n // 2) < 3 else 0.0
+                self._fstore(space, p + index, centre * (1 + rng.random()))
+        dt = 0.05
+        for _ in range(inp.params["steps"]):
+            for row in range(1, n - 1):
+                for col in range(1, n - 1):
+                    here = (row * n + col) * 4
+                    east = (row * n + col + 1) * 4
+                    south = ((row + 1) * n + col) * 4
+                    du = self._fload(space, p + east) - self._fload(space, p + here)
+                    dv = self._fload(space, p + south) - self._fload(space, p + here)
+                    if du:
+                        self._fstore(
+                            space, u + here, self._fload(space, u + here) - dt * du
+                        )
+                    if dv:
+                        self._fstore(
+                            space, v + here, self._fload(space, v + here) - dt * dv
+                        )
+            for row in range(1, n - 1):
+                for col in range(1, n - 1):
+                    here = (row * n + col) * 4
+                    west = (row * n + col - 1) * 4
+                    north = ((row - 1) * n + col) * 4
+                    div = (
+                        self._fload(space, u + here)
+                        - self._fload(space, u + west)
+                        + self._fload(space, v + here)
+                        - self._fload(space, v + north)
+                    )
+                    if div:
+                        self._fstore(
+                            space, p + here, self._fload(space, p + here) - dt * div
+                        )
+
+
+class TomcatvWorkload(_FpWorkload):
+    """Mesh generation: coordinate arrays repeat values along axes."""
+
+    name = "tomcatv"
+    spec_analog = "101.tomcatv"
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput("test", {"n": 48, "iters": 4}, data_seed=4),
+            "train": WorkloadInput("train", {"n": 64, "iters": 5}, data_seed=5),
+            "ref": WorkloadInput("ref", {"n": 88, "iters": 6}, data_seed=6),
+        }
+
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        n = inp.params["n"]
+        static = space.static
+        x = static.alloc(n * n)
+        y = static.alloc(n * n)
+        rx = static.alloc(n * n)
+        ry = static.alloc(n * n)
+        # Separable initial mesh: x repeats per column, y per row, so a
+        # handful of coordinate bit patterns occupy most of memory.
+        for row in range(n):
+            for col in range(n):
+                index = (row * n + col) * 4
+                self._fstore(space, x + index, float(col) * 0.125)
+                self._fstore(space, y + index, float(row) * 0.125)
+                self._fstore(space, rx + index, 0.0)
+                self._fstore(space, ry + index, 0.0)
+        for _ in range(inp.params["iters"]):
+            # Residual computation (mostly zero residuals on the
+            # separable mesh) followed by a damped correction.
+            for row in range(1, n - 1):
+                for col in range(1, n - 1):
+                    here = (row * n + col) * 4
+                    east = (row * n + col + 1) * 4
+                    west = (row * n + col - 1) * 4
+                    residual_x = (
+                        self._fload(space, x + east)
+                        + self._fload(space, x + west)
+                        - 2 * self._fload(space, x + here)
+                    )
+                    self._fstore(space, rx + here, residual_x)
+                    north = ((row - 1) * n + col) * 4
+                    south = ((row + 1) * n + col) * 4
+                    residual_y = (
+                        self._fload(space, y + north)
+                        + self._fload(space, y + south)
+                        - 2 * self._fload(space, y + here)
+                    )
+                    self._fstore(space, ry + here, residual_y)
+            for row in range(1, n - 1):
+                for col in range(1, n - 1):
+                    here = (row * n + col) * 4
+                    correction = self._fload(space, rx + here)
+                    if correction:
+                        self._fstore(
+                            space,
+                            x + here,
+                            self._fload(space, x + here) + 0.5 * correction,
+                        )
+
+
+class MgridWorkload(_FpWorkload):
+    """Sparse 3D multigrid relaxation — the most zero-dominated."""
+
+    name = "mgrid"
+    spec_analog = "107.mgrid"
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput("test", {"n": 12, "sweeps": 3}, data_seed=7),
+            "train": WorkloadInput("train", {"n": 16, "sweeps": 4}, data_seed=8),
+            "ref": WorkloadInput("ref", {"n": 20, "sweeps": 5}, data_seed=9),
+        }
+
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        n = inp.params["n"]
+        static = space.static
+        grid = static.alloc(n * n * n)
+        rng = self._rng(inp, "sources")
+
+        def addr(i: int, j: int, k: int) -> int:
+            return grid + ((i * n + j) * n + k) * 4
+
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    self._fstore(space, addr(i, j, k), 0.0)
+        for _ in range(max(3, n // 4)):
+            self._fstore(
+                space,
+                addr(
+                    rng.randrange(1, n - 1),
+                    rng.randrange(1, n - 1),
+                    rng.randrange(1, n - 1),
+                ),
+                float(rng.randrange(1, 5)),
+            )
+        for _ in range(inp.params["sweeps"]):
+            for i in range(1, n - 1):
+                for j in range(1, n - 1):
+                    for k in range(1, n - 1):
+                        neighbours = (
+                            self._fload(space, addr(i - 1, j, k))
+                            + self._fload(space, addr(i + 1, j, k))
+                            + self._fload(space, addr(i, j - 1, k))
+                            + self._fload(space, addr(i, j + 1, k))
+                            + self._fload(space, addr(i, j, k - 1))
+                            + self._fload(space, addr(i, j, k + 1))
+                        )
+                        if neighbours:
+                            current = self._fload(space, addr(i, j, k))
+                            self._fstore(
+                                space,
+                                addr(i, j, k),
+                                current + 0.125 * (neighbours - 6 * current),
+                            )
+
+
+class ApplluWorkload(_FpWorkload):
+    """Block solver: near-identity 4x4 blocks (0.0/1.0 everywhere)."""
+
+    name = "applu"
+    spec_analog = "110.applu"
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput("test", {"cells": 300, "sweeps": 3}, data_seed=10),
+            "train": WorkloadInput("train", {"cells": 600, "sweeps": 4}, data_seed=11),
+            "ref": WorkloadInput("ref", {"cells": 1000, "sweeps": 5}, data_seed=12),
+        }
+
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        cells = inp.params["cells"]
+        static = space.static
+        blocks = static.alloc(cells * 16)  # one 4x4 block per cell
+        vectors = static.alloc(cells * 4)
+        rng = self._rng(inp, "blocks")
+        for cell in range(cells):
+            for row in range(4):
+                for col in range(4):
+                    offset = blocks + (cell * 16 + row * 4 + col) * 4
+                    if row == col:
+                        value = 1.0
+                    elif rng.random() < 0.15:
+                        value = rng.choice((0.5, -0.5, 0.25))
+                    else:
+                        value = 0.0
+                    self._fstore(space, offset, value)
+            for row in range(4):
+                self._fstore(
+                    space, vectors + (cell * 4 + row) * 4, float(cell % 7)
+                )
+        for _ in range(inp.params["sweeps"]):
+            # Lower sweep: v[c] = B[c] @ v[c] (block matrix-vector).
+            for cell in range(cells):
+                values = [
+                    self._fload(space, vectors + (cell * 4 + row) * 4)
+                    for row in range(4)
+                ]
+                for row in range(4):
+                    total = 0.0
+                    for col in range(4):
+                        coefficient = self._fload(
+                            space, blocks + (cell * 16 + row * 4 + col) * 4
+                        )
+                        if coefficient:
+                            total += coefficient * values[col]
+                    self._fstore(space, vectors + (cell * 4 + row) * 4, total)
+
+
+class Su2corWorkload(_FpWorkload):
+    """Quark-propagator analog: complex lattice fields stored as
+    (re, im) float pairs, many exactly-zero imaginary parts."""
+
+    name = "su2cor"
+    spec_analog = "103.su2cor"
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput("test", {"n": 10, "sweeps": 3}, data_seed=13),
+            "train": WorkloadInput("train", {"n": 14, "sweeps": 4}, data_seed=14),
+            "ref": WorkloadInput("ref", {"n": 18, "sweeps": 5}, data_seed=15),
+        }
+
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        n = inp.params["n"]
+        static = space.static
+        # Lattice of complex link variables: 2 floats per site per
+        # direction; imaginary parts start (and mostly stay) zero.
+        sites = n * n * n
+        field = static.alloc(sites * 4)  # 2 directions x (re, im)
+        rng = self._rng(inp, "lattice")
+        for site in range(sites):
+            for direction in range(2):
+                base = field + (site * 4 + direction * 2) * 4
+                self._fstore(space, base, 1.0)  # cold-start: identity links
+                self._fstore(space, base + 4, 0.0)
+        # A few hot sites get genuine complex values.
+        for _ in range(max(4, sites // 50)):
+            site = rng.randrange(sites)
+            base = field + site * 16
+            self._fstore(space, base, rng.random())
+            self._fstore(space, base + 4, rng.random() - 0.5)
+        for _ in range(inp.params["sweeps"]):
+            # Correlator sweep: multiply neighbouring links (complex
+            # product read-modify-write; zero imaginary parts persist).
+            for site in range(sites - 1):
+                a = field + site * 16
+                b = field + (site + 1) * 16
+                re_a = self._fload(space, a)
+                im_a = self._fload(space, a + 4)
+                re_b = self._fload(space, b)
+                im_b = self._fload(space, b + 4)
+                re = re_a * re_b - im_a * im_b
+                im = re_a * im_b + im_a * re_b
+                if re != re_a:
+                    self._fstore(space, a, re)
+                if im != im_a:
+                    self._fstore(space, a + 4, im)
+
+
+class Hydro2dWorkload(_FpWorkload):
+    """Astrophysical hydrodynamics analog: Navier-Stokes-ish grids
+    whose vacuum regions hold exact zeros."""
+
+    name = "hydro2d"
+    spec_analog = "104.hydro2d"
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput("test", {"n": 36, "steps": 4}, data_seed=16),
+            "train": WorkloadInput("train", {"n": 48, "steps": 5}, data_seed=17),
+            "ref": WorkloadInput("ref", {"n": 64, "steps": 6}, data_seed=18),
+        }
+
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        n = inp.params["n"]
+        static = space.static
+        density = static.alloc(n * n)
+        momentum = static.alloc(n * n)
+        rng = self._rng(inp, "gas")
+        # A dense disc in the middle of vacuum.
+        for row in range(n):
+            for col in range(n):
+                index = (row * n + col) * 4
+                r2 = (row - n // 2) ** 2 + (col - n // 2) ** 2
+                inside = r2 < (n // 5) ** 2
+                self._fstore(
+                    space, density + index,
+                    1.0 + 0.1 * rng.random() if inside else 0.0,
+                )
+                self._fstore(space, momentum + index, 0.0)
+        for _ in range(inp.params["steps"]):
+            # Advection: density flows outward where a gradient exists.
+            for row in range(1, n - 1):
+                for col in range(1, n - 1):
+                    here = (row * n + col) * 4
+                    east = (row * n + col + 1) * 4
+                    rho = self._fload(space, density + here)
+                    rho_e = self._fload(space, density + east)
+                    flux = 0.05 * (rho - rho_e)
+                    if flux:
+                        self._fstore(space, density + here, rho - flux)
+                        self._fstore(space, density + east, rho_e + flux)
+                        p = self._fload(space, momentum + here)
+                        self._fstore(space, momentum + here, p + flux)

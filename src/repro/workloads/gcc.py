@@ -1,0 +1,217 @@
+"""The 126.gcc analog: a compiler front/middle-end over heap ASTs.
+
+126.gcc compiles C translation units: it tokenises, builds trees of
+tagged nodes in the heap, runs folding/resolution passes that rewrite
+them, and emits code.  The analog does the same for a small expression
+language: per unit it generates a token stream, parses it into 4-word
+AST nodes (tag, left, right, value), constant-folds, resolves
+identifiers against a chained hash symbol table, emits stack-machine
+opcodes into a ring buffer, then frees the unit's nodes (so the next
+unit reuses the arena, as gcc's obstacks do).
+
+Behavioural signature: null pointers and small tags make ~half of all
+words frequent values; per-unit working sets of tens of KB walked by
+three successive passes produce real capacity misses at 16 KB; constant
+address fraction lands near gcc's 62% (symbol table and operator-
+precedence tables are write-once, the arena and ring churn).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.space import AddressSpace
+from repro.workloads.base import Workload, WorkloadInput
+
+# Node tags (word values chosen in the small-constant range that
+# dominates gcc's Table 1 values).
+_TAG_NUM = 0x23
+_TAG_IDENT = 0x29
+_TAG_ADD = 0xE7
+_TAG_MUL = 0x403
+_TAG_SUB = 0x1B
+_BINARY_TAGS = (_TAG_ADD, _TAG_MUL, _TAG_SUB)
+
+_NIL = 0
+
+_SYMTAB_BUCKETS = 512
+_EMIT_RING_WORDS = 4096
+
+# Stack-machine opcodes emitted by the final pass.
+_OP_PUSH_CONST = 1
+_OP_LOAD_SYM = 2
+_OP_ADD = 3
+_OP_MUL = 4
+_OP_SUB = 5
+
+
+class GccWorkload(Workload):
+    """Compiler analog: parse → fold → resolve → emit, per unit."""
+
+    name = "gcc"
+    spec_analog = "126.gcc"
+    exhibits_fvl = True
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput(
+                "test", {"units": 4, "exprs_per_unit": 40, "depth": 4},
+                data_seed=555,
+            ),
+            "train": WorkloadInput(
+                "train", {"units": 9, "exprs_per_unit": 48, "depth": 4},
+                data_seed=666,
+            ),
+            "ref": WorkloadInput(
+                "ref", {"units": 18, "exprs_per_unit": 42, "depth": 4},
+                data_seed=777,
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        rng = self._rng(inp, "source")
+        load, store = space.load, space.store
+        heap = space.heap
+        static = space.static
+
+        buckets = static.alloc(_SYMTAB_BUCKETS)
+        emit_ring = static.alloc(_EMIT_RING_WORDS)
+        token_buffer = static.alloc(2048)
+        # Operator precedence / keyword tables: large, constant, read
+        # during parsing (gcc's write-once reference data).
+        precedence = static.alloc(8192)
+        for index in range(_SYMTAB_BUCKETS):
+            store(buckets + index * 4, _NIL)
+        for index in range(8192):
+            store(precedence + index * 4, (index * 7 + 3) & 3)
+
+        emit_cursor = 0
+
+        # --- AST construction ------------------------------------------
+        def new_node(tag: int, left: int, right: int, value: int) -> int:
+            # Child pointers are linked in before the node is tagged
+            # (gcc's tree constructors do the same): a leaf node's
+            # stores are then all frequent values, so a write-allocated
+            # FVC entry stays intact.
+            addr = heap.alloc(4)
+            store(addr + 4, left)
+            store(addr + 8, right)
+            store(addr + 12, value)
+            store(addr, tag)
+            return addr
+
+        def gen_expr(depth: int, arena: List[int]) -> int:
+            """Parse one random expression into the arena (the token
+            consumption models gcc's lexer reads)."""
+            token_slot = token_buffer + (rng.randrange(512)) * 4
+            if depth == 0 or rng.random() < 0.35:
+                if rng.random() < 0.55:
+                    literal = rng.choice((0, 1, 2, 4, 0xA, rng.randrange(256)))
+                    store(token_slot, _TAG_NUM)
+                    node = new_node(_TAG_NUM, _NIL, _NIL, literal)
+                else:
+                    name_id = rng.randrange(600)
+                    store(token_slot, _TAG_IDENT)
+                    node = new_node(_TAG_IDENT, _NIL, _NIL, name_id)
+                arena.append(node)
+                return node
+            tag = rng.choice(_BINARY_TAGS)
+            store(token_slot, tag)
+            # Consult two production rows (16 words each); which rows
+            # depend on the surrounding token context.
+            for _ in range(2):
+                row = rng.randrange(512)
+                for column in range(16):
+                    load(precedence + (row * 16 + column) * 4)
+            left = gen_expr(depth - 1, arena)
+            right = gen_expr(depth - 1, arena)
+            node = new_node(tag, left, right, 0)
+            arena.append(node)
+            return node
+
+        # --- Pass 1: constant folding ---------------------------------
+        def fold(node: int) -> None:
+            frame = space.stack.push_frame(2)
+            store(frame, node)
+            tag = load(node)
+            if tag in _BINARY_TAGS:
+                left = load(node + 4)
+                right = load(node + 8)
+                fold(left)
+                fold(right)
+                if load(left) == _TAG_NUM and load(right) == _TAG_NUM:
+                    a = load(left + 12)
+                    b = load(right + 12)
+                    if tag == _TAG_ADD:
+                        value = (a + b) & 0xFFFFFFFF
+                    elif tag == _TAG_MUL:
+                        value = (a * b) & 0xFFFFFFFF
+                    else:
+                        value = (a - b) & 0xFFFFFFFF
+                    store(node, _TAG_NUM)
+                    store(node + 4, _NIL)
+                    store(node + 8, _NIL)
+                    store(node + 12, value)
+            space.stack.pop_frame()
+
+        # --- Pass 2: identifier resolution ------------------------------
+        def resolve(node: int) -> None:
+            tag = load(node)
+            if tag == _TAG_IDENT:
+                name_id = load(node + 12)
+                bucket = buckets + (name_id % _SYMTAB_BUCKETS) * 4
+                entry = load(bucket)
+                while entry != _NIL:
+                    if load(entry) == name_id:
+                        break
+                    entry = load(entry + 8)
+                if entry == _NIL:
+                    # Insert: [name_id, value, next, flags]
+                    entry = heap.alloc(4)
+                    store(entry, name_id)
+                    store(entry + 4, name_id * 3 + 1)
+                    store(entry + 8, load(bucket))
+                    store(entry + 12, 1)
+                    store(bucket, entry)
+                store(node + 8, entry)  # right slot caches the symbol
+            elif tag in _BINARY_TAGS:
+                resolve(load(node + 4))
+                resolve(load(node + 8))
+
+        # --- Pass 3: code emission -------------------------------------
+        def emit(node: int) -> None:
+            nonlocal emit_cursor
+
+            def out(word: int) -> None:
+                nonlocal emit_cursor
+                store(emit_ring + (emit_cursor % _EMIT_RING_WORDS) * 4, word)
+                emit_cursor += 1
+
+            tag = load(node)
+            if tag == _TAG_NUM:
+                out(_OP_PUSH_CONST)
+                out(load(node + 12))
+            elif tag == _TAG_IDENT:
+                out(_OP_LOAD_SYM)
+                out(load(node + 12))
+            else:
+                emit(load(node + 4))
+                emit(load(node + 8))
+                out({_TAG_ADD: _OP_ADD, _TAG_MUL: _OP_MUL, _TAG_SUB: _OP_SUB}[tag])
+
+        # --- Unit loop --------------------------------------------------
+        for _ in range(inp.params["units"]):
+            arena: List[int] = []
+            roots = [
+                gen_expr(inp.params["depth"], arena)
+                for _ in range(inp.params["exprs_per_unit"])
+            ]
+            for root in roots:
+                fold(root)
+            for root in roots:
+                resolve(root)
+            for root in roots:
+                emit(root)
+            for node in arena:
+                heap.free(node)

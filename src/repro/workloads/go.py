@@ -1,0 +1,200 @@
+"""The 099.go analog: board-game position evaluation and search.
+
+099.go plays Go: its memory traffic is dominated by 19x19 board arrays
+holding tiny values (empty/black/white, liberty counts, influence
+scores) plus large constant pattern tables.  The analog plays a
+Go-like game for real: candidate moves are generated, each candidate is
+evaluated by placing the stone, flood-filling the affected chain to
+count liberties, recomputing a local influence map, and scoring 3x3
+neighbourhood patterns against a 16 KB pattern table; the best
+candidate is committed.
+
+Behavioural signature: very high frequent value locality (board and
+feature arrays are almost entirely 0/1/2/small counts), a working set
+(~25 KB of boards + 16 KB pattern table) that gives a direct-mapped
+16 KB cache genuine capacity misses, and a ~78% constant-address
+fraction (the pattern table never changes; the feature maps churn).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.space import AddressSpace
+from repro.workloads.base import Workload, WorkloadInput
+
+_SIZE = 19
+_CELLS = _SIZE * _SIZE
+_EMPTY, _BLACK, _WHITE = 0, 1, 2
+_EDGE = 0xFFFFFFFF  # off-board sentinel stored in the padded border
+
+
+class GoWorkload(Workload):
+    """Board-search analog with tiny-valued feature arrays."""
+
+    name = "go"
+    spec_analog = "099.go"
+    exhibits_fvl = True
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput(
+                "test", {"moves": 60, "candidates": 3}, data_seed=11
+            ),
+            "train": WorkloadInput(
+                "train", {"moves": 150, "candidates": 4}, data_seed=22
+            ),
+            "ref": WorkloadInput(
+                "ref", {"moves": 340, "candidates": 4}, data_seed=33
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        rng = self._rng(inp, "game")
+        static = space.static
+        load, store = space.load, space.store
+
+        # Padded 21x21 boards (the border holds the off-board sentinel).
+        padded = (_SIZE + 2) * (_SIZE + 2)
+        board = static.alloc(padded)
+        influence = static.alloc(padded)
+        liberties = static.alloc(padded)
+        territory = static.alloc(padded)
+        chain_mark = static.alloc(padded)
+        history = static.alloc(1024)
+        pattern_table = static.alloc(4096)
+        worklist = static.alloc(256)
+        # Opening/joseki book: 20 KB of tiny move scores consulted as a
+        # sliding window each move.  It exceeds a 16 KB cache, so its
+        # reuse misses are *capacity* misses — and since every word is a
+        # frequent value, they are exactly the misses an FVC absorbs
+        # regardless of base-cache associativity (Fig. 14).
+        book = static.alloc(5120)
+
+        stride = _SIZE + 2
+
+        def cell(row: int, col: int) -> int:
+            return (row * stride + col) * 4
+
+        # Initialise: border sentinels, empty interior, pattern scores.
+        for index in range(padded):
+            row, col = divmod(index, stride)
+            on_board = 1 <= row <= _SIZE and 1 <= col <= _SIZE
+            store(board + index * 4, _EMPTY if on_board else _EDGE)
+            store(influence + index * 4, 0)
+            store(liberties + index * 4, 0)
+            store(territory + index * 4, 0)
+            store(chain_mark + index * 4, 0)
+        pattern_rng = self._rng(inp, "patterns")
+        for index in range(4096):
+            store(pattern_table + index * 4, pattern_rng.randrange(0, 5))
+        for index in range(5120):
+            store(book + index * 4, pattern_rng.randrange(0, 5))
+
+        # --- One candidate evaluation --------------------------------
+        def flood_liberties(row: int, col: int, colour: int, mark: int) -> int:
+            """Flood-fill the chain at (row, col); returns its liberty
+            count.  The frontier lives in a real in-memory worklist."""
+            head, tail = 0, 0
+            store(worklist + tail * 4, row * stride + col)
+            tail += 1
+            store(chain_mark + cell(row, col), mark)
+            libs = 0
+            while head < tail:
+                index = load(worklist + head * 4)
+                head += 1
+                r, c = divmod(index, stride)
+                for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    neighbour = cell(r + dr, c + dc)
+                    occupant = load(board + neighbour)
+                    if occupant == _EMPTY:
+                        libs += 1
+                    elif occupant == colour and load(chain_mark + neighbour) != mark:
+                        store(chain_mark + neighbour, mark)
+                        if tail < 64:
+                            store(worklist + tail * 4, (r + dr) * stride + c + dc)
+                            tail += 1
+            return libs
+
+        def pattern_hash(row: int, col: int) -> int:
+            """12-bit hash of the 3x3 neighbourhood occupancy."""
+            value = 0
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    occupant = load(board + cell(row + dr, col + dc))
+                    value = (value * 3 + (occupant & 3)) & 0xFFF
+            return value
+
+        mark_counter = 0
+
+        def evaluate(row: int, col: int, colour: int) -> int:
+            nonlocal mark_counter
+            frame = space.stack.push_frame(8)
+            store(frame, row * stride + col)
+            store(frame + 4, colour)
+            store(board + cell(row, col), colour)
+
+            mark_counter += 1
+            libs = flood_liberties(row, col, colour, mark_counter)
+            store(liberties + cell(row, col), min(libs, 8))
+
+            # Local influence: 5x5 decay field of small integers.  The
+            # window must be clipped to the padded board — the padding
+            # is one cell wide, the window reaches two.
+            score = 0
+            for dr in range(-2, 3):
+                for dc in range(-2, 3):
+                    r, c = row + dr, col + dc
+                    if not (0 <= r <= _SIZE + 1 and 0 <= c <= _SIZE + 1):
+                        continue
+                    occupant = load(board + cell(r, c))
+                    if occupant == _EDGE:
+                        continue
+                    weight = 3 - max(abs(dr), abs(dc))
+                    current = load(influence + cell(r, c))
+                    updated = (current + weight) & 3
+                    store(influence + cell(r, c), updated)
+                    if occupant == colour:
+                        score += weight
+            score += load(pattern_table + pattern_hash(row, col) * 4)
+            score += libs * 2
+
+            store(board + cell(row, col), _EMPTY)
+            space.stack.pop_frame()
+            return score
+
+        # --- Game loop ----------------------------------------------
+        move_count = 0
+        colour = _BLACK
+        for move in range(inp.params["moves"]):
+            # Consult the opening book: a 64-word sliding window.
+            window = (move * 193) % (5120 - 64)
+            book_score = 0
+            for offset in range(64):
+                book_score += load(book + (window + offset) * 4)
+            best_score = -1
+            best_rc = None
+            for _ in range(inp.params["candidates"]):
+                row = rng.randrange(1, _SIZE + 1)
+                col = rng.randrange(1, _SIZE + 1)
+                if load(board + cell(row, col)) != _EMPTY:
+                    continue
+                score = evaluate(row, col, colour)
+                if score > best_score:
+                    best_score = score
+                    best_rc = (row, col)
+            if best_rc is None:
+                continue
+            row, col = best_rc
+            store(board + cell(row, col), colour)
+            store(history + (move_count & 255) * 4, row * stride + col)
+            move_count += 1
+            # Territory sweep every 16 moves: full-board read/update.
+            if move_count % 16 == 0:
+                for index in range(padded):
+                    occupant = load(board + index * 4)
+                    if occupant in (_BLACK, _WHITE):
+                        current = load(territory + index * 4)
+                        store(territory + index * 4, (current + occupant) & 15)
+            colour = _WHITE if colour == _BLACK else _BLACK

@@ -1,0 +1,182 @@
+"""The 132.ijpeg analog: a working DCT image codec.
+
+132.ijpeg compresses and decompresses images.  The analog implements
+the core pipeline for real on simulated memory: per frame it
+synthesises a gradient-plus-noise image, runs a forward 8x8 DCT with
+quantisation over every block (pixels loaded from memory, transforms
+in registers — i.e. Python locals — as a compiled codec would), packs
+coefficient pairs into words, then reconstructs the image via
+dequantise + inverse DCT, storing pixels back.
+
+The second no-FVL control: pixel and packed-coefficient values are
+spread over hundreds of distinct magnitudes, and each frame rewrites
+the image and coefficient planes in place, so neither frequent values
+nor constant addresses emerge (Table 4: 6.7%).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.mem.space import AddressSpace
+from repro.workloads.base import Workload, WorkloadInput
+
+_BLOCK = 8
+
+#: Precomputed DCT-II basis (the codec's constant tables live in host
+#: memory, standing in for compiled-in coefficient ROMs).
+_COS = [
+    [math.cos((2 * x + 1) * u * math.pi / 16) for x in range(_BLOCK)]
+    for u in range(_BLOCK)
+]
+_ALPHA = [math.sqrt(0.5) if u == 0 else 1.0 for u in range(_BLOCK)]
+
+
+class IjpegWorkload(Workload):
+    """DCT-codec analog — the second no-FVL control."""
+
+    name = "ijpeg"
+    spec_analog = "132.ijpeg"
+    exhibits_fvl = False
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput("test", {"size": 48, "frames": 2}, data_seed=7),
+            "train": WorkloadInput("train", {"size": 80, "frames": 2}, data_seed=8),
+            "ref": WorkloadInput("ref", {"size": 96, "frames": 3}, data_seed=9),
+        }
+
+    # ------------------------------------------------------------------
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        rng = self._rng(inp, "image")
+        load, store = space.load, space.store
+        static = space.static
+
+        size = inp.params["size"]
+        pixels = static.alloc(size * size)
+        # Coefficients are packed two per word (like the codec's int16
+        # planes), halving the plane and keeping values diverse.
+        coeffs = static.alloc(size * size // 2)
+        recon = static.alloc(size * size)
+        quant = static.alloc(_BLOCK * _BLOCK)
+
+        # Quantisation matrix: mild (few forced zeros).
+        for v in range(_BLOCK):
+            for u in range(_BLOCK):
+                store(quant + (v * _BLOCK + u) * 4, 4 + ((u + v) * 3) // 2)
+
+        # The codec reads the quantisation matrix into registers once
+        # per frame (traced loads), then uses the register copy in the
+        # per-block loops, as compiled codecs do.
+        for frame in range(inp.params["frames"]):
+            quant_regs = [
+                load(quant + index * 4) for index in range(_BLOCK * _BLOCK)
+            ]
+            # --- Synthesise the frame in place ------------------------
+            phase = frame * 17
+            for row in range(size):
+                for col in range(size):
+                    value = (
+                        128
+                        + int(80 * math.sin((row + phase) * 0.11))
+                        + int(40 * math.cos(col * 0.19))
+                        + rng.randrange(-24, 25)
+                    )
+                    store(pixels + (row * size + col) * 4, max(0, min(255, value)))
+
+            # --- Forward DCT + quantise per 8x8 block ------------------
+            for block_row in range(0, size, _BLOCK):
+                for block_col in range(0, size, _BLOCK):
+                    block: List[List[int]] = [
+                        [
+                            load(pixels + ((block_row + y) * size + block_col + x) * 4)
+                            - 128
+                            for x in range(_BLOCK)
+                        ]
+                        for y in range(_BLOCK)
+                    ]
+                    quantised = self._forward_block(block, quant_regs)
+                    self._store_block(
+                        quantised, coeffs, size, block_row, block_col, store
+                    )
+
+            # --- Dequantise + inverse DCT ------------------------------
+            for block_row in range(0, size, _BLOCK):
+                for block_col in range(0, size, _BLOCK):
+                    quantised = self._load_block(
+                        coeffs, size, block_row, block_col, load
+                    )
+                    restored = self._inverse_block(quantised, quant_regs)
+                    for y in range(_BLOCK):
+                        for x in range(_BLOCK):
+                            value = max(0, min(255, restored[y][x] + 128))
+                            store(
+                                recon + ((block_row + y) * size + block_col + x) * 4,
+                                value,
+                            )
+
+    # DCT helpers ----------------------------------------------------------
+    @staticmethod
+    def _forward_block(block, quant_regs) -> List[List[int]]:
+        out = [[0] * _BLOCK for _ in range(_BLOCK)]
+        for v in range(_BLOCK):
+            for u in range(_BLOCK):
+                total = 0.0
+                for y in range(_BLOCK):
+                    for x in range(_BLOCK):
+                        total += block[y][x] * _COS[u][x] * _COS[v][y]
+                coefficient = 0.25 * _ALPHA[u] * _ALPHA[v] * total
+                q = quant_regs[v * _BLOCK + u]
+                out[v][u] = int(round(coefficient / q))
+        return out
+
+    @staticmethod
+    def _inverse_block(quantised, quant_regs) -> List[List[int]]:
+        scaled = [
+            [
+                quantised[v][u] * quant_regs[v * _BLOCK + u]
+                for u in range(_BLOCK)
+            ]
+            for v in range(_BLOCK)
+        ]
+        out = [[0] * _BLOCK for _ in range(_BLOCK)]
+        for y in range(_BLOCK):
+            for x in range(_BLOCK):
+                total = 0.0
+                for v in range(_BLOCK):
+                    for u in range(_BLOCK):
+                        total += (
+                            _ALPHA[u]
+                            * _ALPHA[v]
+                            * scaled[v][u]
+                            * _COS[u][x]
+                            * _COS[v][y]
+                        )
+                out[y][x] = int(round(0.25 * total))
+        return out
+
+    # Packed-coefficient plane I/O ----------------------------------------
+    @staticmethod
+    def _store_block(quantised, coeffs, size, block_row, block_col, store) -> None:
+        """Pack coefficient pairs into int16 halves of each word."""
+        for y in range(_BLOCK):
+            for x in range(0, _BLOCK, 2):
+                a = quantised[y][x] & 0xFFFF
+                b = quantised[y][x + 1] & 0xFFFF
+                linear = (block_row + y) * size + block_col + x
+                store(coeffs + (linear // 2) * 4, (b << 16) | a)
+
+    @staticmethod
+    def _load_block(coeffs, size, block_row, block_col, load) -> List[List[int]]:
+        def unpack(half: int) -> int:
+            return half - 0x10000 if half >= 0x8000 else half
+
+        out = [[0] * _BLOCK for _ in range(_BLOCK)]
+        for y in range(_BLOCK):
+            for x in range(0, _BLOCK, 2):
+                linear = (block_row + y) * size + block_col + x
+                word = load(coeffs + (linear // 2) * 4)
+                out[y][x] = unpack(word & 0xFFFF)
+                out[y][x + 1] = unpack(word >> 16)
+        return out

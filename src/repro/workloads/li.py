@@ -1,0 +1,444 @@
+"""The 130.li analog: a working Lisp interpreter over simulated memory.
+
+130.li is xlisp running Lisp programs.  The analog implements a real
+Lisp evaluator whose *entire object world* — cons cells, symbols,
+environments, closures — lives in the simulated heap and static
+segments, so every ``car``/``cdr`` is a traced load and every
+``rplacd`` a traced store.
+
+Value representation (one word):
+
+* ``0`` — NIL;
+* ``(n << 8) | 3`` — tagged fixnum (xlisp-style immediates; these are
+  exactly the 0x3/0x103/0x303 values in the paper's Table 1 column for
+  130.li);
+* heap address — cons cell (two words: car, cdr);
+* static address — symbol entry (three words: type tag, global value,
+  id) — xlisp objects carry a type word that the evaluator checks
+  before every use.
+
+The interpreted programs: a recursive Fibonacci (environment churn), an
+in-place insertion sort via ``rplacd`` surgery (the address mutation
+that drives li's low 28.8% constant-address fraction), and map/sum
+pipelines that allocate fresh lists which are arena-freed afterwards
+(address reuse).  The symbol table is placed 64 KB-aligned with the
+heap base so hot symbol entries alias the hot program cells in every
+direct-mapped cache — li's conflict-dominated FVC profile (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import WorkloadError
+from repro.mem.space import AddressSpace
+from repro.workloads.base import Workload, WorkloadInput
+
+NIL = 0
+_FIXNUM_TAG = 3
+#: Type word at the head of every symbol entry (xlisp-style header).
+_SYMBOL_TYPE = 0x53
+
+
+def make_fixnum(n: int) -> int:
+    """Tag a small integer as a Lisp immediate."""
+    return ((n << 8) | _FIXNUM_TAG) & 0xFFFFFFFF
+
+
+def fixnum_value(word: int) -> int:
+    """Untag a Lisp immediate (sign-extended from 24 bits)."""
+    n = word >> 8
+    if n >= 1 << 23:
+        n -= 1 << 24
+    return n
+
+
+def is_fixnum(word: int) -> bool:
+    """True for tagged immediates."""
+    return (word & 0xFF) == _FIXNUM_TAG
+
+
+class LispMachine:
+    """The evaluator.  All Lisp data lives in ``space``."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self._space = space
+        self._heap = space.heap
+        self._load = space.load
+        self._store = space.store
+        # Symbol table: 256 three-word entries, placed so that its base
+        # is 64 KB-congruent with the heap base (conflict pair).
+        static_base = space.layout.static_base
+        aligned = (static_base + 0xFFFF) & ~0xFFFF
+        self._symbols = space.static.alloc(256 * 3, at=aligned)
+        self._symbol_ids: Dict[str, int] = {}
+        self._arena: List[int] = []
+
+    # Object constructors ------------------------------------------------
+    def cons(self, car: int, cdr: int) -> int:
+        """Allocate one cell (registered in the current arena).
+
+        The cdr (usually a pointer) is initialised before the car, the
+        order xlisp's cell initialisation uses — which also means a
+        frequent-valued car never opens a new FVC entry that the cdr
+        store would immediately invalidate.
+        """
+        cell = self._heap.alloc(2)
+        self._store(cell + 4, cdr)
+        self._store(cell, car)
+        self._arena.append(cell)
+        return cell
+
+    def car(self, cell: int) -> int:
+        return self._load(cell)
+
+    def cdr(self, cell: int) -> int:
+        return self._load(cell + 4)
+
+    def rplaca(self, cell: int, value: int) -> None:
+        self._store(cell, value)
+
+    def rplacd(self, cell: int, value: int) -> None:
+        self._store(cell + 4, value)
+
+    def intern(self, name: str) -> int:
+        """Find-or-create the symbol entry for ``name``."""
+        entry = self._symbol_ids.get(name)
+        if entry is not None:
+            return entry
+        index = len(self._symbol_ids)
+        if index >= 256:
+            raise WorkloadError("symbol table full")
+        entry = self._symbols + index * 12
+        self._store(entry, _SYMBOL_TYPE)  # object type word
+        self._store(entry + 4, NIL)  # global value
+        self._store(entry + 8, 0x1000 + index)  # symbol id word
+        self._symbol_ids[name] = entry
+        return entry
+
+    def is_symbol(self, word: int) -> bool:
+        """Static-segment addresses in the table range are symbols."""
+        return self._symbols <= word < self._symbols + 256 * 12
+
+    def list_from(self, items: List[int]) -> int:
+        """Build a proper list from Python-side items."""
+        result = NIL
+        for item in reversed(items):
+            result = self.cons(item, result)
+        return result
+
+    def commit_permanent(self) -> None:
+        """Pin every cell allocated so far (program structure, toplevel
+        closures) so later arena collections never reclaim them."""
+        self._arena.clear()
+
+    def free_arena(self) -> None:
+        """Free every cell allocated since the last commit/collection
+        (the analog of xlisp's GC; the free list makes addresses
+        reusable)."""
+        for cell in self._arena:
+            self._heap.free(cell)
+        self._arena.clear()
+
+    # Globals / environments ---------------------------------------------
+    def set_global(self, symbol: int, value: int) -> None:
+        self._store(symbol + 4, value)
+
+    def get_global(self, symbol: int) -> int:
+        return self._load(symbol + 4)
+
+    def env_bind(self, env: int, symbol: int, value: int) -> int:
+        """Prepend one binding; environments are assoc lists."""
+        return self.cons(self.cons(symbol, value), env)
+
+    def env_lookup(self, env: int, symbol: int) -> Optional[int]:
+        """Walk the assoc list; ``None`` when unbound locally."""
+        probe = env
+        while probe != NIL:
+            binding = self.car(probe)
+            if self.car(binding) == symbol:
+                return self.cdr(binding)
+            probe = self.cdr(probe)
+        return None
+
+    # Evaluator -----------------------------------------------------------
+    def eval(self, expr: int, env: int = NIL) -> int:
+        """Evaluate one expression word."""
+        if expr == NIL or is_fixnum(expr):
+            return expr
+        if self.is_symbol(expr):
+            # Dynamic type check, as xlisp performs before every symbol
+            # dereference (reads the constant type word).
+            self._load(expr)
+            local = self.env_lookup(env, expr)
+            return self.get_global(expr) if local is None else local
+
+        # A cons: special form or application.
+        frame = self._space.stack.push_frame(3)
+        self._store(frame, expr)
+        self._store(frame + 4, env)
+        try:
+            head = self.car(expr)
+            args = self.cdr(expr)
+            if self.is_symbol(head):
+                self._load(head)  # type check on the head symbol
+                name_id = self._load(head + 8)
+                form = self._special_forms.get(name_id - 0x1000)
+                if form is not None:
+                    return form(self, args, env)
+            func = self.eval(head, env)
+            values = []
+            probe = args
+            while probe != NIL:
+                values.append(self.eval(self.car(probe), env))
+                probe = self.cdr(probe)
+            return self.apply(func, values)
+        finally:
+            self._space.stack.pop_frame()
+
+    def apply(self, func: int, values: List[int]) -> int:
+        """Apply a closure or builtin to evaluated arguments."""
+        if is_fixnum(func):
+            # Builtins are tagged fixnum opcodes.
+            return self._apply_builtin(fixnum_value(func), values)
+        # Closure: (params body env), built by the lambda form.
+        params = self.car(func)
+        body = self.car(self.cdr(func))
+        env = self.cdr(self.cdr(func))
+        probe = params
+        for value in values:
+            if probe == NIL:
+                break
+            env = self.env_bind(env, self.car(probe), value)
+            probe = self.cdr(probe)
+        return self.eval(body, env)
+
+    # Builtin opcodes -----------------------------------------------------
+    _BUILTIN_NAMES = (
+        "+", "-", "*", "<", "=", "cons", "car", "cdr", "null", "rplaca",
+        "rplacd",
+    )
+
+    def _apply_builtin(self, opcode: int, values: List[int]) -> int:
+        name = self._BUILTIN_NAMES[opcode]
+        if name in ("+", "-", "*", "<", "="):
+            a = fixnum_value(values[0])
+            b = fixnum_value(values[1])
+            if name == "+":
+                return make_fixnum(a + b)
+            if name == "-":
+                return make_fixnum(a - b)
+            if name == "*":
+                return make_fixnum(a * b)
+            if name == "<":
+                return make_fixnum(1) if a < b else NIL
+            return make_fixnum(1) if a == b else NIL
+        if name == "cons":
+            return self.cons(values[0], values[1])
+        if name == "car":
+            return self.car(values[0])
+        if name == "cdr":
+            return self.cdr(values[0])
+        if name == "null":
+            return make_fixnum(1) if values[0] == NIL else NIL
+        if name == "rplaca":
+            self.rplaca(values[0], values[1])
+            return values[0]
+        if name == "rplacd":
+            self.rplacd(values[0], values[1])
+            return values[0]
+        raise WorkloadError(f"unknown builtin {name!r}")
+
+    def install_builtins(self) -> None:
+        """Bind every builtin symbol to its opcode immediate."""
+        for opcode, name in enumerate(self._BUILTIN_NAMES):
+            self.set_global(self.intern(name), make_fixnum(opcode))
+
+    # Special forms ---------------------------------------------------
+    def _form_quote(self, args: int, env: int) -> int:
+        return self.car(args)
+
+    def _form_if(self, args: int, env: int) -> int:
+        test = self.eval(self.car(args), env)
+        branch = self.cdr(args)
+        if test != NIL:
+            return self.eval(self.car(branch), env)
+        alternative = self.cdr(branch)
+        if alternative == NIL:
+            return NIL
+        return self.eval(self.car(alternative), env)
+
+    def _form_lambda(self, args: int, env: int) -> int:
+        params = self.car(args)
+        body = self.car(self.cdr(args))
+        return self.cons(params, self.cons(body, env))
+
+    def _form_define(self, args: int, env: int) -> int:
+        symbol = self.car(args)
+        value = self.eval(self.car(self.cdr(args)), env)
+        self.set_global(symbol, value)
+        return symbol
+
+    _special_forms = {}
+
+    # Reader --------------------------------------------------------------
+    def read(self, source) -> int:
+        """Build the in-memory form of a Python-side S-expression
+        (``int`` → fixnum, ``str`` → symbol, ``list``/``tuple`` → list)."""
+        if isinstance(source, int):
+            return make_fixnum(source)
+        if isinstance(source, str):
+            return self.intern(source)
+        return self.list_from([self.read(item) for item in source])
+
+
+# Special-form dispatch is keyed by symbol index; the first four
+# interned symbols are reserved for them (see LiWorkload._run).
+LispMachine._special_forms = {
+    0: LispMachine._form_quote,
+    1: LispMachine._form_if,
+    2: LispMachine._form_lambda,
+    3: LispMachine._form_define,
+}
+
+
+class LiWorkload(Workload):
+    """Lisp-interpreter analog (tagged fixnums, assoc environments,
+    heavy cell mutation and reuse)."""
+
+    name = "li"
+    spec_analog = "130.li"
+    exhibits_fvl = True
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput(
+                "test", {"fib": 9, "sort_len": 48, "map_len": 80, "rounds": 2},
+                data_seed=41,
+            ),
+            "train": WorkloadInput(
+                "train", {"fib": 11, "sort_len": 72, "map_len": 140, "rounds": 3},
+                data_seed=42,
+            ),
+            "ref": WorkloadInput(
+                "ref", {"fib": 13, "sort_len": 100, "map_len": 200, "rounds": 3},
+                data_seed=43,
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        # Deep Lisp recursion (mapd/sum over long lists) costs ~12 host
+        # frames per interpreted level; give the host interpreter room.
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 60_000))
+        try:
+            self._run_programs(space, inp)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def _run_programs(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        machine = LispMachine(space)
+        # Reserve the special-form symbol indexes first (reader order).
+        for name in ("quote", "if", "lambda", "define"):
+            machine.intern(name)
+        machine.install_builtins()
+        rng = self._rng(inp, "lists")
+
+        # (define fib (lambda (n) (if (< n 2) n (+ (fib (- n 1))
+        #                                          (fib (- n 2))))))
+        machine.eval(machine.read(
+            ["define", "fib",
+             ["lambda", ["n"],
+              ["if", ["<", "n", 2],
+               "n",
+               ["+", ["fib", ["-", "n", 1]],
+                ["fib", ["-", "n", 2]]]]]]))
+        # (define sum (lambda (l) (if (null l) 0
+        #                              (+ (car l) (sum (cdr l))))))
+        machine.eval(machine.read(
+            ["define", "sum",
+             ["lambda", ["l"],
+              ["if", ["null", "l"], 0,
+               ["+", ["car", "l"], ["sum", ["cdr", "l"]]]]]]))
+        # (define double (lambda (x) (+ x x)))
+        machine.eval(machine.read(
+            ["define", "double", ["lambda", ["x"], ["+", "x", "x"]]]))
+        # (define mapd (lambda (l) (if (null l) (quote ())
+        #                  (cons (double (car l)) (mapd (cdr l))))))
+        machine.eval(machine.read(
+            ["define", "mapd",
+             ["lambda", ["l"],
+              ["if", ["null", "l"], ["quote", []],
+               ["cons", ["double", ["car", "l"]],
+                ["mapd", ["cdr", "l"]]]]]]))
+
+        # A permanent quoted table (xlisp programs carry sizeable
+        # constant list structure) scanned read-only every round — the
+        # part of li's footprint that *does* stay constant (Table 4).
+        table = machine.list_from(
+            [make_fixnum(index % 16) for index in range(700)]
+        )
+        machine.set_global(machine.intern("table"), table)
+
+        # The toplevel programs and their closures live for the whole
+        # run; only per-round data is arena-collected.
+        machine.commit_permanent()
+
+        def insertion_sort_inplace(head: int) -> int:
+            """Destructive insertion sort via rplacd surgery — the
+            mutation that keeps li's constant-address fraction low."""
+            sorted_head = NIL
+            node = head
+            while node != NIL:
+                rest = machine.cdr(node)
+                key = fixnum_value(machine.car(node))
+                if sorted_head == NIL or key <= fixnum_value(
+                    machine.car(sorted_head)
+                ):
+                    machine.rplacd(node, sorted_head)
+                    sorted_head = node
+                else:
+                    probe = sorted_head
+                    while (
+                        machine.cdr(probe) != NIL
+                        and fixnum_value(machine.car(machine.cdr(probe))) < key
+                    ):
+                        probe = machine.cdr(probe)
+                    machine.rplacd(node, machine.cdr(probe))
+                    machine.rplacd(probe, node)
+                node = rest
+            return sorted_head
+
+        for _ in range(inp.params["rounds"]):
+            # Recursive interpretation (environment churn).
+            machine.eval(machine.read(["fib", inp.params["fib"]]))
+            machine.free_arena()
+
+            # Read-only scan of the permanent table.
+            machine.apply(
+                machine.get_global(machine.intern("sum")),
+                [machine.get_global(machine.intern("table"))],
+            )
+            machine.free_arena()
+
+            # Destructive sort over freshly consed data.
+            data = machine.list_from(
+                [make_fixnum(rng.randrange(1000))
+                 for _ in range(inp.params["sort_len"])]
+            )
+            head = insertion_sort_inplace(data)
+            machine.apply(machine.get_global(machine.intern("sum")), [head])
+            machine.free_arena()
+
+            # map/sum pipeline over small immediates (the tagged values
+            # 0x3/0x103/... that dominate li's frequent value set).
+            source = machine.list_from(
+                [make_fixnum(rng.randrange(8))
+                 for _ in range(inp.params["map_len"])]
+            )
+            machine.set_global(machine.intern("data"), source)
+            machine.eval(machine.read(["sum", ["mapd", "data"]]))
+            machine.free_arena()

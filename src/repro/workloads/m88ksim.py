@@ -1,0 +1,267 @@
+"""The 124.m88ksim analog: a working CPU simulator simulating a guest.
+
+124.m88ksim interprets Motorola 88100 binaries; its memory behaviour is
+dominated by the interpreter's own structures — code image, register
+file, decode table, bookkeeping — plus the guest's data.  The analog
+reproduces that shape with the SRV-1 machine of
+:mod:`repro.workloads.srv1` running a real guest program (table fill,
+checksum passes, a bubble-sort phase, and a cold scan).
+
+Placement (see DESIGN.md):
+
+* the status-flag block and the protection table sit exactly 64 KB
+  apart, so they alias in every direct-mapped cache from 4 KB to 64 KB
+  — the conflict pair whose misses the FVC removes (their words are all
+  0/1/0xffffffff, i.e. frequent values) and which any 2-way cache
+  absorbs (Fig. 14);
+* every other hot structure (decode table, register file, guest code,
+  guest data regions) is offset so it does not alias the pair — the
+  engineered conflict is exactly two lines wide, which is what lets a
+  2-way cache absorb it completely;
+* the hot guest table (8 KB) plus code and sort array thrash a 4/8 KB
+  cache but fit 16 KB (the paper's 8 KB → 16 KB drop), while the
+  noise-filled cold region supplies the residual misses that neither
+  the FVC nor a doubled cache removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.space import AddressSpace
+from repro.workloads import srv1
+from repro.workloads.base import Workload, WorkloadInput
+from repro.workloads.srv1 import (
+    ADD,
+    ADDI,
+    AND,
+    Assembler,
+    BLT,
+    BNE,
+    HALT,
+    JMP,
+    LD,
+    LDI,
+    MOV,
+    MUL,
+    ST,
+    Srv1Machine,
+)
+
+# Guest RAM word-index map.  The offsets are chosen so none of the hot
+# regions accidentally alias each other in any 4-64 KB direct-mapped
+# cache (the only engineered aliasing is the flags/protection pair).
+_TABLE_BASE = 0
+_OUT_BASE = 4352
+_SORT_BASE = 6656
+_COLD_BASE = 13568
+
+
+class M88ksimWorkload(Workload):
+    """CPU-simulator analog with the 64 KB-aliased bookkeeping pair."""
+
+    name = "m88ksim"
+    spec_analog = "124.m88ksim"
+    exhibits_fvl = True
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput(
+                "test",
+                {
+                    "table_words": 1024,
+                    "sort_words": 256,
+                    "cold_words": 2048,
+                    "passes": 2,
+                    "timer_period": 32,
+                    "prot_period": 12,
+                },
+                data_seed=101,
+            ),
+            "train": WorkloadInput(
+                "train",
+                {
+                    "table_words": 1536,
+                    "sort_words": 768,
+                    "cold_words": 3072,
+                    "passes": 3,
+                    "timer_period": 32,
+                    "prot_period": 12,
+                },
+                data_seed=202,
+            ),
+            "ref": WorkloadInput(
+                "ref",
+                {
+                    "table_words": 2048,
+                    "sort_words": 1024,
+                    "cold_words": 4096,
+                    "passes": 4,
+                    "timer_period": 32,
+                    "prot_period": 12,
+                },
+                data_seed=303,
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        static = space.static
+        base = space.layout.static_base
+        # The decode table sits off the segment-alignment boundary so it
+        # does not stack onto the flags/prot set and turn the engineered
+        # 2-line conflict into a 3-line pile-up that associativity can't
+        # absorb.
+        decode_base = static.alloc(srv1.NUM_OPCODES * 2, at=base + 0x80)
+        flags_base = static.alloc(8, at=base + 0x8000)
+        regfile_base = static.alloc(srv1.NUM_REGISTERS, at=base + 0x8100)
+        code_base = static.alloc(1024, at=base + 0xA400)
+        prot_base = static.alloc(8, at=base + 0x18000)  # flags + 64 KB
+        # Guest RAM goes 256 KB up, offset so its hot table does not
+        # accidentally alias the flag/protection pair at 16-64 KB.
+        ram_base = static.alloc(1 << 16, at=base + 0x40000)
+
+        machine = Srv1Machine(
+            space,
+            code_base=code_base,
+            regfile_base=regfile_base,
+            ram_base=ram_base,
+            decode_base=decode_base,
+            flags_base=flags_base,
+            prot_base=prot_base,
+            timer_period=inp.params["timer_period"],
+            prot_period=inp.params["prot_period"],
+        )
+        machine.initialise_decode_table()
+        # Seed the protection table with permission masks (read once in
+        # a while by the guest-memory check; values are 0 / -1).
+        for index in range(8):
+            space.store(prot_base + index * 4, 0xFFFFFFFF if index & 1 else 0)
+
+        seed = self._rng(inp, "guest-seed").randrange(1, 0x7FFF)
+        program = _build_guest_program(inp.params, seed)
+        machine.load_program(program)
+        machine.run(max_instructions=2_000_000)
+        self.last_retired = machine.instructions_retired
+
+
+def _build_guest_program(params: Dict[str, int], seed: int) -> List[int]:
+    """Assemble the guest: fill, checksum passes, sort, cold scans.
+
+    Register conventions: r0 = 0 throughout; r15 = LCG state; r14 =
+    outer pass counter; r13 = pass limit.
+    """
+    table_words = params["table_words"]
+    sort_words = params["sort_words"]
+    cold_words = params["cold_words"]
+    passes = params["passes"]
+
+    asm = Assembler()
+    asm.emit(LDI, 0, 0, 0)  # r0 = 0
+    asm.emit(LDI, 15, 0, seed)
+
+    # --- Fill the hot table with sparse frequent-value-rich data -------
+    asm.emit(LDI, 1, 0, _TABLE_BASE)  # i
+    asm.emit(LDI, 2, 0, _TABLE_BASE + table_words)  # limit
+    asm.label("fill")
+    # LCG step: r15 = r15 * 25173 + 13849 (mod 2^32, masked to 16 bits)
+    asm.emit(LDI, 3, 0, 25173)
+    asm.emit(MUL, 15, 3, 0)
+    asm.emit(LDI, 3, 0, 13849)
+    asm.emit(ADD, 15, 3, 0)
+    asm.emit(LDI, 3, 0, 0xFFFF)
+    asm.emit(AND, 15, 3, 0)
+    asm.emit(MOV, 4, 15, 0)
+    asm.emit(LDI, 3, 0, 255)
+    asm.emit(AND, 4, 3, 0)
+    # Sparse classification: ~70% zeros, then 1, 2, or raw LCG noise.
+    asm.emit(LDI, 3, 0, 180)
+    asm.branch(BLT, 4, 3, "fill_zero")
+    asm.emit(LDI, 3, 0, 230)
+    asm.branch(BLT, 4, 3, "fill_one")
+    asm.emit(LDI, 3, 0, 250)
+    asm.branch(BLT, 4, 3, "fill_two")
+    asm.emit(MOV, 5, 15, 0)
+    asm.branch(JMP, 0, 0, "fill_store")
+    asm.label("fill_zero")
+    asm.emit(LDI, 5, 0, 0)
+    asm.branch(JMP, 0, 0, "fill_store")
+    asm.label("fill_one")
+    asm.emit(LDI, 5, 0, 1)
+    asm.branch(JMP, 0, 0, "fill_store")
+    asm.label("fill_two")
+    asm.emit(LDI, 5, 0, 2)
+    asm.label("fill_store")
+    asm.emit(ST, 5, 1, 0)  # table[i] = r5
+    asm.emit(ADDI, 1, 0, 1)
+    asm.branch(BNE, 1, 2, "fill")
+
+    # --- Fill the scanned slots of the cold region with noise ---------
+    # (diverse values: the cold-region misses are the share of m88ksim's
+    # misses that neither the FVC nor a doubled cache removes)
+    asm.emit(LDI, 1, 0, _COLD_BASE)
+    asm.emit(LDI, 2, 0, _COLD_BASE + cold_words)
+    asm.label("fill_cold")
+    asm.emit(LDI, 3, 0, 26699)
+    asm.emit(MUL, 15, 3, 0)
+    asm.emit(LDI, 3, 0, 11213)
+    asm.emit(ADD, 15, 3, 0)
+    asm.emit(ST, 15, 1, 0)
+    asm.emit(ADDI, 1, 0, 8)
+    asm.branch(BNE, 1, 2, "fill_cold")
+
+    # --- Seed the sort array from the table --------------------------
+    asm.emit(LDI, 1, 0, 0)
+    asm.emit(LDI, 2, 0, sort_words)
+    asm.label("seed_sort")
+    asm.emit(LD, 4, 1, _TABLE_BASE)
+    asm.emit(MOV, 5, 1, 0)
+    asm.emit(MUL, 5, 5, 0)  # i*i scrambles ordering a little
+    asm.emit(ADD, 4, 5, 0)
+    asm.emit(ST, 4, 1, _SORT_BASE)
+    asm.emit(ADDI, 1, 0, 1)
+    asm.branch(BNE, 1, 2, "seed_sort")
+
+    # --- Outer measurement loop ---------------------------------------
+    asm.emit(LDI, 14, 0, 0)  # pass counter
+    asm.emit(LDI, 13, 0, passes)
+    asm.label("outer")
+
+    # Checksum pass over the hot table.
+    asm.emit(LDI, 1, 0, _TABLE_BASE)
+    asm.emit(LDI, 2, 0, _TABLE_BASE + table_words)
+    asm.emit(LDI, 7, 0, 0)  # sum
+    asm.label("sum")
+    asm.emit(LD, 4, 1, 0)
+    asm.emit(ADD, 7, 4, 0)
+    asm.emit(ADDI, 1, 0, 1)
+    asm.branch(BNE, 1, 2, "sum")
+    asm.emit(ST, 7, 14, _OUT_BASE)  # out[pass] = checksum
+
+    # One bubble pass over the sort array (compare/swap stores).
+    asm.emit(LDI, 1, 0, _SORT_BASE)
+    asm.emit(LDI, 2, 0, _SORT_BASE + sort_words - 1)
+    asm.label("bubble")
+    asm.emit(LD, 4, 1, 0)
+    asm.emit(LD, 5, 1, 1)
+    asm.branch(BLT, 4, 5, "no_swap")
+    asm.emit(ST, 5, 1, 0)
+    asm.emit(ST, 4, 1, 1)
+    asm.label("no_swap")
+    asm.emit(ADDI, 1, 0, 1)
+    asm.branch(BNE, 1, 2, "bubble")
+
+    # Cold scan: stride-8 walk over a 48 KB region touched once per
+    # pass (one access per 32-byte line).
+    asm.emit(LDI, 1, 0, _COLD_BASE)
+    asm.emit(LDI, 2, 0, _COLD_BASE + cold_words)
+    asm.label("cold")
+    asm.emit(LD, 4, 1, 0)
+    asm.emit(ADD, 7, 4, 0)
+    asm.emit(ADDI, 1, 0, 8)
+    asm.branch(BNE, 1, 2, "cold")
+
+    asm.emit(ADDI, 14, 0, 1)
+    asm.branch(BNE, 14, 13, "outer")
+    asm.emit(HALT)
+    return asm.assemble()

@@ -1,0 +1,79 @@
+"""Workload registry: name → workload instance.
+
+The groupings mirror the paper's: ``FVL_WORKLOADS`` are the six
+SPECint95 analogs with frequent value locality (the programs every
+cache experiment runs on), ``NON_FVL_WORKLOADS`` are the compress/ijpeg
+analogs, and ``FP_WORKLOADS`` are the SPECfp95 analogs used in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.go import GoWorkload
+from repro.workloads.m88ksim import M88ksimWorkload
+from repro.workloads.gcc import GccWorkload
+from repro.workloads.li import LiWorkload
+from repro.workloads.perl import PerlWorkload
+from repro.workloads.vortex import VortexWorkload
+from repro.workloads.compress import CompressWorkload
+from repro.workloads.ijpeg import IjpegWorkload
+from repro.workloads.fp import (
+    ApplluWorkload,
+    Hydro2dWorkload,
+    MgridWorkload,
+    Su2corWorkload,
+    SwimWorkload,
+    TomcatvWorkload,
+)
+
+#: The six SPECint95 analogs that exhibit frequent value locality, in
+#: the paper's presentation order.
+FVL_WORKLOADS: List[Workload] = [
+    GoWorkload(),
+    M88ksimWorkload(),
+    GccWorkload(),
+    LiWorkload(),
+    PerlWorkload(),
+    VortexWorkload(),
+]
+
+#: The two SPECint95 analogs without frequent value locality.
+NON_FVL_WORKLOADS: List[Workload] = [
+    CompressWorkload(),
+    IjpegWorkload(),
+]
+
+#: All eight SPECint95 analogs.
+INT_WORKLOADS: List[Workload] = FVL_WORKLOADS + NON_FVL_WORKLOADS
+
+#: The SPECfp95 analogs (Fig. 2 locality study only).
+FP_WORKLOADS: List[Workload] = [
+    SwimWorkload(),
+    TomcatvWorkload(),
+    MgridWorkload(),
+    ApplluWorkload(),
+    Su2corWorkload(),
+    Hydro2dWorkload(),
+]
+
+#: Every workload in the suite.
+ALL_WORKLOADS: List[Workload] = INT_WORKLOADS + FP_WORKLOADS
+
+_BY_NAME: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by registry name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise WorkloadError(f"unknown workload {name!r} (have: {known})") from None
+
+
+def workload_names() -> List[str]:
+    """All registry names, suite order."""
+    return [w.name for w in ALL_WORKLOADS]

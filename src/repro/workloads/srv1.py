@@ -1,0 +1,309 @@
+"""SRV-1: the guest RISC machine interpreted by the m88ksim analog.
+
+124.m88ksim is a cycle-level simulator of the Motorola 88100 running
+real guest programs.  The analog does the same thing one level down: it
+implements a small load/store ISA (SRV-1) whose architectural state —
+register file, code image, guest data RAM, decode table, status flags,
+protection table — lives entirely in the *simulated* word memory, so
+every step of the interpreter issues genuine loads and stores exactly
+like the original simulator's.
+
+Instruction word layout (32 bits)::
+
+    op(8) | rd(4) | rs(4) | imm(16, signed)
+
+Guest data addresses are word indexes into the guest RAM region;
+``LD``/``ST`` compute ``rs + imm`` as a word index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulatedMachineError
+from repro.common.words import WORD_MASK, to_s32
+from repro.mem.space import AddressSpace
+
+# Opcodes --------------------------------------------------------------
+HALT = 0x00
+LDI = 0x01   # rd = imm
+ADD = 0x02   # rd += rs
+ADDI = 0x03  # rd += imm
+LD = 0x04    # rd = guest_ram[rs + imm]
+ST = 0x05    # guest_ram[rs + imm] = rd
+BNE = 0x06   # if rd != rs: pc += imm
+BEQ = 0x07   # if rd == rs: pc += imm
+MOV = 0x08   # rd = rs
+AND = 0x09   # rd &= rs
+SHR = 0x0A   # rd >>= imm
+MUL = 0x0B   # rd *= rs
+SUB = 0x0C   # rd -= rs
+JMP = 0x0D   # pc += imm
+BLT = 0x0E   # if signed(rd) < signed(rs): pc += imm
+XOR = 0x0F   # rd ^= rs
+
+NUM_OPCODES = 16
+NUM_REGISTERS = 16
+
+_MNEMONICS = {
+    HALT: "halt", LDI: "ldi", ADD: "add", ADDI: "addi", LD: "ld",
+    ST: "st", BNE: "bne", BEQ: "beq", MOV: "mov", AND: "and",
+    SHR: "shr", MUL: "mul", SUB: "sub", JMP: "jmp", BLT: "blt",
+    XOR: "xor",
+}
+
+
+def encode(op: int, rd: int = 0, rs: int = 0, imm: int = 0) -> int:
+    """Pack one SRV-1 instruction word."""
+    if not 0 <= op < NUM_OPCODES:
+        raise SimulatedMachineError(f"bad opcode {op}")
+    if not 0 <= rd < NUM_REGISTERS or not 0 <= rs < NUM_REGISTERS:
+        raise SimulatedMachineError(f"bad register in ({rd}, {rs})")
+    if not -0x8000 <= imm <= 0xFFFF:
+        raise SimulatedMachineError(f"immediate {imm} out of 16-bit range")
+    return (op << 24) | (rd << 20) | (rs << 16) | (imm & 0xFFFF)
+
+
+def decode_fields(word: int) -> Tuple[int, int, int, int]:
+    """Unpack ``(op, rd, rs, imm)`` from an instruction word."""
+    op = (word >> 24) & 0xFF
+    rd = (word >> 20) & 0xF
+    rs = (word >> 16) & 0xF
+    imm = word & 0xFFFF
+    if imm >= 0x8000:
+        imm -= 0x10000
+    return op, rd, rs, imm
+
+
+def disassemble(word: int) -> str:
+    """Human-readable form of one instruction word (for diagnostics)."""
+    op, rd, rs, imm = decode_fields(word)
+    mnemonic = _MNEMONICS.get(op, f"op{op:#x}")
+    return f"{mnemonic} r{rd}, r{rs}, {imm}"
+
+
+class Assembler:
+    """Two-pass assembler for SRV-1 with symbolic labels.
+
+    Usage::
+
+        asm = Assembler()
+        asm.label("loop")
+        asm.emit(LD, 4, 2, 0)
+        asm.branch(BNE, 2, 3, "loop")
+        words = asm.assemble()
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Tuple] = []
+        self._labels: Dict[str, int] = {}
+
+    @property
+    def position(self) -> int:
+        """Current instruction index."""
+        return len(self._items)
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise SimulatedMachineError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._items)
+
+    def emit(self, op: int, rd: int = 0, rs: int = 0, imm: int = 0) -> None:
+        """Emit one fully resolved instruction."""
+        self._items.append(("word", encode(op, rd, rs, imm)))
+
+    def branch(self, op: int, rd: int, rs: int, target: str) -> None:
+        """Emit a branch/jump whose offset resolves to ``target``."""
+        self._items.append(("branch", op, rd, rs, target, len(self._items)))
+
+    def assemble(self) -> List[int]:
+        """Resolve labels and return the instruction words."""
+        words: List[int] = []
+        for item in self._items:
+            if item[0] == "word":
+                words.append(item[1])
+            else:
+                _, op, rd, rs, target, position = item
+                if target not in self._labels:
+                    raise SimulatedMachineError(f"undefined label {target!r}")
+                # Branch offsets are relative to the *next* instruction.
+                offset = self._labels[target] - (position + 1)
+                words.append(encode(op, rd, rs, offset))
+        return words
+
+
+class Srv1Machine:
+    """The interpreter: fetch/decode/execute over simulated memory.
+
+    Parameters
+    ----------
+    space:
+        The address space whose loads/stores are traced.
+    code_base, regfile_base, ram_base, decode_base, flags_base, prot_base:
+        Placed byte addresses of the architectural structures.  The
+        m88ksim workload places ``flags_base`` and ``prot_base`` exactly
+        64 KB apart, recreating the original's pathological
+        direct-mapped aliasing between simulator bookkeeping structures.
+    timer_period:
+        Guest instructions between status-flag updates.
+    prot_period:
+        Guest memory operations between protection-table checks.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        code_base: int,
+        regfile_base: int,
+        ram_base: int,
+        decode_base: int,
+        flags_base: int,
+        prot_base: int,
+        timer_period: int = 32,
+        prot_period: int = 8,
+    ) -> None:
+        self._space = space
+        self._code = code_base
+        self._regs = regfile_base
+        self._ram = ram_base
+        self._decode = decode_base
+        self._flags = flags_base
+        self._prot = prot_base
+        self._timer_period = timer_period
+        self._prot_period = prot_period
+        self.instructions_retired = 0
+        self._mem_ops = 0
+        self._flag_cursor = 0
+
+    # Setup helpers ------------------------------------------------------
+    def load_program(self, words: List[int]) -> None:
+        """Store the guest program into the code image (traced stores —
+        the original simulator loads guest binaries through its own
+        memory interface too)."""
+        self._space.store_block(self._code, words)
+
+    def initialise_decode_table(self) -> None:
+        """Fill the decode table: per opcode a dispatch id and a cycle
+        count, consulted on every instruction."""
+        store = self._space.store
+        for op in range(NUM_OPCODES):
+            store(self._decode + op * 8, op)  # dispatch id
+            store(self._decode + op * 8 + 4, 1 + (op & 3))  # cycles
+
+    # Execution -----------------------------------------------------------
+    def run(self, start_pc: int = 0, max_instructions: int = 1_000_000) -> int:
+        """Interpret until ``HALT`` or the instruction budget runs out.
+
+        Returns the number of guest instructions retired in this call.
+        """
+        space = self._space
+        load = space.load
+        store = space.store
+        code = self._code
+        regs = self._regs
+        ram = self._ram
+        decode = self._decode
+        retired = 0
+        pc = start_pc
+        while retired < max_instructions:
+            word = load(code + pc * 4)
+            op = (word >> 24) & 0xFF
+            rd = (word >> 20) & 0xF
+            rs = (word >> 16) & 0xF
+            imm = word & 0xFFFF
+            if imm >= 0x8000:
+                imm -= 0x10000
+            # Decode-table consultation (dispatch id), as the original
+            # simulator does for every instruction.
+            load(decode + op * 8)
+            pc += 1
+            retired += 1
+
+            if op == LDI:
+                store(regs + rd * 4, imm & WORD_MASK)
+            elif op == ADD:
+                a = load(regs + rd * 4)
+                b = load(regs + rs * 4)
+                store(regs + rd * 4, (a + b) & WORD_MASK)
+            elif op == ADDI:
+                a = load(regs + rd * 4)
+                store(regs + rd * 4, (a + imm) & WORD_MASK)
+            elif op == LD:
+                base = load(regs + rs * 4)
+                self._guest_mem_check()
+                value = load(ram + ((base + imm) & 0xFFFF) * 4)
+                store(regs + rd * 4, value)
+            elif op == ST:
+                base = load(regs + rs * 4)
+                value = load(regs + rd * 4)
+                self._guest_mem_check()
+                store(ram + ((base + imm) & 0xFFFF) * 4, value)
+            elif op == BNE:
+                if load(regs + rd * 4) != load(regs + rs * 4):
+                    pc += imm
+            elif op == BEQ:
+                if load(regs + rd * 4) == load(regs + rs * 4):
+                    pc += imm
+            elif op == MOV:
+                store(regs + rd * 4, load(regs + rs * 4))
+            elif op == AND:
+                a = load(regs + rd * 4)
+                b = load(regs + rs * 4)
+                store(regs + rd * 4, a & b)
+            elif op == SHR:
+                a = load(regs + rd * 4)
+                store(regs + rd * 4, a >> (imm & 31))
+            elif op == MUL:
+                a = load(regs + rd * 4)
+                b = load(regs + rs * 4)
+                store(regs + rd * 4, (a * b) & WORD_MASK)
+            elif op == SUB:
+                a = load(regs + rd * 4)
+                b = load(regs + rs * 4)
+                store(regs + rd * 4, (a - b) & WORD_MASK)
+            elif op == JMP:
+                pc += imm
+            elif op == BLT:
+                if to_s32(load(regs + rd * 4)) < to_s32(load(regs + rs * 4)):
+                    pc += imm
+            elif op == XOR:
+                a = load(regs + rd * 4)
+                b = load(regs + rs * 4)
+                store(regs + rd * 4, a ^ b)
+            elif op == HALT:
+                break
+            else:
+                raise SimulatedMachineError(
+                    f"illegal guest instruction {word:#010x} at pc {pc - 1}"
+                )
+
+            if retired % self._timer_period == 0:
+                self._timer_tick()
+        self.instructions_retired += retired
+        return retired
+
+    # Bookkeeping structures (the 64 KB-aliased hot pair) ---------------
+    def _timer_tick(self) -> None:
+        """Toggle one status flag (read-modify-write of 0/1 values)."""
+        space = self._space
+        addr = self._flags + (self._flag_cursor & 7) * 4
+        self._flag_cursor += 1
+        current = space.load(addr)
+        space.store(addr, current ^ 1)
+
+    def _guest_mem_check(self) -> None:
+        """Consult the protection table every ``prot_period``-th guest
+        memory operation (values are 0 / 0xffffffff permission masks)."""
+        self._mem_ops += 1
+        if self._mem_ops % self._prot_period == 0:
+            self._space.load(self._prot + (self._mem_ops >> 3 & 7) * 4)
+
+    # Guest state access for tests ---------------------------------------
+    def register(self, index: int) -> int:
+        """Read a guest register through the traced interface."""
+        return self._space.load(self._regs + index * 4)
+
+    def guest_word(self, word_index: int) -> int:
+        """Read a guest RAM word through the traced interface."""
+        return self._space.load(self._ram + word_index * 4)

@@ -1,0 +1,61 @@
+"""Session-wide trace cache.
+
+Every experiment replays the same workload traces against many cache
+configurations.  Regenerating a trace per configuration would dominate
+run time, while holding all twelve ref traces resident would dominate
+memory — so the store keeps a small LRU of materialised traces (the
+experiments sweep configurations workload-by-workload, which this
+policy serves perfectly).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from repro.trace.trace import Trace
+
+
+class TraceStore:
+    """LRU cache of ``(workload name, input name) → Trace``."""
+
+    def __init__(self, max_traces: int = 8) -> None:
+        if max_traces <= 0:
+            raise ValueError("store must hold at least one trace")
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[Tuple[str, str], Trace]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, workload_name: str, input_name: str = "ref") -> Trace:
+        """Fetch (or generate and cache) one trace."""
+        key = (workload_name, input_name)
+        cached = self._traces.get(key)
+        if cached is not None:
+            self._traces.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        from repro.workloads.registry import get_workload
+
+        trace = get_workload(workload_name).generate_trace(input_name)
+        self._traces[key] = trace
+        if len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+        return trace
+
+    def clear(self) -> None:
+        """Drop every cached trace."""
+        self._traces.clear()
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+
+#: The store shared by experiments, benchmarks and examples.
+shared_store = TraceStore()
+
+
+def get_trace(workload_name: str, input_name: str = "ref") -> Trace:
+    """Convenience accessor for :data:`shared_store`."""
+    return shared_store.get(workload_name, input_name)

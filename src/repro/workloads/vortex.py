@@ -1,0 +1,193 @@
+"""The 147.vortex analog: an object-oriented database.
+
+147.vortex builds and queries an object store with several indexes.
+The analog implements the database for real: fixed-shape 16-word
+objects (type tag, id, flags, link, key, 11 payload words) are
+allocated in the heap, indexed by two chained hash indexes (by id and
+by key) plus a type-extent list, then exercised by a Zipf-distributed
+query mix of lookups, range-ish scans, field updates, deletes and
+re-inserts.
+
+Behavioural signature: the store (several hundred KB) dwarfs every
+cache, so misses are dominated by *capacity* — which is why vortex
+keeps most of its FVC benefit even under a 4-way base cache (Fig. 14),
+and why the benefit keeps growing with FVC size (Fig. 10): roughly 60%
+of object words are frequent values (zero padding, type tags, status
+enums), so each FVC entry shields most of a line's reloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.space import AddressSpace
+from repro.workloads.base import Workload, WorkloadInput
+
+_OBJ_WORDS = 16
+_ID_BUCKETS = 2048
+_KEY_BUCKETS = 2048
+
+# Object field offsets (bytes).
+_F_TYPE = 0
+_F_ID = 4
+_F_FLAGS = 8
+_F_ID_NEXT = 12
+_F_KEY = 16
+_F_KEY_NEXT = 20
+_F_PAYLOAD = 24  # ten payload words follow
+
+_TYPE_TAGS = (4, 5, 6, 0x30)  # small enums, as in vortex's Table 1 column
+
+
+class VortexWorkload(Workload):
+    """Object-database analog (build, query, update, churn)."""
+
+    name = "vortex"
+    spec_analog = "147.vortex"
+    exhibits_fvl = True
+
+    def inputs(self) -> Dict[str, WorkloadInput]:
+        return {
+            "test": WorkloadInput(
+                "test", {"objects": 1200, "queries": 3000, "churn": 120},
+                data_seed=91,
+            ),
+            "train": WorkloadInput(
+                "train", {"objects": 2200, "queries": 7000, "churn": 220},
+                data_seed=92,
+            ),
+            "ref": WorkloadInput(
+                "ref", {"objects": 4000, "queries": 14000, "churn": 400},
+                data_seed=93,
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def _run(self, space: AddressSpace, inp: WorkloadInput) -> None:
+        rng = self._rng(inp, "db")
+        load, store = space.load, space.store
+        heap = space.heap
+        static = space.static
+
+        id_index = static.alloc(_ID_BUCKETS)
+        key_index = static.alloc(_KEY_BUCKETS)
+        # Tombstone map: one status word per possible object slot (0 =
+        # live).  Every query checks it first; being large (24 KB) and
+        # almost entirely zero, its reuse misses are capacity misses
+        # made of frequent values — FVC food at any associativity.
+        tombstones = static.alloc(6144)
+        for index in range(_ID_BUCKETS):
+            store(id_index + index * 4, 0)
+        for index in range(_KEY_BUCKETS):
+            store(key_index + index * 4, 0)
+        for index in range(6144):
+            store(tombstones + index * 4, 0)
+
+        num_objects = inp.params["objects"]
+
+        def insert(object_id: int) -> int:
+            """Allocate, initialise and index one object."""
+            obj = heap.alloc(_OBJ_WORDS)
+            key = (object_id * 2654435761) & 0xFFFF
+            store(obj + _F_TYPE, _TYPE_TAGS[object_id % len(_TYPE_TAGS)])
+            store(obj + _F_ID, object_id)
+            store(obj + _F_FLAGS, 0)
+            store(obj + _F_KEY, key)
+            # Payload: mostly zero padding plus a few live fields —
+            # the frequent-value-rich interior of a vortex record.
+            for slot in range(10):
+                offset = obj + _F_PAYLOAD + slot * 4
+                if slot == 0:
+                    store(offset, 1)  # refcount
+                elif slot == 1:
+                    store(offset, rng.randrange(1 << 16))  # timestamp
+                else:
+                    store(offset, 0)
+            id_bucket = id_index + (object_id % _ID_BUCKETS) * 4
+            store(obj + _F_ID_NEXT, load(id_bucket))
+            store(id_bucket, obj)
+            key_bucket = key_index + (key % _KEY_BUCKETS) * 4
+            store(obj + _F_KEY_NEXT, load(key_bucket))
+            store(key_bucket, obj)
+            return obj
+
+        def lookup_by_id(object_id: int) -> int:
+            entry = load(id_index + (object_id % _ID_BUCKETS) * 4)
+            while entry:
+                if load(entry + _F_ID) == object_id:
+                    return entry
+                entry = load(entry + _F_ID_NEXT)
+            return 0
+
+        def _chain_remove(bucket: int, target: int, next_offset: int) -> bool:
+            """Splice ``target`` out of the chain rooted at ``bucket``."""
+            entry = load(bucket)
+            previous = 0
+            while entry:
+                follower = load(entry + next_offset)
+                if entry == target:
+                    if previous:
+                        store(previous + next_offset, follower)
+                    else:
+                        store(bucket, follower)
+                    return True
+                previous = entry
+                entry = follower
+            return False
+
+        def unlink(object_id: int) -> int:
+            """Remove one object from both indexes; returns it or 0."""
+            obj = lookup_by_id(object_id)
+            if not obj:
+                return 0
+            _chain_remove(
+                id_index + (object_id % _ID_BUCKETS) * 4, obj, _F_ID_NEXT
+            )
+            key = load(obj + _F_KEY)
+            _chain_remove(
+                key_index + (key % _KEY_BUCKETS) * 4, obj, _F_KEY_NEXT
+            )
+            return obj
+
+        # --- Build phase ------------------------------------------------
+        for object_id in range(num_objects):
+            insert(object_id)
+
+        # --- Query mix ---------------------------------------------------
+        for query in range(inp.params["queries"]):
+            u = rng.random()
+            # Zipf-flavoured id: recent/low ids are much hotter, so hot
+            # objects fit the cache and the tail supplies capacity misses.
+            object_id = int(num_objects ** (rng.random() ** 1.8)) - 1
+            object_id = min(max(object_id, 0), num_objects - 1)
+            # Validity check against the tombstone map (frequent-valued).
+            load(tombstones + (object_id % 6144) * 4)
+            obj = lookup_by_id(object_id)
+            if not obj:
+                continue
+            if u < 0.55:
+                # Read query: type check + full field read.
+                load(obj + _F_TYPE)
+                for slot in range(10):
+                    load(obj + _F_PAYLOAD + slot * 4)
+            elif u < 0.80:
+                # Key probe: hash chain walk on the second index.
+                key = load(obj + _F_KEY)
+                entry = load(key_index + (key % _KEY_BUCKETS) * 4)
+                while entry and load(entry + _F_KEY) != key:
+                    entry = load(entry + _F_KEY_NEXT)
+            else:
+                # Update: toggle status flags, bump refcount.
+                flags = load(obj + _F_FLAGS)
+                store(obj + _F_FLAGS, flags ^ 1)
+                count = load(obj + _F_PAYLOAD)
+                store(obj + _F_PAYLOAD, (count + 1) & 0xFFFFFFFF)
+            # Churn: periodically delete one object and insert a new one.
+            if query % (inp.params["queries"] // inp.params["churn"] + 1) == 0:
+                victim = rng.randrange(num_objects)
+                removed = unlink(victim)
+                if removed:
+                    heap.free(removed)
+                    store(tombstones + (victim % 6144) * 4, 1)
+                insert(victim)
+                store(tombstones + (victim % 6144) * 4, 0)

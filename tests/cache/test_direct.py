@@ -1,0 +1,93 @@
+"""Tests for the direct-mapped cache simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.common.errors import ConfigurationError
+
+
+def _tiny() -> DirectMappedCache:
+    # 4 sets of 16-byte lines.
+    return DirectMappedCache(CacheGeometry(64, 16))
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = _tiny()
+        assert cache.access(0, 0x100) is False
+        assert cache.access(0, 0x104) is True  # same line
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_conflict_eviction(self):
+        cache = _tiny()
+        cache.access(0, 0x100)
+        cache.access(0, 0x140)  # 64 bytes apart -> same set, different tag
+        assert cache.access(0, 0x100) is False  # evicted
+
+    def test_write_back_only_dirty_lines(self):
+        cache = _tiny()
+        cache.access(0, 0x100)  # clean line
+        cache.access(0, 0x140)  # evicts clean: no writeback
+        assert cache.stats.writebacks == 0
+        cache.access(1, 0x140)  # dirty it
+        cache.access(0, 0x100)  # evicts dirty: one writeback
+        assert cache.stats.writebacks == 1
+        assert cache.stats.writeback_words == 4
+
+    def test_write_allocate(self):
+        cache = _tiny()
+        assert cache.access(1, 0x100) is False
+        assert cache.access(0, 0x100) is True
+        assert cache.stats.write_misses == 1
+        assert cache.stats.fills == 2 - 1
+
+    def test_contains(self):
+        cache = _tiny()
+        cache.access(0, 0x100)
+        assert cache.contains(0x10C)
+        assert not cache.contains(0x200)
+
+    def test_flush_writes_back_dirty(self):
+        cache = _tiny()
+        cache.access(1, 0x100)
+        cache.flush()
+        assert cache.stats.writebacks == 1
+        assert not cache.contains(0x100)
+
+    def test_requires_direct_mapped_geometry(self):
+        with pytest.raises(ConfigurationError):
+            DirectMappedCache(CacheGeometry(64, 16, ways=2))
+
+    def test_simulate_counts_all_records(self):
+        cache = _tiny()
+        cache.simulate([(0, 0, 0), (1, 16, 0), (0, 0, 0)])
+        assert cache.stats.accesses == 3
+
+
+class TestEquivalenceWithOneWaySetAssociative:
+    """A direct-mapped cache is a 1-way set-associative cache; the two
+    simulators must agree access by access on any trace."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=63),
+            ),
+            max_size=300,
+        )
+    )
+    def test_agreement(self, ops):
+        geometry = CacheGeometry(256, 16)
+        direct = DirectMappedCache(geometry)
+        one_way = SetAssociativeCache(geometry)
+        for op, line in ops:
+            address = line * 16
+            assert direct.access(op, address) == one_way.access(op, address)
+        assert direct.stats.as_dict() == one_way.stats.as_dict()

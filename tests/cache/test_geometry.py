@@ -1,0 +1,66 @@
+"""Tests for cache geometry and address decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigurationError
+
+
+class TestDerivedShape:
+    def test_paper_headline_config(self):
+        geometry = CacheGeometry(16 * 1024, 32)
+        assert geometry.num_lines == 512
+        assert geometry.num_sets == 512
+        assert geometry.words_per_line == 8
+        assert geometry.line_shift == 5
+
+    def test_set_associative_shape(self):
+        geometry = CacheGeometry(16 * 1024, 32, ways=4)
+        assert geometry.num_lines == 512
+        assert geometry.num_sets == 128
+
+    def test_describe(self):
+        assert CacheGeometry(16 * 1024, 32).describe() == "16KB/32B/direct"
+        assert CacheGeometry(16 * 1024, 32, 2).describe() == "16KB/32B/2-way"
+        assert (
+            CacheGeometry(4 * 32, 32, 4).describe() == "0KB/32B/fully-assoc"
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 3000, "line_bytes": 32},
+            {"size_bytes": 4096, "line_bytes": 24},
+            {"size_bytes": 4096, "line_bytes": 32, "ways": 3},
+            {"size_bytes": 4096, "line_bytes": 2},
+            {"size_bytes": 32, "line_bytes": 32, "ways": 2},
+        ],
+    )
+    def test_bad_shapes_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(**kwargs)
+
+
+class TestAddressDecomposition:
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_decomposition_reassembles(self, address):
+        geometry = CacheGeometry(8 * 1024, 16, ways=2)
+        line_addr = geometry.line_address(address)
+        assert line_addr == address >> geometry.line_shift
+        assert geometry.set_index(address) == line_addr & geometry.set_mask
+        assert geometry.tag(address) == line_addr >> geometry.set_shift
+        reassembled = (
+            (geometry.tag(address) << geometry.set_shift)
+            | geometry.set_index(address)
+        ) << geometry.line_shift
+        assert reassembled <= address < reassembled + geometry.line_bytes
+
+    def test_word_index(self):
+        geometry = CacheGeometry(16 * 1024, 32)
+        assert geometry.word_index(0x20) == 0
+        assert geometry.word_index(0x24) == 1
+        assert geometry.word_index(0x3C) == 7

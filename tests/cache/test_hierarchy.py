@@ -1,0 +1,76 @@
+"""Tests for the two-level hierarchy substrate."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import TwoLevelFvcSystem, TwoLevelSystem
+from repro.common.errors import ConfigurationError
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.trace.synth import cyclic_trace, ping_pong_trace
+
+L1 = CacheGeometry(4 * 1024, 32)
+L2 = CacheGeometry(16 * 1024, 32, ways=4)
+
+
+class TestTwoLevelSystem:
+    def test_l2_sees_only_l1_misses(self):
+        system = TwoLevelSystem(L1, L2)
+        trace = cyclic_trace(256, passes=4)  # 1 KB fits L1
+        system.simulate(trace.records)
+        assert system.stats.misses < len(trace) * 0.1
+        assert system.l2_stats.accesses == system.stats.fills + (
+            system.stats.writebacks
+        )
+
+    def test_l2_absorbs_l1_capacity_misses(self):
+        # 8 KB working set: misses L1 (4 KB) every pass, fits L2 (16 KB).
+        trace = cyclic_trace(2048, passes=4)
+        system = TwoLevelSystem(L1, L2)
+        system.simulate(trace.records)
+        assert system.stats.miss_rate > 0.05  # L1 thrashes
+        assert system.global_miss_rate < 0.05  # L2 holds it
+
+    def test_global_miss_rate_bounded_by_l1(self):
+        trace = ping_pong_trace(200, geometry_size_bytes=4 * 1024)
+        system = TwoLevelSystem(L1, L2)
+        system.simulate(trace.records)
+        assert system.global_miss_rate <= system.stats.miss_rate
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelSystem(L2, L1)  # L2 smaller than L1
+        with pytest.raises(ConfigurationError):
+            TwoLevelSystem(
+                CacheGeometry(4 * 1024, 64), CacheGeometry(16 * 1024, 32)
+            )
+
+    def test_set_associative_l1(self):
+        system = TwoLevelSystem(CacheGeometry(4 * 1024, 32, ways=2), L2)
+        trace = cyclic_trace(256, passes=2)
+        system.simulate(trace.records)
+        assert system.stats.accesses == len(trace)
+
+
+class TestTwoLevelFvcSystem:
+    def test_fvc_cuts_l2_traffic(self):
+        # A ping-pong pair of all-zero lines: the FVC absorbs the
+        # conflict, so the L2 sees almost nothing after warm-up.
+        trace = ping_pong_trace(300, geometry_size_bytes=4 * 1024)
+        encoder = FrequentValueEncoder([0], 1)
+        plain = TwoLevelSystem(L1, L2)
+        plain.simulate(trace.records)
+        fvc = TwoLevelFvcSystem(L1, L2, 64, encoder)
+        fvc.simulate(trace.records)
+        assert fvc.stats.misses < plain.stats.misses
+        assert fvc.l2_stats.accesses < plain.l2_stats.accesses
+        assert fvc.fvc_hits > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelFvcSystem(L2, L1, 64, FrequentValueEncoder([0], 1))
+
+    def test_processor_visible_accesses(self):
+        trace = cyclic_trace(512, passes=2)
+        system = TwoLevelFvcSystem(L1, L2, 64, FrequentValueEncoder([0], 1))
+        system.simulate(trace.records)
+        assert system.stats.accesses == len(trace)

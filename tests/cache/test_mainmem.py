@@ -1,0 +1,31 @@
+"""Tests for the simulator backing store."""
+
+from repro.cache.mainmem import MainMemory
+
+
+class TestMainMemory:
+    def test_unbacked_reads_zero(self):
+        assert MainMemory().read_word(0x1000) == 0
+
+    def test_word_roundtrip(self):
+        memory = MainMemory()
+        memory.write_word(0x1000, 99)
+        assert memory.read_word(0x1000) == 99
+
+    def test_line_roundtrip(self):
+        memory = MainMemory()
+        memory.write_line(5, [1, 2, 3, 4])
+        assert memory.read_line(5, 4) == [1, 2, 3, 4]
+
+    def test_line_and_word_views_agree(self):
+        memory = MainMemory()
+        memory.write_line(2, [10, 20, 30, 40])  # 4-word lines
+        base = 2 * 4 * 4
+        assert memory.read_word(base + 4) == 20
+        memory.write_word(base + 8, 77)
+        assert memory.read_line(2, 4) == [10, 20, 77, 40]
+
+    def test_len_counts_backed_words(self):
+        memory = MainMemory()
+        memory.write_line(0, [0, 1])
+        assert len(memory) == 2

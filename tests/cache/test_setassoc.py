@@ -1,0 +1,81 @@
+"""Tests for the set-associative (LRU) cache simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+
+
+class TestLruBehaviour:
+    def test_two_conflicting_lines_coexist_at_two_ways(self):
+        cache = SetAssociativeCache(CacheGeometry(128, 16, ways=2))
+        cache.access(0, 0x000)
+        cache.access(0, 0x040)  # same set at 4 sets
+        assert cache.access(0, 0x000) is True
+        assert cache.access(0, 0x040) is True
+
+    def test_lru_victim_selection(self):
+        cache = SetAssociativeCache(CacheGeometry(128, 16, ways=2))
+        cache.access(0, 0x000)  # A
+        cache.access(0, 0x040)  # B
+        cache.access(0, 0x000)  # touch A (B becomes LRU)
+        cache.access(0, 0x080)  # C evicts B
+        assert cache.access(0, 0x000) is True
+        assert cache.access(0, 0x040) is False
+
+    def test_dirty_eviction_writes_back(self):
+        cache = SetAssociativeCache(CacheGeometry(32, 16, ways=2))
+        cache.access(1, 0x000)
+        cache.access(0, 0x010)
+        cache.access(0, 0x020)  # evicts dirty LRU 0x000
+        assert cache.stats.writebacks == 1
+
+    def test_fully_associative_constructor(self):
+        cache = SetAssociativeCache.fully_associative(4, 16)
+        assert cache.geometry.num_sets == 1
+        assert cache.geometry.ways == 4
+        for index in range(4):
+            cache.access(0, index * 16)
+        assert cache.resident_lines() == 4
+        assert all(cache.contains(index * 16) for index in range(4))
+        cache.access(0, 4 * 16)
+        assert not cache.contains(0)  # LRU evicted
+
+    def test_contains(self):
+        cache = SetAssociativeCache(CacheGeometry(128, 16, ways=2))
+        cache.access(0, 0x40)
+        assert cache.contains(0x4C)
+        assert not cache.contains(0x80)
+
+
+class TestLruStackProperty:
+    """Classic inclusion property: for fully-associative LRU, the hits
+    of a smaller cache are a subset of a bigger one's on any trace."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=31), max_size=400)
+    )
+    def test_inclusion(self, lines):
+        small = SetAssociativeCache.fully_associative(4, 16)
+        large = SetAssociativeCache.fully_associative(16, 16)
+        for line in lines:
+            address = line * 16
+            small_hit = small.access(0, address)
+            large_hit = large.access(0, address)
+            assert not (small_hit and not large_hit)
+        assert large.stats.hits >= small.stats.hits
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), max_size=400)
+    )
+    def test_more_ways_never_more_misses_fully_assoc(self, lines):
+        # With a single set, adding ways = growing the LRU stack.
+        two = SetAssociativeCache.fully_associative(2, 16)
+        eight = SetAssociativeCache.fully_associative(8, 16)
+        for line in lines:
+            two.access(0, line * 16)
+            eight.access(0, line * 16)
+        assert eight.stats.misses <= two.stats.misses

@@ -1,0 +1,47 @@
+"""Tests for the shared cache statistics counters."""
+
+from repro.cache.stats import CacheStats
+
+
+def _filled() -> CacheStats:
+    stats = CacheStats()
+    stats.read_hits = 70
+    stats.read_misses = 20
+    stats.write_hits = 5
+    stats.write_misses = 5
+    stats.fills = 25
+    stats.fill_words = 200
+    stats.writebacks = 4
+    stats.writeback_words = 32
+    return stats
+
+
+class TestAggregates:
+    def test_totals(self):
+        stats = _filled()
+        assert stats.accesses == 100
+        assert stats.hits == 75
+        assert stats.misses == 25
+        assert stats.miss_rate == 0.25
+        assert stats.hit_rate == 0.75
+        assert stats.traffic_words == 232
+
+    def test_empty_rates_are_zero(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_merge(self):
+        merged = _filled()
+        merged.merge(_filled())
+        assert merged.accesses == 200
+        assert merged.traffic_words == 464
+
+    def test_as_dict(self):
+        snapshot = _filled().as_dict()
+        assert snapshot["misses"] == 25
+        assert snapshot["miss_rate"] == 0.25
+        assert snapshot["fill_words"] == 200
+
+    def test_repr_mentions_miss_rate(self):
+        assert "miss_rate" in repr(_filled())

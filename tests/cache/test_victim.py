@@ -1,0 +1,75 @@
+"""Tests for the victim cache system."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.victim import VictimCacheSystem
+from repro.common.errors import ConfigurationError
+
+
+def _system(victims: int = 2) -> VictimCacheSystem:
+    return VictimCacheSystem(CacheGeometry(64, 16), victims)  # 4 sets
+
+
+class TestVictimBehaviour:
+    def test_evicted_line_lands_in_victim_buffer(self):
+        system = _system()
+        system.access(0, 0x100)
+        system.access(0, 0x140)  # conflicts, evicts 0x100
+        assert system.victim_resident(0x100)
+
+    def test_victim_hit_swaps(self):
+        system = _system()
+        system.access(0, 0x100)
+        system.access(0, 0x140)
+        assert system.access(0, 0x100) is True  # victim hit
+        assert system.vc_hits == 1
+        # After the swap, 0x140 sits in the buffer.
+        assert system.victim_resident(0x140)
+        assert system.access(0, 0x140) is True
+
+    def test_ping_pong_eliminated(self):
+        """The motivating pattern: alternating conflicting lines miss
+        every time with a bare DMC but hit after two cold misses here."""
+        system = _system()
+        for _ in range(10):
+            system.access(0, 0x100)
+            system.access(0, 0x140)
+        assert system.stats.misses == 2
+        assert system.vc_hits == 18
+
+    def test_lru_eviction_from_buffer_writes_back_dirty(self):
+        system = _system(victims=1)
+        system.access(1, 0x100)  # dirty
+        system.access(0, 0x140)  # 0x100 -> buffer
+        system.access(0, 0x180)  # 0x140 -> buffer, dirty 0x100 evicted
+        assert system.stats.writebacks == 1
+
+    def test_dirty_bit_travels_with_swap(self):
+        system = _system()
+        system.access(1, 0x100)  # dirty A
+        system.access(0, 0x140)  # A -> buffer (dirty)
+        system.access(0, 0x100)  # swap back: A dirty in DMC, B clean in VC
+        system.access(0, 0x140)  # swap again: A (dirty) -> buffer
+        system.access(0, 0x180)  # B -> buffer, evict A: must write back
+        system.access(0, 0x1C0)  # evict B (clean): no writeback
+        assert system.stats.writebacks == 1
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            VictimCacheSystem(CacheGeometry(64, 16, ways=2), 4)
+        with pytest.raises(ConfigurationError):
+            VictimCacheSystem(CacheGeometry(64, 16), 0)
+
+    def test_overall_stats_split(self):
+        system = _system()
+        system.access(0, 0x100)
+        system.access(0, 0x100)
+        system.access(0, 0x140)
+        system.access(0, 0x100)
+        assert system.stats.hits == system.dmc_hits + system.vc_hits
+
+    def test_storage_accounting(self):
+        system = VictimCacheSystem(CacheGeometry(4 * 1024, 32), 16)
+        # 16 entries x (256 data bits + 27 tag bits + 2 state) = 570 B.
+        assert system.storage_bytes() == (16 * (256 + 27 + 2) + 7) // 8

@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    MemoryError_,
+    ReproError,
+    SimulatedMachineError,
+    TraceFormatError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            MemoryError_,
+            TraceFormatError,
+            WorkloadError,
+            SimulatedMachineError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert MemoryError_ is not MemoryError
+        assert not issubclass(MemoryError_, MemoryError)

@@ -1,0 +1,27 @@
+"""Tests for the deterministic RNG helpers."""
+
+from repro.common.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed("gcc", "ref") == derive_seed("gcc", "ref")
+
+    def test_distinct_parts_distinct_seeds(self):
+        assert derive_seed("gcc", "ref") != derive_seed("gcc", "train")
+        assert derive_seed("a", "bc") != derive_seed("ab", "c")
+
+    def test_accepts_mixed_types(self):
+        assert derive_seed("w", 3, 1.5) == derive_seed("w", 3, 1.5)
+
+
+class TestMakeRng:
+    def test_same_parts_same_stream(self):
+        a = make_rng("x", 1)
+        b = make_rng("x", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        a = make_rng("x", 1)
+        b = make_rng("x", 2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

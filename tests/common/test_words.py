@@ -1,0 +1,105 @@
+"""Unit and property tests for the 32-bit word utilities."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.words import (
+    WORD_MASK,
+    float_to_word,
+    is_power_of_two,
+    log2_int,
+    to_s32,
+    to_u32,
+    u32_add,
+    u32_mul,
+    u32_sub,
+    word_to_float,
+    word_to_hex,
+)
+
+
+class TestToU32:
+    def test_negative_one_wraps(self):
+        assert to_u32(-1) == 0xFFFFFFFF
+
+    def test_overflow_wraps(self):
+        assert to_u32(2**32 + 5) == 5
+
+    def test_identity_in_range(self):
+        assert to_u32(123456) == 123456
+
+    @given(st.integers())
+    def test_always_in_range(self, value):
+        assert 0 <= to_u32(value) <= WORD_MASK
+
+
+class TestToS32:
+    def test_max_unsigned_is_minus_one(self):
+        assert to_s32(0xFFFFFFFF) == -1
+
+    def test_sign_boundary(self):
+        assert to_s32(0x80000000) == -(2**31)
+        assert to_s32(0x7FFFFFFF) == 2**31 - 1
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_roundtrip_signed(self, value):
+        assert to_s32(to_u32(value)) == value
+
+
+class TestWrappingArithmetic:
+    @given(st.integers(min_value=0, max_value=WORD_MASK),
+           st.integers(min_value=0, max_value=WORD_MASK))
+    def test_add_matches_modular(self, a, b):
+        assert u32_add(a, b) == (a + b) % 2**32
+
+    @given(st.integers(min_value=0, max_value=WORD_MASK),
+           st.integers(min_value=0, max_value=WORD_MASK))
+    def test_sub_matches_modular(self, a, b):
+        assert u32_sub(a, b) == (a - b) % 2**32
+
+    @given(st.integers(min_value=0, max_value=WORD_MASK),
+           st.integers(min_value=0, max_value=WORD_MASK))
+    def test_mul_matches_modular(self, a, b):
+        assert u32_mul(a, b) == (a * b) % 2**32
+
+
+class TestFloatPacking:
+    def test_zero_packs_to_zero_word(self):
+        assert float_to_word(0.0) == 0
+
+    def test_one(self):
+        assert float_to_word(1.0) == 0x3F800000
+
+    @given(st.floats(width=32, allow_nan=False, allow_infinity=False))
+    def test_roundtrip(self, value):
+        unpacked = word_to_float(float_to_word(value))
+        assert unpacked == value or (math.isnan(unpacked) and math.isnan(value))
+
+    @given(st.integers(min_value=0, max_value=WORD_MASK))
+    def test_word_roundtrip_when_not_nan(self, word):
+        value = word_to_float(word)
+        if not math.isnan(value):
+            assert float_to_word(value) == word
+
+
+class TestWordToHex:
+    def test_matches_paper_table_style(self):
+        assert word_to_hex(0xFFFFFFFF) == "ffffffff"
+        assert word_to_hex(0) == "0"
+        assert word_to_hex(0x351A) == "351a"
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 2**31])
+    def test_powers_accepted(self, value):
+        assert is_power_of_two(value)
+        assert 2 ** log2_int(value) == value
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100])
+    def test_non_powers_rejected(self, value):
+        assert not is_power_of_two(value)
+        with pytest.raises(ValueError):
+            log2_int(value)

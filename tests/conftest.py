@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+Workload traces are expensive, so the suite generates each (workload,
+input) trace at most once per session through a shared store fixture.
+Everything here uses the small ``test`` inputs; full-scale runs belong
+to the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.store import TraceStore
+
+
+@pytest.fixture(scope="session")
+def store() -> TraceStore:
+    """Session-wide trace store over the small test inputs."""
+    return TraceStore(max_traces=16)
+
+
+@pytest.fixture(scope="session")
+def gcc_trace(store):
+    """The gcc analog's test-input trace (medium, FVL-rich)."""
+    return store.get("gcc", "test")
+
+
+@pytest.fixture(scope="session")
+def m88ksim_trace(store):
+    """The m88ksim analog's test-input trace (conflict-rich)."""
+    return store.get("m88ksim", "test")
+
+
+@pytest.fixture(scope="session")
+def li_trace(store):
+    """The li analog's test-input trace (mutation-heavy)."""
+    return store.get("li", "test")

@@ -1,0 +1,45 @@
+"""Tests for the experiment base classes and table rendering."""
+
+from repro.experiments.base import ExperimentResult, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bb", 20]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.500" in lines[2]
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="demo",
+            headers=["benchmark", "value"],
+            rows=[{"benchmark": "go", "value": 1},
+                  {"benchmark": "li", "value": 2}],
+            notes=["methodology"],
+        )
+
+    def test_format_table(self):
+        text = self._result().format_table()
+        assert "figX" in text
+        assert "note: methodology" in text
+        assert "go" in text
+
+    def test_column(self):
+        assert self._result().column("value") == [1, 2]
+
+    def test_row_for(self):
+        assert self._result().row_for("benchmark", "li") == {
+            "benchmark": "li",
+            "value": 2,
+        }
+        assert self._result().row_for("benchmark", "zz") is None

@@ -1,0 +1,100 @@
+"""Unit tests of individual experiment computations on controlled traces.
+
+A fake trace store injects synthetic traces whose cache behaviour is
+known exactly, so each experiment's arithmetic (reductions, shares,
+pairings) can be asserted precisely rather than statistically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig04_miss_attribution import Fig04MissAttribution
+from repro.experiments.fig10_fvc_size import Fig10FvcSize
+from repro.experiments.fig13_dmc_vs_fvc import Fig13DmcVsFvc, _fvc_data_kb
+from repro.experiments.fig12_value_count import admissible_configs
+from repro.trace.synth import ping_pong_trace, zipf_value_trace
+from repro.trace.trace import Trace
+
+
+class FakeStore:
+    """Trace store double returning pre-registered traces."""
+
+    def __init__(self, traces):
+        self._traces = traces
+
+    def get(self, workload_name: str, input_name: str = "ref") -> Trace:
+        return self._traces[workload_name]
+
+
+def _fvl_traces(make):
+    names = ("go", "m88ksim", "gcc", "li", "perl", "vortex")
+    return FakeStore({name: make(seed) for seed, name in enumerate(names)})
+
+
+class TestFig10Math:
+    def test_ping_pong_conflicts_fully_removed(self):
+        # All-zero ping-pong at 16KB: every FVC size should remove
+        # nearly all non-compulsory misses.
+        store = _fvl_traces(
+            lambda seed: ping_pong_trace(400, geometry_size_bytes=16 * 1024)
+        )
+        result = Fig10FvcSize().run(store, fast=True)
+        for row in result.rows:
+            assert row["base_miss_%"] > 40  # the pair thrashes
+            for key, value in row.items():
+                if key.startswith("red_"):
+                    assert value > 90
+
+    def test_no_locality_no_reduction(self):
+        store = _fvl_traces(
+            lambda seed: zipf_value_trace(
+                3000,
+                footprint_words=16384,
+                frequent_fraction=0.0,
+                seed=seed,
+            )
+        )
+        result = Fig10FvcSize().run(store, fast=True)
+        for row in result.rows:
+            for key, value in row.items():
+                if key.startswith("red_"):
+                    assert value < 20
+
+
+class TestFig04Math:
+    def test_all_zero_trace_fully_attributed(self):
+        store = _fvl_traces(
+            lambda seed: ping_pong_trace(200, geometry_size_bytes=16 * 1024)
+        )
+        result = Fig04MissAttribution().run(store, fast=True)
+        for row in result.rows:
+            assert row["miss_top10_accessed_%"] == 100.0
+
+
+class TestFig13Plumbing:
+    def test_fvc_data_kb_matches_paper_figures(self):
+        # The paper's table captions: .375KB for 8B lines top-7, 1.5KB
+        # for 32B lines top-7, 3KB for 64B lines top-7.
+        assert _fvc_data_kb(8, 3) == pytest.approx(0.375)
+        assert _fvc_data_kb(32, 3) == pytest.approx(1.5)
+        assert _fvc_data_kb(64, 3) == pytest.approx(3.0)
+        assert _fvc_data_kb(8, 1) == pytest.approx(0.125)
+
+    def test_pairings_cover_paper_line_sizes(self):
+        # The module-level table drives the experiment.
+        from repro.experiments.fig13_dmc_vs_fvc import _PAIRS
+
+        lines = {line for line, _, _ in _PAIRS}
+        assert lines == {8, 16, 32, 64}
+        for line, small, big in _PAIRS:
+            assert big == 2 * small
+
+
+class TestFig12Admissibility:
+    def test_twelve_admissible_configs(self):
+        configs = admissible_configs()
+        assert len(configs) == 12
+        described = {geometry.describe() for geometry in configs}
+        assert "4KB/32B/direct" not in described
+        assert "64KB/16B/direct" in described

@@ -1,0 +1,39 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.base import Experiment
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment
+
+_PAPER_IDS = [
+    "fig1", "fig2", "fig3", "fig4", "fig5",
+    "table1", "table2", "table3", "table4",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+]
+_ABLATION_IDS = [
+    "ablation-waf", "ablation-exclusive", "ablation-insert-empty",
+    "ablation-dynamic",
+]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        for experiment_id in _PAPER_IDS + _ABLATION_IDS:
+            assert experiment_id in EXPERIMENTS
+
+    def test_ids_match_instances(self):
+        for experiment_id, experiment in EXPERIMENTS.items():
+            assert isinstance(experiment, Experiment)
+            assert experiment.experiment_id == experiment_id
+            assert experiment.title
+            assert experiment.paper_reference
+
+    def test_lookup(self):
+        assert get_experiment("fig10").experiment_id == "fig10"
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_experiment_ids_order(self):
+        ids = experiment_ids()
+        assert ids[: len(_PAPER_IDS)] == _PAPER_IDS

@@ -1,0 +1,71 @@
+"""Tests for CSV export and ASCII chart rendering."""
+
+import csv
+import io
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.render import bar_chart, multi_bar_chart, to_csv
+
+
+def _result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="demo",
+        headers=["benchmark", "red_%", "note"],
+        rows=[
+            {"benchmark": "go", "red_%": 50.0, "note": "a"},
+            {"benchmark": "li", "red_%": 12.5, "note": "b"},
+        ],
+    )
+
+
+class TestCsv:
+    def test_roundtrips_through_csv_reader(self):
+        text = to_csv(_result())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["benchmark"] == "go"
+        assert float(rows[0]["red_%"]) == 50.0
+        assert rows[1]["note"] == "b"
+
+    def test_missing_cells_render_empty(self):
+        result = _result()
+        del result.rows[1]["note"]
+        text = to_csv(result)
+        assert text.splitlines()[2].endswith(",")
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart(_result(), width=40)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 40  # go = peak
+        assert lines[2].count("#") == 10  # 12.5/50 * 40
+
+    def test_picks_first_numeric_column(self):
+        assert "red_%" in bar_chart(_result()).splitlines()[0]
+
+    def test_empty_result(self):
+        empty = ExperimentResult("x", "t", ["a"], [])
+        assert "no rows" in bar_chart(empty)
+
+    def test_non_numeric_only(self):
+        result = ExperimentResult(
+            "x", "t", ["a"], [{"a": "text"}]
+        )
+        assert "no numeric" in bar_chart(result)
+
+
+class TestMultiBarChart:
+    def test_groups_per_row(self):
+        result = ExperimentResult(
+            experiment_id="fig10",
+            title="demo",
+            headers=["benchmark", "red_64e_%", "red_512e_%"],
+            rows=[{"benchmark": "go", "red_64e_%": 10, "red_512e_%": 40}],
+        )
+        chart = multi_bar_chart(result, width=40)
+        assert "go:" in chart
+        assert chart.count("|") == 2
+        lines = chart.splitlines()
+        assert lines[-1].count("#") == 40
+        assert lines[-2].count("#") == 10

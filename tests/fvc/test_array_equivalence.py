@@ -1,0 +1,64 @@
+"""Equivalence of the two FVC array organisations at ways=entries=1:1.
+
+A 1-way set-associative FVC array is definitionally a direct-mapped
+one; the two implementations must agree operation by operation on any
+command sequence — the same cross-validation style as the cache
+simulators' direct/1-way test.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fvc.cache import FrequentValueCacheArray, SetAssociativeFvcArray
+from repro.fvc.encoding import FrequentValueEncoder
+
+_ENCODER = FrequentValueEncoder([0, 1, 0xFFFFFFFF], 2)
+_VALUES = (0, 1, 0xFFFFFFFF, 0xDEADBEEF)
+
+_commands = st.lists(
+    st.tuples(
+        st.sampled_from(["install", "invalidate", "read", "write"]),
+        st.integers(min_value=0, max_value=31),  # line address
+        st.integers(min_value=0, max_value=3),  # word index
+        st.integers(min_value=0, max_value=3),  # value index
+    ),
+    max_size=200,
+)
+
+
+class TestDirectEqualsOneWay:
+    @settings(max_examples=80, deadline=None)
+    @given(commands=_commands)
+    def test_operation_by_operation(self, commands):
+        direct = FrequentValueCacheArray(8, 4, _ENCODER)
+        one_way = SetAssociativeFvcArray(8, 4, _ENCODER, ways=1)
+        for command, line_addr, word, value_index in commands:
+            value = _VALUES[value_index]
+            if command == "install":
+                codes = _ENCODER.encode_line([value] * 4)
+                displaced_a = direct.install(line_addr, list(codes))
+                displaced_b = one_way.install(line_addr, list(codes))
+                da = displaced_a and (displaced_a[0], displaced_a[1])
+                db = displaced_b and (displaced_b[0], displaced_b[1])
+                assert da == db
+            elif command == "invalidate":
+                entry_a = direct.invalidate(line_addr)
+                entry_b = one_way.invalidate(line_addr)
+                assert (entry_a is None) == (entry_b is None)
+                if entry_a is not None:
+                    assert entry_a[:2] == tuple(entry_b[:2]) or (
+                        entry_a[0] == entry_b[0] and entry_a[1] == entry_b[1]
+                    )
+            elif command == "read":
+                assert direct.read_word(line_addr, word) == one_way.read_word(
+                    line_addr, word
+                )
+            else:
+                assert direct.write_word(
+                    line_addr, word, value
+                ) == one_way.write_word(line_addr, word, value)
+            assert direct.valid_entries == one_way.valid_entries
+            assert direct.frequent_words == one_way.frequent_words
+            assert sorted(direct.resident_line_addresses()) == sorted(
+                one_way.resident_line_addresses()
+            )

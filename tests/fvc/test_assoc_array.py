@@ -1,0 +1,91 @@
+"""Tests for the set-associative FVC array extension."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigurationError
+from repro.fvc.cache import SetAssociativeFvcArray
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.system import FvcSystem, FvcSystemConfig
+from repro.trace.synth import ping_pong_trace
+
+
+@pytest.fixture
+def encoder():
+    return FrequentValueEncoder([0, 1, 0xFFFFFFFF], 2)
+
+
+@pytest.fixture
+def fvc(encoder):
+    return SetAssociativeFvcArray(
+        entries=8, words_per_line=4, encoder=encoder, ways=2
+    )
+
+
+class TestAssociativeArray:
+    def test_conflicting_lines_coexist(self, fvc, encoder):
+        codes = encoder.encode_line([0, 0, 0, 0])
+        # 4 sets: line 1 and line 5 share a set; two ways hold both.
+        assert fvc.install(1, list(codes)) is None
+        assert fvc.install(5, list(codes)) is None
+        assert fvc.probe(1) and fvc.probe(5)
+
+    def test_lru_displacement(self, fvc, encoder):
+        codes = encoder.encode_line([0, 0, 0, 0])
+        fvc.install(1, list(codes))
+        fvc.install(5, list(codes))
+        fvc.read_word(1, 0)  # touch 1 -> 5 becomes LRU
+        displaced = fvc.install(9, list(codes))
+        assert displaced is not None and displaced[0] == 5
+        assert fvc.probe(1) and fvc.probe(9) and not fvc.probe(5)
+
+    def test_reinstall_replaces_in_place(self, fvc, encoder):
+        fvc.install(1, encoder.encode_line([0, 0, 0, 0]))
+        displaced = fvc.install(1, encoder.encode_line([1, 1, 1, 1]))
+        assert displaced is not None and displaced[0] == 1
+        assert fvc.valid_entries == 1
+
+    def test_write_word_and_dirty(self, fvc, encoder):
+        fvc.install(2, encoder.encode_line([99, 99, 99, 99]))
+        assert fvc.write_word(2, 1, 1)
+        entry = fvc.invalidate(2)
+        assert entry[2][1] is True
+
+    def test_occupancy_counters(self, fvc, encoder):
+        fvc.install(0, encoder.encode_line([0, 99, 99, 99]))
+        assert fvc.frequent_fraction == 0.25
+        fvc.invalidate(0)
+        assert fvc.valid_entries == 0
+        assert fvc.frequent_words == 0
+
+    def test_bad_shapes_rejected(self, encoder):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeFvcArray(6, 4, encoder)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeFvcArray(8, 4, encoder, ways=3)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeFvcArray(8, 4, encoder, ways=16)
+
+
+class TestAssociativeSystem:
+    def test_system_accepts_fvc_ways(self):
+        encoder = FrequentValueEncoder([0], 1)
+        system = FvcSystem(
+            CacheGeometry(64, 16), 8, encoder, fvc_ways=2,
+            config=FvcSystemConfig(verify_values=True),
+        )
+        trace = ping_pong_trace(50, geometry_size_bytes=64, line_bytes=16)
+        system.simulate(trace.records)
+        assert system.check_exclusive()
+
+    def test_associative_fvc_resolves_fvc_conflicts(self):
+        """Two DMC-conflicting lines also alias in a direct-mapped FVC
+        of matching size; a 2-way FVC holds both."""
+        encoder = FrequentValueEncoder([0], 1)
+        geometry = CacheGeometry(64, 16)
+        trace = ping_pong_trace(200, geometry_size_bytes=64, line_bytes=16)
+        direct = FvcSystem(geometry, 4, encoder, fvc_ways=1)
+        assoc = FvcSystem(geometry, 4, encoder, fvc_ways=2)
+        direct_stats = direct.simulate(trace.records)
+        assoc_stats = assoc.simulate(trace.records)
+        assert assoc_stats.misses <= direct_stats.misses

@@ -1,0 +1,109 @@
+"""Tests for the raw FVC array structure."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.fvc.cache import FrequentValueCacheArray
+from repro.fvc.encoding import FrequentValueEncoder
+
+
+@pytest.fixture
+def encoder():
+    return FrequentValueEncoder([0, 1, 0xFFFFFFFF], 2)
+
+
+@pytest.fixture
+def fvc(encoder):
+    return FrequentValueCacheArray(entries=8, words_per_line=4, encoder=encoder)
+
+
+class TestInstallProbe:
+    def test_probe_miss_when_empty(self, fvc):
+        assert not fvc.probe(5)
+        assert fvc.codes_for(5) is None
+
+    def test_install_then_probe(self, fvc, encoder):
+        codes = encoder.encode_line([0, 1, 99, 0])
+        assert fvc.install(5, codes) is None
+        assert fvc.probe(5)
+        assert fvc.codes_for(5) == codes
+
+    def test_direct_mapping_conflict(self, fvc, encoder):
+        codes = encoder.encode_line([0, 0, 0, 0])
+        fvc.install(5, list(codes))
+        displaced = fvc.install(13, list(codes))  # 13 % 8 == 5
+        assert displaced is not None
+        assert displaced[0] == 5
+        assert not fvc.probe(5)
+        assert fvc.probe(13)
+
+    def test_wrong_code_count_rejected(self, fvc):
+        with pytest.raises(ConfigurationError):
+            fvc.install(1, [0, 0])
+
+    def test_bad_geometry_rejected(self, encoder):
+        with pytest.raises(ConfigurationError):
+            FrequentValueCacheArray(entries=6, words_per_line=4, encoder=encoder)
+        with pytest.raises(ConfigurationError):
+            FrequentValueCacheArray(entries=8, words_per_line=3, encoder=encoder)
+
+
+class TestWordAccess:
+    def test_read_word_decodes_frequent(self, fvc, encoder):
+        fvc.install(2, encoder.encode_line([1, 99, 0xFFFFFFFF, 0]))
+        assert fvc.read_word(2, 0) == 1
+        assert fvc.read_word(2, 2) == 0xFFFFFFFF
+        assert fvc.read_word(2, 1) is None  # infrequent word
+        assert fvc.read_word(9, 0) is None  # absent line
+
+    def test_write_word_frequent_only(self, fvc, encoder):
+        fvc.install(2, encoder.encode_line([99, 99, 99, 99]))
+        assert fvc.write_word(2, 1, 1) is True
+        assert fvc.read_word(2, 1) == 1
+        assert fvc.write_word(2, 0, 424242) is False  # infrequent value
+        assert fvc.write_word(3, 0, 1) is False  # absent line
+
+    def test_write_sets_dirty(self, fvc, encoder):
+        fvc.install(2, encoder.encode_line([99, 99, 99, 99]))
+        fvc.write_word(2, 1, 1)
+        entry = fvc.invalidate(2)
+        assert entry is not None
+        _, _, dirty = entry
+        assert dirty == [False, True, False, False]
+
+
+class TestOccupancyAccounting:
+    def test_frequent_fraction_tracks_contents(self, fvc, encoder):
+        assert fvc.frequent_fraction == 0.0
+        fvc.install(0, encoder.encode_line([0, 0, 99, 99]))  # 2/4 frequent
+        assert fvc.frequent_fraction == 0.5
+        fvc.install(1, encoder.encode_line([0, 0, 0, 0]))  # 4/4
+        assert fvc.frequent_fraction == 0.75
+        fvc.invalidate(1)
+        assert fvc.frequent_fraction == 0.5
+
+    def test_write_hit_updates_counter(self, fvc, encoder):
+        fvc.install(0, encoder.encode_line([99, 99, 99, 99]))
+        fvc.write_word(0, 0, 0)
+        assert fvc.frequent_words == 1
+        fvc.write_word(0, 0, 1)  # frequent -> frequent: no double count
+        assert fvc.frequent_words == 1
+
+    def test_resident_line_addresses(self, fvc, encoder):
+        fvc.install(3, encoder.encode_line([0, 0, 0, 0]))
+        fvc.install(4, encoder.encode_line([0, 0, 0, 0]))
+        assert sorted(fvc.resident_line_addresses()) == [3, 4]
+
+
+class TestStorageModel:
+    def test_data_storage_matches_paper_arithmetic(self):
+        # 512 entries x 8 words x 3 bits = 1.5 KB (the paper's "1.5Kb FVC").
+        encoder = FrequentValueEncoder(list(range(7)), 3)
+        fvc = FrequentValueCacheArray(512, 8, encoder)
+        assert fvc.data_storage_bytes() == 1536
+
+    def test_storage_bits_include_tag_and_dirty(self):
+        encoder = FrequentValueEncoder(list(range(7)), 3)
+        fvc = FrequentValueCacheArray(128, 8, encoder)
+        # per entry: 1 valid + tag(32-7-5=20) + 8*(3+1) = 53 bits
+        assert fvc.storage_bits() == 128 * 53

@@ -1,0 +1,143 @@
+"""Tests for the frequent-value compression cache (reference [11])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigurationError
+from repro.fvc.compression import CompressedCache
+from repro.fvc.encoding import FrequentValueEncoder
+
+GEOMETRY = CacheGeometry(64, 16)  # 4 slots x 4-word lines
+
+
+def _cache(values=(0, 1, 0xFFFFFFFF)) -> CompressedCache:
+    return CompressedCache(GEOMETRY, FrequentValueEncoder(list(values), 2))
+
+
+class TestCompression:
+    def test_two_compressible_lines_share_a_slot(self):
+        cache = _cache()
+        cache.memory.write_line(0x100 >> 4, [0, 0, 42, 0])  # compressible
+        cache.memory.write_line(0x140 >> 4, [1, 1, 1, 43])  # compressible
+        cache.access(0, 0x100, 0)
+        cache.access(0, 0x140, 1)  # same slot, both stay
+        assert cache.access(0, 0x100, 0) is True
+        assert cache.access(0, 0x140, 1) is True
+        assert cache.check_slot_invariant()
+
+    def test_uncompressed_line_owns_the_slot(self):
+        cache = _cache()
+        cache.memory.write_line(0x100 >> 4, [0, 0, 0, 0])
+        cache.memory.write_line(0x140 >> 4, [41, 42, 43, 44])  # not compressible
+        cache.access(0, 0x100, 0)
+        cache.access(0, 0x140, 41)  # evicts the compressed resident
+        assert cache.access(0, 0x100, 0) is False
+        assert cache.check_slot_invariant()
+
+    def test_effective_capacity_doubles_on_frequent_data(self):
+        """Eight all-zero lines cycled through four physical slots: the
+        plain cache thrashes pairwise, the compressed cache holds all."""
+        cache = _cache()
+        plain = DirectMappedCache(GEOMETRY)
+        lines = [0x1000 + index * 16 for index in range(8)]
+        for _ in range(4):
+            for address in lines:
+                cache.access(0, address, 0)
+                plain.access(0, address)
+        assert cache.stats.misses == 8  # compulsory only
+        assert plain.stats.misses > 8
+        assert cache.resident_lines() == 8
+
+    def test_store_that_breaks_compression_evicts_buddy(self):
+        cache = _cache()
+        cache.memory.write_line(0x100 >> 4, [0, 0, 0, 0])
+        cache.memory.write_line(0x140 >> 4, [0, 0, 0, 0])
+        cache.access(0, 0x100, 0)
+        cache.access(0, 0x140, 0)
+        # Overwrite three words of one line with infrequent values.
+        cache.access(1, 0x100, 50)
+        cache.access(1, 0x104, 51)
+        cache.access(1, 0x108, 52)  # now 3/4 infrequent: decompresses
+        assert cache.check_slot_invariant()
+        assert cache.resident_lines() == 1  # buddy evicted
+
+    def test_dirty_writeback_on_eviction(self):
+        cache = _cache()
+        cache.access(1, 0x100, 42)  # miss + dirty (infrequent value)
+        cache.access(0, 0x140, 0)  # uncompressible owner? zero line...
+        cache.memory.write_line(0x180 >> 4, [44, 45, 46, 47])
+        cache.access(0, 0x180, 44)  # uncompressed, evicts everything
+        assert cache.memory.read_word(0x100) == 42
+
+    def test_rejects_set_associative_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CompressedCache(
+                CacheGeometry(64, 16, ways=2), FrequentValueEncoder([0], 1)
+            )
+
+    def test_compression_ratio_reporting(self):
+        cache = _cache()
+        cache.memory.write_line(0x100 >> 4, [0, 0, 0, 0])
+        cache.memory.write_line(0x140 >> 4, [41, 42, 43, 44])
+        cache.access(0, 0x100, 0)
+        cache.access(0, 0x140, 41)
+        assert cache.compression_ratio() == 0.5
+
+
+_program = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=300,
+)
+_VALUES = (0, 1, 0xFFFFFFFF, 0xDEADBEEF)
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_program)
+    def test_values_and_slot_invariant(self, ops):
+        cache = _cache()
+        state = {}
+        for is_store, slot_index, value_index in ops:
+            address = 0x1000 + slot_index * 4
+            if is_store:
+                value = _VALUES[value_index]
+                state[address] = value
+                cache.access(1, address, value)
+            else:
+                expected = state.get(address, 0)
+                cache.access(0, address, expected)
+            assert cache.check_slot_invariant()
+        # Final coherence: memory + resident lines agree with the model.
+        for address, value in state.items():
+            line_addr = address >> GEOMETRY.line_shift
+            word = (address >> 2) & GEOMETRY.word_mask
+            resident = None
+            for slot in cache._slots:
+                for entry in slot:
+                    if entry[0] == line_addr:
+                        resident = entry
+            if resident is not None:
+                assert resident[2][word] == value
+            else:
+                assert cache.memory.read_word(address) == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_program)
+    def test_never_worse_than_plain_on_all_frequent_data(self, ops):
+        """With every stored value frequent, compression can only add
+        capacity: misses never exceed the plain cache's."""
+        cache = _cache()
+        plain = DirectMappedCache(GEOMETRY)
+        for is_store, slot_index, value_index in ops:
+            address = 0x1000 + slot_index * 4
+            value = (0, 1, 0xFFFFFFFF, 1)[value_index]  # all frequent
+            cache.access(1 if is_store else 0, address, value)
+            plain.access(1 if is_store else 0, address)
+        assert cache.stats.misses <= plain.stats.misses

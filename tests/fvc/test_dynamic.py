@@ -1,0 +1,70 @@
+"""Tests for the dynamic (online-profiled) FVC."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigurationError
+from repro.fvc.dynamic import DynamicFvcSystem
+
+GEOMETRY = CacheGeometry(64, 16)
+
+
+def _biased_records(n=2000):
+    """A stream where value 7 dominates and lines conflict."""
+    records = []
+    state = {}
+    for index in range(n):
+        address = 0x1000 + (index % 32) * 4
+        if index % 4 == 0:
+            value = 7 if index % 8 else 0xABCD0000 + index
+            state[address] = value
+            records.append((1, address, value))
+        else:
+            records.append((0, address, state.get(address, 0)))
+    return records
+
+
+class TestWarmup:
+    def test_locks_after_warmup(self):
+        system = DynamicFvcSystem(GEOMETRY, 8, code_bits=2, warmup_accesses=100)
+        records = _biased_records(300)
+        for record in records[:99]:
+            system.access(*record)
+        assert not system.locked
+        system.access(*records[99])
+        assert system.locked
+
+    def test_dominant_value_discovered(self):
+        system = DynamicFvcSystem(GEOMETRY, 8, code_bits=2, warmup_accesses=500)
+        system.simulate(_biased_records(2000))
+        assert system.locked
+        assert 7 in system.frequent_values or 0 in system.frequent_values
+
+    def test_idle_before_lock(self):
+        system = DynamicFvcSystem(GEOMETRY, 8, code_bits=2, warmup_accesses=10**9)
+        system.simulate(_biased_records(500))
+        assert not system.locked
+        assert system.fvc_hits == 0
+
+    def test_exclusive_after_lock(self):
+        system = DynamicFvcSystem(GEOMETRY, 8, code_bits=2, warmup_accesses=200)
+        system.simulate(_biased_records(3000))
+        assert system.system.check_exclusive()
+
+    def test_stats_cover_whole_run(self):
+        system = DynamicFvcSystem(GEOMETRY, 8, code_bits=2, warmup_accesses=100)
+        records = _biased_records(1000)
+        system.simulate(records)
+        assert system.stats.accesses == len(records)
+
+
+class TestValidation:
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicFvcSystem(GEOMETRY, 8, code_bits=2, warmup_accesses=0)
+
+    def test_summary_must_cover_encoder(self):
+        with pytest.raises(ConfigurationError):
+            DynamicFvcSystem(
+                GEOMETRY, 8, code_bits=3, summary_counters=3
+            )

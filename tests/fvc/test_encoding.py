@@ -1,0 +1,103 @@
+"""Tests for the frequent-value encoder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.fvc.encoding import FrequentValueEncoder
+
+
+class TestConstruction:
+    def test_capacity_matches_paper(self):
+        assert FrequentValueEncoder.capacity(1) == 1
+        assert FrequentValueEncoder.capacity(2) == 3
+        assert FrequentValueEncoder.capacity(3) == 7
+
+    def test_too_many_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequentValueEncoder(list(range(8)), 3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequentValueEncoder([1, 1], 3)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequentValueEncoder([1], 0)
+        with pytest.raises(ConfigurationError):
+            FrequentValueEncoder([1], 9)
+
+    def test_values_wrapped_to_u32(self):
+        encoder = FrequentValueEncoder([-1], 1)
+        assert encoder.values == (0xFFFFFFFF,)
+        assert encoder.is_frequent(0xFFFFFFFF)
+
+    def test_for_top_values_truncates_and_dedups(self):
+        encoder = FrequentValueEncoder.for_top_values(
+            [0, 1, 0, 2, 3, 4, 5, 6, 7, 8], 3
+        )
+        assert encoder.values == (0, 1, 2, 3, 4, 5, 6)
+
+    def test_empty_encoder_is_valid(self):
+        encoder = FrequentValueEncoder([], 3)
+        assert encoder.num_values == 0
+        assert not encoder.is_frequent(0)
+
+
+class TestEncodeDecode:
+    def test_paper_fig7_shape(self):
+        # Fig. 7: values 0,-1,1,2,4,8,10 with 3-bit codes; 111=infrequent.
+        values = [0, 0xFFFFFFFF, 1, 2, 4, 8, 0x10]
+        encoder = FrequentValueEncoder(values, 3)
+        assert encoder.infrequent_code == 0b111
+        assert encoder.encode(0) == 0b000
+        assert encoder.encode(0xFFFFFFFF) == 0b001
+        assert encoder.encode(99999) == 0b111
+
+    def test_decode_of_infrequent_rejected(self):
+        encoder = FrequentValueEncoder([5], 2)
+        with pytest.raises(ConfigurationError):
+            encoder.decode(encoder.infrequent_code)
+        with pytest.raises(ConfigurationError):
+            encoder.decode(1)  # unassigned code
+
+    @given(st.sets(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                   min_size=1, max_size=7))
+    def test_roundtrip_property(self, values):
+        encoder = FrequentValueEncoder(sorted(values), 3)
+        for value in values:
+            assert encoder.decode(encoder.encode(value)) == value
+        probe = 0x12345678
+        if probe in values:
+            assert encoder.decode(encoder.encode(probe)) == probe
+        else:
+            assert encoder.encode(probe) == encoder.infrequent_code
+
+
+class TestLineHelpers:
+    def test_encode_line(self):
+        encoder = FrequentValueEncoder([0, 1], 2)
+        codes = encoder.encode_line([0, 7, 1, 0])
+        assert codes == [0, 3, 1, 0]
+
+    def test_merge_line_overlays_frequent_words(self):
+        encoder = FrequentValueEncoder([10, 20], 2)
+        line = [1, 2, 3, 4]
+        encoder.merge_line(line, [0, 3, 1, 3])
+        assert line == [10, 2, 20, 4]
+
+    def test_count_frequent(self):
+        encoder = FrequentValueEncoder([0], 1)
+        assert encoder.count_frequent([0, 1, 0, 1]) == 2
+
+    def test_encode_then_merge_identity_for_frequent_words(self):
+        encoder = FrequentValueEncoder([0, 1, 2], 2)
+        original = [0, 99, 2, 1]
+        codes = encoder.encode_line(original)
+        fetched = [0, 99, 0, 0]  # memory copy, frequent words stale
+        encoder.merge_line(fetched, codes)
+        assert fetched == original
+
+    def test_repr(self):
+        assert "1b" in repr(FrequentValueEncoder([0], 1))

@@ -1,0 +1,117 @@
+"""Tests for the hybrid (content-routed FVC + victim buffer) system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigurationError
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.hybrid import HybridFvcVictimSystem
+
+GEOMETRY = CacheGeometry(64, 16)  # 4 sets x 4-word lines
+
+
+def _system(threshold=0.5) -> HybridFvcVictimSystem:
+    encoder = FrequentValueEncoder([0, 1, 0xFFFFFFFF], 2)
+    return HybridFvcVictimSystem(
+        GEOMETRY, 8, 2, encoder, route_threshold=threshold
+    )
+
+
+class TestRouting:
+    def test_frequent_rich_line_routes_to_fvc(self):
+        system = _system()
+        system.memory.write_line(0x100 >> 4, [0, 0, 0, 42])
+        system.access(0, 0x100, 0)
+        system.access(0, 0x140, 0)  # conflict evicts the line
+        assert system.routed_to_fvc == 1
+        assert system.fvc.probe(0x100 >> 4)
+        assert system.access(0, 0x100, 0) is True  # FVC read hit
+        assert system.fvc_hits == 1
+
+    def test_infrequent_rich_line_routes_to_victim(self):
+        system = _system()
+        system.memory.write_line(0x100 >> 4, [42, 43, 44, 0])
+        system.access(0, 0x100, 42)
+        system.access(0, 0x140, 0)
+        assert system.routed_to_victim == 1
+        assert not system.fvc.probe(0x100 >> 4)
+        # The victim buffer serves the whole line, even infrequent words.
+        assert system.access(0, 0x108, 44) is True
+        assert system.victim_hits == 1
+
+    def test_threshold_zero_sends_everything_to_fvc(self):
+        system = _system(threshold=0.0)
+        system.memory.write_line(0x100 >> 4, [42, 43, 44, 45])
+        system.access(0, 0x100, 42)
+        system.access(0, 0x140, 0)
+        assert system.routed_to_fvc == 1
+        assert system.routed_to_victim == 0
+
+    def test_threshold_one_requires_fully_frequent(self):
+        system = _system(threshold=1.0)
+        system.memory.write_line(0x100 >> 4, [0, 0, 0, 42])
+        system.access(0, 0x100, 0)
+        system.access(0, 0x140, 0)
+        assert system.routed_to_victim == 1
+
+
+class TestCorrectness:
+    def test_victim_swap_preserves_dirty_data(self):
+        system = _system()
+        # The line is majority-infrequent, so eviction routes to the
+        # victim buffer, carrying the dirty store with it.
+        system.memory.write_line(0x100 >> 4, [42, 43, 44, 45])
+        system.access(1, 0x100, 46)  # dirty store (infrequent value)
+        system.access(0, 0x140, 0)  # evict -> victim buffer (dirty)
+        assert system.access(0, 0x100, 46) is True  # swap back
+        assert system.access(0, 0x100, 46) is True  # now a main hit
+
+    def test_victim_buffer_eviction_writes_back(self):
+        system = _system()
+        system.memory.write_line(0x140 >> 4, [9, 9, 9, 9])
+        system.access(1, 0x100, 42)  # dirty, infrequent -> victim route
+        system.access(0, 0x140, 9)  # evicts 0x100 to the buffer
+        # Push two more infrequent-rich lines through to evict it.
+        for base in (0x180, 0x1C0):
+            system.memory.write_line(base >> 4, [50, 51, 52, 53])
+            system.access(0, base, 50)
+        assert system.memory.read_word(0x100) == 42
+
+    def test_validation(self):
+        encoder = FrequentValueEncoder([0], 1)
+        with pytest.raises(ConfigurationError):
+            HybridFvcVictimSystem(CacheGeometry(64, 16, 2), 8, 2, encoder)
+        with pytest.raises(ConfigurationError):
+            HybridFvcVictimSystem(GEOMETRY, 8, 0, encoder)
+        with pytest.raises(ConfigurationError):
+            HybridFvcVictimSystem(GEOMETRY, 8, 2, encoder, route_threshold=2.0)
+
+
+_program = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=300,
+)
+_VALUES = (0, 1, 0xFFFFFFFF, 0xDEADBEEF)
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_program)
+    def test_exclusive_and_replay_consistent(self, ops):
+        system = _system()
+        state = {}
+        for is_store, slot, value_index in ops:
+            address = 0x1000 + slot * 4
+            if is_store:
+                value = _VALUES[value_index]
+                state[address] = value
+                system.access(1, address, value)
+            else:
+                system.access(0, address, state.get(address, 0))
+            assert system.check_exclusive()

@@ -1,0 +1,192 @@
+"""Differential testing of FvcSystem against a naive reference model.
+
+The reference implementation below re-derives the §3 protocol in the
+most obvious way possible — dictionaries everywhere, no incremental
+counters, no shared state — so agreement on hit/miss decisions across
+random replayable programs is strong evidence that the optimised
+simulator implements the protocol it claims to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.system import FvcSystem, FvcSystemConfig
+
+GEOMETRY = CacheGeometry(64, 16)  # 4 sets x 4-word lines
+FVC_ENTRIES = 8
+FREQUENT = (0, 1, 0xFFFFFFFF)
+
+
+class ReferenceFvcModel:
+    """Deliberately naive re-implementation of the DMC+FVC protocol.
+
+    Exclusive contents, evict-into-FVC (skipping all-infrequent lines),
+    infrequent-word merge-promote with dirty propagation, and no
+    write-allocate-frequent — the same defaults as the real system.
+    """
+
+    def __init__(self, frequent: Tuple[int, ...]) -> None:
+        self.frequent = set(frequent)
+        self.memory: Dict[int, int] = {}
+        # DMC: set index -> (line_addr, dirty, {word_index: value})
+        self.dmc: Dict[int, Tuple[int, bool, Dict[int, int]]] = {}
+        # FVC: entry index -> (line_addr, {word_index: value}, {word_index: dirty})
+        self.fvc: Dict[int, Tuple[int, Dict[int, int], Dict[int, bool]]] = {}
+
+    # Helpers ------------------------------------------------------------
+    def _mem_line(self, line_addr: int) -> Dict[int, int]:
+        base = line_addr * 4  # word address of word 0
+        return {
+            word: self.memory.get(base + word, 0)
+            for word in range(GEOMETRY.words_per_line)
+        }
+
+    def _write_line_to_memory(self, line_addr: int, data: Dict[int, int]) -> None:
+        base = line_addr * 4
+        for word, value in data.items():
+            self.memory[base + word] = value
+
+    def _evict_dmc(self, set_index: int) -> None:
+        if set_index not in self.dmc:
+            return
+        line_addr, dirty, data = self.dmc.pop(set_index)
+        if dirty:
+            self._write_line_to_memory(line_addr, data)
+        codes = {
+            word: value
+            for word, value in data.items()
+            if value in self.frequent
+        }
+        if codes:
+            self._install_fvc(line_addr, codes, {})
+
+    def _install_fvc(self, line_addr, values, dirty) -> None:
+        index = line_addr % FVC_ENTRIES
+        self._flush_fvc(index)
+        self.fvc[index] = (line_addr, values, dirty)
+
+    def _flush_fvc(self, index: int) -> None:
+        if index not in self.fvc:
+            return
+        line_addr, values, dirty = self.fvc.pop(index)
+        base = line_addr * 4
+        for word, is_dirty in dirty.items():
+            if is_dirty:
+                self.memory[base + word] = values[word]
+
+    def _fill_dmc(self, line_addr: int, data: Dict[int, int], dirty: bool) -> None:
+        set_index = line_addr % GEOMETRY.num_sets
+        self._evict_dmc(set_index)
+        self.dmc[set_index] = (line_addr, dirty, data)
+
+    # The protocol ---------------------------------------------------
+    def access(self, op: int, byte_addr: int, value: int) -> bool:
+        line_addr = byte_addr >> GEOMETRY.line_shift
+        word = (byte_addr >> 2) & GEOMETRY.word_mask
+        set_index = line_addr % GEOMETRY.num_sets
+
+        # Main-cache probe.
+        resident = self.dmc.get(set_index)
+        if resident is not None and resident[0] == line_addr:
+            _, dirty, data = resident
+            if op:
+                data[word] = value
+                self.dmc[set_index] = (line_addr, True, data)
+            return True
+
+        # FVC probe.
+        fvc_index = line_addr % FVC_ENTRIES
+        entry = self.fvc.get(fvc_index)
+        if entry is not None and entry[0] == line_addr:
+            _, values, dirty_words = entry
+            if op == 0 and word in values:
+                return True
+            if op == 1 and value in self.frequent:
+                values[word] = value
+                dirty_words[word] = True
+                return True
+            # Infrequent word involved: merge, promote (dirty if any
+            # FVC word was dirty), retire the entry.
+            del self.fvc[fvc_index]
+            data = self._mem_line(line_addr)
+            data.update(values)
+            promoted_dirty = any(dirty_words.values())
+            self._fill_dmc(line_addr, data, promoted_dirty)
+            if op:
+                entry_data = self.dmc[set_index][2]
+                entry_data[word] = value
+                self.dmc[set_index] = (line_addr, True, entry_data)
+            return False
+
+        # Miss in both: conventional fill.
+        data = self._mem_line(line_addr)
+        self._fill_dmc(line_addr, data, False)
+        if op:
+            entry_data = self.dmc[set_index][2]
+            entry_data[word] = value
+            self.dmc[set_index] = (line_addr, True, entry_data)
+        return False
+
+
+_program = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=47),  # 48 words = 12 lines
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=400,
+)
+_VALUES = (0, 1, 0xFFFFFFFF, 0xDEADBEEF, 0x12345678)
+
+
+def _replayable(ops):
+    state = {}
+    records = []
+    for is_store, slot, value_index in ops:
+        address = 0x4000 + slot * 4
+        if is_store:
+            value = _VALUES[value_index]
+            state[address] = value
+            records.append((1, address, value))
+        else:
+            records.append((0, address, state.get(address, 0)))
+    return records
+
+
+class TestDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(ops=_program)
+    def test_hit_miss_decisions_agree(self, ops):
+        encoder = FrequentValueEncoder(list(FREQUENT), 2)
+        system = FvcSystem(
+            GEOMETRY,
+            FVC_ENTRIES,
+            encoder,
+            config=FvcSystemConfig(verify_values=True),
+        )
+        reference = ReferenceFvcModel(FREQUENT)
+        for index, record in enumerate(_replayable(ops)):
+            got = system.access(*record)
+            want = reference.access(*record)
+            assert got == want, f"divergence at access {index}: {record}"
+        assert system.check_exclusive()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_program)
+    def test_memory_states_agree_after_run(self, ops):
+        """After flushing nothing, the *backing memories* must agree on
+        every word either model wrote back."""
+        encoder = FrequentValueEncoder(list(FREQUENT), 2)
+        system = FvcSystem(GEOMETRY, FVC_ENTRIES, encoder)
+        reference = ReferenceFvcModel(FREQUENT)
+        for record in _replayable(ops):
+            system.access(*record)
+            reference.access(*record)
+        for word_addr, value in reference.memory.items():
+            assert system.memory.read_word(word_addr * 4) == value

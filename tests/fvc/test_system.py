@@ -1,0 +1,247 @@
+"""Tests for the combined DMC+FVC protocol (paper §3).
+
+The scripted scenarios pin each transfer rule; the property tests check
+the global invariants (exclusivity, value consistency, equivalence with
+a bare cache under an empty encoder) on random but *replayable* access
+sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.system import FvcSystem, FvcSystemConfig
+
+# Geometry: 4 sets of 16-byte (4-word) lines; FVC: 8 entries.
+GEOMETRY = CacheGeometry(64, 16)
+
+
+def _system(values=(0, 1, 0xFFFFFFFF), entries=8, **config) -> FvcSystem:
+    encoder = FrequentValueEncoder(list(values), 2)
+    return FvcSystem(
+        GEOMETRY, entries, encoder,
+        config=FvcSystemConfig(verify_values=True, **config),
+    )
+
+
+def _fill_line(system, line_addr, words):
+    """Put ``words`` into backing memory for ``line_addr``."""
+    system.memory.write_line(line_addr, list(words))
+
+
+class TestMainCachePath:
+    def test_miss_fills_main_cache(self):
+        system = _system()
+        _fill_line(system, 0x100 >> 4, [7, 8, 9, 10])
+        assert system.access(0, 0x100, 7) is False
+        assert system.access(0, 0x104, 8) is True
+        assert system.main_hits == 1
+
+    def test_store_hit_updates_line(self):
+        system = _system()
+        system.access(1, 0x100, 5)
+        assert system.access(0, 0x100, 5) is True
+
+
+class TestEvictionIntoFvc:
+    def test_frequent_words_enter_fvc_on_eviction(self):
+        system = _system()
+        _fill_line(system, 0x100 >> 4, [0, 1, 42, 0])
+        system.access(0, 0x100, 0)
+        system.access(0, 0x140, 0)  # conflicts: 0x100's line evicted
+        # The evicted line's frequent words are now served by the FVC.
+        assert system.access(0, 0x100, 0) is True
+        assert system.access(0, 0x104, 1) is True
+        assert system.fvc_read_hits == 2
+
+    def test_infrequent_word_in_fvc_line_misses_and_promotes(self):
+        system = _system()
+        _fill_line(system, 0x100 >> 4, [0, 1, 42, 0])
+        system.access(0, 0x100, 0)
+        system.access(0, 0x140, 0)
+        # Word 2 holds 42 (infrequent): miss, line promoted to the DMC.
+        assert system.access(0, 0x108, 42) is False
+        assert system.access(0, 0x108, 42) is True  # now a main-cache hit
+        assert not system.fvc.probe(0x100 >> 4)  # exclusivity restored
+
+    def test_all_infrequent_line_not_inserted_by_default(self):
+        system = _system()
+        _fill_line(system, 0x100 >> 4, [42, 43, 44, 45])
+        system.access(0, 0x100, 42)
+        system.access(0, 0x140, 0)
+        assert not system.fvc.probe(0x100 >> 4)
+
+    def test_insert_empty_lines_config(self):
+        system = _system(insert_empty_lines=True)
+        _fill_line(system, 0x100 >> 4, [42, 43, 44, 45])
+        system.access(0, 0x100, 42)
+        system.access(0, 0x140, 0)
+        assert system.fvc.probe(0x100 >> 4)
+
+
+class TestFvcWriteHits:
+    def test_write_of_frequent_value_hits_fvc(self):
+        system = _system()
+        _fill_line(system, 0x100 >> 4, [0, 1, 42, 0])
+        system.access(0, 0x100, 0)
+        system.access(0, 0x140, 0)  # evict into FVC
+        assert system.access(1, 0x104, 0) is True  # overwrite 1 with 0
+        assert system.fvc_write_hits == 1
+        assert system.access(0, 0x104, 0) is True  # reads back decoded
+
+    def test_dirty_fvc_word_flushed_on_eviction(self):
+        system = _system(entries=8)
+        line_a = 0x100 >> 4
+        _fill_line(system, line_a, [0, 1, 42, 0])
+        system.access(0, 0x100, 0)
+        system.access(0, 0x140, 0)  # A -> FVC
+        system.access(1, 0x104, 0xFFFFFFFF)  # FVC write hit, dirty word
+        # Force A out of the FVC: insert a line with the same FVC index.
+        line_b = line_a + 8  # 8-entry FVC: same index
+        _fill_line(system, line_b, [0, 0, 0, 0])
+        system.access(0, line_b << 4, 0)
+        conflicting = (line_b << 4) ^ 0x40
+        _fill_line(system, conflicting >> 4, [0, 0, 0, 0])
+        system.access(0, conflicting, 0)  # evicts line_b into FVC slot
+        # A's dirty word must have reached memory.
+        assert system.memory.read_word(0x104) == 0xFFFFFFFF
+
+    def test_write_of_infrequent_value_with_tag_match_promotes(self):
+        system = _system()
+        _fill_line(system, 0x100 >> 4, [0, 1, 42, 0])
+        system.access(0, 0x100, 0)
+        system.access(0, 0x140, 0)
+        assert system.access(1, 0x104, 777) is False  # infrequent write
+        assert system.access(0, 0x104, 777) is True  # promoted with merge
+        assert system.access(0, 0x100, 0) is True  # other words intact
+
+
+class TestWriteAllocateFrequent:
+    def test_disabled_by_default(self):
+        system = _system()
+        assert system.access(1, 0x100, 0) is False
+        assert system.fvc_write_allocates == 0
+        assert system.access(0, 0x104, 0) is True  # normal allocate filled
+
+    def test_enabled_allocates_into_fvc(self):
+        system = _system(write_allocate_frequent=True)
+        assert system.access(1, 0x100, 0) is False  # counted as miss
+        assert system.fvc_write_allocates == 1
+        assert system.stats.fills == 0  # but no memory fetch
+        assert system.access(0, 0x100, 0) is True  # FVC read hit
+        # Unwritten words are marked infrequent: referencing one misses.
+        _fill_line_value = system.memory.read_word(0x104)
+        assert system.access(0, 0x104, _fill_line_value) is False
+
+    def test_infrequent_write_falls_back_to_normal_allocate(self):
+        system = _system(write_allocate_frequent=True)
+        assert system.access(1, 0x100, 777) is False
+        assert system.fvc_write_allocates == 0
+        assert system.stats.fills == 1
+
+
+class TestAccountingAndOccupancy:
+    def test_traffic_accounting(self):
+        system = _system()
+        system.access(1, 0x100, 5)  # miss: fill 4 words
+        system.access(0, 0x140, 0)  # miss: fill 4, write back 4 (dirty)
+        assert system.stats.fill_words == 8
+        assert system.stats.writeback_words == 4
+
+    def test_occupancy_sampling(self):
+        config_system = FvcSystem(
+            GEOMETRY,
+            8,
+            FrequentValueEncoder([0], 1),
+            config=FvcSystemConfig(occupancy_sample_interval=2),
+        )
+        for index in range(10):
+            config_system.access(0, index * 64, 0)
+        assert 0.0 <= config_system.mean_fvc_frequent_fraction <= 1.0
+
+    def test_hit_breakdown_sums(self):
+        system = _system()
+        _fill_line(system, 0x100 >> 4, [0, 0, 0, 0])
+        for _ in range(3):
+            system.access(0, 0x100, 0)
+            system.access(0, 0x140, 0)
+        assert system.stats.hits == system.main_hits + system.fvc_hits
+
+
+# ----------------------------------------------------------------------
+# Property tests over replayable random programs
+# ----------------------------------------------------------------------
+
+_program = st.lists(
+    st.tuples(
+        st.booleans(),  # store?
+        st.integers(min_value=0, max_value=31),  # word slot (32 words)
+        st.integers(min_value=0, max_value=3),  # value index
+    ),
+    max_size=300,
+)
+_VALUES = (0, 1, 0xFFFFFFFF, 0xDEADBEEF)  # two frequent, two not
+
+
+def _replayable(ops):
+    """Turn random ops into a consistent (op, addr, value) trace."""
+    state = {}
+    records = []
+    for is_store, slot, value_index in ops:
+        address = 0x1000 + slot * 4
+        if is_store:
+            value = _VALUES[value_index]
+            state[address] = value
+            records.append((1, address, value))
+        else:
+            records.append((0, address, state.get(address, 0)))
+    return records
+
+
+class TestProtocolProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_program)
+    def test_values_consistent_and_exclusive(self, ops):
+        system = _system(values=(0, 1, 0xFFFFFFFF))
+        for record in _replayable(ops):
+            system.access(*record)  # verify_values raises on any skew
+            assert system.check_exclusive()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_program)
+    def test_empty_encoder_equals_bare_cache(self, ops):
+        """With no frequent values the system must behave exactly like
+        the conventional cache alone."""
+        system = FvcSystem(
+            GEOMETRY, 8, FrequentValueEncoder([], 3),
+            config=FvcSystemConfig(verify_values=True),
+        )
+        bare = DirectMappedCache(GEOMETRY)
+        for record in _replayable(ops):
+            assert system.access(*record) == bare.access(record[0], record[1])
+        assert system.stats.misses == bare.stats.misses
+        assert system.stats.fill_words == bare.stats.fill_words
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_program)
+    def test_fvc_never_increases_misses_without_waf(self, ops):
+        """With write-allocate-frequent off, every FVC-induced state
+        change only adds hit opportunities: miss count never exceeds
+        the bare cache's."""
+        system = _system()
+        bare = DirectMappedCache(GEOMETRY)
+        for record in _replayable(ops):
+            system.access(*record)
+            bare.access(record[0], record[1])
+        assert system.stats.misses <= bare.stats.misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_program)
+    def test_waf_values_still_consistent(self, ops):
+        system = _system(write_allocate_frequent=True)
+        for record in _replayable(ops):
+            system.access(*record)
+        assert system.check_exclusive()

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out
+        assert "fig10" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "go", "--input", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "top accessed values" in out
+
+    def test_simulate_baseline_only(self, capsys):
+        assert main(
+            ["simulate", "go", "--input", "test", "--size-kb", "8"]
+        ) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_simulate_with_fvc(self, capsys):
+        assert main(
+            [
+                "simulate", "go", "--input", "test",
+                "--size-kb", "8", "--fvc", "128", "--top", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+        assert "FVC hits" in out
+
+    def test_run_experiment_fast(self, capsys):
+        assert main(["run", "fig9", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "go.trc"
+        assert main(["trace", "go", "--input", "test", "-o", str(path)]) == 0
+        assert path.exists()
+        from repro.trace.io import read_trace
+
+        assert len(read_trace(path)) > 1000
+
+    def test_report(self, capsys):
+        assert main(
+            ["report", "go", "--input", "test", "--no-occurrence"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "access coverage" in out
+
+    def test_classify(self, capsys):
+        assert main(
+            ["classify", "go", "--input", "test", "--size-kb", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compulsory" in out
+        assert "conflict" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,95 @@
+"""End-to-end integration: real workload traces through the full
+DMC+FVC system with the value-consistency oracle enabled.
+
+``verify_values=True`` makes the system cross-check every load it
+serves (from the main cache, the FVC decode, or a memory fill) against
+the traced value, so a single passing run certifies the entire transfer
+protocol of §3 against a genuine program execution.
+"""
+
+import pytest
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.experiments.common import encoder_for, reduction_percent
+from repro.fvc.system import FvcSystem, FvcSystemConfig
+
+_FVL_NAMES = ("go", "m88ksim", "gcc", "li", "perl", "vortex")
+
+
+class TestProtocolOnRealTraces:
+    @pytest.mark.parametrize("name", _FVL_NAMES)
+    def test_value_oracle_and_exclusivity(self, name, store):
+        trace = store.get(name, "test")
+        geometry = CacheGeometry(4 * 1024, 32)
+        system = FvcSystem(
+            geometry,
+            256,
+            encoder_for(trace, 7),
+            config=FvcSystemConfig(verify_values=True),
+        )
+        system.simulate(trace.records)  # oracle raises on any skew
+        assert system.check_exclusive()
+        assert system.stats.accesses == len(trace)
+
+    @pytest.mark.parametrize("top_values", [1, 3, 7])
+    def test_all_code_widths(self, top_values, store):
+        trace = store.get("gcc", "test")
+        geometry = CacheGeometry(4 * 1024, 32)
+        system = FvcSystem(
+            geometry,
+            256,
+            encoder_for(trace, top_values),
+            config=FvcSystemConfig(verify_values=True),
+        )
+        system.simulate(trace.records)
+        assert system.check_exclusive()
+
+    def test_set_associative_base_with_oracle(self, store):
+        trace = store.get("m88ksim", "test")
+        geometry = CacheGeometry(8 * 1024, 32, ways=2)
+        system = FvcSystem(
+            geometry,
+            256,
+            encoder_for(trace, 7),
+            config=FvcSystemConfig(verify_values=True),
+        )
+        system.simulate(trace.records)
+        assert system.check_exclusive()
+
+
+class TestHeadlineBehaviour:
+    def test_fvc_reduces_m88ksim_misses(self, store):
+        trace = store.get("m88ksim", "test")
+        geometry = CacheGeometry(16 * 1024, 32)
+        base = DirectMappedCache(geometry).simulate(trace.records)
+        system = FvcSystem(geometry, 512, encoder_for(trace, 7))
+        stats = system.simulate(trace.records)
+        assert reduction_percent(base, stats) > 20
+
+    def test_associativity_absorbs_m88ksim_benefit(self, store):
+        trace = store.get("m88ksim", "test")
+        direct = CacheGeometry(16 * 1024, 32)
+        two_way = CacheGeometry(16 * 1024, 32, ways=2)
+        base_direct = DirectMappedCache(direct).simulate(trace.records)
+        base_two = SetAssociativeCache(two_way).simulate(trace.records)
+        direct_red = reduction_percent(
+            base_direct,
+            FvcSystem(direct, 512, encoder_for(trace, 7)).simulate(trace.records),
+        )
+        two_red = reduction_percent(
+            base_two,
+            FvcSystem(two_way, 512, encoder_for(trace, 7)).simulate(trace.records),
+        )
+        assert base_two.miss_rate < base_direct.miss_rate
+        assert two_red < direct_red
+
+    def test_traffic_reduced_alongside_misses(self, store):
+        trace = store.get("m88ksim", "test")
+        geometry = CacheGeometry(16 * 1024, 32)
+        base = DirectMappedCache(geometry).simulate(trace.records)
+        stats = FvcSystem(geometry, 512, encoder_for(trace, 7)).simulate(
+            trace.records
+        )
+        assert stats.traffic_words < base.traffic_words

@@ -1,0 +1,27 @@
+"""Smoke tests that every example script runs to completion.
+
+The examples are part of the public deliverable; each must execute
+end-to-end (they use train inputs, so the whole module stays in the
+minutes range).  Runs in-process via runpy so the session's trace
+store caching applies.
+"""
+
+import runpy
+import pathlib
+
+import pytest
+
+_EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent / ".." / ".." / "examples").resolve().glob("*.py")
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize(
+    "script", _EXAMPLES, ids=[path.stem for path in _EXAMPLES]
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report

@@ -1,0 +1,52 @@
+"""Packaging and public-surface tests."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_every_module_imports(self):
+        """Every module in the package imports cleanly (no hidden
+        import-time dependencies or syntax rot in rarely-used paths)."""
+        failures = []
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            try:
+                importlib.import_module(module_info.name)
+            except Exception as error:  # pragma: no cover - report below
+                failures.append((module_info.name, error))
+        assert not failures
+
+    def test_every_public_module_has_docstring(self):
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            assert module.__doc__, f"{module_info.name} lacks a docstring"
+
+    def test_subpackage_exports_resolve(self):
+        for package_name in (
+            "repro.cache",
+            "repro.fvc",
+            "repro.trace",
+            "repro.profiling",
+            "repro.timing",
+            "repro.workloads",
+            "repro.experiments",
+        ):
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                assert hasattr(package, name), f"{package_name}.{name}"

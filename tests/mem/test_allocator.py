@@ -1,0 +1,146 @@
+"""Tests for the static/heap/stack allocators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.mem.allocator import HeapAllocator, StackAllocator, StaticAllocator
+from repro.mem.memory import WordMemory
+
+
+@pytest.fixture
+def memory():
+    return WordMemory()
+
+
+class TestStaticAllocator:
+    def test_bump_allocation(self, memory):
+        static = StaticAllocator(memory, base=0x1000)
+        a = static.alloc(4)
+        b = static.alloc(2)
+        assert a == 0x1000
+        assert b == 0x1010
+
+    def test_placement(self, memory):
+        static = StaticAllocator(memory, base=0x1000)
+        placed = static.alloc(8, at=0x8000)
+        assert placed == 0x8000
+        assert static.alloc(1) == 0x8020  # brk advanced past placement
+
+    def test_placement_below_brk_rejected(self, memory):
+        static = StaticAllocator(memory, base=0x1000)
+        static.alloc(16)
+        with pytest.raises(MemoryError_):
+            static.alloc(1, at=0x1000)
+
+    def test_alignment(self, memory):
+        static = StaticAllocator(memory, base=0x1004)
+        aligned = static.alloc(1, align_bytes=64)
+        assert aligned % 64 == 0
+
+    def test_zero_size_rejected(self, memory):
+        static = StaticAllocator(memory, base=0x1000)
+        with pytest.raises(MemoryError_):
+            static.alloc(0)
+
+
+class TestHeapAllocator:
+    def test_bump_then_reuse(self, memory):
+        heap = HeapAllocator(memory, base=0x40000000)
+        a = heap.alloc(2)
+        b = heap.alloc(2)
+        assert b == a + 8
+        heap.free(a)
+        assert heap.alloc(2) == a  # exact-size free list reuse
+
+    def test_free_marks_dead(self, memory):
+        heap = HeapAllocator(memory, base=0x40000000)
+        block = heap.alloc(3)
+        memory.store(block, 1)
+        assert memory.live_count == 1
+        heap.free(block)
+        assert memory.live_count == 0
+
+    def test_double_free_rejected(self, memory):
+        heap = HeapAllocator(memory, base=0x40000000)
+        block = heap.alloc(1)
+        heap.free(block)
+        with pytest.raises(MemoryError_):
+            heap.free(block)
+
+    def test_free_of_unallocated_rejected(self, memory):
+        heap = HeapAllocator(memory, base=0x40000000)
+        with pytest.raises(MemoryError_):
+            heap.free(0x40000000)
+
+    def test_exhaustion(self, memory):
+        heap = HeapAllocator(memory, base=0x40000000, limit_words=4)
+        heap.alloc(4)
+        with pytest.raises(MemoryError_):
+            heap.alloc(1)
+
+    def test_accounting(self, memory):
+        heap = HeapAllocator(memory, base=0x40000000)
+        a = heap.alloc(4)
+        heap.alloc(2)
+        heap.free(a)
+        assert heap.alloc_count == 2
+        assert heap.free_count == 1
+        assert heap.allocated_bytes == 8
+        assert heap.high_water_bytes == 24
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), max_size=50))
+    def test_live_blocks_never_overlap(self, sizes):
+        memory = WordMemory()
+        heap = HeapAllocator(memory, base=0x40000000)
+        live = {}
+        for index, nwords in enumerate(sizes):
+            addr = heap.alloc(nwords)
+            span = set(range(addr, addr + nwords * 4, 4))
+            for other in live.values():
+                assert not span & other
+            live[addr] = span
+            if index % 3 == 2:  # free every third allocation
+                victim = next(iter(live))
+                heap.free(victim)
+                del live[victim]
+
+
+class TestStackAllocator:
+    def test_grows_down(self, memory):
+        stack = StackAllocator(memory, top=0x7FFF0000)
+        frame1 = stack.push_frame(4)
+        frame2 = stack.push_frame(2)
+        assert frame1 == 0x7FFF0000 - 16
+        assert frame2 == frame1 - 8
+        assert stack.depth == 2
+
+    def test_pop_restores_sp_and_kills_frame(self, memory):
+        stack = StackAllocator(memory, top=0x7FFF0000)
+        frame = stack.push_frame(2)
+        memory.store(frame, 1)
+        stack.pop_frame()
+        assert stack.sp == 0x7FFF0000
+        assert memory.live_count == 0
+
+    def test_pop_empty_rejected(self, memory):
+        stack = StackAllocator(memory, top=0x7FFF0000)
+        with pytest.raises(MemoryError_):
+            stack.pop_frame()
+
+    def test_overflow_rejected(self, memory):
+        stack = StackAllocator(memory, top=0x7FFF0000, limit_words=4)
+        with pytest.raises(MemoryError_):
+            stack.push_frame(5)
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), max_size=30))
+    def test_push_pop_is_balanced(self, sizes):
+        memory = WordMemory()
+        stack = StackAllocator(memory, top=0x7FFF0000)
+        for nwords in sizes:
+            stack.push_frame(nwords)
+        for _ in sizes:
+            stack.pop_frame()
+        assert stack.sp == 0x7FFF0000
+        assert stack.depth == 0

@@ -1,0 +1,36 @@
+"""Tests for the address-space layout validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mem.layout import DEFAULT_LAYOUT, AddressSpaceLayout
+
+
+class TestDefaultLayout:
+    def test_segments_ordered(self):
+        assert (
+            DEFAULT_LAYOUT.static_base
+            < DEFAULT_LAYOUT.heap_base
+            < DEFAULT_LAYOUT.stack_top
+        )
+
+    def test_paper_style_addresses(self):
+        # Heap around 0x40000000, as the pointer values of Table 1 show.
+        assert DEFAULT_LAYOUT.heap_base == 0x40000000
+        assert DEFAULT_LAYOUT.static_base == 0x08048000
+
+
+class TestValidation:
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpaceLayout(static_base=0x1002)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpaceLayout(stack_top=2**33)
+
+    def test_misordered_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpaceLayout(
+                static_base=0x50000000, heap_base=0x40000000
+            )

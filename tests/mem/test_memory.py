@@ -1,0 +1,147 @@
+"""Tests for the word-addressable memory (tracing, liveness, sampling)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.mem.memory import LOAD, STORE, WordMemory
+
+
+class TestLoadStore:
+    def test_unbacked_reads_zero(self):
+        memory = WordMemory()
+        assert memory.load(0x1000) == 0
+
+    def test_store_then_load(self):
+        memory = WordMemory()
+        memory.store(0x1000, 0xDEADBEEF)
+        assert memory.load(0x1000) == 0xDEADBEEF
+
+    def test_store_wraps_to_32_bits(self):
+        memory = WordMemory()
+        memory.store(0x1000, 2**32 + 7)
+        assert memory.load(0x1000) == 7
+
+    def test_misaligned_access_rejected(self):
+        memory = WordMemory()
+        with pytest.raises(MemoryError_):
+            memory.load(0x1001)
+        with pytest.raises(MemoryError_):
+            memory.store(0x1002, 1)
+
+    def test_access_count(self):
+        memory = WordMemory()
+        memory.store(0, 1)
+        memory.load(0)
+        memory.load(4)
+        assert memory.access_count == 3
+
+
+class TestTracing:
+    def test_records_are_op_addr_value(self):
+        record = []
+        memory = WordMemory(record=record)
+        memory.store(0x10, 42)
+        memory.load(0x10)
+        memory.load(0x20)
+        assert record == [
+            (STORE, 0x10, 42),
+            (LOAD, 0x10, 42),
+            (LOAD, 0x20, 0),
+        ]
+
+    def test_peek_poke_untraced(self):
+        record = []
+        memory = WordMemory(record=record)
+        memory.poke(0x10, 9)
+        assert memory.peek(0x10) == 9
+        assert record == []
+        assert memory.access_count == 0
+
+    def test_poked_data_visible_to_load(self):
+        record = []
+        memory = WordMemory(record=record)
+        memory.poke(0x10, 5)
+        assert memory.load(0x10) == 5
+        assert record == [(LOAD, 0x10, 5)]
+
+
+class TestLiveness:
+    def test_referenced_locations_become_live(self):
+        memory = WordMemory()
+        memory.load(0x100)
+        memory.store(0x200, 1)
+        assert memory.live_count == 2
+        assert sorted(addr for addr, _ in memory.live_items()) == [0x100, 0x200]
+
+    def test_mark_dead_removes_liveness_keeps_content(self):
+        memory = WordMemory()
+        memory.store(0x100, 77)
+        memory.mark_dead(0x100, 1)
+        assert memory.live_count == 0
+        # Content survives: a reallocation reads stale data like malloc.
+        assert memory.peek(0x100) == 77
+
+    def test_live_values(self):
+        memory = WordMemory()
+        memory.store(0x100, 5)
+        memory.store(0x104, 5)
+        memory.load(0x108)
+        assert sorted(memory.live_values()) == [0, 5, 5]
+
+    def test_realive_after_death(self):
+        memory = WordMemory()
+        memory.store(0x100, 3)
+        memory.mark_dead(0x100, 1)
+        memory.load(0x100)
+        assert memory.live_count == 1
+
+
+class TestSampling:
+    def test_sampler_fires_every_interval(self):
+        fired = []
+        memory = WordMemory(
+            sample_interval=3, sampler=lambda m: fired.append(m.access_count)
+        )
+        for index in range(10):
+            memory.load(index * 4)
+        assert fired == [3, 6, 9]
+
+    def test_sampler_requires_interval(self):
+        with pytest.raises(MemoryError_):
+            WordMemory(sampler=lambda m: None)
+        with pytest.raises(MemoryError_):
+            WordMemory(sample_interval=5)
+
+
+class TestReplayConsistency:
+    """The core guarantee: replaying a trace's stores against fresh
+    zero memory reproduces every load value (needed by the FVC
+    simulators, which rebuild memory contents from the trace)."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=0xFFFFFFFF),
+            ),
+            max_size=200,
+        )
+    )
+    def test_trace_replay_reproduces_loads(self, ops):
+        record = []
+        memory = WordMemory(record=record)
+        for is_store, slot, value in ops:
+            if is_store:
+                memory.store(slot * 4, value)
+            else:
+                memory.load(slot * 4)
+        # Replay the stores; every load record must match state.
+        replay = {}
+        for op, addr, value in record:
+            if op == STORE:
+                replay[addr] = value
+            else:
+                assert replay.get(addr, 0) == value

@@ -1,0 +1,39 @@
+"""Tests for the AddressSpace facade."""
+
+from repro.mem.memory import LOAD, STORE
+from repro.mem.space import AddressSpace
+
+
+class TestAddressSpace:
+    def test_segments_wired_to_layout(self):
+        space = AddressSpace()
+        static = space.static.alloc(4)
+        heap = space.heap.alloc(4)
+        frame = space.stack.push_frame(4)
+        assert static >= space.layout.static_base
+        assert heap >= space.layout.heap_base
+        assert frame < space.layout.stack_top
+
+    def test_load_store_shortcuts_trace(self):
+        record = []
+        space = AddressSpace(record=record)
+        space.store(0x08048000, 5)
+        assert space.load(0x08048000) == 5
+        assert record == [(STORE, 0x08048000, 5), (LOAD, 0x08048000, 5)]
+
+    def test_block_helpers(self):
+        space = AddressSpace()
+        base = space.static.alloc(4)
+        space.store_block(base, [1, 2, 3, 4])
+        assert space.load_block(base, 4) == [1, 2, 3, 4]
+
+    def test_sampler_plumbed_through(self):
+        fired = []
+        space = AddressSpace(
+            sample_interval=2, sampler=lambda m: fired.append(m.live_count)
+        )
+        base = space.static.alloc(4)
+        space.store(base, 1)
+        space.store(base + 4, 2)
+        space.store(base + 8, 3)
+        assert len(fired) == 1

@@ -1,0 +1,38 @@
+"""Tests for the accessed-value profiler."""
+
+from repro.profiling.access import profile_accessed_values
+from repro.trace.trace import Trace
+
+
+def _trace():
+    return Trace(
+        [(0, 0, 7)] * 5 + [(1, 4, 1)] * 3 + [(0, 8, 2)] * 2
+    )
+
+
+class TestAccessProfile:
+    def test_ranking(self):
+        profile = profile_accessed_values(_trace())
+        assert profile.top_values(3) == [7, 1, 2]
+        assert profile.ranked[0] == (7, 5)
+
+    def test_coverage(self):
+        profile = profile_accessed_values(_trace())
+        assert profile.coverage(1) == 0.5
+        assert profile.coverage(10) == 1.0
+        assert profile.coverage_profile((1, 2)) == [0.5, 0.8]
+
+    def test_totals(self):
+        profile = profile_accessed_values(_trace())
+        assert profile.total_accesses == 10
+        assert profile.distinct_values == 3
+
+    def test_depth_truncation(self):
+        trace = Trace([(0, i * 4, i) for i in range(100)])
+        profile = profile_accessed_values(trace, depth=5)
+        assert len(profile.ranked) == 5
+
+    def test_empty_trace(self):
+        profile = profile_accessed_values(Trace())
+        assert profile.coverage(3) == 0.0
+        assert profile.top_values(3) == []

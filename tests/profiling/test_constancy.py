@@ -1,0 +1,53 @@
+"""Tests for the constant-address analysis (Table 4)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.profiling.constancy import profile_constancy
+from repro.trace.trace import Trace
+
+
+class TestConstancy:
+    def test_all_constant(self):
+        trace = Trace([(0, 0, 5), (1, 4, 9), (0, 0, 5), (0, 4, 9)])
+        result = profile_constancy(trace)
+        assert result.referenced_addresses == 2
+        assert result.constant_addresses == 2
+        assert result.constant_fraction == 1.0
+
+    def test_mutation_detected(self):
+        trace = Trace([(1, 0, 5), (1, 0, 6), (0, 4, 1)])
+        result = profile_constancy(trace)
+        assert result.constant_addresses == 1
+        assert result.constant_fraction == 0.5
+
+    def test_same_value_store_stays_constant(self):
+        trace = Trace([(1, 0, 5), (1, 0, 5)])
+        assert profile_constancy(trace).constant_fraction == 1.0
+
+    def test_empty_trace(self):
+        result = profile_constancy(Trace())
+        assert result.referenced_addresses == 0
+        assert result.constant_fraction == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_matches_naive_reference(self, ops):
+        trace = Trace([(1, slot * 4, value) for slot, value in ops])
+        seen = {}
+        mutated = set()
+        for slot, value in ops:
+            if slot in seen and seen[slot] != value:
+                mutated.add(slot)
+            seen.setdefault(slot, value)
+        result = profile_constancy(trace)
+        assert result.referenced_addresses == len(seen)
+        assert result.constant_addresses == len(seen) - len(mutated)

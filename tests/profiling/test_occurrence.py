@@ -1,0 +1,58 @@
+"""Tests for the occurrence profiler (sampled live-memory snapshots)."""
+
+from repro.profiling.occurrence import (
+    OccurrenceCollector,
+    OccurrenceProfile,
+    OccurrenceSample,
+    profile_occurring_values,
+)
+from repro.workloads.registry import get_workload
+
+
+def _profile():
+    samples = (
+        OccurrenceSample(access_count=10, live_locations=4,
+                         counts={0: 3, 5: 1}),
+        OccurrenceSample(access_count=20, live_locations=8,
+                         counts={0: 4, 5: 2, 9: 2}),
+    )
+    ranked = ((0, 7), (5, 3), (9, 2))
+    return OccurrenceProfile(samples=samples, ranked=ranked)
+
+
+class TestOccurrenceProfile:
+    def test_top_values(self):
+        assert _profile().top_values(2) == [0, 5]
+
+    def test_coverage_averages_over_samples(self):
+        profile = _profile()
+        # top-1 = {0}: 3/4 and 4/8 -> mean 0.625
+        assert abs(profile.coverage(1) - 0.625) < 1e-9
+
+    def test_coverage_of_arbitrary_set(self):
+        profile = _profile()
+        # {5, 9}: 1/4 and 4/8 -> mean 0.375
+        assert abs(profile.coverage_of([5, 9]) - 0.375) < 1e-9
+
+    def test_mean_distinct(self):
+        assert _profile().mean_distinct_values == 2.5
+
+    def test_empty_profile(self):
+        empty = OccurrenceProfile(samples=(), ranked=())
+        assert empty.coverage(3) == 0.0
+        assert empty.mean_distinct_values == 0.0
+
+
+class TestCollector:
+    def test_collects_against_workload(self):
+        profile = profile_occurring_values(
+            get_workload("go"), "test", sample_interval=5_000
+        )
+        assert len(profile.samples) >= 2
+        # Board/feature arrays: zero dominates occupied locations.
+        assert profile.top_values(1) == [0]
+        assert profile.coverage(10) > 0.4
+
+    def test_sample_count_property(self):
+        collector = OccurrenceCollector()
+        assert collector.sample_count == 0

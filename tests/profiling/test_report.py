@@ -1,0 +1,45 @@
+"""Tests for the consolidated FVL report."""
+
+from repro.profiling.report import build_report
+from repro.workloads.registry import get_workload
+
+
+class TestBuildReport:
+    def test_full_report_for_fvl_workload(self, store):
+        workload = get_workload("go")
+        trace = store.get("go", "test")
+        report = build_report(workload, "test", trace=trace)
+        assert report.workload_name == "go"
+        assert report.accesses == len(trace)
+        assert report.exhibits_fvl
+        assert report.occurrence is not None
+
+    def test_control_workload_flagged(self, store):
+        workload = get_workload("ijpeg")
+        trace = store.get("ijpeg", "test")
+        report = build_report(
+            workload, "test", trace=trace, include_occurrence=False
+        )
+        assert not report.exhibits_fvl
+        assert report.occurrence is None
+
+    def test_format_contains_all_sections(self, store):
+        workload = get_workload("go")
+        report = build_report(
+            workload, "test", trace=store.get("go", "test"),
+            include_occurrence=False,
+        )
+        text = report.format()
+        assert "top accessed values" in text
+        assert "access coverage" in text
+        assert "constant addrs" in text
+        assert "verdict" in text
+        assert "exhibits frequent value locality" in text
+
+    def test_trace_reuse_avoids_regeneration(self, store):
+        workload = get_workload("li")
+        trace = store.get("li", "test")
+        report = build_report(
+            workload, "test", trace=trace, include_occurrence=False
+        )
+        assert report.accesses == len(trace)

@@ -1,0 +1,94 @@
+"""Tests for the reuse-distance profiler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.profiling.reuse import (
+    ReuseProfile,
+    fvc_catchable_fraction,
+    reuse_distance_profile,
+)
+
+
+def _loads(lines, line_bytes=32):
+    return [(0, line * line_bytes, 0) for line in lines]
+
+
+class TestStackDistances:
+    def test_immediate_reuse_is_distance_zero(self):
+        profile = reuse_distance_profile(_loads([1, 1, 1]))
+        assert profile.cold_accesses == 1
+        assert profile.histogram == {0: 2}
+
+    def test_classic_sequence(self):
+        # a b c a : the re-access of a has seen {b, c} in between.
+        profile = reuse_distance_profile(_loads([1, 2, 3, 1]))
+        assert profile.histogram == {2: 1}
+        assert profile.cold_accesses == 3
+
+    def test_duplicates_between_reuses_count_once(self):
+        # a b b a : distance of the second a is 1 (only b).
+        profile = reuse_distance_profile(_loads([1, 2, 2, 1]))
+        assert profile.histogram[1] == 1
+
+    def test_word_accesses_fold_into_lines(self):
+        records = [(0, 0x100, 0), (0, 0x104, 0), (0, 0x11C, 0)]
+        profile = reuse_distance_profile(records, line_bytes=32)
+        assert profile.cold_accesses == 1
+        assert profile.histogram == {0: 2}
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            reuse_distance_profile([], line_bytes=24)
+
+
+class TestCapacityPredictions:
+    def test_cyclic_pattern_thresholds(self):
+        # Cycling 8 lines: every reuse has distance 7.
+        lines = list(range(8)) * 5
+        profile = reuse_distance_profile(_loads(lines))
+        assert profile.miss_rate_at_capacity(8) < profile.miss_rate_at_capacity(7)
+        assert profile.hits_at_capacity(8) == len(lines) - 8
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                    max_size=300),
+           st.sampled_from([1, 2, 4, 8, 16]))
+    def test_matches_fully_associative_lru(self, lines, capacity):
+        """Mattson's theorem: hits at capacity C equal a fully
+        associative LRU cache of C lines — checked against the
+        simulator."""
+        records = _loads(lines)
+        profile = reuse_distance_profile(records)
+        cache = SetAssociativeCache.fully_associative(capacity, 32)
+        cache.simulate(records)
+        assert cache.stats.hits == profile.hits_at_capacity(capacity)
+
+    def test_working_set_estimate(self):
+        lines = list(range(10)) * 4
+        profile = reuse_distance_profile(_loads(lines))
+        assert profile.working_set_lines() == 10
+
+
+class TestFvcCatchability:
+    def test_band_between_dmc_and_fvc(self):
+        # All reuses at distance 12: invisible to an 8-line cache,
+        # fully catchable by 8 lines + 8 FVC entries.
+        lines = list(range(13)) * 3
+        profile = reuse_distance_profile(_loads(lines))
+        assert fvc_catchable_fraction(profile, 8, 8) > 0.5
+        assert fvc_catchable_fraction(profile, 16, 8) == 0.0
+
+    def test_frequent_fraction_scales(self):
+        lines = list(range(13)) * 3
+        profile = reuse_distance_profile(_loads(lines))
+        full = fvc_catchable_fraction(profile, 8, 8, 1.0)
+        half = fvc_catchable_fraction(profile, 8, 8, 0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_bad_fraction_rejected(self):
+        profile = ReuseProfile({}, 0, 0)
+        with pytest.raises(ValueError):
+            fvc_catchable_fraction(profile, 8, 8, 1.5)

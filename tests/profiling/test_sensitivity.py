@@ -1,0 +1,45 @@
+"""Tests for cross-input top-value overlap (Table 2)."""
+
+from repro.profiling.access import profile_accessed_values
+from repro.profiling.sensitivity import top_value_overlap, trace_overlap
+from repro.trace.trace import Trace
+
+
+def _profile_from_values(values):
+    """A profile where earlier values rank higher."""
+    records = []
+    for rank, value in enumerate(values):
+        records += [(0, rank * 4, value)] * (len(values) - rank)
+    return profile_accessed_values(Trace(records))
+
+
+class TestOverlap:
+    def test_full_overlap(self):
+        a = _profile_from_values(list(range(10)))
+        result = top_value_overlap(a, a, ks=(7, 10))
+        assert result.overlap == {7: 7, 10: 10}
+        assert result.as_fractions() == {7: 1.0, 10: 1.0}
+
+    def test_partial_overlap(self):
+        ref = _profile_from_values(list(range(10)))
+        alt = _profile_from_values([0, 1, 2, 100, 101, 102, 103,
+                                    104, 105, 106])
+        result = top_value_overlap(ref, alt, ks=(7, 10))
+        assert result.overlap[7] == 3
+        assert result.overlap[10] == 3
+        assert set(result.shared_values[7]) == {0, 1, 2}
+
+    def test_no_overlap(self):
+        ref = _profile_from_values(list(range(10)))
+        alt = _profile_from_values(list(range(100, 110)))
+        assert top_value_overlap(ref, alt).overlap == {7: 0, 10: 0}
+
+    def test_paper_notation(self):
+        ref = _profile_from_values(list(range(10)))
+        alt = _profile_from_values([0, 1] + list(range(50, 58)))
+        assert top_value_overlap(ref, alt).format() == "2/7 2/10"
+
+    def test_trace_convenience(self):
+        trace = Trace([(0, 0, 5)] * 3 + [(0, 4, 6)])
+        result = trace_overlap(trace, trace)
+        assert result.overlap[7] == 2

@@ -1,0 +1,55 @@
+"""Tests for the spatial distribution analysis (Fig. 5)."""
+
+import pytest
+
+from repro.profiling.spatial import profile_spatial_distribution
+
+
+def _items(values):
+    return [(index * 4, value) for index, value in enumerate(values)]
+
+
+class TestSpatialDistribution:
+    def test_uniform_spread_is_flat(self):
+        # Alternating frequent/infrequent: every 8-word line holds 4.
+        values = [0, 9] * 800
+        profile = profile_spatial_distribution(
+            _items(values), frequent_values=[0], block_words=800, line_words=8
+        )
+        assert len(profile.per_block) == 2
+        assert profile.per_block == (4.0, 4.0)
+        assert profile.uniformity == 0.0
+
+    def test_skewed_spread_detected(self):
+        values = [0] * 800 + [9] * 800
+        profile = profile_spatial_distribution(
+            _items(values), frequent_values=[0], block_words=800, line_words=8
+        )
+        assert profile.per_block == (8.0, 0.0)
+        assert profile.uniformity > 0.9
+
+    def test_blocks_follow_referenced_order_not_raw_addresses(self):
+        # Two distant regions with a hole between them still chunk into
+        # consecutive referenced locations, as the paper does.
+        items = [(addr, 0) for addr in range(0, 3200, 4)]
+        items += [(addr, 9) for addr in range(100000, 103200, 4)]
+        profile = profile_spatial_distribution(
+            items, frequent_values=[0], block_words=800, line_words=8
+        )
+        assert profile.per_block == (8.0, 0.0)
+
+    def test_partial_tail_block_dropped(self):
+        values = [0] * 900  # 800 + 100 leftover
+        profile = profile_spatial_distribution(
+            _items(values), frequent_values=[0], block_words=800, line_words=8
+        )
+        assert len(profile.per_block) == 1
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            profile_spatial_distribution([], [0], block_words=10, line_words=8)
+
+    def test_empty_snapshot(self):
+        profile = profile_spatial_distribution([], [0])
+        assert profile.per_block == ()
+        assert profile.mean_density == 0.0

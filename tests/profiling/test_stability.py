@@ -1,0 +1,48 @@
+"""Tests for the top-k stabilisation analysis (Table 3)."""
+
+import pytest
+
+from repro.profiling.stability import profile_stability
+from repro.trace.trace import Trace
+
+
+def _trace_stable_early():
+    """Value 9 dominates from the very start."""
+    records = [(0, 0, 9)] * 50 + [(0, 4, 1), (0, 0, 9)] * 25
+    return Trace(records)
+
+
+def _trace_late_flip():
+    """Value 2 overtakes value 1 only in the last quarter."""
+    records = [(0, 0, 1)] * 60 + [(0, 4, 2)] * 100
+    return Trace(records)
+
+
+class TestStability:
+    def test_early_dominance_stabilises_at_zero(self):
+        result = profile_stability(_trace_stable_early(), ks=(1,), checkpoints=20)
+        assert result.order_stable_at[1] == 0.0
+        assert result.membership_stable_at[1] == 0.0
+
+    def test_late_flip_detected(self):
+        result = profile_stability(_trace_late_flip(), ks=(1,), checkpoints=20)
+        # Value 2 passes value 1 at access 121 of 160 (~0.75).
+        assert 0.5 < result.order_stable_at[1] <= 0.85
+
+    def test_membership_never_later_than_order(self):
+        result = profile_stability(_trace_late_flip(), ks=(1, 3), checkpoints=20)
+        for k in (1, 3):
+            assert result.membership_stable_at[k] <= result.order_stable_at[k]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            profile_stability(Trace())
+
+    def test_bad_checkpoints_rejected(self):
+        with pytest.raises(ValueError):
+            profile_stability(_trace_stable_early(), checkpoints=0)
+
+    def test_real_workload_mostly_early(self, gcc_trace):
+        result = profile_stability(gcc_trace, ks=(1, 3, 7), checkpoints=50)
+        # Paper Table 3: the top value is found essentially immediately.
+        assert result.membership_stable_at[1] < 0.5

@@ -1,0 +1,58 @@
+"""Tests for the Fig. 3 timeline profiler."""
+
+from repro.profiling.occurrence import OccurrenceProfile, OccurrenceSample
+from repro.profiling.timeline import profile_timeline
+from repro.trace.trace import Trace
+
+
+def _fixture():
+    # Value 7 dominates accesses; memory snapshots at 4 and 8 accesses.
+    trace = Trace(
+        [(0, 0, 7), (1, 4, 7), (0, 8, 1), (0, 0, 7),
+         (0, 4, 7), (0, 8, 1), (1, 12, 2), (0, 0, 7)]
+    )
+    samples = (
+        OccurrenceSample(access_count=4, live_locations=3,
+                         counts={7: 2, 1: 1}),
+        OccurrenceSample(access_count=8, live_locations=4,
+                         counts={7: 2, 1: 1, 2: 1}),
+    )
+    occurrence = OccurrenceProfile(
+        samples=samples, ranked=((7, 4), (1, 2), (2, 1))
+    )
+    return trace, occurrence
+
+
+class TestTimeline:
+    def test_points_align_with_snapshots(self):
+        trace, occurrence = _fixture()
+        points = profile_timeline(trace, occurrence)
+        assert [p.access_count for p in points] == [4, 8]
+        assert points[0].cumulative_accesses == 4
+        assert points[1].cumulative_accesses == 8
+
+    def test_access_coverage_cumulative(self):
+        trace, occurrence = _fixture()
+        points = profile_timeline(trace, occurrence)
+        # Top-1 accessed value is 7: 3 of the first 4, 5 of all 8.
+        assert points[0].covered_accesses[0] == 3
+        assert points[1].covered_accesses[0] == 5
+
+    def test_location_coverage_from_snapshots(self):
+        trace, occurrence = _fixture()
+        points = profile_timeline(trace, occurrence)
+        assert points[0].covered_locations[0] == 2  # locations holding 7
+        assert points[0].live_locations == 3
+
+    def test_distinct_values_monotone(self):
+        trace, occurrence = _fixture()
+        points = profile_timeline(trace, occurrence)
+        assert points[0].distinct_values_accessed <= points[1].distinct_values_accessed
+
+    def test_coverage_bands_are_nested(self):
+        trace, occurrence = _fixture()
+        for point in profile_timeline(trace, occurrence):
+            covered = point.covered_accesses
+            assert covered[0] <= covered[1] <= covered[2] <= covered[3]
+            locations = point.covered_locations
+            assert locations[0] <= locations[1] <= locations[2] <= locations[3]

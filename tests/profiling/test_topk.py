@@ -1,0 +1,112 @@
+"""Tests for exact and streaming top-k counters, including the
+published guarantees of Misra-Gries and Space-Saving."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiling.topk import ExactTopK, MisraGries, SpaceSaving
+
+_streams = st.lists(st.integers(min_value=0, max_value=30), max_size=500)
+
+
+class TestExactTopK:
+    def test_counts_and_ranking(self):
+        counter = ExactTopK()
+        counter.add_many([5, 5, 5, 1, 1, 9])
+        assert counter.top(2) == [(5, 3), (1, 2)]
+        assert counter.top_values(1) == [5]
+        assert counter.count(9) == 1
+        assert counter.distinct == 3
+        assert counter.total == 6
+
+    def test_coverage(self):
+        counter = ExactTopK()
+        counter.add_many([5, 5, 1, 9])
+        assert counter.coverage(1) == 0.5
+        assert counter.coverage(3) == 1.0
+
+    def test_deterministic_tie_break(self):
+        counter = ExactTopK()
+        counter.add_many([3, 2, 1])
+        assert counter.top_values(3) == [1, 2, 3]  # ties by value
+
+    def test_empty(self):
+        counter = ExactTopK()
+        assert counter.top(5) == []
+        assert counter.coverage(5) == 0.0
+
+
+class TestMisraGries:
+    @settings(max_examples=60, deadline=None)
+    @given(stream=_streams, k=st.integers(min_value=1, max_value=8))
+    def test_heavy_hitters_retained(self, stream, k):
+        """Published guarantee: every value with true count > n/(k+1)
+        survives in the summary."""
+        summary = MisraGries(k)
+        for value in stream:
+            summary.add(value)
+        true = Counter(stream)
+        threshold = len(stream) / (k + 1)
+        surviving = {value for value, _ in summary.candidates()}
+        for value, count in true.items():
+            if count > threshold:
+                assert value in surviving
+
+    @settings(max_examples=60, deadline=None)
+    @given(stream=_streams, k=st.integers(min_value=1, max_value=8))
+    def test_counts_are_lower_bounds(self, stream, k):
+        summary = MisraGries(k)
+        for value in stream:
+            summary.add(value)
+        true = Counter(stream)
+        for value, estimate in summary.candidates():
+            assert estimate <= true[value]
+
+    def test_state_bounded(self):
+        summary = MisraGries(4)
+        for value in range(1000):
+            summary.add(value)
+        assert len(summary.candidates()) <= 4
+
+
+class TestSpaceSaving:
+    @settings(max_examples=60, deadline=None)
+    @given(stream=_streams, k=st.integers(min_value=1, max_value=8))
+    def test_heavy_hitters_monitored(self, stream, k):
+        """Published guarantee: every value with true count > n/k is
+        among the k monitored values."""
+        summary = SpaceSaving(k)
+        for value in stream:
+            summary.add(value)
+        true = Counter(stream)
+        monitored = {value for value, _, _ in summary.estimates()}
+        for value, count in true.items():
+            if count > len(stream) / k:
+                assert value in monitored
+
+    @settings(max_examples=60, deadline=None)
+    @given(stream=_streams, k=st.integers(min_value=1, max_value=8))
+    def test_estimates_overcount_within_error(self, stream, k):
+        summary = SpaceSaving(k)
+        for value in stream:
+            summary.add(value)
+        true = Counter(stream)
+        for value, estimate, error in summary.estimates():
+            assert true[value] <= estimate  # never undercounts
+            assert estimate - error <= true[value]  # error bound holds
+
+    def test_guaranteed_top_is_prefix_of_true_heavy_hitters(self):
+        summary = SpaceSaving(4)
+        stream = [1] * 50 + [2] * 30 + list(range(100, 120))
+        for value in stream:
+            summary.add(value)
+        guaranteed = summary.guaranteed_top()
+        assert guaranteed[:1] == [1]
+
+    def test_state_bounded(self):
+        summary = SpaceSaving(4)
+        for value in range(1000):
+            summary.add(value)
+        assert len(summary.estimates()) == 4

@@ -1,0 +1,97 @@
+"""Tests for the calibrated CACTI-style timing model.
+
+These pin exactly the properties the experiments rely on: monotone
+growth with array size, and the paper's three calibration anchors.
+"""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import ConfigurationError
+from repro.timing.cacti import DEFAULT_MODEL, CactiModel
+
+
+class TestCalibrationAnchors:
+    def test_fvc_512_is_about_6ns(self):
+        assert DEFAULT_MODEL.fvc_access_ns(512, 3, 8) == pytest.approx(6.0, abs=0.15)
+
+    def test_victim_cache_4_entries_is_about_9ns(self):
+        assert DEFAULT_MODEL.fully_associative_access_ns(4, 32) == pytest.approx(
+            9.0, abs=0.15
+        )
+
+    def test_exactly_twelve_admissible_configs(self):
+        admissible = [
+            (kb, lb)
+            for kb in (4, 8, 16, 32, 64)
+            for lb in (16, 32, 64)
+            if DEFAULT_MODEL.fvc_fits_dmc(
+                512, 3, CacheGeometry(kb * 1024, lb)
+            )
+        ]
+        assert len(admissible) == 12
+        # The fast outliers are the small-and-wide arrays.
+        assert (4, 32) not in admissible
+        assert (4, 64) not in admissible
+        assert (8, 64) not in admissible
+
+
+class TestMonotonicity:
+    def test_dmc_time_grows_with_size(self):
+        times = [
+            DEFAULT_MODEL.direct_mapped_access_ns(CacheGeometry(kb * 1024, 32))
+            for kb in (4, 8, 16, 32, 64)
+        ]
+        assert times == sorted(times)
+
+    def test_fvc_time_grows_with_entries(self):
+        times = [
+            DEFAULT_MODEL.fvc_access_ns(entries, 3, 8)
+            for entries in (64, 128, 256, 512, 1024, 2048, 4096)
+        ]
+        assert times == sorted(times)
+
+    def test_fvc_varies_only_slightly_with_line_size(self):
+        # The paper notes "small variation" across DMC configurations.
+        narrow = DEFAULT_MODEL.fvc_access_ns(512, 3, 4)
+        wide = DEFAULT_MODEL.fvc_access_ns(512, 3, 16)
+        assert 0 < wide - narrow < 0.3
+
+    def test_set_associative_adds_way_mux(self):
+        direct = DEFAULT_MODEL.direct_mapped_access_ns(
+            CacheGeometry(16 * 1024, 32)
+        )
+        two_way = DEFAULT_MODEL.set_associative_access_ns(
+            CacheGeometry(16 * 1024, 32, ways=2)
+        )
+        assert two_way > direct - 1.0  # mux offsets the shorter array
+
+    def test_set_associative_delegates_for_one_way(self):
+        geometry = CacheGeometry(16 * 1024, 32)
+        assert DEFAULT_MODEL.set_associative_access_ns(
+            geometry
+        ) == DEFAULT_MODEL.direct_mapped_access_ns(geometry)
+
+
+class TestValidation:
+    def test_direct_model_rejects_set_associative(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_MODEL.direct_mapped_access_ns(
+                CacheGeometry(16 * 1024, 32, ways=2)
+            )
+
+    def test_fvc_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_MODEL.fvc_access_ns(500, 3, 8)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_MODEL.fvc_access_ns(512, 0, 8)
+
+    def test_fully_associative_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_MODEL.fully_associative_access_ns(3, 32)
+
+    def test_custom_model_is_usable(self):
+        slow = CactiModel(scale=2.0)
+        assert slow.direct_mapped_access_ns(
+            CacheGeometry(16 * 1024, 32)
+        ) > DEFAULT_MODEL.direct_mapped_access_ns(CacheGeometry(16 * 1024, 32))

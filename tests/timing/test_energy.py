@@ -1,0 +1,55 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.timing.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+
+GEOMETRY = CacheGeometry(16 * 1024, 32)
+
+
+def _stats(accesses=1000, traffic=500) -> CacheStats:
+    stats = CacheStats()
+    stats.read_hits = accesses
+    stats.fill_words = traffic
+    return stats
+
+
+class TestEnergyModel:
+    def test_bus_dominates_sram(self):
+        # Moving one word off-chip costs far more than one array access.
+        model = DEFAULT_ENERGY_MODEL
+        assert model.traffic_nj(1) > 10 * model.dmc_access_nj(GEOMETRY)
+
+    def test_fvc_probe_cheaper_than_dmc(self):
+        # 24-bit code field vs a 256-bit data line.
+        model = DEFAULT_ENERGY_MODEL
+        assert model.fvc_access_nj(8, 3) < model.dmc_access_nj(GEOMETRY)
+
+    def test_baseline_total_scales_with_traffic(self):
+        model = DEFAULT_ENERGY_MODEL
+        low = model.baseline_total_nj(_stats(traffic=100), GEOMETRY)
+        high = model.baseline_total_nj(_stats(traffic=10_000), GEOMETRY)
+        assert high > low
+
+    def test_fvc_system_pays_both_probes(self):
+        model = DEFAULT_ENERGY_MODEL
+        stats = _stats()
+        assert model.fvc_system_total_nj(stats, GEOMETRY, 3) > (
+            model.baseline_total_nj(stats, GEOMETRY)
+        ) - model.traffic_nj(stats.traffic_words) * 0  # same traffic term
+
+    def test_traffic_reduction_can_win_despite_double_probe(self):
+        # The paper's argument: if the FVC halves traffic, the extra
+        # probe energy is negligible.
+        model = DEFAULT_ENERGY_MODEL
+        base = _stats(accesses=10_000, traffic=20_000)
+        improved = _stats(accesses=10_000, traffic=10_000)
+        assert model.fvc_system_total_nj(improved, GEOMETRY, 3) < (
+            model.baseline_total_nj(base, GEOMETRY)
+        )
+
+    def test_custom_model(self):
+        expensive_bus = EnergyModel(bus_word_nj=100.0)
+        assert expensive_bus.traffic_nj(10) == 1000.0

@@ -1,0 +1,59 @@
+"""Tests for the execution-time (AMAT) model."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.timing.performance import (
+    DEFAULT_PERFORMANCE_MODEL,
+    PerformanceModel,
+)
+
+GEOMETRY = CacheGeometry(16 * 1024, 32)
+
+
+def _stats(accesses: int, misses: int) -> CacheStats:
+    stats = CacheStats()
+    stats.read_hits = accesses - misses
+    stats.read_misses = misses
+    return stats
+
+
+class TestPerformanceModel:
+    def test_cycle_time_is_slower_path(self):
+        model = DEFAULT_PERFORMANCE_MODEL
+        plain = model.cycle_time_ns(GEOMETRY)
+        with_small_fvc = model.cycle_time_ns(GEOMETRY, fvc_entries=64)
+        assert with_small_fvc == plain  # the DMC dominates
+        huge_fvc = model.cycle_time_ns(CacheGeometry(4 * 1024, 64),
+                                       fvc_entries=4096)
+        assert huge_fvc > model.cycle_time_ns(CacheGeometry(4 * 1024, 64))
+
+    def test_miss_penalty_scales_with_line(self):
+        model = DEFAULT_PERFORMANCE_MODEL
+        short = model.miss_penalty_ns(CacheGeometry(16 * 1024, 16))
+        long = model.miss_penalty_ns(CacheGeometry(16 * 1024, 64))
+        assert long > short
+
+    def test_amat_improves_with_fewer_misses(self):
+        model = DEFAULT_PERFORMANCE_MODEL
+        worse = model.amat_ns(_stats(1000, 100), GEOMETRY)
+        better = model.amat_ns(_stats(1000, 40), GEOMETRY)
+        assert better < worse
+
+    def test_amat_zero_for_empty_run(self):
+        assert DEFAULT_PERFORMANCE_MODEL.amat_ns(CacheStats(), GEOMETRY) == 0.0
+
+    def test_execution_time_decomposition(self):
+        model = PerformanceModel(memory_latency_ns=100.0, bus_ns_per_word=0.0)
+        stats = _stats(10, 2)
+        expected = 10 * model.cycle_time_ns(GEOMETRY) + 2 * 100.0
+        assert model.execution_time_ns(stats, GEOMETRY) == pytest.approx(expected)
+
+    def test_bigger_cache_pays_cycle_time(self):
+        # The doubling trade-off the paper highlights: the 32 KB array
+        # is slower per access even when it misses less.
+        model = DEFAULT_PERFORMANCE_MODEL
+        small = model.cycle_time_ns(CacheGeometry(16 * 1024, 32))
+        big = model.cycle_time_ns(CacheGeometry(32 * 1024, 32))
+        assert big > small

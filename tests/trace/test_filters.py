@@ -1,0 +1,51 @@
+"""Tests for trace filtering utilities."""
+
+import pytest
+
+from repro.trace.filters import (
+    filter_address_range,
+    filter_loads,
+    filter_stores,
+    sample_every,
+    split_windows,
+)
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        [(0, 0x10, 1), (1, 0x20, 2), (0, 0x30, 3), (1, 0x40, 4)],
+        workload="demo",
+    )
+
+
+class TestFilters:
+    def test_filter_loads(self, trace):
+        loads = filter_loads(trace)
+        assert all(op == 0 for op, _, _ in loads.records)
+        assert len(loads) == 2
+        assert loads.workload == "demo"
+
+    def test_filter_stores(self, trace):
+        assert len(filter_stores(trace)) == 2
+
+    def test_filter_address_range(self, trace):
+        ranged = filter_address_range(trace, 0x20, 0x40)
+        assert [addr for _, addr, _ in ranged.records] == [0x20, 0x30]
+
+    def test_bad_range_rejected(self, trace):
+        with pytest.raises(ValueError):
+            filter_address_range(trace, 0x40, 0x20)
+
+    def test_sample_every(self, trace):
+        assert len(sample_every(trace, 2)) == 2
+        with pytest.raises(ValueError):
+            sample_every(trace, 0)
+
+    def test_split_windows(self, trace):
+        windows = list(split_windows(trace, 3))
+        assert [len(w) for w in windows] == [3, 1]
+        assert windows[0].records == trace.records[:3]
+        with pytest.raises(ValueError):
+            list(split_windows(trace, 0))

@@ -1,0 +1,100 @@
+"""Tests for the compact (version 2) trace format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import TraceFormatError
+from repro.trace.io import (
+    read_trace,
+    read_trace_any,
+    write_trace,
+    write_trace_compact,
+)
+from repro.trace.trace import Trace
+
+_records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=0xFFFFFFFC).map(lambda a: a & ~3),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ),
+    max_size=300,
+)
+
+
+class TestCompactRoundtrip:
+    def test_simple_roundtrip(self, tmp_path):
+        trace = Trace(
+            [(0, 16, 1), (1, 0xFFFFFFF0, 0xFFFFFFFF), (0, 16, 7)],
+            workload="gcc",
+            input_name="ref",
+            instruction_count=42,
+        )
+        path = tmp_path / "t.trc2"
+        write_trace_compact(trace, path)
+        loaded = read_trace_any(path)
+        assert loaded == trace
+        assert loaded.workload == "gcc"
+        assert loaded.instruction_count == 42
+
+    @settings(max_examples=25, deadline=None)
+    @given(records=_records)
+    def test_roundtrip_property(self, tmp_path_factory, records):
+        trace = Trace(records, workload="p")
+        path = tmp_path_factory.mktemp("traces") / "t.trc2"
+        write_trace_compact(trace, path)
+        assert read_trace_any(path).records == records
+
+    def test_read_any_dispatches_on_version(self, tmp_path):
+        trace = Trace([(0, 16, 1)] * 10, workload="w")
+        v1 = tmp_path / "v1.trc"
+        v2 = tmp_path / "v2.trc"
+        write_trace(trace, v1)
+        write_trace_compact(trace, v2)
+        assert read_trace_any(v1) == read_trace_any(v2) == trace
+
+    def test_gzip_compact(self, tmp_path):
+        trace = Trace([(0, 16, 1)] * 50)
+        path = tmp_path / "t.trc2.gz"
+        write_trace_compact(trace, path)
+        assert read_trace_any(path) == trace
+
+
+class TestCompactness:
+    def test_smaller_than_v1_on_sequential_trace(self, tmp_path):
+        # Sequential scan of small values: the sweet spot for deltas.
+        trace = Trace(
+            [(0, 0x1000 + index * 4, index % 8) for index in range(5000)]
+        )
+        v1 = tmp_path / "v1.trc"
+        v2 = tmp_path / "v2.trc"
+        write_trace(trace, v1)
+        write_trace_compact(trace, v2)
+        assert v2.stat().st_size * 2 < v1.stat().st_size
+
+    def test_real_workload_trace_shrinks(self, tmp_path, store):
+        trace = store.get("go", "test")
+        v1 = tmp_path / "v1.trc"
+        v2 = tmp_path / "v2.trc"
+        write_trace(trace, v1)
+        write_trace_compact(trace, v2)
+        assert v2.stat().st_size < v1.stat().st_size
+
+
+class TestCompactErrors:
+    def test_truncated_payload(self, tmp_path):
+        trace = Trace([(0, 16, 1)] * 20)
+        path = tmp_path / "t.trc2"
+        write_trace_compact(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises(TraceFormatError):
+            read_trace_any(path)
+
+    def test_v1_reader_rejects_v2(self, tmp_path):
+        trace = Trace([(0, 16, 1)])
+        path = tmp_path / "t.trc2"
+        write_trace_compact(trace, path)
+        with pytest.raises(TraceFormatError):
+            read_trace(path)

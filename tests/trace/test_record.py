@@ -1,0 +1,26 @@
+"""Tests for the Access record view."""
+
+from repro.trace.record import LOAD, STORE, Access
+
+
+class TestAccess:
+    def test_named_view_equals_raw_tuple(self):
+        raw = (LOAD, 0x100, 42)
+        access = Access(*raw)
+        assert access == raw
+        assert access.address == 0x100
+        assert access.value == 42
+
+    def test_kind_predicates(self):
+        assert Access(LOAD, 0, 0).is_load
+        assert not Access(LOAD, 0, 0).is_store
+        assert Access(STORE, 0, 0).is_store
+
+    def test_str_rendering(self):
+        assert str(Access(LOAD, 0x10, 0xFF)) == "LD 0x00000010 = 0x000000ff"
+        assert str(Access(STORE, 0x10, 1)).startswith("ST")
+
+    def test_opcodes_are_stable(self):
+        # The binary trace format depends on these exact values.
+        assert LOAD == 0
+        assert STORE == 1

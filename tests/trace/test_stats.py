@@ -1,0 +1,53 @@
+"""Tests for trace summary statistics."""
+
+from repro.trace.stats import compute_stats
+from repro.trace.trace import Trace
+
+
+def _trace() -> Trace:
+    # value 7 accessed 3 times, value 1 twice, value 9 once.
+    return Trace(
+        [
+            (0, 0x10, 7),
+            (1, 0x14, 7),
+            (0, 0x18, 7),
+            (0, 0x10, 1),
+            (1, 0x20, 1),
+            (0, 0x24, 9),
+        ]
+    )
+
+
+class TestComputeStats:
+    def test_counts(self):
+        stats = compute_stats(_trace())
+        assert stats.accesses == 6
+        assert stats.loads == 4
+        assert stats.stores == 2
+        assert stats.footprint_words == 5
+        assert stats.footprint_bytes == 20
+        assert stats.distinct_values == 3
+
+    def test_top_values_ranked(self):
+        stats = compute_stats(_trace())
+        assert stats.top_values[0] == (7, 3)
+        assert stats.top_values[1] == (1, 2)
+
+    def test_coverage(self):
+        stats = compute_stats(_trace())
+        assert stats.top_value_access_fraction(1) == 3 / 6
+        assert stats.top_value_access_fraction(2) == 5 / 6
+
+    def test_load_fraction(self):
+        assert compute_stats(_trace()).load_fraction == 4 / 6
+
+    def test_empty_trace(self):
+        stats = compute_stats(Trace())
+        assert stats.accesses == 0
+        assert stats.top_value_access_fraction(5) == 0.0
+        assert stats.load_fraction == 0.0
+
+    def test_format_is_readable(self):
+        text = compute_stats(_trace()).format()
+        assert "accesses" in text
+        assert "top accessed values" in text

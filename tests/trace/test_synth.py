@@ -1,0 +1,81 @@
+"""Tests for the synthetic trace generators."""
+
+import pytest
+
+from repro.cache.classify import classify_misses
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.mem.memory import STORE
+from repro.trace.synth import (
+    cyclic_trace,
+    ping_pong_trace,
+    streaming_trace,
+    uniform_trace,
+    zipf_value_trace,
+)
+
+GEOMETRY = CacheGeometry(16 * 1024, 32)
+
+
+def _replayable(trace) -> bool:
+    state = {}
+    for op, address, value in trace.records:
+        if op == STORE:
+            state[address] = value
+        elif state.get(address, 0) != value:
+            return False
+    return True
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            uniform_trace(2000, seed=1),
+            zipf_value_trace(2000, seed=2),
+            ping_pong_trace(100),
+            streaming_trace(500),
+            cyclic_trace(200, passes=3),
+        ],
+        ids=["uniform", "zipf", "ping-pong", "streaming", "cyclic"],
+    )
+    def test_replayable(self, trace):
+        assert _replayable(trace)
+
+    def test_deterministic_in_seed(self):
+        assert uniform_trace(500, seed=7) == uniform_trace(500, seed=7)
+        assert uniform_trace(500, seed=7) != uniform_trace(500, seed=8)
+
+
+class TestBehaviouralShapes:
+    def test_ping_pong_is_pure_conflict(self):
+        trace = ping_pong_trace(200, geometry_size_bytes=16 * 1024)
+        result = classify_misses(trace.records, GEOMETRY)
+        assert result.conflict > 0.9 * (result.misses - result.compulsory)
+
+    def test_streaming_is_pure_compulsory(self):
+        trace = streaming_trace(4000)
+        result = classify_misses(trace.records, GEOMETRY)
+        assert result.capacity == 0
+        assert result.conflict == 0
+
+    def test_cyclic_beyond_cache_is_capacity(self):
+        # 8192 words = 32 KB cycled through a 16 KB cache.
+        trace = cyclic_trace(8192, passes=3)
+        result = classify_misses(trace.records, GEOMETRY)
+        assert result.capacity > result.conflict
+
+    def test_cyclic_within_cache_hits(self):
+        trace = cyclic_trace(512, passes=4)  # 2 KB fits easily
+        stats = DirectMappedCache(GEOMETRY).simulate(trace.records)
+        assert stats.miss_rate < 0.05
+
+    def test_zipf_controls_value_locality(self):
+        from repro.profiling.access import profile_accessed_values
+
+        high = zipf_value_trace(4000, frequent_fraction=0.9, seed=3)
+        low = zipf_value_trace(4000, frequent_fraction=0.05, seed=3)
+        assert (
+            profile_accessed_values(high).coverage(3)
+            > profile_accessed_values(low).coverage(3)
+        )

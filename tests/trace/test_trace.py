@@ -1,0 +1,63 @@
+"""Tests for the Trace container."""
+
+from repro.trace.record import Access
+from repro.trace.trace import Trace
+
+
+def _sample() -> Trace:
+    return Trace(
+        [(0, 0x10, 1), (1, 0x20, 2), (0, 0x10, 1)],
+        workload="demo",
+        input_name="test",
+    )
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        trace = _sample()
+        assert len(trace) == 3
+        assert list(trace)[0] == (0, 0x10, 1)
+        assert trace[1] == (1, 0x20, 2)
+
+    def test_slice_returns_trace_with_metadata(self):
+        trace = _sample()[0:2]
+        assert isinstance(trace, Trace)
+        assert len(trace) == 2
+        assert trace.workload == "demo"
+
+    def test_equality_on_records(self):
+        assert _sample() == _sample()
+        assert _sample() != Trace([(0, 0, 0)])
+
+    def test_repr_mentions_source(self):
+        assert "demo" in repr(_sample())
+
+
+class TestBuilders:
+    def test_append_and_extend(self):
+        trace = Trace()
+        trace.append(0, 4, 9)
+        trace.extend([(1, 8, 10)])
+        assert trace.records == [(0, 4, 9), (1, 8, 10)]
+
+    def test_instruction_count_defaults_to_length(self):
+        assert _sample().instruction_count == 3
+        assert Trace([(0, 0, 0)], instruction_count=50).instruction_count == 50
+
+
+class TestAggregates:
+    def test_load_store_counts(self):
+        trace = _sample()
+        assert trace.load_count == 2
+        assert trace.store_count == 1
+
+    def test_footprint_and_distinct_values(self):
+        trace = _sample()
+        assert trace.footprint_words() == 2
+        assert trace.distinct_values() == 2
+
+    def test_accesses_named_view(self):
+        first = next(_sample().accesses())
+        assert isinstance(first, Access)
+        assert first.is_load and not first.is_store
+        assert first == (0, 0x10, 1)

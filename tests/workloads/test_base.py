@@ -1,0 +1,100 @@
+"""Tests for the workload base class, registry and trace store."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.base import Workload, WorkloadInput
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    FP_WORKLOADS,
+    FVL_WORKLOADS,
+    INT_WORKLOADS,
+    NON_FVL_WORKLOADS,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.store import TraceStore
+
+
+class _Toy(Workload):
+    name = "toy"
+    spec_analog = "000.toy"
+
+    def inputs(self):
+        return {"test": WorkloadInput("test", {"n": 3}, data_seed=1)}
+
+    def _run(self, space, inp):
+        base = space.static.alloc(inp.params["n"])
+        for index in range(inp.params["n"]):
+            space.store(base + index * 4, index)
+
+
+class TestWorkloadBase:
+    def test_generate_trace(self):
+        trace = _Toy().generate_trace("test")
+        assert len(trace) == 3
+        assert trace.workload == "toy"
+        assert trace.input_name == "test"
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(WorkloadError):
+            _Toy().generate_trace("ref")
+
+    def test_rng_streams_deterministic(self):
+        toy = _Toy()
+        inp = toy.input_named("test")
+        assert toy._rng(inp, "a").random() == toy._rng(inp, "a").random()
+
+    def test_repr(self):
+        assert "000.toy" in repr(_Toy())
+
+
+class TestRegistry:
+    def test_groupings(self):
+        assert len(FVL_WORKLOADS) == 6
+        assert len(NON_FVL_WORKLOADS) == 2
+        assert len(INT_WORKLOADS) == 8
+        assert len(FP_WORKLOADS) == 6
+        assert len(ALL_WORKLOADS) == 14
+
+    def test_names_unique(self):
+        names = workload_names()
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert get_workload("gcc").spec_analog == "126.gcc"
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_fvl_flags_match_groupings(self):
+        assert all(w.exhibits_fvl for w in FVL_WORKLOADS)
+        assert not any(w.exhibits_fvl for w in NON_FVL_WORKLOADS)
+
+    def test_every_workload_has_three_inputs(self):
+        for workload in ALL_WORKLOADS:
+            assert set(workload.inputs()) == {"test", "train", "ref"}
+
+
+class TestTraceStore:
+    def test_caches_and_evicts_lru(self):
+        store = TraceStore(max_traces=2)
+        a = store.get("go", "test")
+        assert store.get("go", "test") is a  # cached
+        store.get("li", "test")
+        store.get("compress", "test")  # evicts go
+        assert len(store) == 2
+        assert store.hits == 1
+        assert store.misses == 3
+        b = store.get("go", "test")  # regenerated, equal content
+        assert b is not a
+        assert b == a
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStore(max_traces=0)
+
+    def test_clear(self):
+        store = TraceStore()
+        store.get("go", "test")
+        store.clear()
+        assert len(store) == 0

@@ -1,0 +1,68 @@
+"""Tests of the engineered cache behaviour inside the workloads.
+
+Each FVL analog was designed with a specific cache character (DESIGN.md
+§2); these tests pin the address-level mechanics that produce it, so a
+refactor that silently breaks a conflict pair fails loudly here rather
+than as a drifted benchmark figure.
+"""
+
+import pytest
+
+from repro.cache.classify import classify_misses
+from repro.cache.geometry import CacheGeometry
+from repro.profiling.access import profile_accessed_values
+
+
+class TestM88ksimConflictPair:
+    def test_flags_and_prot_alias_at_every_tested_size(self):
+        flags = 0x08048000 + 0x8000
+        prot = flags + 0x10000
+        for size_kb in (4, 8, 16, 32, 64):
+            geometry = CacheGeometry(size_kb * 1024, 32)
+            assert geometry.set_index(flags) == geometry.set_index(prot)
+
+    def test_two_way_absorbs_the_pair(self, m88ksim_trace):
+        direct = classify_misses(
+            m88ksim_trace.records, CacheGeometry(16 * 1024, 32)
+        )
+        two_way = classify_misses(
+            m88ksim_trace.records, CacheGeometry(16 * 1024, 32, ways=2)
+        )
+        assert direct.conflict > 3 * max(1, two_way.conflict)
+
+    def test_conflict_values_are_frequent(self, m88ksim_trace):
+        # The pair's words (flags 0/1, prot 0/-1) must rank high, or
+        # the FVC could not remove the conflicts.
+        top = set(profile_accessed_values(m88ksim_trace).top_values(7))
+        assert 0 in top
+        assert 1 in top or 0xFFFFFFFF in top
+
+
+class TestPerlConflictPair:
+    def test_line_buffer_is_heap_congruent(self):
+        # 64 KB-congruence between the line buffer and the heap base.
+        buffer_base = (0x08048000 + 0xFFFF) & ~0xFFFF
+        assert buffer_base % 0x10000 == 0x40000000 % 0x10000
+
+    def test_associativity_removes_most_misses(self, store):
+        trace = store.get("perl", "test")
+        direct = classify_misses(trace.records, CacheGeometry(16 * 1024, 32))
+        assert direct.fraction("conflict") > 0.35
+
+
+class TestCapacityBenchmarks:
+    @pytest.mark.parametrize("name", ["gcc", "vortex"])
+    def test_capacity_share_dominates(self, name, store):
+        trace = store.get(name, "test")
+        result = classify_misses(trace.records, CacheGeometry(16 * 1024, 32))
+        assert result.fraction("capacity") + result.fraction("compulsory") > 0.4
+
+    def test_vortex_touches_a_large_footprint(self, store):
+        trace = store.get("vortex", "test")
+        assert trace.footprint_words() * 4 > 64 * 1024  # > 64 KB
+
+    def test_go_book_exceeds_one_cache(self, store):
+        trace = store.get("go", "test")
+        # The opening book plus boards and pattern table must exceed
+        # 16 KB, or the capacity story collapses.
+        assert trace.footprint_words() * 4 > 16 * 1024

@@ -1,0 +1,128 @@
+"""Physics-level sanity tests of the FP analogs.
+
+The FP kernels are real numerical code; these tests check their
+numerical behaviour directly in the simulated memory.
+"""
+
+import pytest
+
+from repro.common.words import word_to_float
+from repro.mem.space import AddressSpace
+from repro.workloads.fp import (
+    ApplluWorkload,
+    Hydro2dWorkload,
+    MgridWorkload,
+    Su2corWorkload,
+    SwimWorkload,
+    TomcatvWorkload,
+)
+
+
+def _run(workload, input_name="test"):
+    space = AddressSpace()
+    workload._run(space, workload.input_named(input_name))
+    return space
+
+
+class TestSwim:
+    def test_disturbance_spreads(self):
+        workload = SwimWorkload()
+        space = _run(workload)
+        n = workload.input_named("test").params["n"]
+        u = space.layout.static_base
+        nonzero = sum(
+            1
+            for index in range(n * n)
+            if space.memory.peek(u + index * 4) != 0
+        )
+        assert 0 < nonzero < n * n  # spread, but not everywhere
+
+
+class TestTomcatv:
+    def test_mesh_interior_stays_bounded(self):
+        workload = TomcatvWorkload()
+        space = _run(workload)
+        n = workload.input_named("test").params["n"]
+        x = space.layout.static_base
+        values = [
+            word_to_float(space.memory.peek(x + index * 4))
+            for index in range(n * n)
+        ]
+        assert all(-1.0 <= value <= n * 0.125 + 1.0 for value in values)
+
+
+class TestMgrid:
+    def test_relaxation_spreads_sources(self):
+        workload = MgridWorkload()
+        space = _run(workload)
+        n = workload.input_named("test").params["n"]
+        grid = space.layout.static_base
+        nonzero = sum(
+            1
+            for index in range(n**3)
+            if space.memory.peek(grid + index * 4) != 0
+        )
+        sources = max(3, n // 4)
+        assert nonzero > sources  # smoothing spread beyond the sources
+
+
+class TestApplu:
+    def test_vectors_stay_finite(self):
+        workload = ApplluWorkload()
+        space = _run(workload)
+        params = workload.input_named("test").params
+        vectors = space.layout.static_base + params["cells"] * 16 * 4
+        for cell in range(0, params["cells"], 17):
+            for row in range(4):
+                value = word_to_float(
+                    space.memory.peek(vectors + (cell * 4 + row) * 4)
+                )
+                assert abs(value) < 1e12
+
+
+class TestSu2cor:
+    def test_identity_links_dominate(self):
+        workload = Su2corWorkload()
+        space = _run(workload)
+        n = workload.input_named("test").params["n"]
+        field = space.layout.static_base
+        ones = zeros = total = 0
+        for site in range(n**3):
+            for direction in range(2):
+                base = field + (site * 4 + direction * 2) * 4
+                re = word_to_float(space.memory.peek(base))
+                im = word_to_float(space.memory.peek(base + 4))
+                total += 2
+                ones += re == 1.0
+                zeros += im == 0.0
+        assert ones / (total / 2) > 0.5
+        assert zeros / (total / 2) > 0.5
+
+
+class TestHydro2d:
+    def test_mass_is_conserved(self):
+        """The advection step only moves density between neighbours, so
+        total mass must be conserved to rounding."""
+        workload = Hydro2dWorkload()
+        inp = workload.input_named("test")
+        n = inp.params["n"]
+
+        # Initial mass: re-run only the init by sampling a fresh run's
+        # final state and comparing against an analytic bound instead:
+        # mass stays within float tolerance of the initial disc mass.
+        space = _run(workload)
+        density = space.layout.static_base
+        final_mass = sum(
+            word_to_float(space.memory.peek(density + index * 4))
+            for index in range(n * n)
+        )
+        # The disc has area ~pi*(n/5)^2 cells of density ~1.0-1.1.
+        import math
+
+        disc_cells = sum(
+            1
+            for row in range(n)
+            for col in range(n)
+            if (row - n // 2) ** 2 + (col - n // 2) ** 2 < (n // 5) ** 2
+        )
+        assert disc_cells * 0.95 <= final_mass <= disc_cells * 1.2

@@ -1,0 +1,90 @@
+"""Structural tests of the gcc analog's compiler data structures."""
+
+from repro.mem.space import AddressSpace
+from repro.workloads.gcc import (
+    _BINARY_TAGS,
+    _SYMTAB_BUCKETS,
+    _TAG_IDENT,
+    _TAG_NUM,
+    GccWorkload,
+)
+
+
+def _space(input_name="test"):
+    workload = GccWorkload()
+    space = AddressSpace()
+    workload._run(space, workload.input_named(input_name))
+    return space
+
+
+class TestSymbolTable:
+    def test_chains_acyclic_and_bucketed(self):
+        space = _space()
+        peek = space.memory.peek
+        buckets = space.layout.static_base
+        entries = 0
+        for bucket in range(_SYMTAB_BUCKETS):
+            entry = peek(buckets + bucket * 4)
+            seen = set()
+            while entry:
+                assert entry not in seen, "cycle in symbol chain"
+                seen.add(entry)
+                name_id = peek(entry)
+                assert name_id % _SYMTAB_BUCKETS == bucket
+                assert peek(entry + 4) == name_id * 3 + 1  # value rule
+                assert peek(entry + 12) == 1  # flags
+                entry = peek(entry + 8)
+            entries += len(seen)
+        assert entries > 50  # a real population of symbols
+
+    def test_no_duplicate_symbols_per_chain(self):
+        space = _space()
+        peek = space.memory.peek
+        buckets = space.layout.static_base
+        for bucket in range(_SYMTAB_BUCKETS):
+            entry = peek(buckets + bucket * 4)
+            names = []
+            while entry:
+                names.append(peek(entry))
+                entry = peek(entry + 8)
+            assert len(names) == len(set(names))
+
+
+def _is_symbol_entry(peek, base: int) -> bool:
+    """Symbol entries share the heap with AST nodes (arena reuse); they
+    are identified by their [name_id, 3*name_id+1, next, 1] shape."""
+    name_id = peek(base)
+    return peek(base + 4) == name_id * 3 + 1 and peek(base + 12) == 1
+
+
+class TestFoldingSemantics:
+    def test_folded_nodes_are_proper_leaves(self):
+        """After constant folding, every NUM node in the final heap
+        must have null children — fold() rewrites in place."""
+        space = _space()
+        peek = space.memory.peek
+        heap_base = space.layout.heap_base
+        # Walk the heap arena: nodes are 4-word records.
+        checked = 0
+        for offset in range(0, 4000 * 16, 16):
+            base = heap_base + offset
+            tag = peek(base)
+            if tag == _TAG_NUM and not _is_symbol_entry(peek, base):
+                assert peek(base + 4) == 0
+                assert peek(base + 8) == 0
+                checked += 1
+        assert checked > 20
+
+    def test_interior_nodes_have_heap_children(self):
+        space = _space()
+        peek = space.memory.peek
+        heap_base = space.layout.heap_base
+        interior = 0
+        for offset in range(0, 4000 * 16, 16):
+            tag = peek(heap_base + offset)
+            base = heap_base + offset
+            if tag in _BINARY_TAGS and not _is_symbol_entry(peek, base):
+                left = peek(base + 4)
+                assert left == 0 or left >= heap_base
+                interior += 1
+        assert interior > 5

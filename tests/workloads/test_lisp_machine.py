@@ -1,0 +1,125 @@
+"""Semantic tests of the Lisp evaluator (the li analog's engine).
+
+The workload only needs the *memory behaviour*, but the interpreter is
+a real evaluator — so its semantics are tested like one.
+"""
+
+import pytest
+
+from repro.mem.space import AddressSpace
+from repro.workloads.li import (
+    NIL,
+    LispMachine,
+    fixnum_value,
+    is_fixnum,
+    make_fixnum,
+)
+
+
+@pytest.fixture
+def machine():
+    space = AddressSpace()
+    machine = LispMachine(space)
+    for name in ("quote", "if", "lambda", "define"):
+        machine.intern(name)
+    machine.install_builtins()
+    return machine
+
+
+def evaluate(machine, source):
+    return machine.eval(machine.read(source))
+
+
+class TestTagging:
+    def test_fixnum_roundtrip(self):
+        for n in (0, 1, 7, -1, -300, 40000):
+            assert fixnum_value(make_fixnum(n)) == n
+            assert is_fixnum(make_fixnum(n))
+
+    def test_paper_table1_values(self):
+        # li's Table 1 values 0x3/0x103/0x303 are the tagged 0, 1, 3.
+        assert make_fixnum(0) == 0x3
+        assert make_fixnum(1) == 0x103
+        assert make_fixnum(3) == 0x303
+
+    def test_nil_is_zero(self):
+        assert NIL == 0
+        assert not is_fixnum(NIL)
+
+
+class TestEvaluator:
+    def test_self_evaluating(self, machine):
+        assert evaluate(machine, 5) == make_fixnum(5)
+
+    def test_arithmetic(self, machine):
+        assert evaluate(machine, ["+", 2, 3]) == make_fixnum(5)
+        assert evaluate(machine, ["*", ["-", 7, 2], 4]) == make_fixnum(20)
+
+    def test_comparisons(self, machine):
+        assert evaluate(machine, ["<", 1, 2]) != NIL
+        assert evaluate(machine, ["<", 2, 1]) == NIL
+        assert evaluate(machine, ["=", 3, 3]) != NIL
+
+    def test_quote(self, machine):
+        cell = evaluate(machine, ["quote", [1, 2]])
+        assert machine.car(cell) == make_fixnum(1)
+        assert machine.car(machine.cdr(cell)) == make_fixnum(2)
+        assert machine.cdr(machine.cdr(cell)) == NIL
+
+    def test_if_branches(self, machine):
+        assert evaluate(machine, ["if", ["<", 1, 2], 10, 20]) == make_fixnum(10)
+        assert evaluate(machine, ["if", ["<", 2, 1], 10, 20]) == make_fixnum(20)
+        assert evaluate(machine, ["if", ["<", 2, 1], 10]) == NIL
+
+    def test_define_and_lookup(self, machine):
+        evaluate(machine, ["define", "x", 42])
+        assert evaluate(machine, "x") == make_fixnum(42)
+
+    def test_lambda_application(self, machine):
+        evaluate(machine, ["define", "sq", ["lambda", ["n"], ["*", "n", "n"]]])
+        assert evaluate(machine, ["sq", 9]) == make_fixnum(81)
+
+    def test_lexical_shadowing(self, machine):
+        evaluate(machine, ["define", "n", 100])
+        evaluate(machine, ["define", "id", ["lambda", ["n"], "n"]])
+        assert evaluate(machine, ["id", 7]) == make_fixnum(7)
+        assert evaluate(machine, "n") == make_fixnum(100)
+
+    def test_recursion_fib(self, machine):
+        evaluate(machine, [
+            "define", "fib",
+            ["lambda", ["n"],
+             ["if", ["<", "n", 2], "n",
+              ["+", ["fib", ["-", "n", 1]], ["fib", ["-", "n", 2]]]]]])
+        assert evaluate(machine, ["fib", 10]) == make_fixnum(55)
+
+    def test_list_builtins(self, machine):
+        pair = evaluate(machine, ["cons", 1, 2])
+        assert machine.car(pair) == make_fixnum(1)
+        assert machine.cdr(pair) == make_fixnum(2)
+        assert evaluate(machine, ["null", ["quote", []]]) != NIL
+        assert evaluate(machine, ["null", 5]) == NIL
+
+    def test_rplacd_mutation(self, machine):
+        evaluate(machine, ["define", "p", ["cons", 1, 2]])
+        evaluate(machine, ["rplacd", "p", 9])
+        cell = evaluate(machine, "p")
+        assert machine.cdr(cell) == make_fixnum(9)
+
+
+class TestArenas:
+    def test_free_arena_recycles_addresses(self, machine):
+        machine.commit_permanent()
+        a = machine.cons(NIL, NIL)
+        machine.free_arena()
+        b = machine.cons(NIL, NIL)
+        assert a == b  # exact-size free-list reuse
+
+    def test_commit_protects_permanent_structure(self, machine):
+        table = machine.list_from([make_fixnum(1), make_fixnum(2)])
+        machine.commit_permanent()
+        machine.cons(NIL, NIL)
+        machine.free_arena()
+        # The permanent list is intact after collection.
+        assert machine.car(table) == make_fixnum(1)
+        assert machine.car(machine.cdr(table)) == make_fixnum(2)

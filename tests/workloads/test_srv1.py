@@ -1,0 +1,227 @@
+"""Tests for the SRV-1 guest machine (ISA, assembler, interpreter)."""
+
+import pytest
+
+from repro.common.errors import SimulatedMachineError
+from repro.mem.space import AddressSpace
+from repro.workloads.srv1 import (
+    ADD,
+    ADDI,
+    AND,
+    Assembler,
+    BEQ,
+    BLT,
+    BNE,
+    HALT,
+    JMP,
+    LD,
+    LDI,
+    MOV,
+    MUL,
+    SHR,
+    ST,
+    SUB,
+    XOR,
+    Srv1Machine,
+    decode_fields,
+    disassemble,
+    encode,
+)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        word = encode(ADD, rd=3, rs=5, imm=-7)
+        assert decode_fields(word) == (ADD, 3, 5, -7)
+
+    def test_immediate_range(self):
+        assert decode_fields(encode(LDI, imm=0xFFFF))[3] == -1
+        assert decode_fields(encode(LDI, imm=0x7FFF))[3] == 0x7FFF
+
+    def test_bad_operands_rejected(self):
+        with pytest.raises(SimulatedMachineError):
+            encode(99)
+        with pytest.raises(SimulatedMachineError):
+            encode(ADD, rd=16)
+        with pytest.raises(SimulatedMachineError):
+            encode(LDI, imm=0x10000)
+
+    def test_disassemble(self):
+        assert disassemble(encode(ADD, 1, 2, 0)) == "add r1, r2, 0"
+
+
+class TestAssembler:
+    def test_labels_resolve_backwards(self):
+        asm = Assembler()
+        asm.label("loop")
+        asm.emit(ADDI, 1, 0, 1)
+        asm.branch(BNE, 1, 2, "loop")
+        words = asm.assemble()
+        # Branch offset is relative to the next instruction: -2.
+        assert decode_fields(words[1])[3] == -2
+
+    def test_labels_resolve_forwards(self):
+        asm = Assembler()
+        asm.branch(JMP, 0, 0, "end")
+        asm.emit(ADDI, 1, 0, 1)
+        asm.label("end")
+        asm.emit(HALT)
+        assert decode_fields(asm.assemble()[0])[3] == 1
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(SimulatedMachineError):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.branch(JMP, 0, 0, "nowhere")
+        with pytest.raises(SimulatedMachineError):
+            asm.assemble()
+
+
+def _machine():
+    space = AddressSpace()
+    static = space.static
+    base = space.layout.static_base
+    code_base = static.alloc(256, at=base + 0x100)
+    regfile_base = static.alloc(16, at=base + 0x600)
+    decode_base = static.alloc(32, at=base + 0x700)
+    flags_base = static.alloc(8, at=base + 0x800)
+    prot_base = static.alloc(8, at=base + 0x900)
+    ram_base = static.alloc(4096, at=base + 0x1000)
+    return space, Srv1Machine(
+        space,
+        code_base=code_base,
+        regfile_base=regfile_base,
+        ram_base=ram_base,
+        decode_base=decode_base,
+        flags_base=flags_base,
+        prot_base=prot_base,
+    )
+
+
+def _run(program_builder, max_instructions=10_000):
+    space, machine = _machine()
+    machine.initialise_decode_table()
+    asm = Assembler()
+    program_builder(asm)
+    machine.load_program(asm.assemble())
+    machine.run(max_instructions=max_instructions)
+    return machine
+
+
+class TestExecution:
+    def test_arithmetic_program(self):
+        def program(asm):
+            asm.emit(LDI, 1, 0, 6)
+            asm.emit(LDI, 2, 0, 7)
+            asm.emit(MUL, 1, 2, 0)  # r1 = 42
+            asm.emit(LDI, 3, 0, 40)
+            asm.emit(SUB, 1, 3, 0)  # r1 = 2
+            asm.emit(HALT)
+
+        machine = _run(program)
+        assert machine.register(1) == 2
+
+    def test_memory_and_loop(self):
+        def program(asm):
+            # Write i*i for i in 0..4 into guest RAM, then sum them.
+            asm.emit(LDI, 1, 0, 0)
+            asm.emit(LDI, 2, 0, 5)
+            asm.label("write")
+            asm.emit(MOV, 3, 1, 0)
+            asm.emit(MUL, 3, 3, 0)
+            asm.emit(ST, 3, 1, 0)
+            asm.emit(ADDI, 1, 0, 1)
+            asm.branch(BNE, 1, 2, "write")
+            asm.emit(LDI, 1, 0, 0)
+            asm.emit(LDI, 4, 0, 0)
+            asm.label("sum")
+            asm.emit(LD, 3, 1, 0)
+            asm.emit(ADD, 4, 3, 0)
+            asm.emit(ADDI, 1, 0, 1)
+            asm.branch(BNE, 1, 2, "sum")
+            asm.emit(HALT)
+
+        machine = _run(program)
+        assert machine.register(4) == sum(i * i for i in range(5))
+        assert machine.guest_word(3) == 9
+
+    def test_branches(self):
+        def program(asm):
+            asm.emit(LDI, 1, 0, 5)
+            asm.emit(LDI, 2, 0, 5)
+            asm.branch(BEQ, 1, 2, "equal")
+            asm.emit(LDI, 3, 0, 111)
+            asm.emit(HALT)
+            asm.label("equal")
+            asm.emit(LDI, 3, 0, 222)
+            asm.emit(HALT)
+
+        assert _run(program).register(3) == 222
+
+    def test_signed_compare(self):
+        def program(asm):
+            asm.emit(LDI, 1, 0, -3)  # 0xFFFFFFFD
+            asm.emit(LDI, 2, 0, 2)
+            asm.branch(BLT, 1, 2, "less")
+            asm.emit(LDI, 3, 0, 0)
+            asm.emit(HALT)
+            asm.label("less")
+            asm.emit(LDI, 3, 0, 1)
+            asm.emit(HALT)
+
+        assert _run(program).register(3) == 1
+
+    def test_logic_ops(self):
+        def program(asm):
+            asm.emit(LDI, 1, 0, 0xF0F)
+            asm.emit(LDI, 2, 0, 0x0FF)
+            asm.emit(AND, 1, 2, 0)  # 0x00F
+            asm.emit(LDI, 2, 0, 0x010)
+            asm.emit(XOR, 1, 2, 0)  # 0x01F
+            asm.emit(SHR, 1, 0, 4)  # 0x001
+            asm.emit(HALT)
+
+        assert _run(program).register(1) == 1
+
+    def test_instruction_budget_stops_runaway(self):
+        def program(asm):
+            asm.label("spin")
+            asm.branch(JMP, 0, 0, "spin")
+
+        machine = _run(program, max_instructions=50)
+        assert machine.instructions_retired == 50
+
+    def test_illegal_instruction_raises(self):
+        space, machine = _machine()
+        machine.initialise_decode_table()
+        space.store_block(
+            machine._code, [0x10 << 24]  # opcode 16: undefined
+        )
+        with pytest.raises(SimulatedMachineError):
+            machine.run(max_instructions=10)
+
+    def test_bookkeeping_structures_touched(self):
+        def program(asm):
+            asm.emit(LDI, 1, 0, 0)
+            asm.emit(LDI, 2, 0, 200)
+            asm.label("loop")
+            asm.emit(LD, 3, 1, 0)
+            asm.emit(ADDI, 1, 0, 1)
+            asm.branch(BNE, 1, 2, "loop")
+            asm.emit(HALT)
+
+        space, machine = _machine()
+        machine.initialise_decode_table()
+        asm = Assembler()
+        program(asm)
+        machine.load_program(asm.assemble())
+        record = []
+        space.memory._record = record  # capture from here on
+        machine.run(max_instructions=5000)
+        touched = {addr for _, addr, _ in record}
+        assert any(machine._flags <= a < machine._flags + 32 for a in touched)
+        assert any(machine._prot <= a < machine._prot + 32 for a in touched)

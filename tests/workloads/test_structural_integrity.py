@@ -1,0 +1,86 @@
+"""Structural-integrity tests: the data structures the workloads build
+in simulated memory must be well-formed after the run.
+
+These walk the final memory images directly (untraced peeks), checking
+the invariants a real program would rely on — acyclic hash chains,
+intact board borders, tree-shaped ASTs.
+"""
+
+from repro.mem.space import AddressSpace
+from repro.workloads.go import GoWorkload, _EDGE
+from repro.workloads.vortex import VortexWorkload
+
+
+class TestGoBoard:
+    def _board(self, input_name="test"):
+        workload = GoWorkload()
+        space = AddressSpace()
+        workload._run(space, workload.input_named(input_name))
+        return space, space.layout.static_base
+
+    def test_border_sentinels_intact(self):
+        space, board = self._board()
+        stride = 21
+        peek = space.memory.peek
+        for index in range(stride * stride):
+            row, col = divmod(index, stride)
+            on_board = 1 <= row <= 19 and 1 <= col <= 19
+            value = peek(board + index * 4)
+            if not on_board:
+                assert value == _EDGE
+            else:
+                assert value in (0, 1, 2)
+
+    def test_stones_were_placed(self):
+        space, board = self._board()
+        stride = 21
+        stones = sum(
+            1
+            for index in range(stride * stride)
+            if space.memory.peek(board + index * 4) in (1, 2)
+        )
+        assert stones > 10
+
+    def test_both_colours_played(self):
+        space, board = self._board()
+        stride = 21
+        values = {
+            space.memory.peek(board + index * 4)
+            for index in range(stride * stride)
+        }
+        assert {1, 2} <= values
+
+
+class TestVortexIndexes:
+    def _space(self, input_name="test"):
+        workload = VortexWorkload()
+        space = AddressSpace()
+        workload._run(space, workload.input_named(input_name))
+        return workload, space
+
+    def test_id_chains_acyclic_and_consistent(self):
+        workload, space = self._space()
+        peek = space.memory.peek
+        id_index = space.layout.static_base
+        found = 0
+        for bucket in range(2048):
+            entry = peek(id_index + bucket * 4)
+            seen = set()
+            while entry:
+                assert entry not in seen, "cycle in id chain"
+                seen.add(entry)
+                object_id = peek(entry + 4)
+                assert object_id % 2048 == bucket, "object in wrong bucket"
+                entry = peek(entry + 12)
+            found += len(seen)
+        assert found > 1000  # most objects indexed
+
+    def test_every_indexed_object_has_valid_type(self):
+        workload, space = self._space()
+        peek = space.memory.peek
+        id_index = space.layout.static_base
+        for bucket in range(0, 2048, 7):
+            entry = peek(id_index + bucket * 4)
+            while entry:
+                assert peek(entry) in (4, 5, 6, 0x30)
+                entry = peek(entry + 12)

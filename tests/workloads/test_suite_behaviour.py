@@ -1,0 +1,105 @@
+"""Behavioural tests of the whole analog suite.
+
+These pin the properties the experiments rely on: determinism, address
+validity, the frequent-value-locality split between the six FVL analogs
+and the two controls, and each workload's distinguishing signature.
+"""
+
+import pytest
+
+from repro.mem.memory import LOAD, STORE
+from repro.profiling.access import profile_accessed_values
+from repro.profiling.constancy import profile_constancy
+from repro.workloads.registry import ALL_WORKLOADS, get_workload
+
+_ALL_NAMES = [w.name for w in ALL_WORKLOADS]
+
+
+class TestSuiteInvariants:
+    @pytest.mark.parametrize("name", _ALL_NAMES)
+    def test_deterministic(self, name, store):
+        workload = get_workload(name)
+        first = store.get(name, "test")
+        second = workload.generate_trace("test")
+        assert first.records == second.records
+
+    @pytest.mark.parametrize("name", _ALL_NAMES)
+    def test_records_well_formed(self, name, store):
+        trace = store.get(name, "test")
+        assert len(trace) > 1000
+        for op, address, value in trace.records:
+            assert op in (LOAD, STORE)
+            assert address % 4 == 0
+            assert 0 <= address < 2**32
+            assert 0 <= value < 2**32
+
+    @pytest.mark.parametrize("name", _ALL_NAMES)
+    def test_loads_replayable(self, name, store):
+        """Replaying stores against zero memory reproduces every load —
+        the contract the FVC simulator depends on."""
+        state = {}
+        for op, address, value in store.get(name, "test").records:
+            if op == STORE:
+                state[address] = value
+            else:
+                assert state.get(address, 0) == value
+
+    @pytest.mark.parametrize("name", _ALL_NAMES)
+    def test_inputs_scale(self, name):
+        workload = get_workload(name)
+        test_trace = workload.generate_trace("test")
+        train_trace = workload.generate_trace("train")
+        assert len(train_trace) > len(test_trace)
+
+
+class TestFrequentValueSplit:
+    def test_fvl_analogs_beat_controls(self, store):
+        coverages = {
+            name: profile_accessed_values(store.get(name, "test")).coverage(10)
+            for name in _ALL_NAMES[:8]
+        }
+        fvl = [coverages[n] for n in ("go", "m88ksim", "gcc", "li", "perl",
+                                      "vortex")]
+        controls = [coverages["compress"], coverages["ijpeg"]]
+        assert min(fvl) > max(controls) - 0.05
+        assert sum(fvl) / len(fvl) > 0.35
+
+    def test_fp_analogs_have_high_coverage(self, store):
+        for name in ("swim", "tomcatv", "mgrid", "applu"):
+            profile = profile_accessed_values(store.get(name, "test"))
+            assert profile.coverage(10) > 0.3
+
+
+class TestSignatures:
+    def test_ijpeg_mutates_almost_everything(self, store):
+        result = profile_constancy(store.get("ijpeg", "test"))
+        assert result.constant_fraction < 0.15
+
+    def test_li_mutates_more_than_other_fvl(self, store):
+        li = profile_constancy(store.get("li", "test")).constant_fraction
+        perl = profile_constancy(store.get("perl", "test")).constant_fraction
+        assert li < perl
+
+    def test_perl_packed_ascii_values(self, store):
+        top = profile_accessed_values(store.get("perl", "test")).top_values(10)
+        assert 0x78787878 in top or 0x20202020 in top
+
+    def test_li_tagged_fixnums(self, store):
+        profile = profile_accessed_values(store.get("li", "test"))
+        top = [value for value, _ in profile.ranked[:20]]
+        assert any(value & 0xFF == 3 for value in top)
+
+    def test_go_small_board_values(self, store):
+        top = profile_accessed_values(store.get("go", "test")).top_values(5)
+        assert 0 in top and 1 in top
+
+    def test_m88ksim_retires_guest_instructions(self):
+        workload = get_workload("m88ksim")
+        workload.generate_trace("test")
+        assert workload.last_retired > 10_000
+
+    def test_fp_zero_dominance(self, store):
+        # swim/mgrid grids are zero-dominated (float 0.0 packs to 0).
+        for name in ("swim", "mgrid"):
+            top = profile_accessed_values(store.get(name, "test")).top_values(3)
+            assert 0 in top
