@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick examples experiments clean
+.PHONY: install test test-fast bench bench-fast bench-quick examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,10 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-fast:
+	$(PYTHON) -m pytest benchmarks/bench_core.py --benchmark-only \
+		--benchmark-autosave
 
 bench-quick:
 	$(PYTHON) -m pytest benchmarks/bench_fig09_access_time.py \

@@ -35,13 +35,28 @@ def test_direct_mapped_throughput(benchmark, records):
     benchmark(lambda: DirectMappedCache(GEOMETRY).simulate(records))
 
 
+def test_direct_mapped_batch_throughput(benchmark, records):
+    benchmark(lambda: DirectMappedCache(GEOMETRY).simulate_batch(records))
+
+
 def test_two_way_throughput(benchmark, records):
     geometry = CacheGeometry(16 * 1024, 32, ways=2)
     benchmark(lambda: SetAssociativeCache(geometry).simulate(records))
 
 
+def test_two_way_batch_throughput(benchmark, records):
+    geometry = CacheGeometry(16 * 1024, 32, ways=2)
+    benchmark(lambda: SetAssociativeCache(geometry).simulate_batch(records))
+
+
 def test_fvc_system_throughput(benchmark, records, encoder):
     benchmark(lambda: FvcSystem(GEOMETRY, 512, encoder).simulate(records))
+
+
+def test_fvc_system_batch_throughput(benchmark, records, encoder):
+    benchmark(
+        lambda: FvcSystem(GEOMETRY, 512, encoder).simulate_batch(records)
+    )
 
 
 def test_access_profile_throughput(benchmark, store):

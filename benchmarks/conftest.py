@@ -22,8 +22,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def store() -> TraceStore:
-    """One store for the whole benchmark session (ref traces are big)."""
-    return TraceStore(max_traces=8)
+    """One store for the whole benchmark session (ref traces are big).
+
+    Backed by the on-disk trace cache, so only the first benchmark run
+    on a machine pays for ref-input synthesis.
+    """
+    return TraceStore(max_traces=8, disk_cache="auto")
 
 
 def emit(result: ExperimentResult) -> None:

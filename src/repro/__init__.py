@@ -28,6 +28,13 @@ Quickstart::
 
 from repro.cache.classify import MissClassification, classify_misses
 from repro.cache.direct import DirectMappedCache
+from repro.engine import (
+    SimCell,
+    TraceCache,
+    default_trace_cache,
+    run_cell,
+    run_cells,
+)
 from repro.cache.geometry import CacheGeometry
 from repro.cache.setassoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
@@ -89,6 +96,11 @@ __all__ = [
     "TraceStore",
     "get_trace",
     "shared_store",
+    "TraceCache",
+    "default_trace_cache",
+    "SimCell",
+    "run_cell",
+    "run_cells",
     "EXPERIMENTS",
     "get_experiment",
     "__version__",

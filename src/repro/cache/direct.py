@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import CacheStats
@@ -20,6 +20,14 @@ class DirectMappedCache:
     miss rates and traffic, not data contents.  (The combined DMC+FVC
     system in :mod:`repro.fvc.system` keeps its own data-carrying DMC,
     because eviction there must inspect word values.)
+
+    Dirty state lives in a ``bytearray`` (one byte per set): dense,
+    allocation-free, and its items are small ints the batch loop can
+    test and assign without boxing.
+
+    When :attr:`victim_log` is set to a list, every dirty eviction
+    appends the written-back line's address — the hierarchy composition
+    uses this to direct L2 write-backs at the *victim* line.
     """
 
     def __init__(self, geometry: CacheGeometry) -> None:
@@ -31,7 +39,9 @@ class DirectMappedCache:
         self.geometry = geometry
         self.stats = CacheStats()
         self._tags = [_INVALID] * geometry.num_sets
-        self._dirty = [False] * geometry.num_sets
+        self._dirty = bytearray(geometry.num_sets)
+        #: When a list, receives the line address of every dirty victim.
+        self.victim_log: Optional[List[int]] = None
 
     def access(self, op: int, byte_addr: int) -> bool:
         """Simulate one access; returns True on a hit."""
@@ -41,7 +51,7 @@ class DirectMappedCache:
         stats = self.stats
         if self._tags[index] == line_addr:
             if op:  # store
-                self._dirty[index] = True
+                self._dirty[index] = 1
                 stats.write_hits += 1
             else:
                 stats.read_hits += 1
@@ -50,23 +60,79 @@ class DirectMappedCache:
         if self._dirty[index]:
             stats.writebacks += 1
             stats.writeback_words += geom.words_per_line
+            if self.victim_log is not None:
+                self.victim_log.append(self._tags[index])
         self._tags[index] = line_addr
         stats.fills += 1
         stats.fill_words += geom.words_per_line
         if op:
-            self._dirty[index] = True
+            self._dirty[index] = 1
             stats.write_misses += 1
         else:
-            self._dirty[index] = False
+            self._dirty[index] = 0
             stats.read_misses += 1
         return False
 
     def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
-        """Replay a whole trace (records of ``(op, addr, value)``)."""
+        """Replay a whole trace (records of ``(op, addr, value)``)
+        through the per-access API."""
         access = self.access
         for op, byte_addr, _ in records:
             access(op, byte_addr)
         return self.stats
+
+    def simulate_batch(
+        self, records: Iterable[Tuple[int, int, int]]
+    ) -> CacheStats:
+        """Replay a whole trace through the hot-loop fast path.
+
+        Bit-identical to :meth:`simulate` — same tags, dirty bits and
+        statistics — but with the geometry shifts/masks, the tag and
+        dirty stores, and the statistics counters all hoisted into
+        locals, so the inner loop does no attribute lookups and no
+        method calls.
+        """
+        geom = self.geometry
+        shift = geom.line_shift
+        mask = geom.set_mask
+        words = geom.words_per_line
+        tags = self._tags
+        dirty = self._dirty
+        log = self.victim_log
+        read_hits = write_hits = read_misses = write_misses = 0
+        fills = writebacks = 0
+        for op, byte_addr, _ in records:
+            line_addr = byte_addr >> shift
+            index = line_addr & mask
+            if tags[index] == line_addr:
+                if op:
+                    dirty[index] = 1
+                    write_hits += 1
+                else:
+                    read_hits += 1
+            else:
+                if dirty[index]:
+                    writebacks += 1
+                    if log is not None:
+                        log.append(tags[index])
+                tags[index] = line_addr
+                fills += 1
+                if op:
+                    dirty[index] = 1
+                    write_misses += 1
+                else:
+                    dirty[index] = 0
+                    read_misses += 1
+        stats = self.stats
+        stats.read_hits += read_hits
+        stats.write_hits += write_hits
+        stats.read_misses += read_misses
+        stats.write_misses += write_misses
+        stats.fills += fills
+        stats.fill_words += fills * words
+        stats.writebacks += writebacks
+        stats.writeback_words += writebacks * words
+        return stats
 
     def contains(self, byte_addr: int) -> bool:
         """True when the line holding ``byte_addr`` is resident."""
@@ -81,5 +147,7 @@ class DirectMappedCache:
             if self._tags[index] != _INVALID and self._dirty[index]:
                 self.stats.writebacks += 1
                 self.stats.writeback_words += geom.words_per_line
+                if self.victim_log is not None:
+                    self.victim_log.append(self._tags[index])
             self._tags[index] = _INVALID
-            self._dirty[index] = False
+            self._dirty[index] = 0

@@ -11,6 +11,13 @@ when an L2 already filters the traffic.
 Miss accounting: ``stats`` (the L1's) defines hits the processor sees;
 ``l2_stats`` counts the L1 miss stream's behaviour at L2.  Global miss
 rate = L2 misses / processor accesses.
+
+Write-backs are issued at the *victim* line's address: the L1
+simulators log each dirty eviction's line address (``victim_log``),
+and the hierarchy replays those addresses into the L2 — the physically
+correct composition (an earlier approximation wrote the incoming
+access's address instead, mis-steering L2 write traffic to the wrong
+set whenever victim and newcomer differed in their L2 index bits).
 """
 
 from __future__ import annotations
@@ -30,7 +37,8 @@ class TwoLevelSystem:
     """Conventional L1 + unified L2 (both write-back, write-allocate).
 
     The L2 sees one read access per L1 fill and one write access per L1
-    write-back — the standard trace-driven composition.
+    write-back (at the written-back line's own address) — the standard
+    trace-driven composition.
     """
 
     def __init__(
@@ -46,6 +54,7 @@ class TwoLevelSystem:
             self._l1 = DirectMappedCache(l1_geometry)
         else:
             self._l1 = SetAssociativeCache(l1_geometry)
+        self._l1.victim_log = []
         self._l2 = SetAssociativeCache(l2_geometry)
 
     @property
@@ -60,17 +69,17 @@ class TwoLevelSystem:
 
     def access(self, op: int, byte_addr: int) -> bool:
         """One processor access; returns True on an L1 hit."""
-        before_fills = self._l1.stats.fills
-        before_writebacks = self._l1.stats.writebacks
-        hit = self._l1.access(op, byte_addr)
-        if self._l1.stats.fills > before_fills:
+        l1 = self._l1
+        log = l1.victim_log
+        log.clear()
+        before_fills = l1.stats.fills
+        hit = l1.access(op, byte_addr)
+        if l1.stats.fills > before_fills:
             self._l2.access(0, byte_addr)  # fill = L2 read
-        if self._l1.stats.writebacks > before_writebacks:
-            # The written-back line's address is unknown to the L1 API;
-            # modelling it as a write to the same set index slightly
-            # understates L2 write traffic but keeps the composition
-            # trace-driven.  Fill-path reads dominate the L2 anyway.
-            self._l2.access(1, byte_addr)
+        if log:
+            shift = self.l1_geometry.line_shift
+            for victim_line in log:
+                self._l2.access(1, victim_line << shift)
         return hit
 
     def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
@@ -78,6 +87,30 @@ class TwoLevelSystem:
         access = self.access
         for op, byte_addr, _ in records:
             access(op, byte_addr)
+        return self.stats
+
+    def simulate_batch(
+        self, records: Iterable[Tuple[int, int, int]]
+    ) -> CacheStats:
+        """Replay a whole trace with the composition loop's attribute
+        lookups hoisted into locals (bit-identical to :meth:`simulate`)."""
+        l1 = self._l1
+        l1_access = l1.access
+        l1_stats = l1.stats
+        l2_access = self._l2.access
+        log = l1.victim_log
+        shift = self.l1_geometry.line_shift
+        fills = l1_stats.fills
+        for op, byte_addr, _ in records:
+            log.clear()
+            l1_access(op, byte_addr)
+            new_fills = l1_stats.fills
+            if new_fills > fills:
+                fills = new_fills
+                l2_access(0, byte_addr)
+            if log:
+                for victim_line in log:
+                    l2_access(1, victim_line << shift)
         return self.stats
 
     @property
@@ -88,7 +121,12 @@ class TwoLevelSystem:
 
 
 class TwoLevelFvcSystem:
-    """DMC+FVC as the L1, backed by the same unified L2."""
+    """DMC+FVC as the L1, backed by the same unified L2.
+
+    L1-side write-backs — dirty main-cache victims and word-granular
+    FVC entry flushes alike — reach the L2 at the flushed line's own
+    address via the L1's ``victim_log``.
+    """
 
     def __init__(
         self,
@@ -103,6 +141,7 @@ class TwoLevelFvcSystem:
         self.l1_geometry = l1_geometry
         self.l2_geometry = l2_geometry
         self._l1 = FvcSystem(l1_geometry, fvc_entries, encoder, config=config)
+        self._l1.victim_log = []
         self._l2 = SetAssociativeCache(l2_geometry)
 
     @property
@@ -122,13 +161,17 @@ class TwoLevelFvcSystem:
 
     def access(self, op: int, byte_addr: int, value: int) -> bool:
         """One processor access; returns True on an L1-side hit."""
-        before_fills = self._l1.stats.fills
-        before_writebacks = self._l1.stats.writebacks
-        hit = self._l1.access(op, byte_addr, value)
-        if self._l1.stats.fills > before_fills:
+        l1 = self._l1
+        log = l1.victim_log
+        log.clear()
+        before_fills = l1.stats.fills
+        hit = l1.access(op, byte_addr, value)
+        if l1.stats.fills > before_fills:
             self._l2.access(0, byte_addr)
-        if self._l1.stats.writebacks > before_writebacks:
-            self._l2.access(1, byte_addr)
+        if log:
+            shift = self.l1_geometry.line_shift
+            for victim_line in log:
+                self._l2.access(1, victim_line << shift)
         return hit
 
     def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
@@ -136,6 +179,30 @@ class TwoLevelFvcSystem:
         access = self.access
         for op, byte_addr, value in records:
             access(op, byte_addr, value)
+        return self.stats
+
+    def simulate_batch(
+        self, records: Iterable[Tuple[int, int, int]]
+    ) -> CacheStats:
+        """Replay a whole trace with the composition loop's attribute
+        lookups hoisted into locals (bit-identical to :meth:`simulate`)."""
+        l1 = self._l1
+        l1_access = l1.access
+        l1_stats = l1.stats
+        l2_access = self._l2.access
+        log = l1.victim_log
+        shift = self.l1_geometry.line_shift
+        fills = l1_stats.fills
+        for op, byte_addr, value in records:
+            log.clear()
+            l1_access(op, byte_addr, value)
+            new_fills = l1_stats.fills
+            if new_fills > fills:
+                fills = new_fills
+                l2_access(0, byte_addr)
+            if log:
+                for victim_line in log:
+                    l2_access(1, victim_line << shift)
         return self.stats
 
     @property

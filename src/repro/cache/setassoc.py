@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import CacheStats
@@ -15,6 +15,9 @@ class SetAssociativeCache:
     most recent first.  Associativities in the experiments are small (2–4
     ways, plus small fully-associative victim-cache-sized structures), so
     the list scan beats fancier structures.
+
+    When :attr:`victim_log` is set to a list, every dirty eviction
+    appends the written-back line's address (hierarchy composition).
     """
 
     def __init__(self, geometry: CacheGeometry) -> None:
@@ -23,6 +26,8 @@ class SetAssociativeCache:
         self._sets: List[List[List[int]]] = [
             [] for _ in range(geometry.num_sets)
         ]
+        #: When a list, receives the line address of every dirty victim.
+        self.victim_log: Optional[List[int]] = None
 
     @classmethod
     def fully_associative(
@@ -59,6 +64,8 @@ class SetAssociativeCache:
             if victim[1]:
                 stats.writebacks += 1
                 stats.writeback_words += geom.words_per_line
+                if self.victim_log is not None:
+                    self.victim_log.append(victim[0])
         entries.insert(0, [line_addr, 1 if op else 0])
         stats.fills += 1
         stats.fill_words += geom.words_per_line
@@ -69,11 +76,68 @@ class SetAssociativeCache:
         return False
 
     def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
-        """Replay a whole trace (records of ``(op, addr, value)``)."""
+        """Replay a whole trace (records of ``(op, addr, value)``)
+        through the per-access API."""
         access = self.access
         for op, byte_addr, _ in records:
             access(op, byte_addr)
         return self.stats
+
+    def simulate_batch(
+        self, records: Iterable[Tuple[int, int, int]]
+    ) -> CacheStats:
+        """Replay a whole trace through the hot-loop fast path.
+
+        Bit-identical to :meth:`simulate`, with geometry, set storage
+        and statistics counters hoisted into locals so the inner loop
+        performs no attribute lookups or method calls.
+        """
+        geom = self.geometry
+        shift = geom.line_shift
+        mask = geom.set_mask
+        ways = geom.ways
+        words = geom.words_per_line
+        sets = self._sets
+        log = self.victim_log
+        read_hits = write_hits = read_misses = write_misses = 0
+        fills = writebacks = 0
+        for op, byte_addr, _ in records:
+            line_addr = byte_addr >> shift
+            entries = sets[line_addr & mask]
+            for position, entry in enumerate(entries):
+                if entry[0] == line_addr:
+                    if position:
+                        del entries[position]
+                        entries.insert(0, entry)
+                    if op:
+                        entry[1] = 1
+                        write_hits += 1
+                    else:
+                        read_hits += 1
+                    break
+            else:
+                if len(entries) >= ways:
+                    victim = entries.pop()
+                    if victim[1]:
+                        writebacks += 1
+                        if log is not None:
+                            log.append(victim[0])
+                entries.insert(0, [line_addr, 1 if op else 0])
+                fills += 1
+                if op:
+                    write_misses += 1
+                else:
+                    read_misses += 1
+        stats = self.stats
+        stats.read_hits += read_hits
+        stats.write_hits += write_hits
+        stats.read_misses += read_misses
+        stats.write_misses += write_misses
+        stats.fills += fills
+        stats.fill_words += fills * words
+        stats.writebacks += writebacks
+        stats.writeback_words += writebacks * words
+        return stats
 
     def contains(self, byte_addr: int) -> bool:
         """True when the line holding ``byte_addr`` is resident."""

@@ -4,7 +4,9 @@
 
     repro-fvc list                      # workloads and experiments
     repro-fvc run fig10 [--fast]        # run one experiment
-    repro-fvc run all [--fast]          # run everything, paper order
+    repro-fvc run fig10 --jobs 4        # fan simulation cells across cores
+    repro-fvc run all [--fast] [--jobs N]  # run everything, paper order
+    repro-fvc cache info|clear          # on-disk trace cache maintenance
     repro-fvc trace gcc --input ref -o gcc.trc[.gz]
     repro-fvc profile gcc [--input ref] # FVL summary of one workload
     repro-fvc report gcc                # full S2-style locality report
@@ -24,7 +26,12 @@ from typing import List, Optional
 
 from repro.cache.classify import classify_misses
 from repro.cache.geometry import CacheGeometry
-from repro.experiments.registry import experiment_ids, get_experiment
+from repro.engine.trace_cache import default_trace_cache
+from repro.experiments.registry import (
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
 from repro.experiments.common import (
     baseline_stats,
     fvc_stats,
@@ -53,12 +60,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.render import multi_bar_chart, to_csv
 
-    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
-    for experiment_id in ids:
-        experiment = get_experiment(experiment_id)
-        started = time.time()
-        result = experiment.run(shared_store, fast=args.fast)
-        elapsed = time.time() - started
+    def show(experiment_id, result, elapsed):
         if args.csv:
             print(to_csv(result), end="")
         else:
@@ -67,6 +69,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print()
                 print(multi_bar_chart(result))
         print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    if args.jobs > 1 and len(ids) > 1:
+        # Whole experiments fan across the pool; results print in
+        # registry order regardless of completion order.
+        from repro.engine.runner import run_experiments
+
+        started = time.time()
+        results = run_experiments(
+            ids, jobs=args.jobs, fast=args.fast, store=shared_store
+        )
+        elapsed = time.time() - started
+        for experiment_id, result in zip(ids, results):
+            show(experiment_id, result, elapsed / len(ids))
+        print(f"[{len(ids)} experiments, {args.jobs} jobs, {elapsed:.1f}s]")
+        return 0
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(
+            experiment_id, shared_store, fast=args.fast, jobs=args.jobs
+        )
+        show(experiment_id, result, time.time() - started)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = default_trace_cache()
+    if cache is None:
+        print("trace cache disabled (REPRO_TRACE_CACHE=off)")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached trace(s) from {cache.directory}")
+        return 0
+    entries = cache.entries()
+    print(f"trace cache: {cache.directory}")
+    print(f"entries: {len(entries)}")
+    total = 0
+    for path, workload, input_name, count in entries:
+        size = path.stat().st_size
+        total += size
+        print(f"  {workload:10s} {input_name:6s} {count:>10,} accesses "
+              f"{size / 1024:8.1f} KB")
+    if entries:
+        print(f"total: {total / 1024:.1f} KB")
     return 0
 
 
@@ -188,7 +235,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--csv", action="store_true", help="emit CSV instead of the table"
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes: fans simulation cells (single experiment) "
+        "or whole experiments ('all') across cores; results are "
+        "bit-identical to --jobs 1",
+    )
     run.set_defaults(func=_cmd_run)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk trace cache"
+    )
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.set_defaults(func=_cmd_cache)
 
     trace = sub.add_parser("trace", help="generate and save a trace file")
     trace.add_argument("workload")

@@ -1,0 +1,38 @@
+"""The experiment engine: shared trace persistence and parallel fan-out.
+
+Three cooperating layers make the figure/table suite cheap to rerun:
+
+* :mod:`repro.engine.trace_cache` — a content-addressed, disk-persistent
+  cache of generated workload traces, so each ``(workload, input)`` pair
+  is synthesised once per machine rather than once per experiment run;
+* :mod:`repro.engine.cells` — picklable simulation-cell descriptions
+  (``workload x cache-configuration``) and the worker that executes one;
+* :mod:`repro.engine.runner` — the :class:`~concurrent.futures.\
+ProcessPoolExecutor`-based fan-out with deterministic, submission-order
+  result merging.
+
+The cache simulators' ``simulate_batch`` fast paths (hoisted locals,
+inlined hit handling) are the per-core half of the same story; the
+engine is the across-core half.
+"""
+
+from repro.engine.cells import CellResult, SimCell, run_cell
+from repro.engine.runner import run_cells, run_experiments
+from repro.engine.trace_cache import (
+    TRACE_CACHE_VERSION,
+    TraceCache,
+    default_cache_dir,
+    default_trace_cache,
+)
+
+__all__ = [
+    "TRACE_CACHE_VERSION",
+    "TraceCache",
+    "default_cache_dir",
+    "default_trace_cache",
+    "SimCell",
+    "CellResult",
+    "run_cell",
+    "run_cells",
+    "run_experiments",
+]

@@ -1,0 +1,132 @@
+"""Simulation cells: picklable ``workload x cache-config`` work units.
+
+A :class:`SimCell` describes one simulation the experiment suite needs —
+a baseline cache, a DMC+FVC system, or a 3C classification, over one
+workload trace — compactly enough to ship to a worker process.  The
+worker regenerates nothing it can share: traces come through the
+content-addressed trace cache, and the encoder is rebuilt from the
+trace's (memoised) access profile, so two cells over the same workload
+pay for the trace exactly once per process and once per machine.
+
+:func:`run_cell` is the single execution path used both sequentially
+(by the experiments' ``run``) and in parallel (by
+:func:`repro.engine.runner.run_cells`), which is what makes the
+parallel results bit-identical to the sequential ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimCell:
+    """One simulation work unit.
+
+    ``kind`` selects the simulator:
+
+    * ``"baseline"`` — :class:`DirectMappedCache` /
+      :class:`SetAssociativeCache` per ``ways``;
+    * ``"fvc"`` — :class:`repro.fvc.system.FvcSystem` with
+      ``fvc_entries`` entries exploiting the top ``top_values`` values;
+    * ``"classify"`` — 3C miss classification
+      (:func:`repro.cache.classify.classify_misses`).
+    """
+
+    workload: str
+    input_name: str = "ref"
+    kind: str = "baseline"
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 32
+    ways: int = 1
+    fvc_entries: int = 512
+    top_values: int = 7
+
+    def geometry(self) -> CacheGeometry:
+        """The cache geometry this cell simulates."""
+        return CacheGeometry(self.size_bytes, self.line_bytes, ways=self.ways)
+
+
+@dataclass
+class CellResult:
+    """Picklable outcome of one cell.
+
+    ``stats`` is the :meth:`repro.cache.stats.CacheStats.as_dict`
+    snapshot; ``extras`` carries simulator-specific counters (FVC hit
+    breakdown, 3C class counts).
+    """
+
+    cell: SimCell
+    stats: Dict[str, int]
+    extras: Dict[str, int] = field(default_factory=dict)
+
+    def cache_stats(self) -> CacheStats:
+        """Rebuild a :class:`CacheStats` from the snapshot."""
+        stats = CacheStats()
+        for name in CacheStats.__slots__:
+            setattr(stats, name, self.stats[name])
+        return stats
+
+
+def run_cell(cell: SimCell, store=None) -> CellResult:
+    """Execute one cell against the given trace store (defaults to the
+    process-wide :data:`repro.workloads.store.shared_store`)."""
+    # Imported lazily: cells are constructed in contexts (CLI parsing,
+    # planning) that should not pay for the experiment stack.
+    from repro.workloads.store import shared_store
+
+    if store is None:
+        store = shared_store
+    trace = store.get(cell.workload, cell.input_name)
+    geometry = cell.geometry()
+
+    if cell.kind == "baseline":
+        if geometry.ways == 1:
+            simulator = DirectMappedCache(geometry)
+        else:
+            simulator = SetAssociativeCache(geometry)
+        stats = simulator.simulate_batch(trace.records)
+        return CellResult(cell=cell, stats=stats.as_dict())
+
+    if cell.kind == "fvc":
+        from repro.experiments.common import encoder_for
+        from repro.fvc.system import FvcSystem
+
+        system = FvcSystem(
+            geometry, cell.fvc_entries, encoder_for(trace, cell.top_values)
+        )
+        stats = system.simulate_batch(trace.records)
+        return CellResult(
+            cell=cell,
+            stats=stats.as_dict(),
+            extras={
+                "main_hits": system.main_hits,
+                "fvc_hits": system.fvc_hits,
+                "fvc_read_hits": system.fvc_read_hits,
+                "fvc_write_hits": system.fvc_write_hits,
+            },
+        )
+
+    if cell.kind == "classify":
+        from repro.cache.classify import classify_misses
+
+        result = classify_misses(trace.records, geometry)
+        return CellResult(
+            cell=cell,
+            stats=CacheStats().as_dict(),
+            extras={
+                "accesses": result.accesses,
+                "compulsory": result.compulsory,
+                "capacity": result.capacity,
+                "conflict": result.conflict,
+            },
+        )
+
+    raise ConfigurationError(f"unknown cell kind {cell.kind!r}")

@@ -1,0 +1,218 @@
+"""Content-addressed, disk-persistent trace cache.
+
+Workload traces are pure functions of ``(workload, input, data seed)``,
+so they can be persisted once per machine and shared by every
+experiment, benchmark and worker process.  Entries are stored in the
+compact v2 trace format (:func:`repro.trace.io.write_trace_compact`),
+gzip-compressed, under a directory resolved as:
+
+1. ``$REPRO_TRACE_CACHE_DIR`` when set;
+2. ``$XDG_CACHE_HOME/repro-fvc/traces`` when ``XDG_CACHE_HOME`` is set;
+3. ``~/.cache/repro-fvc/traces`` otherwise.
+
+``REPRO_TRACE_CACHE=off`` (also ``0``/``no``/``false``) disables disk
+persistence entirely — :func:`default_trace_cache` then returns ``None``
+and the in-process LRU (:class:`repro.workloads.store.TraceStore`) is
+the only caching layer.
+
+The file name is content-addressed: a SHA-256 digest over the workload
+name, input name, the input's data seed, and
+:data:`TRACE_CACHE_VERSION`.  Bump the version constant whenever
+workload generation changes semantically — stale entries then simply
+stop being addressed and can be removed with ``repro-fvc cache clear``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import TraceFormatError
+from repro.trace.io import read_trace_any, read_trace_header, write_trace_compact
+from repro.trace.trace import Trace
+
+#: Bump to invalidate every persisted trace (e.g. after changing a
+#: workload's generation logic).  Part of every entry's content address.
+TRACE_CACHE_VERSION = 1
+
+_DISABLE_VALUES = ("off", "0", "no", "false")
+
+
+def default_cache_dir() -> Path:
+    """The trace-cache directory the environment selects."""
+    env = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-fvc" / "traces"
+
+
+def default_trace_cache() -> Optional["TraceCache"]:
+    """A :class:`TraceCache` over the default directory, or ``None``
+    when ``REPRO_TRACE_CACHE`` disables persistence."""
+    if os.environ.get("REPRO_TRACE_CACHE", "").lower() in _DISABLE_VALUES:
+        return None
+    return TraceCache(default_cache_dir())
+
+
+class TraceCache:
+    """Disk-persistent, in-process-memoised store of generated traces.
+
+    ``get`` resolves a trace through three layers: the in-process memo,
+    the on-disk entry, and finally workload synthesis (which persists
+    the result for every later process on the machine).  The counters
+    ``memory_hits`` / ``disk_hits`` / ``synthesised`` / ``stores`` make
+    each layer's contribution observable.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self._memo: Dict[Tuple[str, str], Trace] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.synthesised = 0
+        self.stores = 0
+
+    # Content addressing ----------------------------------------------
+    def _data_seed(self, workload_name: str, input_name: str) -> int:
+        from repro.workloads.registry import get_workload
+
+        return get_workload(workload_name).input_named(input_name).data_seed
+
+    def key(self, workload_name: str, input_name: str = "ref") -> str:
+        """The content hash addressing one ``(workload, input)`` trace."""
+        seed = self._data_seed(workload_name, input_name)
+        material = (
+            f"fvtr|v{TRACE_CACHE_VERSION}|{workload_name}|{input_name}|"
+            f"seed={seed}"
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:20]
+
+    def path_for(self, workload_name: str, input_name: str = "ref") -> Path:
+        """On-disk location of one entry (may not exist yet)."""
+        digest = self.key(workload_name, input_name)
+        return self.directory / f"{workload_name}-{input_name}-{digest}.trc2.gz"
+
+    # Individual layers ------------------------------------------------
+    def load(self, workload_name: str, input_name: str = "ref") -> Optional[Trace]:
+        """Read one entry from disk, or ``None`` when absent/corrupt."""
+        path = self.path_for(workload_name, input_name)
+        if not path.exists():
+            return None
+        try:
+            trace = read_trace_any(path)
+        except (TraceFormatError, OSError, EOFError):
+            # A truncated write (killed process) must not poison the
+            # cache: drop the entry and fall back to synthesis.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.disk_hits += 1
+        return trace
+
+    def store(self, trace: Trace) -> Path:
+        """Persist ``trace`` (atomically: temp file + rename)."""
+        path = self.path_for(trace.workload, trace.input_name)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # The temp name must keep the ".gz" suffix: the trace writer
+        # picks gzip framing off the file name.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), suffix=".tmp.gz"
+        )
+        os.close(fd)
+        try:
+            write_trace_compact(trace, tmp_name)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def load_or_generate(
+        self, workload_name: str, input_name: str = "ref"
+    ) -> Trace:
+        """Disk layer: read the entry, synthesising and persisting on a
+        miss.  (No in-process memoisation — see :meth:`get`.)"""
+        trace = self.load(workload_name, input_name)
+        if trace is not None:
+            return trace
+        from repro.workloads.registry import get_workload
+
+        trace = get_workload(workload_name).generate_trace(input_name)
+        self.synthesised += 1
+        try:
+            self.store(trace)
+        except OSError:
+            pass  # read-only cache dir: serve the trace uncached
+        return trace
+
+    def get(self, workload_name: str, input_name: str = "ref") -> Trace:
+        """Full resolution: memo, then disk, then synthesis."""
+        memo_key = (workload_name, input_name)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self.memory_hits += 1
+            return cached
+        trace = self.load_or_generate(workload_name, input_name)
+        self._memo[memo_key] = trace
+        return trace
+
+    def ensure(self, workload_name: str, input_name: str = "ref") -> Path:
+        """Guarantee the on-disk entry exists (parallel-run pre-warm)."""
+        path = self.path_for(workload_name, input_name)
+        if not path.exists():
+            self.get(workload_name, input_name)
+        return path
+
+    # Introspection / maintenance --------------------------------------
+    def entries(self) -> List[Tuple[Path, str, str, int]]:
+        """All valid entries as ``(path, workload, input, records)``."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in sorted(self.directory.glob("*.trc2.gz")):
+            try:
+                _, workload, input_name, count, _ = read_trace_header(path)
+            except (TraceFormatError, OSError, EOFError):
+                continue
+            found.append((path, workload, input_name, count))
+        return found
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.trc2.gz"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._memo.clear()
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Layer-by-layer resolution counters."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "synthesised": self.synthesised,
+            "stores": self.stores,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceCache({self.directory}, mem={self.memory_hits}, "
+            f"disk={self.disk_hits}, synth={self.synthesised})"
+        )

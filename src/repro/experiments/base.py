@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.engine.cells import CellResult, SimCell, run_cell
 from repro.workloads.store import TraceStore, shared_store
 
 Row = Dict[str, object]
@@ -89,6 +90,56 @@ class Experiment(ABC):
         self, store: Optional[TraceStore] = None, fast: bool = False
     ) -> ExperimentResult:
         """Execute the experiment and return its result."""
+
+    # Engine integration ---------------------------------------------------
+    def plan_cells(self, fast: bool = False) -> Optional[List[SimCell]]:
+        """The experiment's work as engine simulation cells, or ``None``
+        when it has no cell decomposition (profiling experiments, or
+        sweeps whose configurations share warm simulator state).
+
+        Experiments that implement this must also implement
+        :meth:`merge_cells`, and should express :meth:`run` through the
+        same pair so sequential and parallel runs share one code path.
+        """
+        return None
+
+    def merge_cells(
+        self,
+        cells: Sequence[SimCell],
+        results: Sequence[CellResult],
+        fast: bool = False,
+    ) -> ExperimentResult:
+        """Fold cell results (in :meth:`plan_cells` order) into the
+        experiment's table."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not decompose into cells"
+        )
+
+    def run_with_engine(
+        self,
+        store: Optional[TraceStore] = None,
+        fast: bool = False,
+        jobs: int = 1,
+    ) -> ExperimentResult:
+        """Run, fanning simulation cells across ``jobs`` processes when
+        the experiment decomposes; deterministic — results are merged in
+        plan order and are bit-identical to a sequential :meth:`run`."""
+        if jobs > 1:
+            plan = self.plan_cells(fast)
+            if plan is not None:
+                from repro.engine.runner import run_cells
+
+                return self.merge_cells(
+                    plan, run_cells(plan, jobs=jobs, store=store), fast
+                )
+        return self.run(store, fast=fast)
+
+    def _run_cells(
+        self, cells: Sequence[SimCell], store: Optional[TraceStore]
+    ) -> List[CellResult]:
+        """Execute cells sequentially through the caller's store."""
+        store = self._store(store)
+        return [run_cell(cell, store) for cell in cells]
 
     def _store(self, store: Optional[TraceStore]) -> TraceStore:
         return store if store is not None else shared_store

@@ -32,20 +32,15 @@ CODE_BITS_BY_COUNT: Dict[int, int] = {1: 1, 3: 2, 7: 3}
 DMC_SIZES_KB: Tuple[int, ...] = (4, 8, 16, 32, 64)
 LINE_SIZES: Tuple[int, ...] = (16, 32, 64)
 
-# Per-trace profile memo (profiles are pure functions of the trace).
-_PROFILE_MEMO: Dict[int, AccessProfile] = {}
-
-
 def access_profile(trace: Trace) -> AccessProfile:
-    """Memoised access-value profile for a trace object."""
-    key = id(trace)
-    profile = _PROFILE_MEMO.get(key)
-    if profile is None:
-        profile = profile_accessed_values(trace)
-        if len(_PROFILE_MEMO) > 16:
-            _PROFILE_MEMO.clear()
-        _PROFILE_MEMO[key] = profile
-    return profile
+    """Memoised access-value profile for a trace object.
+
+    The memo lives on the trace itself (:meth:`repro.trace.trace.Trace
+    .memo`), so it shares the trace's lifetime and invalidation — an
+    external ``id()``-keyed table could serve another trace's profile
+    once ids are recycled.
+    """
+    return trace.memo("access_profile", profile_accessed_values)
 
 
 def encoder_for(trace: Trace, top_values: int) -> FrequentValueEncoder:
@@ -61,8 +56,8 @@ def encoder_for(trace: Trace, top_values: int) -> FrequentValueEncoder:
 def baseline_stats(trace: Trace, geometry: CacheGeometry) -> CacheStats:
     """Miss statistics of the conventional cache alone."""
     if geometry.ways == 1:
-        return DirectMappedCache(geometry).simulate(trace.records)
-    return SetAssociativeCache(geometry).simulate(trace.records)
+        return DirectMappedCache(geometry).simulate_batch(trace.records)
+    return SetAssociativeCache(geometry).simulate_batch(trace.records)
 
 
 def fvc_stats(
@@ -77,7 +72,7 @@ def fvc_stats(
     system = FvcSystem(
         geometry, fvc_entries, encoder_for(trace, top_values), config=config
     )
-    stats = system.simulate(trace.records)
+    stats = system.simulate_batch(trace.records)
     return stats, system
 
 

@@ -5,18 +5,20 @@ entries.  Paper shape: m88ksim and perl saturate with the very smallest
 FVC (conflict pairs need only a few entries); go, gcc and vortex grow
 steadily with FVC size (compressed capacity); li shows the smallest
 reduction.
+
+Decomposed into engine cells (one baseline + one cell per FVC size per
+workload), so ``repro-fvc run fig10 --jobs N`` fans the 6x8 grid across
+cores; the sequential run executes the identical cells in order.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.cache.geometry import CacheGeometry
+from repro.engine.cells import CellResult, SimCell
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import (
     FVL_NAMES,
-    baseline_stats,
-    fvc_stats,
     input_for,
     reduction_percent,
 )
@@ -26,6 +28,10 @@ _FULL_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
 _FAST_SIZES = (64, 512, 4096)
 
 
+def _sizes(fast: bool) -> Sequence[int]:
+    return _FAST_SIZES if fast else _FULL_SIZES
+
+
 class Fig10FvcSize(Experiment):
     """Reduction in miss rate as the FVC grows."""
 
@@ -33,28 +39,61 @@ class Fig10FvcSize(Experiment):
     title = "Miss rate reduction vs FVC size (16KB DMC, 8 words/line, top 7)"
     paper_reference = "Figure 10"
 
-    def run(
-        self, store: Optional[TraceStore] = None, fast: bool = False
-    ) -> ExperimentResult:
-        store = self._store(store)
+    def plan_cells(self, fast: bool = False) -> List[SimCell]:
         input_name = input_for(fast)
-        sizes: Sequence[int] = _FAST_SIZES if fast else _FULL_SIZES
-        geometry = CacheGeometry(16 * 1024, 32)
+        cells = []
+        for name in FVL_NAMES:
+            cells.append(
+                SimCell(
+                    workload=name,
+                    input_name=input_name,
+                    kind="baseline",
+                    size_bytes=16 * 1024,
+                    line_bytes=32,
+                )
+            )
+            for entries in _sizes(fast):
+                cells.append(
+                    SimCell(
+                        workload=name,
+                        input_name=input_name,
+                        kind="fvc",
+                        size_bytes=16 * 1024,
+                        line_bytes=32,
+                        fvc_entries=entries,
+                        top_values=7,
+                    )
+                )
+        return cells
+
+    def merge_cells(
+        self,
+        cells: Sequence[SimCell],
+        results: Sequence[CellResult],
+        fast: bool = False,
+    ) -> ExperimentResult:
+        sizes = _sizes(fast)
         headers = ["benchmark", "base_miss_%"] + [
             f"red_{entries}e_%" for entries in sizes
         ]
         rows = []
-        for name in FVL_NAMES:
-            trace = store.get(name, input_name)
-            base = baseline_stats(trace, geometry)
+        stride = 1 + len(sizes)
+        for block, name in enumerate(FVL_NAMES):
+            base = results[block * stride].cache_stats()
             row = {
                 "benchmark": name,
                 "base_miss_%": round(100 * base.miss_rate, 3),
             }
-            for entries in sizes:
-                stats, _ = fvc_stats(trace, geometry, entries, top_values=7)
+            for offset, entries in enumerate(sizes, start=1):
+                stats = results[block * stride + offset].cache_stats()
                 row[f"red_{entries}e_%"] = round(
                     reduction_percent(base, stats), 1
                 )
             rows.append(row)
         return self._result(headers, rows)
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        cells = self.plan_cells(fast)
+        return self.merge_cells(cells, self._run_cells(cells, store), fast)

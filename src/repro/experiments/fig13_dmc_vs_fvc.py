@@ -6,20 +6,19 @@ benchmarks (m88ksim, perl) and 1/3/7 exploited values.  Paper shape:
 for these benchmarks the DMC+FVC configuration beats the doubled (and
 even quadrupled) DMC, because the misses the FVC removes are conflict
 misses between lines that alias at every tested size.
+
+Decomposed into engine cells (doubled-DMC baseline + one DMC+FVC cell
+per exploited-value count, per pair, per benchmark) for ``--jobs``
+fan-out; the sequential run executes the identical cells in order.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.cache.geometry import CacheGeometry
+from repro.engine.cells import CellResult, SimCell
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import (
-    baseline_stats,
-    fvc_stats,
-    input_for,
-)
-from repro.fvc.cache import FrequentValueCacheArray
+from repro.experiments.common import input_for
 from repro.workloads.store import TraceStore
 
 #: (line bytes, small DMC KB, doubled DMC KB) pairs from the paper's table.
@@ -42,6 +41,12 @@ def _fvc_data_kb(line_bytes: int, code_bits: int, entries: int = 512) -> float:
     return entries * words * code_bits / 8 / 1024
 
 
+def _plan_shape(fast: bool):
+    pairs = _PAIRS[:2] if fast else _PAIRS
+    tops = (7,) if fast else (7, 3, 1)
+    return pairs, tops
+
+
 class Fig13DmcVsFvc(Experiment):
     """Small DMC + FVC against a doubled DMC."""
 
@@ -49,13 +54,42 @@ class Fig13DmcVsFvc(Experiment):
     title = "DMC + FVC vs larger DMC (miss rates, m88ksim & perl analogs)"
     paper_reference = "Figure 13"
 
-    def run(
-        self, store: Optional[TraceStore] = None, fast: bool = False
-    ) -> ExperimentResult:
-        store = self._store(store)
+    def plan_cells(self, fast: bool = False) -> List[SimCell]:
         input_name = input_for(fast)
-        pairs = _PAIRS[:2] if fast else _PAIRS
-        tops = (7,) if fast else (7, 3, 1)
+        pairs, tops = _plan_shape(fast)
+        cells = []
+        for name in _BENCHMARKS:
+            for line_bytes, small_kb, double_kb in pairs:
+                cells.append(
+                    SimCell(
+                        workload=name,
+                        input_name=input_name,
+                        kind="baseline",
+                        size_bytes=double_kb * 1024,
+                        line_bytes=line_bytes,
+                    )
+                )
+                for top in tops:
+                    cells.append(
+                        SimCell(
+                            workload=name,
+                            input_name=input_name,
+                            kind="fvc",
+                            size_bytes=small_kb * 1024,
+                            line_bytes=line_bytes,
+                            fvc_entries=512,
+                            top_values=top,
+                        )
+                    )
+        return cells
+
+    def merge_cells(
+        self,
+        cells: Sequence[SimCell],
+        results: Sequence[CellResult],
+        fast: bool = False,
+    ) -> ExperimentResult:
+        pairs, tops = _plan_shape(fast)
         headers = [
             "benchmark",
             "line_B",
@@ -68,15 +102,15 @@ class Fig13DmcVsFvc(Experiment):
             "fvc_wins",
         ]
         rows = []
+        cursor = 0
         for name in _BENCHMARKS:
-            trace = store.get(name, input_name)
             for line_bytes, small_kb, double_kb in pairs:
-                small = CacheGeometry(small_kb * 1024, line_bytes)
-                double = CacheGeometry(double_kb * 1024, line_bytes)
-                double_stats = baseline_stats(trace, double)
+                double_stats = results[cursor].cache_stats()
+                cursor += 1
                 for top in tops:
                     code_bits = {1: 1, 3: 2, 7: 3}[top]
-                    stats, _ = fvc_stats(trace, small, 512, top_values=top)
+                    stats = results[cursor].cache_stats()
+                    cursor += 1
                     rows.append(
                         {
                             "benchmark": name,
@@ -103,3 +137,9 @@ class Fig13DmcVsFvc(Experiment):
             "(paper: in all pairings for these two benchmarks)"
         )
         return result
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        cells = self.plan_cells(fast)
+        return self.merge_cells(cells, self._run_cells(cells, store), fast)

@@ -5,23 +5,28 @@
 once the base cache is 2-way (their removable misses were conflicts the
 associativity absorbs); go, gcc and vortex keep significant reductions
 (their removable misses are capacity misses).
+
+Decomposed into engine cells (baseline + FVC per associativity, plus a
+3C classification, per workload) for ``--jobs`` fan-out; the sequential
+run executes the identical cells in order.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.cache.classify import classify_misses
-from repro.cache.geometry import CacheGeometry
+from repro.engine.cells import CellResult, SimCell
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import (
     FVL_NAMES,
-    baseline_stats,
-    fvc_stats,
     input_for,
     reduction_percent,
 )
 from repro.workloads.store import TraceStore
+
+
+def _ways_list(fast: bool):
+    return (1, 2) if fast else (1, 2, 4)
 
 
 class Fig14Associativity(Experiment):
@@ -31,31 +36,72 @@ class Fig14Associativity(Experiment):
     title = "FVC with 1/2/4-way base caches (16KB, 8 words/line, top 7)"
     paper_reference = "Figure 14"
 
-    def run(
-        self, store: Optional[TraceStore] = None, fast: bool = False
-    ) -> ExperimentResult:
-        store = self._store(store)
+    def plan_cells(self, fast: bool = False) -> List[SimCell]:
         input_name = input_for(fast)
-        ways_list = (1, 2) if fast else (1, 2, 4)
+        cells = []
+        for name in FVL_NAMES:
+            for ways in _ways_list(fast):
+                cells.append(
+                    SimCell(
+                        workload=name,
+                        input_name=input_name,
+                        kind="baseline",
+                        size_bytes=16 * 1024,
+                        line_bytes=32,
+                        ways=ways,
+                    )
+                )
+                cells.append(
+                    SimCell(
+                        workload=name,
+                        input_name=input_name,
+                        kind="fvc",
+                        size_bytes=16 * 1024,
+                        line_bytes=32,
+                        ways=ways,
+                        fvc_entries=512,
+                        top_values=7,
+                    )
+                )
+            cells.append(
+                SimCell(
+                    workload=name,
+                    input_name=input_name,
+                    kind="classify",
+                    size_bytes=16 * 1024,
+                    line_bytes=32,
+                )
+            )
+        return cells
+
+    def merge_cells(
+        self,
+        cells: Sequence[SimCell],
+        results: Sequence[CellResult],
+        fast: bool = False,
+    ) -> ExperimentResult:
+        ways_list = _ways_list(fast)
         headers = ["benchmark"]
         for ways in ways_list:
             headers += [f"{ways}w_base_%", f"{ways}w_red_%"]
         headers += ["dm_conflict_share_%"]
         rows = []
+        cursor = 0
         for name in FVL_NAMES:
-            trace = store.get(name, input_name)
             row = {"benchmark": name}
             for ways in ways_list:
-                geometry = CacheGeometry(16 * 1024, 32, ways=ways)
-                base = baseline_stats(trace, geometry)
-                stats, _ = fvc_stats(trace, geometry, 512, top_values=7)
+                base = results[cursor].cache_stats()
+                stats = results[cursor + 1].cache_stats()
+                cursor += 2
                 row[f"{ways}w_base_%"] = round(100 * base.miss_rate, 3)
                 row[f"{ways}w_red_%"] = round(reduction_percent(base, stats), 1)
-            classification = classify_misses(
-                trace.records, CacheGeometry(16 * 1024, 32)
+            classes = results[cursor].extras
+            cursor += 1
+            misses = (
+                classes["compulsory"] + classes["capacity"] + classes["conflict"]
             )
             row["dm_conflict_share_%"] = round(
-                100 * classification.fraction("conflict"), 1
+                100 * (classes["conflict"] / misses if misses else 0.0), 1
             )
             rows.append(row)
         result = self._result(headers, rows)
@@ -65,3 +111,9 @@ class Fig14Associativity(Experiment):
             "the benefit collapsing under associativity"
         )
         return result
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        cells = self.plan_cells(fast)
+        return self.merge_cells(cells, self._run_cells(cells, store), fast)

@@ -89,3 +89,16 @@ def get_experiment(experiment_id: str) -> Experiment:
 def experiment_ids() -> List[str]:
     """All registered experiment ids, registry order."""
     return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, store=None, fast: bool = False, jobs: int = 1
+):
+    """Run one experiment, fanning its simulation cells across ``jobs``
+    worker processes when it decomposes (see
+    :meth:`repro.experiments.base.Experiment.run_with_engine`).
+    Deterministic: any ``jobs`` value produces identical results."""
+    experiment = get_experiment(experiment_id)
+    if jobs > 1:
+        return experiment.run_with_engine(store, fast=fast, jobs=jobs)
+    return experiment.run(store, fast=fast)

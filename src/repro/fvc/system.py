@@ -133,6 +133,10 @@ class FvcSystem:
         self.fvc_infrequent_misses = 0
         # Main cache: per-set MRU-first lists of [line_addr, dirty, data].
         self._sets: List[List[list]] = [[] for _ in range(geometry.num_sets)]
+        #: When a list, receives the line address of every memory
+        #: write-back (dirty main-cache victims and FVC entry flushes) —
+        #: the hierarchy composition reads it to direct L2 writes.
+        self.victim_log: Optional[List[int]] = None
         # Fig. 11 occupancy accumulator.
         self._occupancy_sum = 0.0
         self._occupancy_samples = 0
@@ -180,6 +184,20 @@ class FvcSystem:
                 self.main_hits += 1
                 return True
 
+        return self._miss(op, line_addr, word_index, value)
+
+    def _miss(
+        self, op: int, line_addr: int, word_index: int, value: int
+    ) -> bool:
+        """Main-cache miss: FVC probe, then the §3 miss protocol.
+
+        Shared by :meth:`access` and :meth:`simulate_batch` so both
+        replay paths are bit-identical.  Returns True on an FVC hit.
+        """
+        geom = self.geometry
+        stats = self.stats
+        config = self.config
+
         # --- FVC probe --------------------------------------------------
         fvc = self.fvc
         codes = fvc.codes_for(line_addr)
@@ -191,8 +209,9 @@ class FvcSystem:
                     if config.verify_values:
                         decoded = self.encoder.decode(code)
                         if decoded != value:
+                            addr = (line_addr << geom.line_shift) + word_index * 4
                             raise AssertionError(
-                                f"FVC value mismatch at {byte_addr:#x}: "
+                                f"FVC value mismatch at {addr:#x}: "
                                 f"decoded {decoded:#x}, traced {value:#x}"
                             )
                     stats.read_hits += 1
@@ -246,11 +265,71 @@ class FvcSystem:
         return False
 
     def simulate(self, records: Iterable[Tuple[int, int, int]]) -> CacheStats:
-        """Replay a whole trace of ``(op, addr, value)`` records."""
+        """Replay a whole trace of ``(op, addr, value)`` records
+        through the per-access API."""
         access = self.access
         for op, byte_addr, value in records:
             access(op, byte_addr, value)
         return self.stats
+
+    def simulate_batch(
+        self, records: Iterable[Tuple[int, int, int]]
+    ) -> CacheStats:
+        """Replay a whole trace through the hot-loop fast path.
+
+        Bit-identical to :meth:`simulate`: the dominant case — a main-
+        cache hit — is handled inline with geometry, set storage, the
+        occupancy-sampling counter and the hit counters all in locals;
+        everything else funnels into the same :meth:`_miss` the
+        per-access API uses.
+        """
+        geom = self.geometry
+        line_shift = geom.line_shift
+        set_mask = geom.set_mask
+        word_mask = geom.word_mask
+        sets = self._sets
+        config = self.config
+        interval = config.occupancy_sample_interval
+        verify = config.verify_values
+        fvc = self.fvc
+        miss = self._miss
+        counter = self._access_counter
+        read_hits = write_hits = main_hits = 0
+        for op, byte_addr, value in records:
+            counter += 1
+            if interval and counter % interval == 0:
+                self._occupancy_sum += fvc.frequent_fraction
+                self._occupancy_samples += 1
+            line_addr = byte_addr >> line_shift
+            entries = sets[line_addr & set_mask]
+            for position, entry in enumerate(entries):
+                if entry[0] == line_addr:
+                    if position:
+                        del entries[position]
+                        entries.insert(0, entry)
+                    word_index = (byte_addr >> 2) & word_mask
+                    if op:
+                        entry[2][word_index] = value
+                        entry[1] = 1
+                        write_hits += 1
+                    else:
+                        if verify and entry[2][word_index] != value:
+                            raise AssertionError(
+                                f"main-cache value mismatch at {byte_addr:#x}: "
+                                f"cached {entry[2][word_index]:#x}, "
+                                f"traced {value:#x}"
+                            )
+                        read_hits += 1
+                    main_hits += 1
+                    break
+            else:
+                miss(op, line_addr, (byte_addr >> 2) & word_mask, value)
+        self._access_counter = counter
+        self.main_hits += main_hits
+        stats = self.stats
+        stats.read_hits += read_hits
+        stats.write_hits += write_hits
+        return stats
 
     # ------------------------------------------------------------------
     # Fill / eviction plumbing
@@ -291,6 +370,8 @@ class FvcSystem:
                 self.memory.write_line(victim_addr, victim_data)
                 stats.writebacks += 1
                 stats.writeback_words += geom.words_per_line
+                if self.victim_log is not None:
+                    self.victim_log.append(victim_addr)
             self._insert_into_fvc(victim_addr, victim_data)
         entries.insert(0, [line_addr, 1 if dirty else 0, data])
         stats.fills += 1
@@ -328,6 +409,8 @@ class FvcSystem:
         if flushed:
             self.stats.writebacks += 1
             self.stats.writeback_words += flushed
+            if self.victim_log is not None:
+                self.victim_log.append(line_addr)
 
     # ------------------------------------------------------------------
     # Introspection

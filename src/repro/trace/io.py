@@ -78,6 +78,28 @@ def write_trace(trace: Trace, path: PathLike) -> None:
             stream.write(buffer)
 
 
+def read_trace_header(path: PathLike) -> Tuple[int, str, str, int, int]:
+    """Read just the header of a trace file (either version).
+
+    Returns ``(version, workload, input_name, record_count,
+    instruction_count)`` without materialising the payload — used by the
+    engine's trace cache to list entries cheaply.
+    """
+    with _open(path, "rb") as stream:
+        header = stream.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFormatError(f"{path}: truncated header")
+        magic, version, wlen, ilen, _, count, instructions = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        names = stream.read(wlen + ilen)
+        if len(names) < wlen + ilen:
+            raise TraceFormatError(f"{path}: truncated metadata")
+        workload = names[:wlen].decode("utf-8")
+        input_name = names[wlen:].decode("utf-8")
+    return version, workload, input_name, count, instructions
+
+
 def read_trace(path: PathLike) -> Trace:
     """Load a trace previously written by :func:`write_trace`."""
     with _open(path, "rb") as stream:

@@ -18,7 +18,13 @@ class Trace:
     named access for analysis code.
     """
 
-    __slots__ = ("records", "workload", "input_name", "instruction_count")
+    __slots__ = (
+        "records",
+        "workload",
+        "input_name",
+        "instruction_count",
+        "_aggregates",
+    )
 
     def __init__(
         self,
@@ -33,6 +39,11 @@ class Trace:
         # Workloads report a nominal instruction count (>= access count);
         # the stability study (Table 3) reports percentages of it.
         self.instruction_count = instruction_count or len(self.records)
+        # O(n) aggregates (load/store counts, footprint, distinct values)
+        # memoised here; :meth:`append`/:meth:`extend` invalidate.  Code
+        # mutating :attr:`records` directly bypasses the memo and must
+        # call :meth:`invalidate_aggregates` itself.
+        self._aggregates: dict = {}
 
     # Container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -65,26 +76,63 @@ class Trace:
     def append(self, op: int, address: int, value: int) -> None:
         """Append one record (used by trace builders and tests)."""
         self.records.append((op, address, value))
+        self._aggregates.clear()
 
     def extend(self, records: Iterable[Record]) -> None:
         """Append many records."""
         self.records.extend(records)
+        self._aggregates.clear()
 
-    # Simple aggregates ------------------------------------------------
+    def invalidate_aggregates(self) -> None:
+        """Drop memoised aggregates after direct ``records`` mutation."""
+        self._aggregates.clear()
+
+    def memo(self, key: str, compute):
+        """Memoise ``compute(self)`` on the trace, keyed by ``key``.
+
+        For derived values that are pure functions of the records (e.g.
+        access-value profiles).  The entry lives exactly as long as the
+        trace and is dropped when :meth:`append`/:meth:`extend` mutate
+        it — unlike an external ``id()``-keyed table, which can hand a
+        recycled id another trace's result.
+        """
+        cached = self._aggregates.get(key)
+        if cached is None:
+            cached = compute(self)
+            self._aggregates[key] = cached
+        return cached
+
+    # Simple aggregates (memoised; O(n) only on first read) ------------
     @property
     def load_count(self) -> int:
         """Number of load records."""
-        return sum(1 for op, _, _ in self.records if op == LOAD)
+        cached = self._aggregates.get("loads")
+        if cached is None:
+            cached = sum(1 for op, _, _ in self.records if op == LOAD)
+            self._aggregates["loads"] = cached
+        return cached
 
     @property
     def store_count(self) -> int:
         """Number of store records."""
-        return sum(1 for op, _, _ in self.records if op == STORE)
+        cached = self._aggregates.get("stores")
+        if cached is None:
+            cached = sum(1 for op, _, _ in self.records if op == STORE)
+            self._aggregates["stores"] = cached
+        return cached
 
     def footprint_words(self) -> int:
         """Number of distinct word addresses referenced."""
-        return len({address for _, address, _ in self.records})
+        cached = self._aggregates.get("footprint")
+        if cached is None:
+            cached = len({address for _, address, _ in self.records})
+            self._aggregates["footprint"] = cached
+        return cached
 
     def distinct_values(self) -> int:
         """Number of distinct values read or written."""
-        return len({value for _, _, value in self.records})
+        cached = self._aggregates.get("values")
+        if cached is None:
+            cached = len({value for _, _, value in self.records})
+            self._aggregates["values"] = cached
+        return cached

@@ -1,0 +1,131 @@
+"""`simulate_batch` must be bit-identical to per-access `simulate`.
+
+The batch paths re-state the same state machines with hoisted locals;
+these tests pin the equivalence on synthetic stress traces and on a
+real workload trace, across every simulator that grew a batch loop.
+"""
+
+import pytest
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import TwoLevelFvcSystem, TwoLevelSystem
+from repro.cache.setassoc import SetAssociativeCache
+from repro.experiments.common import encoder_for
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.system import FvcSystem, FvcSystemConfig
+from repro.trace.synth import cyclic_trace, ping_pong_trace, zipf_value_trace
+
+GEOMETRY = CacheGeometry(4 * 1024, 32)
+L2 = CacheGeometry(16 * 1024, 32, ways=4)
+
+
+def _stress_traces():
+    return [
+        zipf_value_trace(6000, seed=7),
+        cyclic_trace(2048, passes=3),  # thrashes a 4 KB cache
+        ping_pong_trace(400, geometry_size_bytes=4 * 1024),
+    ]
+
+
+def _assert_same_stats(per_access, batch):
+    assert batch.as_dict() == per_access.as_dict()
+
+
+class TestBaselineBatch:
+    @pytest.mark.parametrize("ways", [1, 2, 4])
+    def test_synthetic_traces(self, ways):
+        geometry = CacheGeometry(4 * 1024, 32, ways=ways)
+        cls = DirectMappedCache if ways == 1 else SetAssociativeCache
+        for trace in _stress_traces():
+            _assert_same_stats(
+                cls(geometry).simulate(trace.records),
+                cls(geometry).simulate_batch(trace.records),
+            )
+
+    def test_real_trace_direct(self, gcc_trace):
+        _assert_same_stats(
+            DirectMappedCache(GEOMETRY).simulate(gcc_trace.records),
+            DirectMappedCache(GEOMETRY).simulate_batch(gcc_trace.records),
+        )
+
+    def test_real_trace_two_way(self, gcc_trace):
+        geometry = CacheGeometry(4 * 1024, 32, ways=2)
+        _assert_same_stats(
+            SetAssociativeCache(geometry).simulate(gcc_trace.records),
+            SetAssociativeCache(geometry).simulate_batch(gcc_trace.records),
+        )
+
+    def test_batch_leaves_identical_state(self):
+        trace = cyclic_trace(2048, passes=2)
+        one = DirectMappedCache(GEOMETRY)
+        one.simulate(trace.records)
+        other = DirectMappedCache(GEOMETRY)
+        other.simulate_batch(trace.records)
+        # Flushing both drains the same dirty lines.
+        one.flush()
+        other.flush()
+        assert one.stats.as_dict() == other.stats.as_dict()
+
+
+class TestFvcBatch:
+    def test_synthetic_traces(self):
+        encoder = FrequentValueEncoder([0, 1, 2, 3, 4, 5, 6], 3)
+        for trace in _stress_traces():
+            per_access = FvcSystem(GEOMETRY, 128, encoder)
+            per_access.simulate(trace.records)
+            batch = FvcSystem(GEOMETRY, 128, encoder)
+            batch.simulate_batch(trace.records)
+            _assert_same_stats(per_access.stats, batch.stats)
+            assert batch.fvc_hits == per_access.fvc_hits
+            assert batch.fvc_read_hits == per_access.fvc_read_hits
+            assert batch.fvc_write_hits == per_access.fvc_write_hits
+            assert batch.main_hits == per_access.main_hits
+
+    def test_real_trace_with_verification(self, gcc_trace):
+        # The value oracle checks every served value inside the batch
+        # loop too, so equivalence covers contents, not just counters.
+        encoder = encoder_for(gcc_trace, 7)
+        config = FvcSystemConfig(verify_values=True)
+        per_access = FvcSystem(GEOMETRY, 256, encoder, config=config)
+        per_access.simulate(gcc_trace.records)
+        batch = FvcSystem(GEOMETRY, 256, encoder, config=config)
+        batch.simulate_batch(gcc_trace.records)
+        _assert_same_stats(per_access.stats, batch.stats)
+        assert batch.fvc_hits == per_access.fvc_hits
+
+    def test_occupancy_sampling_preserved(self):
+        trace = zipf_value_trace(6000, seed=7)
+        encoder = FrequentValueEncoder([0, 1, 2, 3, 4, 5, 6], 3)
+        config = FvcSystemConfig(occupancy_sample_interval=256)
+        per_access = FvcSystem(GEOMETRY, 128, encoder, config=config)
+        per_access.simulate(trace.records)
+        batch = FvcSystem(GEOMETRY, 128, encoder, config=config)
+        batch.simulate_batch(trace.records)
+        assert batch._occupancy_samples == per_access._occupancy_samples
+        assert (
+            batch.mean_fvc_frequent_fraction
+            == per_access.mean_fvc_frequent_fraction
+        )
+
+
+class TestHierarchyBatch:
+    def test_two_level(self):
+        for trace in _stress_traces():
+            per_access = TwoLevelSystem(GEOMETRY, L2)
+            per_access.simulate(trace.records)
+            batch = TwoLevelSystem(GEOMETRY, L2)
+            batch.simulate_batch(trace.records)
+            _assert_same_stats(per_access.stats, batch.stats)
+            _assert_same_stats(per_access.l2_stats, batch.l2_stats)
+
+    def test_two_level_fvc(self):
+        encoder = FrequentValueEncoder([0], 1)
+        for trace in _stress_traces():
+            per_access = TwoLevelFvcSystem(GEOMETRY, L2, 64, encoder)
+            per_access.simulate(trace.records)
+            batch = TwoLevelFvcSystem(GEOMETRY, L2, 64, encoder)
+            batch.simulate_batch(trace.records)
+            _assert_same_stats(per_access.stats, batch.stats)
+            _assert_same_stats(per_access.l2_stats, batch.l2_stats)
+            assert batch.fvc_hits == per_access.fvc_hits

@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.cache.direct import DirectMappedCache
 from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import TwoLevelFvcSystem, TwoLevelSystem
+from repro.cache.setassoc import SetAssociativeCache
 from repro.common.errors import ConfigurationError
 from repro.fvc.encoding import FrequentValueEncoder
 from repro.trace.synth import cyclic_trace, ping_pong_trace
@@ -74,3 +76,87 @@ class TestTwoLevelFvcSystem:
         system = TwoLevelFvcSystem(L1, L2, 64, FrequentValueEncoder([0], 1))
         system.simulate(trace.records)
         assert system.stats.accesses == len(trace)
+
+
+class TestVictimLog:
+    """Dirty evictions report the *victim* line's address."""
+
+    def test_direct_mapped_logs_victim_line(self):
+        cache = DirectMappedCache(L1)
+        cache.victim_log = []
+        a = 0x10000
+        b = a + L1.size_bytes  # same set, different tag
+        cache.access(1, a)  # fill dirty
+        cache.access(0, b)  # evicts a
+        assert cache.victim_log == [a >> L1.line_shift]
+
+    def test_direct_mapped_clean_eviction_logs_nothing(self):
+        cache = DirectMappedCache(L1)
+        cache.victim_log = []
+        a = 0x10000
+        cache.access(0, a)  # fill clean
+        cache.access(0, a + L1.size_bytes)
+        assert cache.victim_log == []
+
+    def test_set_associative_logs_lru_victim(self):
+        geometry = CacheGeometry(4 * 1024, 32, ways=2)
+        cache = SetAssociativeCache(geometry)
+        cache.victim_log = []
+        stride = geometry.size_bytes // 2  # one way's worth
+        a, b, c = 0x10000, 0x10000 + stride, 0x10000 + 2 * stride
+        cache.access(1, a)  # dirty, becomes LRU after b
+        cache.access(0, b)
+        cache.access(0, c)  # evicts a
+        assert cache.victim_log == [a >> geometry.line_shift]
+
+    def test_hierarchy_writeback_hits_victim_address(self):
+        system = TwoLevelSystem(L1, L2)
+        recorded = []
+        real = system._l2.access
+
+        def spy(op, byte_addr):
+            recorded.append((op, byte_addr))
+            return real(op, byte_addr)
+
+        system._l2.access = spy
+        a = 0x10000
+        b = a + L1.size_bytes  # aliases a in L1, different L2 set
+        system.access(1, a)  # dirty fill of a
+        system.access(0, b)  # evicts a from L1
+        assert (1, a) in recorded  # write-back carries a's address...
+        assert (1, b) not in recorded  # ...not the incoming access's
+
+    def test_hierarchy_batch_writeback_hits_victim_address(self):
+        system = TwoLevelSystem(L1, L2)
+        recorded = []
+        real = system._l2.access
+
+        def spy(op, byte_addr):
+            recorded.append((op, byte_addr))
+            return real(op, byte_addr)
+
+        system._l2.access = spy
+        a = 0x10000
+        b = a + L1.size_bytes
+        system.simulate_batch([(1, a, 0), (0, b, 0)])
+        assert (1, a) in recorded
+        assert (1, b) not in recorded
+
+    def test_fvc_hierarchy_writeback_hits_victim_address(self):
+        # Value 99 is not frequent, so a's line is discarded (not moved
+        # into the FVC) and its dirty words are written back to the L2.
+        system = TwoLevelFvcSystem(L1, L2, 64, FrequentValueEncoder([0], 1))
+        recorded = []
+        real = system._l2.access
+
+        def spy(op, byte_addr):
+            recorded.append((op, byte_addr))
+            return real(op, byte_addr)
+
+        system._l2.access = spy
+        a = 0x10000
+        b = a + L1.size_bytes
+        system.access(1, a, 99)
+        system.access(0, b, 0)
+        assert (1, a) in recorded
+        assert (1, b) not in recorded

@@ -8,9 +8,27 @@ to the benchmark suite.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.workloads.store import TraceStore
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Keep the suite hermetic: unless the environment already pins the
+    trace cache, point it at a per-session temporary directory so tests
+    never read or write the developer's ``~/.cache``."""
+    if "REPRO_TRACE_CACHE" in os.environ or "REPRO_TRACE_CACHE_DIR" in os.environ:
+        yield
+        return
+    directory = tmp_path_factory.mktemp("trace-cache")
+    os.environ["REPRO_TRACE_CACHE_DIR"] = str(directory)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_TRACE_CACHE_DIR", None)
 
 
 @pytest.fixture(scope="session")

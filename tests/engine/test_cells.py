@@ -1,0 +1,87 @@
+"""Tests for the simulation-cell work units."""
+
+import pickle
+
+import pytest
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.setassoc import SetAssociativeCache
+from repro.common.errors import ConfigurationError
+from repro.engine.cells import CellResult, SimCell, run_cell
+
+
+class TestSimCell:
+    def test_is_picklable(self):
+        cell = SimCell(workload="gcc", input_name="test", kind="fvc")
+        assert pickle.loads(pickle.dumps(cell)) == cell
+
+    def test_geometry(self):
+        cell = SimCell(
+            workload="gcc", size_bytes=8 * 1024, line_bytes=16, ways=2
+        )
+        geometry = cell.geometry()
+        assert geometry.size_bytes == 8 * 1024
+        assert geometry.line_bytes == 16
+        assert geometry.ways == 2
+
+
+class TestRunCell:
+    def test_baseline_matches_direct_simulation(self, store, gcc_trace):
+        cell = SimCell(workload="gcc", input_name="test", kind="baseline")
+        result = run_cell(cell, store)
+        expected = DirectMappedCache(cell.geometry()).simulate(
+            gcc_trace.records
+        )
+        assert result.stats == expected.as_dict()
+        assert result.cache_stats().as_dict() == expected.as_dict()
+
+    def test_baseline_two_way_matches_setassoc(self, store, gcc_trace):
+        cell = SimCell(
+            workload="gcc", input_name="test", kind="baseline", ways=2
+        )
+        result = run_cell(cell, store)
+        expected = SetAssociativeCache(cell.geometry()).simulate(
+            gcc_trace.records
+        )
+        assert result.stats == expected.as_dict()
+
+    def test_fvc_cell_reports_hit_breakdown(self, store, gcc_trace):
+        cell = SimCell(
+            workload="gcc", input_name="test", kind="fvc", fvc_entries=256
+        )
+        result = run_cell(cell, store)
+        assert result.stats["accesses"] == len(gcc_trace)
+        assert (
+            result.extras["fvc_hits"]
+            == result.extras["fvc_read_hits"] + result.extras["fvc_write_hits"]
+        )
+        hits = result.stats["read_hits"] + result.stats["write_hits"]
+        assert result.extras["main_hits"] + result.extras["fvc_hits"] == hits
+
+    def test_classify_cell_partitions_misses(self, store, gcc_trace):
+        cell = SimCell(workload="gcc", input_name="test", kind="classify")
+        result = run_cell(cell, store)
+        assert result.extras["accesses"] == len(gcc_trace)
+        baseline = run_cell(
+            SimCell(workload="gcc", input_name="test", kind="baseline"), store
+        )
+        classified = (
+            result.extras["compulsory"]
+            + result.extras["capacity"]
+            + result.extras["conflict"]
+        )
+        assert classified == baseline.stats["misses"]
+
+    def test_unknown_kind_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            run_cell(
+                SimCell(workload="gcc", input_name="test", kind="bogus"),
+                store,
+            )
+
+    def test_result_is_picklable(self, store):
+        cell = SimCell(workload="gcc", input_name="test", kind="baseline")
+        result = run_cell(cell, store)
+        clone = pickle.loads(pickle.dumps(result))
+        assert isinstance(clone, CellResult)
+        assert clone == result

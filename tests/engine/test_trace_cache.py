@@ -1,0 +1,162 @@
+"""Tests for the content-addressed on-disk trace cache."""
+
+import pytest
+
+from repro.engine.trace_cache import (
+    TRACE_CACHE_VERSION,
+    TraceCache,
+    default_cache_dir,
+    default_trace_cache,
+)
+from repro.trace.io import read_trace_header
+from repro.workloads.store import TraceStore
+
+
+@pytest.fixture()
+def cache(tmp_path) -> TraceCache:
+    return TraceCache(tmp_path / "traces")
+
+
+class TestContentAddressing:
+    def test_key_is_stable_across_instances(self, tmp_path):
+        a = TraceCache(tmp_path / "a")
+        b = TraceCache(tmp_path / "b")
+        assert a.key("gcc", "test") == b.key("gcc", "test")
+
+    def test_key_separates_workloads_and_inputs(self, cache):
+        keys = {
+            cache.key("gcc", "test"),
+            cache.key("gcc", "ref"),
+            cache.key("go", "test"),
+        }
+        assert len(keys) == 3
+
+    def test_path_embeds_workload_input_and_digest(self, cache):
+        path = cache.path_for("gcc", "test")
+        assert path.parent == cache.directory
+        assert path.name.startswith("gcc-test-")
+        assert path.name.endswith(".trc2.gz")
+        assert cache.key("gcc", "test") in path.name
+
+    def test_version_is_part_of_the_address(self, cache, monkeypatch):
+        before = cache.key("gcc", "test")
+        monkeypatch.setattr(
+            "repro.engine.trace_cache.TRACE_CACHE_VERSION",
+            TRACE_CACHE_VERSION + 1,
+        )
+        assert cache.key("gcc", "test") != before
+
+
+class TestLayers:
+    def test_first_get_synthesises_and_persists(self, cache):
+        trace = cache.get("go", "test")
+        assert len(trace) > 0
+        assert cache.stats() == {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "synthesised": 1,
+            "stores": 1,
+        }
+        assert cache.path_for("go", "test").exists()
+
+    def test_second_get_hits_the_memo(self, cache):
+        first = cache.get("go", "test")
+        second = cache.get("go", "test")
+        assert second is first
+        assert cache.memory_hits == 1
+        assert cache.synthesised == 1
+
+    def test_fresh_process_hits_the_disk(self, cache):
+        original = cache.get("go", "test")
+        fresh = TraceCache(cache.directory)  # simulates a new process
+        loaded = fresh.get("go", "test")
+        assert loaded == original
+        assert loaded.workload == "go"
+        assert loaded.instruction_count == original.instruction_count
+        assert fresh.stats() == {
+            "memory_hits": 0,
+            "disk_hits": 1,
+            "synthesised": 0,
+            "stores": 0,
+        }
+
+    def test_corrupt_entry_is_dropped_and_regenerated(self, cache):
+        cache.get("go", "test")
+        path = cache.path_for("go", "test")
+        path.write_bytes(b"not a trace file")
+        fresh = TraceCache(cache.directory)
+        trace = fresh.load("go", "test")
+        assert trace is None
+        assert not path.exists()  # the poisoned entry was removed
+        assert len(fresh.get("go", "test")) > 0
+        assert fresh.synthesised == 1
+
+    def test_entries_and_clear(self, cache):
+        cache.get("go", "test")
+        cache.get("compress", "test")
+        entries = cache.entries()
+        assert {(w, i) for _, w, i, _ in entries} == {
+            ("go", "test"),
+            ("compress", "test"),
+        }
+        for path, _, _, count in entries:
+            version, workload, _, header_count, _ = read_trace_header(path)
+            assert version == 2
+            assert header_count == count
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_ensure_creates_the_entry(self, cache):
+        path = cache.ensure("go", "test")
+        assert path.exists()
+        # Already present: no further synthesis.
+        cache.ensure("go", "test")
+        assert cache.synthesised == 1
+
+
+class TestEnvironment:
+    def test_default_dir_honours_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "here"))
+        assert default_cache_dir() == tmp_path / "here"
+
+    def test_default_dir_falls_back_to_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_TRACE_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert (
+            default_cache_dir() == tmp_path / "xdg" / "repro-fvc" / "traces"
+        )
+
+    @pytest.mark.parametrize("value", ["off", "0", "no", "false", "OFF"])
+    def test_opt_out(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", value)
+        assert default_trace_cache() is None
+
+    def test_enabled_by_default(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        cache = default_trace_cache()
+        assert isinstance(cache, TraceCache)
+        assert cache.directory == tmp_path
+
+
+class TestStoreIntegration:
+    def test_back_to_back_runs_synthesise_once(self, cache):
+        """Two 'experiment processes' sharing the machine cache: the
+        second run never synthesises, it deserialises."""
+        for name in ("go", "compress"):
+            TraceStore(disk_cache=cache).get(name, "test")
+        assert cache.synthesised == 2
+
+        fresh = TraceCache(cache.directory)
+        for name in ("go", "compress"):
+            TraceStore(disk_cache=fresh).get(name, "test")
+        assert fresh.synthesised == 0
+        assert fresh.disk_hits == 2
+
+    def test_store_falls_back_to_disk_after_lru_eviction(self, cache):
+        store = TraceStore(max_traces=1, disk_cache=cache)
+        store.get("go", "test")
+        store.get("compress", "test")  # evicts go from the LRU
+        store.get("go", "test")  # must come back from disk, not synthesis
+        assert cache.synthesised == 2
+        assert cache.disk_hits == 1

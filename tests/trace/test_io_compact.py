@@ -8,6 +8,7 @@ from repro.common.errors import TraceFormatError
 from repro.trace.io import (
     read_trace,
     read_trace_any,
+    read_trace_header,
     write_trace,
     write_trace_compact,
 )
@@ -92,9 +93,59 @@ class TestCompactErrors:
         with pytest.raises(TraceFormatError):
             read_trace_any(path)
 
+    def test_truncated_gzip_roundtrip(self, tmp_path):
+        trace = Trace([(0, 16, 1)] * 200)
+        path = tmp_path / "t.trc2.gz"
+        write_trace_compact(trace, path)
+        truncated = tmp_path / "cut.trc2.gz"
+        truncated.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises((TraceFormatError, EOFError)):
+            read_trace_any(truncated)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t.trc2"
+        path.write_bytes(b"NOPE" + b"\x00" * 40)
+        with pytest.raises(TraceFormatError):
+            read_trace_any(path)
+
     def test_v1_reader_rejects_v2(self, tmp_path):
         trace = Trace([(0, 16, 1)])
         path = tmp_path / "t.trc2"
         write_trace_compact(trace, path)
         with pytest.raises(TraceFormatError):
             read_trace(path)
+
+
+class TestHeader:
+    def test_header_of_both_versions(self, tmp_path):
+        trace = Trace(
+            [(0, 16, 1)] * 9,
+            workload="gcc",
+            input_name="ref",
+            instruction_count=77,
+        )
+        v1 = tmp_path / "t.trc"
+        v2 = tmp_path / "t.trc2.gz"
+        write_trace(trace, v1)
+        write_trace_compact(trace, v2)
+        assert read_trace_header(v1) == (1, "gcc", "ref", 9, 77)
+        assert read_trace_header(v2) == (2, "gcc", "ref", 9, 77)
+
+    def test_header_errors(self, tmp_path):
+        short = tmp_path / "short.trc"
+        short.write_bytes(b"FVTR\x01\x00")
+        with pytest.raises(TraceFormatError):
+            read_trace_header(short)
+        bad = tmp_path / "bad.trc"
+        bad.write_bytes(b"XXXX" + b"\x00" * 40)
+        with pytest.raises(TraceFormatError):
+            read_trace_header(bad)
+
+    def test_header_truncated_metadata(self, tmp_path):
+        trace = Trace([(0, 16, 1)], workload="a-long-workload-name")
+        path = tmp_path / "t.trc"
+        write_trace(trace, path)
+        cut = tmp_path / "cut.trc"
+        cut.write_bytes(path.read_bytes()[:30])  # header ok, names cut
+        with pytest.raises(TraceFormatError):
+            read_trace_header(cut)

@@ -61,3 +61,47 @@ class TestAggregates:
         assert isinstance(first, Access)
         assert first.is_load and not first.is_store
         assert first == (0, 0x10, 1)
+
+
+class TestAggregateMemoisation:
+    def test_aggregates_computed_once(self):
+        trace = _sample()
+        assert trace.load_count == 2
+        # Mutate records behind the memo's back: the stale value must
+        # keep being served until an invalidating call happens.
+        trace.records.append((0, 0x40, 5))
+        assert trace.load_count == 2
+        trace.invalidate_aggregates()
+        assert trace.load_count == 3
+
+    def test_append_invalidates(self):
+        trace = _sample()
+        assert trace.store_count == 1
+        trace.append(1, 0x40, 5)
+        assert trace.store_count == 2
+
+    def test_extend_invalidates(self):
+        trace = _sample()
+        assert trace.footprint_words() == 2
+        assert trace.distinct_values() == 2
+        trace.extend([(0, 0x40, 9), (1, 0x50, 9)])
+        assert trace.footprint_words() == 4
+        assert trace.distinct_values() == 3
+
+    def test_memo_runs_compute_once(self):
+        trace = _sample()
+        calls = []
+
+        def compute(t):
+            calls.append(t)
+            return len(t)
+
+        assert trace.memo("len", compute) == 3
+        assert trace.memo("len", compute) == 3
+        assert calls == [trace]
+
+    def test_memo_dropped_on_mutation(self):
+        trace = _sample()
+        assert trace.memo("len", len) == 3
+        trace.append(0, 0x40, 5)
+        assert trace.memo("len", len) == 4
