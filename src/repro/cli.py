@@ -14,6 +14,13 @@
     repro-fvc reuse gcc                 # reuse-distance analysis
     repro-fvc simulate gcc --size-kb 16 --line 32 --fvc 512 --top 7
 
+Service mode (see docs/SERVICE.md)::
+
+    repro-fvc serve --port 8031 --workers 4   # run the job server
+    repro-fvc submit fig10 --fast --wait      # submit + await a job
+    repro-fvc status job-00001-abcdef12       # poll one job
+    repro-fvc fetch <result-key>              # stored result payload
+
 (Equivalent: ``python -m repro ...``.)
 """
 
@@ -58,9 +65,26 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.render import multi_bar_chart, to_csv
+    from repro.experiments.render import (
+        dumps_canonical,
+        experiment_payload,
+        multi_bar_chart,
+        to_csv,
+    )
+
+    if args.json and (args.csv or args.chart):
+        print("--json excludes --csv/--chart", file=sys.stderr)
+        return 2
+
+    collected = []
 
     def show(experiment_id, result, elapsed):
+        if args.json:
+            # Collected and printed canonically at the end: one
+            # payload object for a single experiment (byte-identical
+            # to the service's stored result), an array for several.
+            collected.append(experiment_payload(result))
+            return
         if args.csv:
             print(to_csv(result), end="")
         else:
@@ -69,6 +93,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print()
                 print(multi_bar_chart(result))
         print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+
+    def finish() -> int:
+        if args.json:
+            document = collected[0] if len(collected) == 1 else collected
+            sys.stdout.write(dumps_canonical(document))
+        return 0
 
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     if args.jobs > 1 and len(ids) > 1:
@@ -83,15 +113,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         elapsed = time.time() - started
         for experiment_id, result in zip(ids, results):
             show(experiment_id, result, elapsed / len(ids))
-        print(f"[{len(ids)} experiments, {args.jobs} jobs, {elapsed:.1f}s]")
-        return 0
+        if not args.json:
+            print(f"[{len(ids)} experiments, {args.jobs} jobs, {elapsed:.1f}s]")
+        return finish()
     for experiment_id in ids:
         started = time.time()
         result = run_experiment(
             experiment_id, shared_store, fast=args.fast, jobs=args.jobs
         )
         show(experiment_id, result, time.time() - started)
-    return 0
+    return finish()
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -195,20 +226,121 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = shared_store.get(args.workload, args.input)
     geometry = CacheGeometry(args.size_kb * 1024, args.line)
     base = baseline_stats(trace, geometry)
+    fvc = system = None
+    if args.fvc:
+        fvc, system = fvc_stats(trace, geometry, args.fvc, args.top)
+    if args.json:
+        from repro.experiments.render import dumps_canonical
+
+        payload = {
+            "schema": "repro.simulate/1",
+            "workload": args.workload,
+            "input": args.input,
+            "geometry": {
+                "size_bytes": geometry.size_bytes,
+                "line_bytes": geometry.line_bytes,
+                "ways": geometry.ways,
+            },
+            "baseline": base.as_dict(),
+            "fvc": None,
+        }
+        if fvc is not None:
+            payload["fvc"] = {
+                "entries": args.fvc,
+                "top_values": args.top,
+                "stats": fvc.as_dict(),
+                "fvc_hits": system.fvc_hits,
+                "reduction_percent": round(
+                    reduction_percent(base, fvc), 3
+                ),
+            }
+        sys.stdout.write(dumps_canonical(payload))
+        return 0
     print(
         f"{geometry.describe()} baseline: "
         f"miss rate {100 * base.miss_rate:.3f}%, "
         f"traffic {base.traffic_words} words"
     )
-    if args.fvc:
-        stats, system = fvc_stats(trace, geometry, args.fvc, args.top)
+    if fvc is not None:
         print(
             f"+ {args.fvc}-entry top-{args.top} FVC: "
-            f"miss rate {100 * stats.miss_rate:.3f}% "
-            f"({reduction_percent(base, stats):.1f}% reduction), "
-            f"traffic {stats.traffic_words} words, "
+            f"miss rate {100 * fvc.miss_rate:.3f}% "
+            f"({reduction_percent(base, fvc):.1f}% reduction), "
+            f"traffic {fvc.traffic_words} words, "
             f"FVC hits {system.fvc_hits}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.server import ServiceConfig, serve
+
+    return serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            job_timeout=args.timeout if args.timeout > 0 else None,
+            max_retries=args.retries,
+            store_dir=Path(args.store_dir) if args.store_dir else None,
+            store_capacity=args.capacity,
+            quiet=not args.verbose,
+        )
+    )
+
+
+def _print_json(payload) -> None:
+    import json
+
+    print(json.dumps(payload, sort_keys=True, indent=2))
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.experiments.render import dumps_canonical
+    from repro.service.client import JobFailed, ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit_experiment(args.experiment, fast=args.fast)
+        if not args.wait:
+            _print_json(job)
+            return 0
+        if job.get("state") != "done":
+            job = client.wait(job["id"], timeout=args.timeout)
+        # Print the stored payload byte-exactly, so `submit --wait`
+        # output equals `run --json` output for the same experiment.
+        sys.stdout.write(client.result_bytes(job["result_key"]).decode())
+        return 0
+    except JobFailed as exc:
+        _print_json(exc.job)
+        return 1
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        _print_json(ServiceClient(args.url).status(args.job_id))
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        payload = ServiceClient(args.url).result_bytes(args.key)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    sys.stdout.write(payload.decode())
     return 0
 
 
@@ -234,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--csv", action="store_true", help="emit CSV instead of the table"
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical JSON payload (the format the service "
+        "result store persists) instead of the table",
     )
     run.add_argument(
         "--jobs",
@@ -301,7 +439,79 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--line", type=int, default=32)
     simulate.add_argument("--fvc", type=int, default=0, help="FVC entries")
     simulate.add_argument("--top", type=int, default=7, choices=(1, 3, 7))
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON document instead of text",
+    )
     simulate.set_defaults(func=_cmd_simulate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service (HTTP JSON API, job queue, "
+        "persistent result store); see docs/SERVICE.md",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8031)
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="K",
+        help="simulation worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-job wall-clock limit in seconds; 0 disables "
+        "(default 600)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=2,
+        help="retries after a worker crash (default 2)",
+    )
+    serve.add_argument(
+        "--store-dir", default=None,
+        help="result-store directory (default "
+        "$REPRO_RESULT_STORE_DIR or ~/.cache/repro-fvc/results)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=512,
+        help="result-store entry capacity; at capacity, TinyLFU "
+        "frequency admission decides what stays (default 512)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    url_help = (
+        "service URL (default $REPRO_SERVICE_URL or http://127.0.0.1:8031)"
+    )
+    submit = sub.add_parser(
+        "submit", help="submit an experiment job to a running service"
+    )
+    submit.add_argument("experiment", help="experiment id, e.g. fig10")
+    submit.add_argument("--fast", action="store_true")
+    submit.add_argument("--url", default=None, help=url_help)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until done and print the result payload "
+        "(byte-identical to `run --json`)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="--wait poll limit in seconds (default 300)",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="show one service job")
+    status.add_argument("job_id")
+    status.add_argument("--url", default=None, help=url_help)
+    status.set_defaults(func=_cmd_status)
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch a stored result payload by key"
+    )
+    fetch.add_argument("key", help="result key (see job 'result_key')")
+    fetch.add_argument("--url", default=None, help=url_help)
+    fetch.set_defaults(func=_cmd_fetch)
     return parser
 
 

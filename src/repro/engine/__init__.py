@@ -17,7 +17,7 @@ engine is the across-core half.
 """
 
 from repro.engine.cells import CellResult, SimCell, run_cell
-from repro.engine.runner import run_cells, run_experiments
+from repro.engine.runner import RunCancelled, run_cells, run_experiments
 from repro.engine.trace_cache import (
     TRACE_CACHE_VERSION,
     TraceCache,
@@ -32,6 +32,7 @@ __all__ = [
     "default_trace_cache",
     "SimCell",
     "CellResult",
+    "RunCancelled",
     "run_cell",
     "run_cells",
     "run_experiments",

@@ -18,10 +18,23 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.engine.cells import CellResult, SimCell, run_cell
 from repro.engine.trace_cache import default_trace_cache
+
+#: ``progress(done, total)`` — invoked after each cell completes, in
+#: cell order, from the submitting process (never from a pool worker).
+ProgressHook = Callable[[int, int], None]
+
+
+class RunCancelled(Exception):
+    """Raised by :func:`run_cells` when ``should_cancel`` fires.
+
+    Cancellation is cooperative and cell-granular: the run stops at the
+    next cell boundary, so a caller (e.g. the ``repro.service`` job
+    workers) can abandon a long sweep without killing the process.
+    """
 
 #: Workers keep their stores small: cells are grouped by workload, so a
 #: handful of resident traces covers the stream each worker sees.
@@ -73,7 +86,11 @@ def default_jobs() -> int:
 
 
 def run_cells(
-    cells: Iterable[SimCell], jobs: int = 1, store=None
+    cells: Iterable[SimCell],
+    jobs: int = 1,
+    store=None,
+    progress: Optional[ProgressHook] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
 ) -> List[CellResult]:
     """Execute cells, in parallel when ``jobs > 1``.
 
@@ -81,14 +98,38 @@ def run_cells(
     merging is deterministic; and each cell runs the same code path as
     a sequential call, so the merged statistics are bit-identical to a
     ``jobs=1`` run.
+
+    ``progress(done, total)`` is called after each completed cell (in
+    cell order, from this process).  ``should_cancel()`` is polled at
+    cell boundaries; returning true raises :class:`RunCancelled`.
+    Neither hook affects the computed results.
     """
     cells = list(cells)
-    if jobs <= 1 or len(cells) <= 1:
-        return [run_cell(cell, store) for cell in cells]
+    total = len(cells)
+
+    def _completed(done: int) -> None:
+        if progress is not None:
+            progress(done, total)
+
+    def _check_cancel() -> None:
+        if should_cancel is not None and should_cancel():
+            raise RunCancelled(f"cancelled after {len(results)}/{total} cells")
+
+    results: List[CellResult] = []
+    if jobs <= 1 or total <= 1:
+        for cell in cells:
+            _check_cancel()
+            results.append(run_cell(cell, store))
+            _completed(len(results))
+        return results
     _prewarm_traces(cells, store)
-    workers = min(jobs, len(cells))
+    workers = min(jobs, total)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell_worker, cells))
+        for result in pool.map(_run_cell_worker, cells):
+            _check_cancel()
+            results.append(result)
+            _completed(len(results))
+    return results
 
 
 def _run_experiment_worker(args) -> "object":

@@ -120,18 +120,30 @@ class Experiment(ABC):
         store: Optional[TraceStore] = None,
         fast: bool = False,
         jobs: int = 1,
+        progress=None,
+        should_cancel=None,
     ) -> ExperimentResult:
         """Run, fanning simulation cells across ``jobs`` processes when
         the experiment decomposes; deterministic — results are merged in
-        plan order and are bit-identical to a sequential :meth:`run`."""
-        if jobs > 1:
+        plan order and are bit-identical to a sequential :meth:`run`.
+
+        ``progress`` / ``should_cancel`` are the engine's cell-boundary
+        hooks (see :func:`repro.engine.runner.run_cells`); they only
+        take effect when the experiment decomposes into cells.
+        """
+        if jobs > 1 or progress is not None or should_cancel is not None:
             plan = self.plan_cells(fast)
             if plan is not None:
                 from repro.engine.runner import run_cells
 
-                return self.merge_cells(
-                    plan, run_cells(plan, jobs=jobs, store=store), fast
+                results = run_cells(
+                    plan,
+                    jobs=jobs,
+                    store=self._store(store),
+                    progress=progress,
+                    should_cancel=should_cancel,
                 )
+                return self.merge_cells(plan, results, fast)
         return self.run(store, fast=fast)
 
     def _run_cells(

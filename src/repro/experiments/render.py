@@ -1,18 +1,48 @@
-"""Extra renderings of experiment results: CSV export and ASCII charts.
+"""Extra renderings of experiment results: CSV export, JSON payloads
+and ASCII charts.
 
 The result tables are the ground truth; these helpers make them easier
-to consume — CSV for plotting pipelines, horizontal bar charts for
-reading a "figure" directly in the terminal (`repro-fvc run fig10
---chart`).
+to consume — CSV for plotting pipelines, canonical JSON for machine
+consumers (`repro-fvc run fig10 --json`, the `repro.service` result
+store), horizontal bar charts for reading a "figure" directly in the
+terminal (`repro-fvc run fig10 --chart`).
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from typing import List, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+
+#: Schema tag stamped on experiment JSON payloads; bump on shape change.
+EXPERIMENT_SCHEMA = "repro.experiment/1"
+
+
+def experiment_payload(result: ExperimentResult) -> dict:
+    """An :class:`ExperimentResult` as a plain-JSON-types dict.
+
+    This is *the* machine-readable result format: ``repro-fvc run
+    --json`` prints it and the service result store persists it, so a
+    served job's payload is byte-identical to a local run's.
+    """
+    return {
+        "schema": EXPERIMENT_SCHEMA,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [dict(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def dumps_canonical(payload: object) -> str:
+    """Canonical JSON text: sorted keys, two-space indent, trailing
+    newline.  One serialisation everywhere is what makes payload bytes
+    comparable across the CLI, the result store and the HTTP API."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
 
 
 def to_csv(result: ExperimentResult) -> str:

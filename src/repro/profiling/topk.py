@@ -33,8 +33,9 @@ class ExactTopK:
 
     def add_many(self, values: Iterable[int]) -> None:
         """Count a batch of observations."""
-        self._counts.update(values)
-        self.total = sum(self._counts.values())
+        batch = Counter(values)
+        self._counts.update(batch)
+        self.total += sum(batch.values())
 
     def top(self, k: int) -> List[Tuple[int, int]]:
         """The ``k`` most frequent ``(value, count)`` pairs, ties broken
@@ -135,6 +136,11 @@ class SpaceSaving:
         self._errors.pop(victim)
         counts[value] = floor + 1
         self._errors[value] = floor
+
+    def estimate(self, value: int) -> int:
+        """Estimated count of ``value`` (0 when unmonitored).  Never
+        understates the true count of a monitored value."""
+        return self._counts.get(value, 0)
 
     def estimates(self) -> List[Tuple[int, int, int]]:
         """``(value, estimated count, max error)`` by estimated count."""

@@ -1,0 +1,189 @@
+"""Job specifications, result keys and the worker-side executor.
+
+A *job spec* is the service's unit of work: a plain-JSON dict naming
+either one whole experiment (``{"type": "experiment", "experiment_id":
+"fig10", "fast": true}``) or one engine simulation cell (``{"type":
+"cell", "workload": "gcc", ...}`` — the :class:`repro.engine.cells
+.SimCell` fields).  Specs are normalised to a canonical form before
+anything else happens, so two requests that mean the same work hash to
+the same **result key** regardless of field order or omitted defaults.
+
+The result key is content-addressed the same way the trace cache
+addresses traces: a SHA-256 digest over the normalised spec, the
+workload input's data seed (for cell jobs), the package version and the
+trace-cache version.  Identical submissions therefore resolve to the
+same stored payload across server restarts, and any change that could
+alter results (new code version, regenerated traces) silently retires
+old entries instead of serving stale ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields as dataclass_fields
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.engine.cells import CellResult, SimCell
+from repro.engine.trace_cache import TRACE_CACHE_VERSION
+from repro.experiments.render import dumps_canonical, experiment_payload
+
+#: Bump when the spec normalisation or payload shape changes
+#: incompatibly; part of every result key.
+SPEC_VERSION = 1
+
+#: Schema tag stamped on cell JSON payloads.
+CELL_SCHEMA = "repro.cell/1"
+
+_CELL_FIELDS = tuple(f.name for f in dataclass_fields(SimCell))
+
+
+class SpecError(ConfigurationError):
+    """A submitted job spec is malformed (HTTP 400 at the API edge)."""
+
+
+def _require_type(spec: Dict, field: str, kind: type, default=None):
+    value = spec.get(field, default)
+    if value is None:
+        raise SpecError(f"spec field {field!r} is required")
+    # bool is an int subclass; reject True where an int is expected.
+    if kind is int and isinstance(value, bool):
+        raise SpecError(f"spec field {field!r} must be an integer")
+    if not isinstance(value, kind):
+        raise SpecError(
+            f"spec field {field!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def normalise_spec(spec: object) -> Dict:
+    """Validate a raw (JSON-decoded) spec and return its canonical form.
+
+    The canonical form spells out every field, so equality of
+    normalised specs is equality of the work they describe.  Raises
+    :class:`SpecError` on anything malformed and
+    :class:`~repro.common.errors.ConfigurationError` on unknown
+    experiment/workload names.
+    """
+    if not isinstance(spec, dict):
+        raise SpecError("job spec must be a JSON object")
+    kind = spec.get("type")
+    if kind == "experiment":
+        from repro.experiments.registry import get_experiment
+
+        experiment_id = _require_type(spec, "experiment_id", str)
+        get_experiment(experiment_id)  # raises on unknown ids
+        return {
+            "type": "experiment",
+            "experiment_id": experiment_id,
+            "fast": bool(spec.get("fast", False)),
+        }
+    if kind == "cell":
+        from repro.workloads.registry import get_workload
+
+        unknown = set(spec) - set(_CELL_FIELDS) - {"type"}
+        if unknown:
+            raise SpecError(f"unknown cell spec fields: {sorted(unknown)}")
+        cell = SimCell(
+            workload=_require_type(spec, "workload", str),
+            input_name=_require_type(spec, "input_name", str, "ref"),
+            kind=_require_type(spec, "kind", str, "baseline"),
+            size_bytes=_require_type(spec, "size_bytes", int, 16 * 1024),
+            line_bytes=_require_type(spec, "line_bytes", int, 32),
+            ways=_require_type(spec, "ways", int, 1),
+            fvc_entries=_require_type(spec, "fvc_entries", int, 512),
+            top_values=_require_type(spec, "top_values", int, 7),
+        )
+        if cell.kind not in ("baseline", "fvc", "classify"):
+            raise SpecError(f"unknown cell kind {cell.kind!r}")
+        # Raises on unknown workloads/inputs, and validates geometry.
+        get_workload(cell.workload).input_named(cell.input_name)
+        cell.geometry()
+        normalised = {"type": "cell"}
+        normalised.update(
+            (name, getattr(cell, name)) for name in _CELL_FIELDS
+        )
+        return normalised
+    raise SpecError(
+        f"spec 'type' must be 'experiment' or 'cell', got {kind!r}"
+    )
+
+
+def result_key(spec: Dict) -> str:
+    """The content hash addressing one normalised spec's result.
+
+    Covers everything the payload is a function of: the spec itself,
+    the package version, the trace-cache version, and — for cell jobs —
+    the data seed of the referenced workload input.
+    """
+    from repro import __version__
+
+    material: Dict[str, object] = {
+        "v": SPEC_VERSION,
+        "code": __version__,
+        "traces": TRACE_CACHE_VERSION,
+        "spec": spec,
+    }
+    if spec.get("type") == "cell":
+        from repro.workloads.registry import get_workload
+
+        inp = get_workload(spec["workload"]).input_named(spec["input_name"])
+        material["seed"] = inp.data_seed
+    digest = hashlib.sha256(
+        json.dumps(material, sort_keys=True, separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()[:24]
+
+
+def cell_payload(result: CellResult) -> Dict:
+    """A :class:`CellResult` as a plain-JSON-types dict (the cell-job
+    analogue of :func:`repro.experiments.render.experiment_payload`)."""
+    cell = result.cell
+    return {
+        "schema": CELL_SCHEMA,
+        "cell": {name: getattr(cell, name) for name in _CELL_FIELDS},
+        "stats": dict(result.stats),
+        "extras": dict(result.extras),
+    }
+
+
+def payload_bytes(payload: Dict) -> bytes:
+    """Canonical JSON encoding of a payload — the exact bytes the
+    result store persists and ``/v1/results/<key>`` serves."""
+    return dumps_canonical(payload).encode("utf-8")
+
+
+def execute_spec(
+    spec: Dict, progress: Optional[Callable[[int, int], None]] = None
+) -> Dict:
+    """Run one normalised spec to its JSON payload.
+
+    This is the function job workers execute (in a child process —
+    see :mod:`repro.service.workers`).  It goes through the exact same
+    engine path as the CLI (:func:`repro.engine.cells.run_cell` /
+    :meth:`repro.experiments.base.Experiment.run_with_engine`), which is
+    what makes a served result byte-identical to a local run.
+    """
+    from repro.workloads.store import shared_store
+
+    if spec["type"] == "experiment":
+        from repro.experiments.registry import get_experiment
+
+        experiment = get_experiment(spec["experiment_id"])
+        result = experiment.run_with_engine(
+            shared_store, fast=spec["fast"], jobs=1, progress=progress
+        )
+        return experiment_payload(result)
+    if spec["type"] == "cell":
+        from repro.engine.cells import run_cell
+
+        cell = SimCell(**{name: spec[name] for name in _CELL_FIELDS})
+        if progress is not None:
+            progress(0, 1)
+        result = run_cell(cell, shared_store)
+        if progress is not None:
+            progress(1, 1)
+        return cell_payload(result)
+    raise SpecError(f"cannot execute spec type {spec.get('type')!r}")

@@ -1,0 +1,171 @@
+"""Thin stdlib client for the simulation service.
+
+Wraps the HTTP JSON API in plain method calls::
+
+    client = ServiceClient("http://127.0.0.1:8031")
+    job = client.submit_experiment("fig10", fast=True)
+    done = client.wait(job["id"])
+    payload = client.result(done["result_key"])
+
+Used by the ``repro-fvc submit``/``status``/``fetch`` CLI verbs and the
+end-to-end tests; only :mod:`urllib.request`, no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+#: Default service endpoint; overridable via ``REPRO_SERVICE_URL``.
+DEFAULT_URL = "http://127.0.0.1:8031"
+
+
+def default_service_url() -> str:
+    """The service URL the environment selects."""
+    return os.environ.get("REPRO_SERVICE_URL", DEFAULT_URL)
+
+
+class ServiceError(Exception):
+    """An API-level failure (HTTP error status or unreachable server)."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class JobFailed(ServiceError):
+    """A waited-on job ended ``failed`` or ``cancelled``."""
+
+    def __init__(self, job: Dict) -> None:
+        super().__init__(
+            f"job {job.get('id')} ended {job.get('state')}: "
+            f"{job.get('error')}"
+        )
+        self.job = job
+
+
+class ServiceClient:
+    """HTTP client for one service endpoint."""
+
+    def __init__(
+        self, base_url: Optional[str] = None, timeout: float = 30.0
+    ) -> None:
+        self.base_url = (base_url or default_service_url()).rstrip("/")
+        self.timeout = timeout
+
+    # Transport ---------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as rsp:
+                return rsp.read()
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServiceError(
+                f"{method} {path} -> HTTP {exc.code}"
+                + (f": {detail}" if detail else ""),
+                status=exc.code,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _json(self, method: str, path: str, body: Optional[Dict] = None):
+        return json.loads(self._request(method, path, body))
+
+    # API ---------------------------------------------------------------
+    def healthz(self) -> Dict:
+        """Liveness probe."""
+        return self._json("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict:
+        """The flat counter snapshot."""
+        return self._json("GET", "/v1/metrics")
+
+    def submit(self, spec: Dict) -> Dict:
+        """Submit a raw job spec; returns the job's JSON view."""
+        return self._json("POST", "/v1/jobs", body=spec)
+
+    def submit_experiment(self, experiment_id: str, fast: bool = False) -> Dict:
+        """Submit one whole experiment."""
+        return self.submit(
+            {"type": "experiment", "experiment_id": experiment_id, "fast": fast}
+        )
+
+    def submit_cell(self, workload: str, **fields) -> Dict:
+        """Submit one engine simulation cell."""
+        spec = {"type": "cell", "workload": workload}
+        spec.update(fields)
+        return self.submit(spec)
+
+    def status(self, job_id: str) -> Dict:
+        """One job's current JSON view."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Dict:
+        """Every known job."""
+        return self._json("GET", "/v1/jobs")
+
+    def cancel(self, job_id: str) -> Dict:
+        """Request cancellation of a queued or running job."""
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def result_bytes(self, key: str) -> bytes:
+        """The stored payload, byte-exact as persisted."""
+        return self._request("GET", f"/v1/results/{key}")
+
+    def result(self, key: str) -> Dict:
+        """The stored payload, JSON-decoded."""
+        return json.loads(self.result_bytes(key))
+
+    # Convenience -------------------------------------------------------
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> Dict:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final job view; raises :class:`JobFailed` when it
+        ends ``failed``/``cancelled`` and :class:`ServiceError` on
+        timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            state = job.get("state")
+            if state == "done":
+                return job
+            if state in ("failed", "cancelled"):
+                raise JobFailed(job)
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {state} after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def run(self, spec: Dict, timeout: float = 300.0) -> Dict:
+        """Submit, wait, and return the result payload."""
+        job = self.submit(spec)
+        if job.get("state") != "done":
+            job = self.wait(job["id"], timeout=timeout)
+        payload = job.get("result")
+        if payload is not None:
+            return payload
+        return self.result(job["result_key"])

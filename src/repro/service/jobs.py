@@ -1,0 +1,262 @@
+"""Job records, lifecycle states and the thread-safe job queue.
+
+A job is born ``queued``, is picked up by one worker (``running``), and
+ends in exactly one of ``done`` / ``failed`` / ``cancelled``.  The
+:class:`JobQueue` owns every record, hands pending ids to workers, and
+keeps the lifecycle counters ``/v1/metrics`` reports.
+
+Two service behaviours live here rather than in the workers:
+
+* **store-hit answering** — a submission whose result key is already in
+  the result store is materialised directly as a ``done`` job
+  (``cached: true``), never touching the queue;
+* **in-flight deduplication** — a submission whose result key matches a
+  job that is currently queued or running returns that job
+  (``deduplicated: true``) instead of simulating the same thing twice.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Lifecycle states.  ``queued`` and ``running`` are live; the rest are
+#: terminal.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_LIVE = (QUEUED, RUNNING)
+_TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and everything observable about it."""
+
+    id: str
+    spec: Dict
+    result_key: str
+    state: str = QUEUED
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    #: ``(done, total)`` cell progress, engine-hook fed.
+    progress: Optional[Tuple[int, int]] = None
+    #: Answered straight from the result store, no simulation.
+    cached: bool = False
+    #: Whether the completed payload won result-store admission.
+    stored: Optional[bool] = None
+    #: The completed payload (kept in memory even when the store
+    #: rejected it, so the submitter always gets the result).
+    payload: Optional[Dict] = None
+    #: Set to request cancellation; checked queued and running.
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def as_dict(self, include_result: bool = True) -> Dict:
+        """The job's public JSON view (``GET /v1/jobs/<id>``)."""
+        view: Dict[str, object] = {
+            "id": self.id,
+            "spec": self.spec,
+            "result_key": self.result_key,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "attempts": self.attempts,
+            "error": self.error,
+            "cached": self.cached,
+            "stored": self.stored,
+        }
+        if self.progress is not None:
+            done, total = self.progress
+            view["progress"] = {"done": done, "total": total}
+        if include_result and self.state == DONE:
+            view["result"] = self.payload
+        return view
+
+
+class JobQueue:
+    """Registry of every job plus the FIFO of pending work.
+
+    All mutation goes through methods that hold the internal lock, so
+    HTTP threads and worker threads can share one instance freely.
+    """
+
+    def __init__(self, max_jobs: int = 10000) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # insertion order, for trimming
+        self._pending: "queue.Queue[str]" = queue.Queue()
+        self._max_jobs = max_jobs
+        self._serial = itertools.count(1)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.retries = 0
+
+    def _new_id(self) -> str:
+        return f"job-{next(self._serial):05d}-{uuid.uuid4().hex[:8]}"
+
+    def _trim(self) -> None:
+        # Drop the oldest *terminal* records once the registry is full;
+        # live jobs are never evicted.
+        while len(self._order) > self._max_jobs:
+            for index, job_id in enumerate(self._order):
+                if self._jobs[job_id].state in _TERMINAL:
+                    del self._jobs[job_id]
+                    del self._order[index]
+                    break
+            else:
+                return
+
+    # Submission --------------------------------------------------------
+    def submit(self, spec: Dict, result_key: str) -> Tuple[Job, bool]:
+        """Register a new queued job; returns ``(job, deduplicated)``.
+
+        When a live job with the same result key exists, that job is
+        returned instead (``deduplicated=True``) and nothing new is
+        enqueued.
+        """
+        with self._lock:
+            self.submitted += 1
+            for job_id in reversed(self._order):
+                existing = self._jobs[job_id]
+                if (
+                    existing.result_key == result_key
+                    and existing.state in _LIVE
+                ):
+                    return existing, True
+            job = Job(id=self._new_id(), spec=spec, result_key=result_key)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._trim()
+        self._pending.put(job.id)
+        return job, False
+
+    def add_cached(self, spec: Dict, result_key: str, payload: Dict) -> Job:
+        """Register a submission answered from the result store: the
+        job is born ``done`` and never enters the queue."""
+        now = time.time()
+        with self._lock:
+            self.submitted += 1
+            job = Job(
+                id=self._new_id(),
+                spec=spec,
+                result_key=result_key,
+                state=DONE,
+                started=now,
+                finished=now,
+                cached=True,
+                stored=True,
+                payload=payload,
+            )
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._trim()
+        return job
+
+    # Worker side -------------------------------------------------------
+    def next_job(self, timeout: float = 0.2) -> Optional[Job]:
+        """Claim the next pending job (``running``), or ``None`` on
+        timeout.  Jobs cancelled while queued are resolved here."""
+        try:
+            job_id = self._pending.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != QUEUED:
+                return None
+            if job.cancel_event.is_set():
+                job.state = CANCELLED
+                job.finished = time.time()
+                self.cancelled += 1
+                return None
+            job.state = RUNNING
+            job.started = time.time()
+        return job
+
+    def note_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def finish(
+        self,
+        job: Job,
+        state: str,
+        error: Optional[str] = None,
+        payload: Optional[Dict] = None,
+        stored: Optional[bool] = None,
+    ) -> None:
+        """Move a running job to a terminal state."""
+        if state not in _TERMINAL:
+            raise ValueError(f"not a terminal state: {state!r}")
+        with self._lock:
+            job.state = state
+            job.finished = time.time()
+            job.error = error
+            job.payload = payload
+            job.stored = stored
+            if state == DONE:
+                self.completed += 1
+            elif state == FAILED:
+                self.failed += 1
+            else:
+                self.cancelled += 1
+
+    # Introspection -----------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; returns the job or ``None``.
+
+        Queued jobs resolve when a worker drains them; running jobs are
+        stopped by their worker (which kills the child process).
+        Terminal jobs are unaffected.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is not None and job.state in _LIVE:
+            job.cancel_event.set()
+        return job
+
+    def jobs(self) -> List[Job]:
+        """Every known job, submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def queue_depth(self) -> int:
+        """Number of jobs waiting for a worker."""
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.state == QUEUED)
+
+    def running_count(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.state == RUNNING)
+
+    def stats(self) -> Dict[str, int]:
+        """Lifecycle counters for ``/v1/metrics``."""
+        with self._lock:
+            live = [j.state for j in self._jobs.values()]
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "retries": self.retries,
+                "queued": sum(1 for s in live if s == QUEUED),
+                "running": sum(1 for s in live if s == RUNNING),
+            }

@@ -1,0 +1,265 @@
+"""Persistent, content-addressed result store with TinyLFU admission.
+
+The store is the serving layer's memory: every completed job's JSON
+payload is kept on disk under its result key (see
+:func:`repro.service.api.result_key`), so identical submissions — from
+any process, across server restarts — are answered without
+re-simulation.
+
+Capacity is bounded, and what survives at capacity is decided by a
+TinyLFU-style **frequency admission** policy (Einziger et al.): a
+candidate only displaces the coldest resident entry when the candidate
+has been *asked for* more often.  One-off results therefore pass
+through without evicting hot ones — the paper's frequent-value
+observation applied one level up, to results instead of words.  The
+frequency sketch is built from the repo's own streaming counters
+(:class:`repro.profiling.topk.SpaceSaving`), aged by windowing: two
+sketches, current and previous, rotated every ``window`` observations
+so ancient popularity decays instead of pinning entries forever.
+
+Layout: one file per entry, ``<key>.json``, holding exactly the
+canonical payload bytes (so ``GET /v1/results/<key>`` is a plain read).
+Writes are atomic (temp file + ``os.replace``) like the trace cache's.
+Recency for victim tie-breaks comes from file mtimes, refreshed on hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiling.topk import SpaceSaving
+
+#: Default maximum number of resident entries.
+DEFAULT_CAPACITY = 512
+
+
+def default_store_dir() -> Path:
+    """The result-store directory the environment selects."""
+    env = os.environ.get("REPRO_RESULT_STORE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-fvc" / "results"
+
+
+class FrequencySketch:
+    """Windowed access-frequency estimator over result keys.
+
+    Wraps two :class:`~repro.profiling.topk.SpaceSaving` summaries —
+    the TinyLFU trick of periodic aging, done by rotation: once the
+    current window has seen ``window`` observations it becomes the
+    previous window and a fresh one starts.  An estimate is the sum of
+    both windows, so popularity fades within two windows of going quiet
+    rather than accumulating forever.
+    """
+
+    def __init__(self, counters: int = 1024, window: int = 4096) -> None:
+        if window <= 0:
+            raise ValueError("sketch window must be positive")
+        self.counters = counters
+        self.window = window
+        self._current = SpaceSaving(counters)
+        self._previous: Optional[SpaceSaving] = None
+
+    @staticmethod
+    def _slot(key: str) -> int:
+        # The SpaceSaving counters track integer identities; any key
+        # string maps to one through a stable 64-bit digest.
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big")
+
+    def touch(self, key: str) -> None:
+        """Record one request for ``key`` (hit or miss alike)."""
+        self._current.add(self._slot(key))
+        if self._current.total >= self.window:
+            self._previous = self._current
+            self._current = SpaceSaving(self.counters)
+
+    def estimate(self, key: str) -> int:
+        """Estimated request count for ``key`` over the last two
+        windows."""
+        slot = self._slot(key)
+        count = self._current.estimate(slot)
+        if self._previous is not None:
+            count += self._previous.estimate(slot)
+        return count
+
+
+class ResultStore:
+    """Disk-backed ``result key → canonical payload bytes`` map with
+    bounded capacity and frequency-based admission.
+
+    Thread-safe: the HTTP threads and the worker pool share one
+    instance.  Counters (``hits`` / ``misses`` / ``stores`` /
+    ``admission_rejects`` / ``evictions``) feed ``/v1/metrics``.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        capacity: int = DEFAULT_CAPACITY,
+        sketch: Optional[FrequencySketch] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("result store needs capacity >= 1")
+        self.directory = Path(directory)
+        self.capacity = capacity
+        self.sketch = sketch if sketch is not None else FrequencySketch()
+        self._lock = threading.Lock()
+        # key → mtime (recency; victim tie-break).  Rebuilt from disk
+        # at construction, so restarts keep everything already earned.
+        self._index: Dict[str, float] = {}
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    self._index[path.stem] = path.stat().st_mtime
+                except OSError:
+                    continue
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.admission_rejects = 0
+        self.evictions = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # Reads -------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        """The stored payload bytes for ``key``, or ``None``.
+
+        Every lookup — hit or miss — feeds the frequency sketch; that
+        is what lets a repeatedly-requested result win admission later
+        even if its first computation was rejected at capacity.
+        """
+        with self._lock:
+            self.sketch.touch(key)
+            known = key in self._index
+        if not known:
+            with self._lock:
+                self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            # Entry vanished behind our back (manual delete): heal.
+            with self._lock:
+                self._index.pop(key, None)
+                self.misses += 1
+            return None
+        now = None
+        try:
+            os.utime(path)
+            now = path.stat().st_mtime
+        except OSError:
+            pass
+        with self._lock:
+            self.hits += 1
+            if now is not None:
+                self._index[key] = now
+        return payload
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is resident (no counters, no sketch)."""
+        with self._lock:
+            return key in self._index
+
+    # Writes ------------------------------------------------------------
+    def _write(self, key: str, payload: bytes) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._index[key] = self._path(key).stat().st_mtime
+
+    def put(self, key: str, payload: bytes) -> bool:
+        """Offer a payload for residency; returns whether it was
+        admitted.
+
+        Under capacity every offer is admitted.  At capacity the
+        candidate competes with the coldest resident entry (minimum
+        sketch estimate, oldest mtime breaking ties) and only a
+        strictly higher estimated frequency displaces it — the TinyLFU
+        rule.  A rejected payload is *not* lost to the caller: the job
+        record still carries it; it just is not persisted.
+        """
+        with self._lock:
+            self.sketch.touch(key)
+            if key in self._index:
+                self._write(key, payload)  # refresh (idempotent)
+                self.stores += 1
+                return True
+            if len(self._index) >= self.capacity:
+                victim = min(
+                    self._index,
+                    key=lambda k: (self.sketch.estimate(k), self._index[k]),
+                )
+                if self.sketch.estimate(key) <= self.sketch.estimate(victim):
+                    self.admission_rejects += 1
+                    return False
+                try:
+                    self._path(victim).unlink()
+                except OSError:
+                    pass
+                del self._index[victim]
+                self.evictions += 1
+            self._write(key, payload)
+            self.stores += 1
+            return True
+
+    # Maintenance -------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        with self._lock:
+            removed = 0
+            for key in list(self._index):
+                try:
+                    self._path(key).unlink()
+                except OSError:
+                    pass
+                del self._index[key]
+                removed += 1
+            return removed
+
+    def keys(self) -> List[str]:
+        """Resident keys, most recently touched first."""
+        with self._lock:
+            ranked: List[Tuple[float, str]] = sorted(
+                ((mtime, key) for key, mtime in self._index.items()),
+                reverse=True,
+            )
+        return [key for _, key in ranked]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for ``/v1/metrics``."""
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "admission_rejects": self.admission_rejects,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,297 @@
+"""The stdlib HTTP JSON API server: simulation as a service.
+
+Endpoints (all JSON, all under ``/v1``):
+
+========================  ====================================================
+``POST /v1/jobs``         submit a job spec; answered from the result store
+                          when the key is resident, deduplicated against
+                          in-flight jobs otherwise
+``GET /v1/jobs/<id>``     job status, progress, and (when done) the result
+``DELETE /v1/jobs/<id>``  request cancellation
+``GET /v1/jobs``          every known job, submission order
+``GET /v1/results/<key>`` the stored canonical payload bytes
+``GET /v1/metrics``       flat counter snapshot (jobs, store, uptime)
+``GET /v1/healthz``       liveness probe
+========================  ====================================================
+
+The server is a :class:`http.server.ThreadingHTTPServer` — requests are
+cheap bookkeeping; all simulation happens in the worker pool's child
+processes.  ``repro-fvc serve`` wires SIGTERM/SIGINT to a graceful
+drain: stop accepting, finish every accepted job, exit.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.service.api import (
+    execute_spec,
+    normalise_spec,
+    payload_bytes,
+    result_key,
+)
+from repro.service.jobs import JobQueue
+from repro.service.result_store import (
+    DEFAULT_CAPACITY,
+    ResultStore,
+    default_store_dir,
+)
+from repro.service.workers import WorkerPool
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro-fvc serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8031
+    workers: int = 2
+    job_timeout: Optional[float] = 600.0
+    max_retries: int = 2
+    retry_backoff: float = 0.5
+    store_dir: Optional[Path] = None
+    store_capacity: int = DEFAULT_CAPACITY
+    quiet: bool = True
+
+
+class ReproService:
+    """The assembled service: result store + job queue + worker pool +
+    HTTP front end.  ``start()``/``stop()`` make it embeddable (tests
+    run it in-process on an ephemeral port); :func:`serve` is the
+    blocking CLI entry."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        store_dir = self.config.store_dir or default_store_dir()
+        self.store = ResultStore(
+            store_dir, capacity=self.config.store_capacity
+        )
+        self.jobs = JobQueue()
+        self.pool = WorkerPool(
+            self.jobs,
+            run_spec=execute_spec,
+            workers=self.config.workers,
+            job_timeout=self.config.job_timeout,
+            max_retries=self.config.max_retries,
+            retry_backoff=self.config.retry_backoff,
+            on_done=self._store_result,
+        )
+        self.started_at = time.time()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # Wiring ------------------------------------------------------------
+    def _store_result(self, job, payload: Dict) -> bool:
+        """Worker-pool completion hook: offer the payload for
+        result-store residency."""
+        return self.store.put(job.result_key, payload_bytes(payload))
+
+    def submit(self, raw_spec: object) -> Tuple[Dict, int]:
+        """Handle one submission; returns ``(body, http_status)``."""
+        spec = normalise_spec(raw_spec)
+        key = result_key(spec)
+        stored = self.store.get(key)
+        if stored is not None:
+            job = self.jobs.add_cached(spec, key, json.loads(stored))
+            body = job.as_dict()
+            body["deduplicated"] = False
+            return body, 200
+        job, deduplicated = self.jobs.submit(spec, key)
+        body = job.as_dict()
+        body["deduplicated"] = deduplicated
+        return body, 200 if deduplicated else 202
+
+    def metrics(self) -> Dict:
+        """The flat ``/v1/metrics`` snapshot."""
+        from repro import __version__
+
+        jobs = self.jobs.stats()
+        store = self.store.stats()
+        flat: Dict[str, object] = {
+            f"jobs_{name}": value for name, value in jobs.items()
+        }
+        flat.update(
+            (f"result_store_{name}", value) for name, value in store.items()
+        )
+        flat["queue_depth"] = jobs["queued"]
+        flat["workers"] = self.pool.workers
+        flat["uptime_seconds"] = round(time.time() - self.started_at, 3)
+        flat["version"] = __version__
+        return flat
+
+    # Lifecycle ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._httpd is None:
+            return self.config.port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "ReproService":
+        """Bind the socket, start workers and the HTTP thread."""
+        handler = _make_handler(self, quiet=self.config.quiet)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._httpd.daemon_threads = True
+        self.pool.start()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, then stop the pool.
+
+        ``drain=True`` finishes every accepted job first — the SIGTERM
+        behaviour; ``drain=False`` cancels whatever is in flight.
+        """
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
+        self.pool.stop(drain=drain, timeout=timeout)
+
+
+def serve(config: Optional[ServiceConfig] = None) -> int:
+    """Run a service until SIGTERM/SIGINT, then drain gracefully.
+
+    The blocking entry point behind ``repro-fvc serve``.
+    """
+    service = ReproService(config)
+    stop_requested = threading.Event()
+
+    def _on_signal(signum, _frame):  # pragma: no cover - signal path
+        stop_requested.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _on_signal)
+    service.start()
+    print(
+        f"repro-fvc service on {service.url} "
+        f"({service.pool.workers} workers, store at {service.store.directory})",
+        flush=True,
+    )
+    try:
+        while not stop_requested.wait(0.2):
+            pass
+    finally:
+        print("draining: finishing accepted jobs ...", flush=True)
+        service.stop(drain=True)
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        print("stopped.", flush=True)
+    return 0
+
+
+# HTTP plumbing ---------------------------------------------------------
+def _make_handler(service: ReproService, quiet: bool = True):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-fvc-service"
+
+        # Responses ----------------------------------------------------
+        def _send(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _json(self, status: int, payload: object) -> None:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            self._send(status, body, "application/json")
+
+        def _error(self, status: int, message: str) -> None:
+            self._json(status, {"error": message})
+
+        # Routing ------------------------------------------------------
+        def _route(self) -> Tuple[str, ...]:
+            return tuple(part for part in self.path.split("/") if part)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            route = self._route()
+            if route == ("v1", "healthz"):
+                self._json(200, {"status": "ok"})
+            elif route == ("v1", "metrics"):
+                self._json(200, service.metrics())
+            elif route == ("v1", "jobs"):
+                self._json(
+                    200,
+                    {
+                        "jobs": [
+                            job.as_dict(include_result=False)
+                            for job in service.jobs.jobs()
+                        ]
+                    },
+                )
+            elif len(route) == 3 and route[:2] == ("v1", "jobs"):
+                job = service.jobs.get(route[2])
+                if job is None:
+                    self._error(404, f"no such job: {route[2]}")
+                else:
+                    self._json(200, job.as_dict())
+            elif len(route) == 3 and route[:2] == ("v1", "results"):
+                payload = service.store.get(route[2])
+                if payload is None:
+                    self._error(404, f"no such result: {route[2]}")
+                else:
+                    self._send(200, payload, "application/json")
+            else:
+                self._error(404, f"no such endpoint: {self.path}")
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            route = self._route()
+            if route != ("v1", "jobs"):
+                self._error(404, f"no such endpoint: {self.path}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = json.loads(self.rfile.read(length) or b"null")
+            except (ValueError, json.JSONDecodeError):
+                self._error(400, "request body must be valid JSON")
+                return
+            try:
+                body, status = service.submit(raw)
+            except ReproError as exc:
+                # SpecError, unknown experiments/workloads, bad
+                # geometry — all client mistakes.
+                self._error(400, str(exc))
+                return
+            self._json(status, body)
+
+        def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+            route = self._route()
+            if len(route) == 3 and route[:2] == ("v1", "jobs"):
+                job = service.jobs.cancel(route[2])
+                if job is None:
+                    self._error(404, f"no such job: {route[2]}")
+                else:
+                    self._json(202, job.as_dict(include_result=False))
+            else:
+                self._error(404, f"no such endpoint: {self.path}")
+
+        def log_message(self, fmt: str, *args) -> None:
+            if not quiet:  # pragma: no cover - debug aid
+                BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    return Handler

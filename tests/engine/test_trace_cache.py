@@ -160,3 +160,106 @@ class TestStoreIntegration:
         store.get("go", "test")  # must come back from disk, not synthesis
         assert cache.synthesised == 2
         assert cache.disk_hits == 1
+
+
+# Concurrent-writer regression support: module level so child
+# processes can run it under any multiprocessing start method.
+def _concurrent_store_worker(directory, barrier, errors):
+    try:
+        from repro.workloads.registry import get_workload
+
+        trace = get_workload("go").generate_trace("test")
+        cache = TraceCache(directory)
+        barrier.wait(timeout=30)  # maximise write overlap
+        cache.store(trace)
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        errors.put(f"{type(exc).__name__}: {exc}")
+
+
+class TestConcurrentWriters:
+    """Two processes materialising the same (workload, input) entry
+    must not corrupt it: stores go through a private temp file and one
+    atomic ``os.replace`` each, so the last completed write wins whole.
+    """
+
+    def test_two_processes_store_same_entry(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        directory = tmp_path / "traces"
+        barrier = ctx.Barrier(2)
+        errors = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_concurrent_store_worker,
+                args=(directory, barrier, errors),
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        assert errors.empty()
+        # The entry is whole: loadable, equal to a fresh synthesis.
+        cache = TraceCache(directory)
+        loaded = cache.load("go", "test")
+        assert loaded is not None
+        from repro.workloads.registry import get_workload
+
+        assert loaded == get_workload("go").generate_trace("test")
+        # Exactly one entry, no temp debris.
+        assert len(list(directory.glob("*.trc2.gz"))) == 1
+        assert list(directory.glob("*.tmp.gz")) == []
+
+    def test_store_uses_private_temp_and_atomic_replace(
+        self, cache, monkeypatch
+    ):
+        """The atomic-rename contract itself: payload is written to a
+        mkstemp-private file and lands via a single os.replace."""
+        trace = cache.get("go", "test")
+        calls = []
+        real_replace = __import__("os").replace
+
+        def spying_replace(src, dst):
+            calls.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(
+            "repro.engine.trace_cache.os.replace", spying_replace
+        )
+        final = cache.store(trace)
+        assert len(calls) == 1
+        src, dst = calls[0]
+        assert dst == str(final)
+        assert src != dst
+        assert src.endswith(".tmp.gz")  # gzip framing is name-driven
+        assert str(cache.directory) in src  # same fs: rename is atomic
+        assert list(cache.directory.glob("*.tmp.gz")) == []
+
+    def test_loser_overwrite_keeps_entry_valid(self, cache, monkeypatch):
+        """Deterministic interleaving: writer B completes fully while
+        writer A sits between its temp write and its rename; A's
+        replace then lands over B's entry — and the entry stays whole
+        because A replaces a complete file with a complete file."""
+        trace = cache.get("go", "test")
+        real_replace = __import__("os").replace
+        state = {"interleaved": False}
+
+        def racing_replace(src, dst):
+            if not state["interleaved"]:
+                state["interleaved"] = True
+                TraceCache(cache.directory).store(trace)  # B wins first
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(
+            "repro.engine.trace_cache.os.replace", racing_replace
+        )
+        cache.store(trace)  # A
+        monkeypatch.undo()
+        assert state["interleaved"]
+        fresh = TraceCache(cache.directory)
+        loaded = fresh.load("go", "test")
+        assert loaded == trace
+        assert list(cache.directory.glob("*.tmp.gz")) == []

@@ -110,3 +110,55 @@ class TestSpaceSaving:
         for value in range(1000):
             summary.add(value)
         assert len(summary.estimates()) == 4
+
+
+class TestExactTopKBatching:
+    def test_add_many_accepts_generators(self):
+        """Regression: add_many used to recompute the total with
+        sum(counts.values()) — O(distinct) per batch — and relied on
+        the values being re-iterable.  It must count the batch once."""
+        counter = ExactTopK()
+        counter.add_many(value % 3 for value in range(10))
+        assert counter.total == 10
+        assert counter.distinct == 3
+
+    def test_repeated_batches_accumulate_total(self):
+        counter = ExactTopK()
+        for _ in range(5):
+            counter.add_many([1, 2, 2])
+        assert counter.total == 15
+        assert counter.count(2) == 10
+
+    def test_batches_match_single_adds(self):
+        batched, single = ExactTopK(), ExactTopK()
+        stream = [7, 7, 1, 9, 7, 1]
+        batched.add_many(stream)
+        for value in stream:
+            single.add(value)
+        assert batched.total == single.total
+        assert batched.top(3) == single.top(3)
+
+    def test_empty_batch(self):
+        counter = ExactTopK()
+        counter.add_many([])
+        assert counter.total == 0
+
+
+class TestSpaceSavingEstimate:
+    def test_estimate_of_monitored_value(self):
+        summary = SpaceSaving(4)
+        for value in (5, 5, 5, 9):
+            summary.add(value)
+        assert summary.estimate(5) == 3
+        assert summary.estimate(9) == 1
+
+    def test_estimate_of_unmonitored_value_is_zero(self):
+        summary = SpaceSaving(2)
+        summary.add(1)
+        assert summary.estimate(42) == 0
+
+    def test_estimate_never_understates(self):
+        summary = SpaceSaving(2)
+        for value in (1, 2, 3, 1, 4, 1):
+            summary.add(value)
+        assert summary.estimate(1) >= 3

@@ -1,0 +1,161 @@
+"""Tests for job-spec normalisation, result keys and payloads."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError, WorkloadError
+from repro.service.api import (
+    SpecError,
+    cell_payload,
+    execute_spec,
+    normalise_spec,
+    payload_bytes,
+    result_key,
+)
+
+
+class TestNormaliseSpec:
+    def test_experiment_spec_minimal(self):
+        spec = normalise_spec({"type": "experiment", "experiment_id": "fig10"})
+        assert spec == {
+            "type": "experiment",
+            "experiment_id": "fig10",
+            "fast": False,
+        }
+
+    def test_cell_spec_fills_defaults(self):
+        spec = normalise_spec({"type": "cell", "workload": "go"})
+        assert spec["input_name"] == "ref"
+        assert spec["kind"] == "baseline"
+        assert spec["size_bytes"] == 16 * 1024
+        assert spec["line_bytes"] == 32
+
+    def test_normalisation_is_canonical(self):
+        """Field order and spelled-out defaults must not change the
+        canonical form (and hence the result key)."""
+        a = normalise_spec({"type": "cell", "workload": "go", "ways": 1})
+        b = normalise_spec({"ways": 1, "workload": "go", "type": "cell"})
+        c = normalise_spec({"type": "cell", "workload": "go"})
+        assert a == b == c
+        assert result_key(a) == result_key(c)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(SpecError):
+            normalise_spec(["not", "a", "dict"])
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SpecError):
+            normalise_spec({"type": "mystery"})
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            normalise_spec({"type": "experiment", "experiment_id": "fig99"})
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            normalise_spec({"type": "cell", "workload": "quake"})
+
+    def test_rejects_unknown_cell_fields(self):
+        with pytest.raises(SpecError):
+            normalise_spec({"type": "cell", "workload": "go", "bogus": 1})
+
+    def test_rejects_wrong_field_types(self):
+        with pytest.raises(SpecError):
+            normalise_spec(
+                {"type": "cell", "workload": "go", "size_bytes": "16k"}
+            )
+        with pytest.raises(SpecError):
+            normalise_spec(
+                {"type": "cell", "workload": "go", "size_bytes": True}
+            )
+
+    def test_rejects_unknown_cell_kind(self):
+        with pytest.raises(SpecError):
+            normalise_spec({"type": "cell", "workload": "go", "kind": "magic"})
+
+
+class TestResultKey:
+    def test_stable_for_equal_specs(self):
+        spec = normalise_spec({"type": "experiment", "experiment_id": "fig10"})
+        assert result_key(spec) == result_key(dict(spec))
+
+    def test_differs_across_specs(self):
+        keys = {
+            result_key(
+                normalise_spec(
+                    {"type": "experiment", "experiment_id": "fig10"}
+                )
+            ),
+            result_key(
+                normalise_spec(
+                    {
+                        "type": "experiment",
+                        "experiment_id": "fig10",
+                        "fast": True,
+                    }
+                )
+            ),
+            result_key(normalise_spec({"type": "cell", "workload": "go"})),
+            result_key(normalise_spec({"type": "cell", "workload": "gcc"})),
+        }
+        assert len(keys) == 4
+
+    def test_version_is_part_of_the_key(self, monkeypatch):
+        spec = normalise_spec({"type": "cell", "workload": "go"})
+        before = result_key(spec)
+        monkeypatch.setattr("repro.__version__", "999.0.0")
+        assert result_key(spec) != before
+
+
+class TestExecuteSpec:
+    def test_cell_execution_reports_progress(self):
+        spec = normalise_spec(
+            {
+                "type": "cell",
+                "workload": "go",
+                "input_name": "test",
+                "size_bytes": 8 * 1024,
+            }
+        )
+        seen = []
+        payload = execute_spec(spec, lambda done, total: seen.append((done, total)))
+        assert seen == [(0, 1), (1, 1)]
+        assert payload["schema"] == "repro.cell/1"
+        assert payload["cell"]["workload"] == "go"
+        assert payload["stats"]["accesses"] > 0
+
+    def test_experiment_execution_reports_cell_progress(self):
+        spec = normalise_spec(
+            {"type": "experiment", "experiment_id": "fig10", "fast": True}
+        )
+        seen = []
+        payload = execute_spec(spec, lambda done, total: seen.append((done, total)))
+        assert payload["schema"] == "repro.experiment/1"
+        assert payload["experiment_id"] == "fig10"
+        assert len(payload["rows"]) == 6
+        # fig10 --fast decomposes into 6 workloads x (1 baseline + 3
+        # FVC sizes) = 24 cells, reported in order.
+        assert seen[0] == (1, 24)
+        assert seen[-1] == (24, 24)
+
+    def test_payload_bytes_round_trip(self):
+        spec = normalise_spec(
+            {"type": "cell", "workload": "go", "input_name": "test"}
+        )
+        payload = execute_spec(spec)
+        raw = payload_bytes(payload)
+        assert raw.endswith(b"\n")
+        assert json.loads(raw) == payload
+
+
+class TestCellPayload:
+    def test_matches_run_cell(self, store):
+        from repro.engine.cells import SimCell, run_cell
+
+        cell = SimCell(workload="go", input_name="test")
+        result = run_cell(cell, store)
+        payload = cell_payload(result)
+        assert payload["cell"]["input_name"] == "test"
+        assert payload["stats"] == result.stats
+        assert payload["extras"] == result.extras

@@ -1,0 +1,158 @@
+"""Tests for the persistent result store and its TinyLFU admission."""
+
+import json
+
+import pytest
+
+from repro.service.result_store import FrequencySketch, ResultStore
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    return tmp_path / "results"
+
+
+def _payload(tag: str) -> bytes:
+    return (json.dumps({"tag": tag}) + "\n").encode()
+
+
+class TestFrequencySketch:
+    def test_counts_touches(self):
+        sketch = FrequencySketch(counters=16, window=1000)
+        for _ in range(5):
+            sketch.touch("aaaa000000000000")
+        sketch.touch("bbbb000000000000")
+        assert sketch.estimate("aaaa000000000000") >= 5
+        assert sketch.estimate("cccc000000000000") == 0
+
+    def test_window_rotation_ages_counts(self):
+        sketch = FrequencySketch(counters=16, window=10)
+        for _ in range(10):
+            sketch.touch("aaaa000000000000")  # fills window 1, rotates
+        peak = sketch.estimate("aaaa000000000000")
+        for _ in range(10):
+            sketch.touch("bbbb000000000000")  # rotates again: a is gone
+        assert sketch.estimate("aaaa000000000000") < peak
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            FrequencySketch(window=0)
+
+
+class TestResultStoreBasics:
+    def test_miss_then_hit(self, store_dir):
+        store = ResultStore(store_dir, capacity=4)
+        assert store.get("k1") is None
+        assert store.put("k1", _payload("one"))
+        assert store.get("k1") == _payload("one")
+        assert store.stats()["hits"] == 1
+        assert store.stats()["misses"] == 1
+
+    def test_payload_bytes_are_exact(self, store_dir):
+        store = ResultStore(store_dir, capacity=4)
+        raw = _payload("exact")
+        store.put("k1", raw)
+        assert (store_dir / "k1.json").read_bytes() == raw
+        assert store.get("k1") == raw
+
+    def test_overwrite_same_key_admitted(self, store_dir):
+        store = ResultStore(store_dir, capacity=1)
+        assert store.put("k1", _payload("a"))
+        assert store.put("k1", _payload("b"))
+        assert store.get("k1") == _payload("b")
+        assert len(store) == 1
+
+    def test_persistence_across_instances(self, store_dir):
+        first = ResultStore(store_dir, capacity=4)
+        first.put("k1", _payload("persisted"))
+        second = ResultStore(store_dir, capacity=4)
+        assert second.get("k1") == _payload("persisted")
+        assert len(second) == 1
+
+    def test_clear(self, store_dir):
+        store = ResultStore(store_dir, capacity=4)
+        store.put("k1", _payload("a"))
+        store.put("k2", _payload("b"))
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.get("k1") is None
+
+    def test_rejects_bad_capacity(self, store_dir):
+        with pytest.raises(ValueError):
+            ResultStore(store_dir, capacity=0)
+
+
+class TestAdmission:
+    def test_under_capacity_everything_admitted(self, store_dir):
+        store = ResultStore(store_dir, capacity=3)
+        for index in range(3):
+            assert store.put(f"k{index}", _payload(str(index)))
+        assert store.stats()["admission_rejects"] == 0
+
+    def test_cold_candidate_rejected_at_capacity(self, store_dir):
+        store = ResultStore(store_dir, capacity=2)
+        store.put("hot1", _payload("a"))
+        store.put("hot2", _payload("b"))
+        for _ in range(5):  # heat both residents
+            store.get("hot1")
+            store.get("hot2")
+        # A first-time candidate (frequency 1) must not displace them.
+        assert not store.put("cold", _payload("c"))
+        assert store.stats()["admission_rejects"] == 1
+        assert store.get("hot1") is not None
+        assert not (store_dir / "cold.json").exists()
+
+    def test_requested_often_enough_wins_admission(self, store_dir):
+        """The acceptance path: repeated requests for a rejected key
+        build sketch frequency until it displaces the coldest entry."""
+        store = ResultStore(store_dir, capacity=2)
+        store.put("a", _payload("a"))
+        store.put("b", _payload("b"))
+        for _ in range(4):
+            store.get("b")  # b is hot; a stays at frequency 1
+        for _ in range(5):
+            store.get("wanted")  # misses, but builds frequency
+        assert store.put("wanted", _payload("w"))
+        assert store.stats()["evictions"] == 1
+        # The cold entry (a) was the victim; the hot one survived.
+        assert store.get("b") is not None
+        assert store.get("a") is None
+
+    def test_rejected_result_not_lost_semantics(self, store_dir):
+        """A rejected put returns False so the caller can keep serving
+        the payload from the job record."""
+        store = ResultStore(store_dir, capacity=1)
+        store.put("resident", _payload("r"))
+        for _ in range(3):
+            store.get("resident")
+        admitted = store.put("oneoff", _payload("o"))
+        assert admitted is False
+        assert store.get("resident") == _payload("r")
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, store_dir):
+        store = ResultStore(store_dir, capacity=4)
+        store.put("k1", _payload("a"))
+        store.put("k2", _payload("b"))
+        assert list(store_dir.glob("*.tmp")) == []
+
+    def test_write_failure_cleans_up(self, store_dir, monkeypatch):
+        store = ResultStore(store_dir, capacity=4)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.service.result_store.os.replace", boom)
+        with pytest.raises(OSError):
+            store.put("k1", _payload("a"))
+        monkeypatch.undo()
+        assert list(store_dir.glob("*.tmp")) == []
+        assert store.get("k1") is None
+
+    def test_manual_delete_heals_index(self, store_dir):
+        store = ResultStore(store_dir, capacity=4)
+        store.put("k1", _payload("a"))
+        (store_dir / "k1.json").unlink()
+        assert store.get("k1") is None
+        assert len(store) == 0
