@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-fast bench-quick examples experiments clean
+.PHONY: install test test-fast test-sanitize lint bench bench-fast bench-quick examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,22 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# The whole suite with runtime invariant checks armed on every
+# simulation cell (repro.analysis.sanitize).
+test-sanitize:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/
+
+# Two linters: ruff (general Python errors; skipped with a notice when
+# not installed, since the toolchain has no third-party deps) and the
+# project's simulator-invariant linter (always available — stdlib only).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it)"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

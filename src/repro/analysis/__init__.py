@@ -1,0 +1,22 @@
+"""Static analysis and runtime sanitizing for the reproduction's
+determinism invariants.
+
+The repo's value rests on bit-identical reproduction: parallel runs
+match sequential ones, served results match CLI runs.  Nothing about
+Python enforces the coding discipline that makes that true, so this
+package does, in two halves:
+
+* :mod:`repro.analysis.linter` — an AST-walking lint framework with
+  pluggable rules (:mod:`repro.analysis.rules`) that reject the
+  constructs known to break determinism or canonical serialisation.
+  Run it as ``repro-fvc lint`` or ``python -m repro.analysis``.
+* :mod:`repro.analysis.sanitize` — runtime invariant assertions wired
+  into the simulation engine (``REPRO_SANITIZE=1`` or ``repro-fvc run
+  --sanitize``): encode/decode round-trips, DMC/FVC exclusion,
+  write-back conservation and stats conservation, all checked at cell
+  boundaries so sanitized runs stay bit-identical to unsanitized ones.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and suppression policy.
+"""
+
+from __future__ import annotations

@@ -1,0 +1,309 @@
+"""The simulator-invariant linter: rule runner, suppressions, CLI.
+
+Usage (equivalent)::
+
+    repro-fvc lint [paths...]
+    python -m repro.analysis [paths...]
+
+With no paths, lints ``src/`` when run from the repo root (falling back
+to the current directory).  Output is one line per finding::
+
+    src/repro/fvc/cache.py:17 DET001 random.random() draws unseeded ...
+
+and the process exits non-zero when any finding survives suppression or
+the suppression budget is exceeded.
+
+Suppressions
+------------
+A finding is suppressed by a ``# repro: allow[CODE]`` comment either
+trailing the offending line or alone on the line above it::
+
+    value = uuid.uuid4().hex  # repro: allow[DET001] job ids are not results
+
+Several codes may be listed (``allow[DET001, DET003]``).  Every
+suppression must carry a justification in the same comment, and the
+total across a lint run is budgeted (default
+:data:`DEFAULT_SUPPRESSION_BUDGET`): exceeding the budget fails the run
+even if each individual suppression is valid.  Unused suppressions are
+reported as warnings so stale ones get cleaned up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, TextIO, Tuple
+
+from repro.analysis.rules import ALL_RULES, ProjectRule, Rule, SourceFile
+from repro.analysis.rules.base import package_relpath
+
+#: How many ``# repro: allow[...]`` suppressions one lint run may use.
+DEFAULT_SUPPRESSION_BUDGET = 5
+
+#: Reported (as a finding) when a file does not parse at all.
+PARSE_ERROR_CODE = "SYN001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*)\]"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, ordered for stable output."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.code} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run observed."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: ``(path, line, codes)`` of allow-comments that matched nothing.
+    unused_suppressions: List[Tuple[str, int, str]] = field(default_factory=list)
+    files_checked: int = 0
+    budget: int = DEFAULT_SUPPRESSION_BUDGET
+
+    @property
+    def over_budget(self) -> bool:
+        return len(self.suppressed) > self.budget
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings or self.over_budget else 0
+
+
+def _parse_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], List[Tuple[int, Set[str], List[int]]]]:
+    """Map line → allowed codes, plus the raw comments for usage audit.
+
+    Only genuine comment tokens count (an allow-example quoted inside a
+    docstring is not a suppression).  A trailing comment covers its own
+    line; a comment-only line also covers the next line.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    comments: List[Tuple[int, Set[str], List[int]]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return allowed, comments
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        codes = {code.strip() for code in match.group(1).split(",")}
+        covered = [lineno]
+        if token.line.lstrip().startswith("#"):
+            covered.append(lineno + 1)
+        for line in covered:
+            allowed.setdefault(line, set()).update(codes)
+        comments.append((lineno, codes, covered))
+    return allowed, comments
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    collected: List[Path] = []
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return collected
+
+
+def _load(path: Path) -> Tuple[Optional[SourceFile], Optional[Finding]]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return None, Finding(str(path), 1, PARSE_ERROR_CODE, f"cannot parse: {exc}")
+    return SourceFile(path=path, relpath=package_relpath(path), source=source, tree=tree), None
+
+
+class Linter:
+    """Runs a rule set over a file set and applies suppressions."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        budget: int = DEFAULT_SUPPRESSION_BUDGET,
+        select: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.rules: List[Rule] = list(ALL_RULES if rules is None else rules)
+        if select:
+            wanted = {code.strip().upper() for code in select}
+            self.rules = [rule for rule in self.rules if rule.code in wanted]
+        self.budget = budget
+
+    def lint_paths(self, paths: Sequence[Path]) -> LintReport:
+        """Lint files and/or directory trees."""
+        report = LintReport(budget=self.budget)
+        files: List[SourceFile] = []
+        raw: List[Finding] = []
+        for path in _collect_files(paths):
+            source_file, parse_error = _load(path)
+            if parse_error is not None:
+                raw.append(parse_error)
+                continue
+            files.append(source_file)
+        report.files_checked = len(files)
+
+        for source_file in files:
+            for rule in self.rules:
+                if isinstance(rule, ProjectRule):
+                    continue
+                if not rule.applies_to(source_file.relpath):
+                    continue
+                for line, message in rule.check(source_file):
+                    raw.append(
+                        Finding(str(source_file.path), line, rule.code, message)
+                    )
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                for found_in, line, message in rule.check_project(files):
+                    raw.append(
+                        Finding(str(found_in.path), line, rule.code, message)
+                    )
+
+        # Suppression pass, per file.
+        by_path: Dict[str, Tuple[Dict[int, Set[str]], List]] = {}
+        for source_file in files:
+            by_path[str(source_file.path)] = _parse_suppressions(source_file.source)
+        used_comment_lines: Dict[str, Set[int]] = {}
+        for finding in sorted(raw):
+            allowed, comments = by_path.get(finding.path, ({}, []))
+            if finding.code in allowed.get(finding.line, set()):
+                report.suppressed.append(finding)
+                for comment_line, codes, covered in comments:
+                    if finding.line in covered and finding.code in codes:
+                        used_comment_lines.setdefault(finding.path, set()).add(
+                            comment_line
+                        )
+            else:
+                report.findings.append(finding)
+        for path, (_allowed, comments) in sorted(by_path.items()):
+            for comment_line, codes, _covered in comments:
+                if comment_line not in used_comment_lines.get(path, set()):
+                    report.unused_suppressions.append(
+                        (path, comment_line, ", ".join(sorted(codes)))
+                    )
+        return report
+
+
+def run(
+    paths: Optional[Sequence[str]] = None,
+    select: Optional[Sequence[str]] = None,
+    max_suppressions: Optional[int] = None,
+    list_rules: bool = False,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Execute one lint run; returns the process exit code.
+
+    Shared by ``repro-fvc lint`` and ``python -m repro.analysis``.
+    """
+    out = out if out is not None else sys.stdout
+    if list_rules:
+        for rule in ALL_RULES:
+            kind = "project" if isinstance(rule, ProjectRule) else "file"
+            print(f"{rule.code}  [{kind}] {rule.title}", file=out)
+            print(f"        scope: {rule.scope_description()}", file=out)
+        return 0
+    if not paths:
+        default = Path("src")
+        paths = [str(default if default.is_dir() else Path("."))]
+    budget = (
+        DEFAULT_SUPPRESSION_BUDGET if max_suppressions is None else max_suppressions
+    )
+    linter = Linter(budget=budget, select=select)
+    report = linter.lint_paths([Path(p) for p in paths])
+
+    for finding in sorted(report.findings):
+        print(finding.render(), file=out)
+    for path, line, codes in report.unused_suppressions:
+        print(
+            f"{path}:{line} warning: unused suppression [{codes}]", file=out
+        )
+    used = len(report.suppressed)
+    print(
+        f"checked {report.files_checked} file(s): "
+        f"{len(report.findings)} finding(s), "
+        f"{used} suppression(s) used (budget {report.budget})",
+        file=out,
+    )
+    if report.over_budget:
+        print(
+            f"suppression budget exceeded: {used} > {report.budget} — "
+            "fix findings instead of allowing them away",
+            file=out,
+        )
+    return report.exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Simulator-invariant linter (see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/, else .)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--max-suppressions",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"suppression budget (default {DEFAULT_SUPPRESSION_BUDGET})",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    select = args.select.split(",") if args.select else None
+    return run(
+        paths=args.paths,
+        select=select,
+        max_suppressions=args.max_suppressions,
+        list_rules=args.list_rules,
+    )

@@ -1,0 +1,50 @@
+"""The rule registry: every lint rule the framework runs by default.
+
+Adding a rule = writing a :class:`~repro.analysis.rules.base.Rule` (or
+:class:`~repro.analysis.rules.base.ProjectRule`) subclass and listing an
+instance here.  Codes are grouped by family:
+
+======= ==========================================================
+DET0xx  determinism (randomness, ordering, wall clock)
+REG0xx  registration/coverage consistency
+API0xx  canonical serialisation
+STAT0xx statistics declaration/reporting
+======= ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.analysis.rules.api import CanonicalJsonOnly
+from repro.analysis.rules.base import ProjectRule, Rule, SourceFile
+from repro.analysis.rules.determinism import (
+    NoAdHocRandomness,
+    NoUnorderedIteration,
+    NoWallClock,
+)
+from repro.analysis.rules.registry import RegistryConsistency
+from repro.analysis.rules.stats import CountersDeclaredAndReported
+
+#: Default rule set, code order.
+ALL_RULES: Tuple[Rule, ...] = (
+    NoAdHocRandomness(),
+    NoUnorderedIteration(),
+    NoWallClock(),
+    RegistryConsistency(),
+    CanonicalJsonOnly(),
+    CountersDeclaredAndReported(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "ProjectRule",
+    "Rule",
+    "SourceFile",
+    "CanonicalJsonOnly",
+    "CountersDeclaredAndReported",
+    "NoAdHocRandomness",
+    "NoUnorderedIteration",
+    "NoWallClock",
+    "RegistryConsistency",
+]

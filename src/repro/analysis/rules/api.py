@@ -1,0 +1,47 @@
+"""API001 — service code serialises only through the canonical encoders.
+
+A served result is promised byte-identical to ``repro-fvc run --json``.
+That holds because exactly one module — ``repro.experiments.render`` —
+decides how JSON is spelled (key order, separators, trailing newline).
+An ad-hoc ``json.dumps`` anywhere in ``repro/service/`` reintroduces a
+second spelling that drifts independently, so it is banned outright:
+use :func:`repro.experiments.render.dumps_canonical` (pretty payload
+form), :func:`~repro.experiments.render.dumps_compact` (hashing form)
+or :func:`~repro.experiments.render.dumps_line` (HTTP envelope form).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile, dotted_name
+
+_BANNED_CALLS = ("json.dumps", "json.dump")
+
+
+class CanonicalJsonOnly(Rule):
+    code = "API001"
+    title = "service serialisation must use the canonical JSON encoders"
+    include = ("repro/service/",)
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        for node in ast.walk(source_file.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _BANNED_CALLS:
+                    yield node.lineno, (
+                        f"ad-hoc {dotted}() in service code; serialise "
+                        "through repro.experiments.render "
+                        "(dumps_canonical / dumps_compact / dumps_line) "
+                        "so payload bytes stay canonical"
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "json":
+                names = {alias.name for alias in node.names}
+                banned = sorted(names & {"dump", "dumps"})
+                if banned:
+                    yield node.lineno, (
+                        f"importing {', '.join(banned)} from json invites "
+                        "ad-hoc serialisation; use the canonical encoders "
+                        "in repro.experiments.render"
+                    )

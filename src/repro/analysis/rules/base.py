@@ -1,0 +1,107 @@
+"""Rule plumbing shared by every lint rule.
+
+A rule sees one parsed file at a time (:class:`Rule`) or the whole file
+set at once (:class:`ProjectRule`, for cross-file consistency checks
+like registry coverage).  Scoping is by package-relative path prefix:
+``repro/fvc/`` matches the FVC subsystem wherever the tree is checked
+out, and individual files (``repro/cli.py``) can be named exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file as the rules see it."""
+
+    path: Path
+    #: Package-relative posix path, e.g. ``repro/fvc/cache.py`` — what
+    #: rule scopes match against.
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+def package_relpath(path: Path) -> str:
+    """``path`` relative to the innermost enclosing ``repro`` directory.
+
+    Files outside any ``repro`` directory are treated as top-level
+    package files (``repro/<name>``), so package-wide rules still apply
+    when linting a stray script.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 2, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return f"repro/{path.name}"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    return None
+
+
+class Rule:
+    """One lint rule: a code, a scope, and a per-file check.
+
+    Findings are yielded as ``(line, message)`` pairs; the linter
+    prefixes the file, applies suppressions and sorts the output.
+    """
+
+    #: Stable identifier, e.g. ``"DET001"`` — what suppression comments
+    #: ("repro: allow[<code>]") and ``--select`` name.
+    code: str = ""
+    #: One-line summary for ``--list-rules``.
+    title: str = ""
+    #: Path prefixes the rule applies to (package-relative).
+    include: Tuple[str, ...] = ("repro/",)
+    #: Path prefixes exempted from the rule, checked after ``include``.
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule checks the file at ``relpath``."""
+        if not any(relpath.startswith(prefix) for prefix in self.include):
+            return False
+        return not any(relpath.startswith(prefix) for prefix in self.exclude)
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        """Yield ``(line, message)`` findings for one file."""
+        raise NotImplementedError
+
+    def scope_description(self) -> str:
+        """Human-readable scope for ``--list-rules``."""
+        parts = [", ".join(self.include)]
+        if self.exclude:
+            parts.append(f"except {', '.join(self.exclude)}")
+        return " ".join(parts)
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole lint set at once (cross-file
+    consistency).  ``check`` is never called; the linter calls
+    :meth:`check_project` with every collected file."""
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        return iter(())
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Tuple[SourceFile, int, str]]:
+        """Yield ``(file, line, message)`` findings across the set."""
+        raise NotImplementedError

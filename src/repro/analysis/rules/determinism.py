@@ -1,0 +1,193 @@
+"""DET rules: the constructs that silently break bit-reproducibility.
+
+The whole reproduction promises that any run — sequential, ``--jobs N``,
+or served — produces identical bytes.  Three classes of Python idiom
+break that promise without failing a single test:
+
+* ad-hoc randomness (``random``, ``os.urandom``, ``uuid``) seeded from
+  process state rather than :func:`repro.common.rng.make_rng`;
+* ``id()``-keyed tables and iteration over unordered ``set``s, whose
+  order varies with allocation history and hash seeding;
+* wall-clock reads feeding values into results.
+
+Each rule below rejects one class, scoped to the paths where it can do
+damage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile, dotted_name
+
+
+class NoAdHocRandomness(Rule):
+    """DET001 — randomness must flow through ``repro.common.rng``.
+
+    ``random.random()`` at module scope, ``os.urandom`` and
+    ``uuid.uuid4`` all draw from process-wide or OS entropy, so two runs
+    of the same command diverge.  ``repro.common.rng.make_rng`` derives
+    a private, stably seeded generator per consumer instead.
+    """
+
+    code = "DET001"
+    title = "randomness outside repro.common.rng"
+    # The seeded-RNG helper is the one permitted consumer of `random`.
+    exclude = ("repro/common/rng.py",)
+
+    _MODULES = ("random", "secrets")
+    _CALLS = ("os.urandom", "uuid.uuid1", "uuid.uuid4")
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        for node in ast.walk(source_file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in self._MODULES:
+                        yield node.lineno, (
+                            f"import of {alias.name!r}: use "
+                            "repro.common.rng.make_rng so every stream "
+                            "is stably seeded"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] in self._MODULES:
+                    yield node.lineno, (
+                        f"import from {node.module!r}: use "
+                        "repro.common.rng.make_rng so every stream is "
+                        "stably seeded"
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                if dotted.split(".")[0] in self._MODULES or dotted in self._CALLS:
+                    yield node.lineno, (
+                        f"{dotted}() draws unseeded entropy; derive a "
+                        "generator with repro.common.rng.make_rng instead"
+                    )
+
+
+class NoUnorderedIteration(Rule):
+    """DET002 — no ``id()`` keys or unordered-``set`` iteration in
+    simulation paths.
+
+    ``id()`` values are recycled addresses: an ``id()``-keyed memo can
+    hand one object another's cached result, and its iteration order
+    varies run to run.  Iterating a ``set`` (or materialising one with
+    ``list``/``tuple``/``enumerate``) visits elements in hash order,
+    which differs across interpreters and processes — fatal when the
+    loop body updates simulator state.  Membership tests and
+    ``sorted(set(...))`` are fine and are not flagged.
+    """
+
+    code = "DET002"
+    title = "id() keys / unordered-set iteration in simulation paths"
+    include = (
+        "repro/cache/",
+        "repro/fvc/",
+        "repro/trace/",
+        "repro/workloads/",
+        "repro/engine/",
+    )
+
+    #: Wrappers that freeze a set's (arbitrary) order into results.
+    _ORDER_FREEZERS = ("list", "tuple", "enumerate", "iter")
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        for node in ast.walk(source_file.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id == "id":
+                    yield node.lineno, (
+                        "id()-derived keys are recycled addresses that "
+                        "vary between runs; key by content (or memoise "
+                        "on the object, as Trace.memo does)"
+                    )
+                elif (
+                    node.func.id in self._ORDER_FREEZERS
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield node.lineno, (
+                        f"{node.func.id}() over an unordered set freezes "
+                        "hash order into results; sort first "
+                        "(sorted(...)) or keep a list"
+                    )
+            elif isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield node.iter.lineno, (
+                    "iteration over an unordered set visits elements in "
+                    "hash order; sort first (sorted(...)) or keep a list"
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter):
+                        yield generator.iter.lineno, (
+                            "comprehension over an unordered set visits "
+                            "elements in hash order; sort first "
+                            "(sorted(...)) or keep a list"
+                        )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class NoWallClock(Rule):
+    """DET003 — no wall-clock reads in result-producing code.
+
+    ``time.time()`` is not monotonic (NTP steps it backwards) and its
+    value differs every run, so anything derived from it poisons
+    byte-identical results.  Monotonic clocks (``time.monotonic``,
+    ``time.perf_counter``) are allowed everywhere — they never feed
+    results, only measurements.
+    """
+
+    code = "DET003"
+    title = "wall-clock reads in result-producing code"
+    # Per-path allowlist.  These paths may read the wall clock because
+    # nothing they stamp can reach a result payload:
+    exclude = (
+        # Service job records carry wall-clock created/started/finished
+        # timestamps — operational metadata for API clients (uptime in
+        # /v1/metrics, job age in /v1/jobs).  Result payloads and result
+        # keys are computed exclusively from the normalised spec and the
+        # simulation output (service/api.py), so these timestamps can
+        # never leak into stored results.  (The CLI is *not* exempt: its
+        # elapsed-time UX lines use time.perf_counter, which is
+        # monotonic and allowed everywhere.)
+        "repro/service/",
+    )
+
+    _WALL_CLOCK = (
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "time.strftime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    )
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        for node in ast.walk(source_file.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in self._WALL_CLOCK:
+                    yield node.lineno, (
+                        f"{dotted}() reads the wall clock; results must "
+                        "be functions of the trace alone (use "
+                        "time.perf_counter for measurements)"
+                    )

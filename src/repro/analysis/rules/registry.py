@@ -1,0 +1,91 @@
+"""REG001 — the experiment registry and the experiment modules agree.
+
+Every ``repro/experiments/fig*.py`` / ``table*.py`` module must be
+imported by ``repro/experiments/registry.py`` and every imported
+experiment class must actually be instantiated into ``EXPERIMENTS`` —
+otherwise ``repro-fvc run all``, the service's spec validation and the
+docs silently drift from the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.analysis.rules.base import ProjectRule, SourceFile
+
+_REGISTRY = "repro/experiments/registry.py"
+_MODULE_PREFIXES = ("fig", "table")
+
+
+class RegistryConsistency(ProjectRule):
+    """Cross-file check over ``repro/experiments/``.
+
+    Three findings, each anchored where the fix goes:
+
+    * an experiment module the registry never imports (anchored at the
+      module's first line);
+    * a registry import of a ``fig*``/``table*`` module with no file
+      behind it (anchored at the import);
+    * an experiment class imported but never referenced — i.e. not
+      registered into ``EXPERIMENTS`` (anchored at the import).
+    """
+
+    code = "REG001"
+    title = "experiments registry covers every fig*/table* module"
+    include = ("repro/experiments/",)
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Tuple[SourceFile, int, str]]:
+        by_relpath = {f.relpath: f for f in files}
+        registry = by_relpath.get(_REGISTRY)
+        if registry is None:
+            return  # registry not in the lint set: nothing to cross-check
+
+        modules: Dict[str, SourceFile] = {}
+        for f in files:
+            if not f.relpath.startswith("repro/experiments/"):
+                continue
+            stem = PurePosixPath(f.relpath).stem
+            if stem.startswith(_MODULE_PREFIXES):
+                modules[stem] = f
+
+        imports: Dict[str, Tuple[int, List[str]]] = {}
+        referenced = set()
+        for node in ast.walk(registry.tree):
+            if isinstance(node, ast.ImportFrom):
+                parts = (node.module or "").split(".")
+                if parts[:2] == ["repro", "experiments"] and len(parts) == 3:
+                    imports[parts[2]] = (
+                        node.lineno,
+                        [alias.asname or alias.name for alias in node.names],
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                referenced.add(node.id)
+
+        for stem in sorted(modules):
+            if stem not in imports:
+                yield modules[stem], 1, (
+                    f"experiment module repro/experiments/{stem}.py is "
+                    "never imported by experiments/registry.py"
+                )
+        if modules:
+            # Only meaningful when experiment files are in the lint set;
+            # otherwise every import would look like a missing file.
+            for stem in sorted(imports):
+                lineno, _names = imports[stem]
+                if stem.startswith(_MODULE_PREFIXES) and stem not in modules:
+                    yield registry, lineno, (
+                        f"registry imports repro.experiments.{stem} but "
+                        "no such experiment module exists"
+                    )
+        for stem in sorted(imports):
+            lineno, names = imports[stem]
+            for name in names:
+                if name not in referenced:
+                    yield registry, lineno, (
+                        f"{name} is imported from repro.experiments."
+                        f"{stem} but never registered in EXPERIMENTS"
+                    )

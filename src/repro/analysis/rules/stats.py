@@ -1,0 +1,118 @@
+"""STAT001 — every incremented counter is declared (and thus reported).
+
+The simulators communicate exclusively through counters:
+:class:`repro.cache.stats.CacheStats` fields reach reports via
+``as_dict()`` (which iterates ``__slots__``), and simulator-local
+counters (``fvc_read_hits`` …) reach cell results via explicit
+``extras``.  A counter incremented but never declared is either a typo
+(``__slots__`` makes it a runtime crash on a path tests may not reach)
+or a silently-unreported statistic.  This rule catches both statically:
+
+* ``<anything>.stats.<name> += …`` / ``stats.<name> += …`` must name a
+  ``CacheStats.__slots__`` field — declared there is reported there,
+  because ``as_dict`` iterates the slots;
+* ``self.<name> += …`` inside a class must have a matching
+  ``self.<name> = …`` initialisation in that class's ``__init__`` (or a
+  ``__slots__`` entry), so the counter exists from access zero and is
+  visible to introspection.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile
+
+
+def _declared_names(cls: ast.ClassDef) -> Set[str]:
+    """Attributes a class declares: ``__slots__`` entries, class-level
+    assignments, and ``self.X = …`` / ``self.X: T = …`` in ``__init__``."""
+    declared: Set[str] = set()
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "__slots__":
+                        for element in ast.walk(item.value):
+                            if isinstance(element, ast.Constant) and isinstance(
+                                element.value, str
+                            ):
+                                declared.add(element.value)
+                    else:
+                        declared.add(target.id)
+        elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            declared.add(item.target.id)
+        elif (
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == "__init__"
+        ):
+            for node in ast.walk(item):
+                targets = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        declared.add(target.attr)
+    return declared
+
+
+def _is_stats_object(node: ast.AST) -> bool:
+    """Heuristic for "this expression is a CacheStats": a name or
+    attribute spelled ``stats`` (the codebase's universal convention)."""
+    if isinstance(node, ast.Name):
+        return node.id == "stats"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "stats"
+    return False
+
+
+class CountersDeclaredAndReported(Rule):
+    code = "STAT001"
+    title = "incremented counters are declared (and therefore reported)"
+    include = ("repro/cache/", "repro/fvc/")
+    # CacheStats itself is the declaration site.
+    exclude = ("repro/cache/stats.py",)
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        # The authoritative declared-and-reported set: as_dict() iterates
+        # __slots__, so membership there is both declarations at once.
+        from repro.cache.stats import CacheStats
+
+        slots = set(CacheStats.__slots__)
+
+        for cls in (
+            node
+            for node in source_file.tree.body
+            if isinstance(node, ast.ClassDef)
+        ):
+            declared = _declared_names(cls)
+            for node in ast.walk(cls):
+                if not isinstance(node, ast.AugAssign):
+                    continue
+                target = node.target
+                if not isinstance(target, ast.Attribute):
+                    continue
+                base = target.value
+                if isinstance(base, ast.Name) and base.id == "self":
+                    if target.attr not in declared:
+                        yield node.lineno, (
+                            f"counter self.{target.attr} is incremented "
+                            f"but never initialised in {cls.name}."
+                            "__init__ — undeclared counters are "
+                            "invisible to reporting"
+                        )
+                elif _is_stats_object(base):
+                    if target.attr not in slots:
+                        yield node.lineno, (
+                            f"counter {target.attr!r} is not declared in "
+                            "CacheStats.__slots__, so as_dict() would "
+                            "never report it (and the increment raises "
+                            "AttributeError at runtime)"
+                        )

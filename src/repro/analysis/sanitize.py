@@ -1,0 +1,296 @@
+"""Runtime invariant sanitizer for the simulation engine.
+
+Enabled by ``REPRO_SANITIZE=1`` in the environment or ``repro-fvc run
+--sanitize`` (which sets it, so pool workers inherit the flag).  When
+on, :func:`repro.engine.cells.run_cell` wires these checks around every
+simulation cell:
+
+* **encode/decode round-trip** — on every FVC entry installation, each
+  non-infrequent code must decode to a value that re-encodes to the
+  same code (the compressed word is information-preserving);
+* **DMC/FVC exclusion** — no line is simultaneously resident in the
+  main cache and the FVC (so no word is live in both structures);
+* **write-back conservation** — words written to main memory equal the
+  write-back words the statistics claim, and words read equal the fill
+  words (dirty evictions all reach the next level, none are invented);
+* **stats conservation** — ``hits + misses == accesses`` and the access
+  count equals the trace length.
+
+All checks are observational: they wrap and audit, never mutate, so a
+``run --jobs N --sanitize`` run is bit-identical to an unsanitized
+sequential run.  Cross-structure checks run at cell boundaries (after
+the trace is fully replayed); violations raise
+:class:`SanitizeViolation`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.common.errors import ReproError
+
+#: Environment flag that turns the sanitizer on (``1``/``true``/``on``).
+ENV_VAR = "REPRO_SANITIZE"
+
+_TRUE_VALUES = ("1", "true", "yes", "on")
+
+
+class SanitizeViolation(ReproError):
+    """A simulator invariant the sanitizer enforces was broken."""
+
+
+def enabled() -> bool:
+    """Whether the sanitizer is on in this process."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUE_VALUES
+
+
+def enable() -> None:
+    """Turn the sanitizer on for this process and every child it
+    spawns (worker pools inherit the environment)."""
+    os.environ[ENV_VAR] = "1"
+
+
+def disable() -> None:
+    """Turn the sanitizer off for this process."""
+    os.environ.pop(ENV_VAR, None)
+
+
+# ----------------------------------------------------------------------
+# Check accounting (per process)
+# ----------------------------------------------------------------------
+_counters: Dict[str, int] = {}
+
+
+def _count(name: str, n: int = 1) -> None:
+    _counters[name] = _counters.get(name, 0) + n
+
+
+def counters() -> Dict[str, int]:
+    """Checks performed in this process, by invariant name."""
+    return dict(sorted(_counters.items()))
+
+
+def checks_performed() -> int:
+    """Total invariant checks performed in this process."""
+    return sum(_counters.values())
+
+
+def reset_counters() -> None:
+    """Zero the per-process check counters (tests)."""
+    _counters.clear()
+
+
+# ----------------------------------------------------------------------
+# Wrappers
+# ----------------------------------------------------------------------
+class MemoryAudit:
+    """Transparent :class:`repro.cache.mainmem.MainMemory` wrapper that
+    counts every word crossing the memory boundary.
+
+    Purely observational — same values in, same values out — so wrapping
+    cannot perturb the simulation it audits.
+    """
+
+    __slots__ = ("_memory", "words_read", "words_written")
+
+    def __init__(self, memory) -> None:
+        self._memory = memory
+        self.words_read = 0
+        self.words_written = 0
+
+    def read_word(self, byte_addr: int) -> int:
+        self.words_read += 1
+        return self._memory.read_word(byte_addr)
+
+    def write_word(self, byte_addr: int, value: int) -> None:
+        self.words_written += 1
+        self._memory.write_word(byte_addr, value)
+
+    def read_line(self, line_addr: int, words_per_line: int) -> List[int]:
+        self.words_read += words_per_line
+        return self._memory.read_line(line_addr, words_per_line)
+
+    def write_line(self, line_addr: int, data: List[int]) -> None:
+        self.words_written += len(data)
+        self._memory.write_line(line_addr, data)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+def check_codes_roundtrip(encoder, codes, context: str = "") -> None:
+    """Assert every non-infrequent code decodes and re-encodes to
+    itself — the FVC's compressed words are information-preserving."""
+    infrequent = encoder.infrequent_code
+    for word_index, code in enumerate(codes):
+        if code == infrequent:
+            continue
+        try:
+            value = encoder.decode(code)
+        except Exception as exc:
+            raise SanitizeViolation(
+                f"{context}word {word_index}: code {code} does not "
+                f"decode ({exc})"
+            ) from exc
+        back = encoder.encode(value)
+        if back != code:
+            raise SanitizeViolation(
+                f"{context}word {word_index}: encode/decode round-trip "
+                f"broken — code {code} decodes to {value:#x} which "
+                f"re-encodes to {back}"
+            )
+    _count("fvc_code_roundtrip")
+
+
+def attach_fvc_system(system) -> MemoryAudit:
+    """Arm a :class:`repro.fvc.system.FvcSystem` with per-insertion
+    round-trip checks and memory-traffic auditing.
+
+    Returns the :class:`MemoryAudit` now interposed before the system's
+    memory; pass it to :func:`check_fvc_system` at the cell boundary.
+    """
+    fvc = system.fvc
+    encoder = fvc.encoder
+    words_per_line = fvc.words_per_line
+    original_install = fvc.install
+
+    def checked_install(line_addr, codes, dirty=None):
+        if len(codes) != words_per_line:
+            raise SanitizeViolation(
+                f"FVC install at line {line_addr:#x}: {len(codes)} codes "
+                f"into {words_per_line}-word entries"
+            )
+        check_codes_roundtrip(
+            encoder, codes, context=f"FVC install at line {line_addr:#x}, "
+        )
+        return original_install(line_addr, codes, dirty)
+
+    # Instance attribute shadows the bound method; behaviour identical.
+    fvc.install = checked_install
+    audit = MemoryAudit(system.memory)
+    system.memory = audit
+    return audit
+
+
+# ----------------------------------------------------------------------
+# Cell-boundary checks
+# ----------------------------------------------------------------------
+def check_stats_conservation(stats, accesses: Optional[int] = None) -> None:
+    """``hits + misses == accesses`` (== the replayed trace length)."""
+    if stats.hits + stats.misses != stats.accesses:
+        raise SanitizeViolation(
+            f"stats conservation broken: hits {stats.hits} + misses "
+            f"{stats.misses} != accesses {stats.accesses}"
+        )
+    if accesses is not None and stats.accesses != accesses:
+        raise SanitizeViolation(
+            f"stats conservation broken: {stats.accesses} accesses "
+            f"recorded but {accesses} records replayed"
+        )
+    _count("stats_conservation")
+
+
+def check_fvc_system(system, accesses: int, audit: Optional[MemoryAudit] = None) -> None:
+    """Cell-boundary invariants of a DMC+FVC system.
+
+    Runs after the trace is fully replayed.  (It may touch LRU recency
+    inside an associative FVC array, which is why it runs only once the
+    simulation is complete.)
+    """
+    stats = system.stats
+    check_stats_conservation(stats, accesses)
+
+    fvc = system.fvc
+    resident = fvc.resident_line_addresses()
+    if system.config.exclusive:
+        overlap = set(system.main_resident_lines()).intersection(resident)
+        if overlap:
+            sample = ", ".join(f"{a:#x}" for a in sorted(overlap)[:3])
+            raise SanitizeViolation(
+                f"DMC/FVC exclusion broken: {len(overlap)} line(s) "
+                f"resident in both structures (e.g. {sample})"
+            )
+        _count("dmc_fvc_exclusion")
+
+    if fvc.valid_entries != len(resident):
+        raise SanitizeViolation(
+            f"FVC occupancy broken: valid_entries={fvc.valid_entries} "
+            f"but {len(resident)} entries are resident"
+        )
+    recount = 0
+    for line_addr in resident:
+        codes = fvc.codes_for(line_addr)
+        check_codes_roundtrip(
+            fvc.encoder, codes, context=f"FVC entry at line {line_addr:#x}, "
+        )
+        recount += fvc.encoder.count_frequent(codes)
+    if recount != fvc.frequent_words:
+        raise SanitizeViolation(
+            f"FVC occupancy broken: frequent_words={fvc.frequent_words} "
+            f"but entries hold {recount} frequent codes"
+        )
+    _count("fvc_occupancy")
+
+    if audit is not None:
+        if audit.words_written != stats.writeback_words:
+            raise SanitizeViolation(
+                "write-back conservation broken: "
+                f"{audit.words_written} words written to memory but "
+                f"stats record {stats.writeback_words} write-back words"
+            )
+        if audit.words_read != stats.fill_words:
+            raise SanitizeViolation(
+                "fill conservation broken: "
+                f"{audit.words_read} words read from memory but stats "
+                f"record {stats.fill_words} fill words"
+            )
+        _count("writeback_conservation")
+
+
+def check_baseline(cache, accesses: int) -> None:
+    """Cell-boundary invariants of a conventional write-allocate cache."""
+    stats = cache.stats
+    check_stats_conservation(stats, accesses)
+    words_per_line = cache.geometry.words_per_line
+    if stats.fills != stats.misses:
+        raise SanitizeViolation(
+            f"fill conservation broken: {stats.fills} fills for "
+            f"{stats.misses} misses (write-allocate fills once per miss)"
+        )
+    if stats.fill_words != stats.fills * words_per_line:
+        raise SanitizeViolation(
+            f"fill conservation broken: {stats.fill_words} fill words "
+            f"for {stats.fills} line fills of {words_per_line} words"
+        )
+    if stats.writeback_words != stats.writebacks * words_per_line:
+        raise SanitizeViolation(
+            "write-back conservation broken: "
+            f"{stats.writeback_words} write-back words for "
+            f"{stats.writebacks} line write-backs of {words_per_line} words"
+        )
+    _count("baseline_conservation")
+
+
+def check_access_count(recorded: int, replayed: int, context: str = "") -> None:
+    """Generic ``recorded == replayed`` accounting check."""
+    if recorded != replayed:
+        raise SanitizeViolation(
+            f"{context}access conservation broken: {recorded} accesses "
+            f"recorded but {replayed} records replayed"
+        )
+    _count("access_count")
+
+
+def sanitized_fvc_config(config=None):
+    """The given :class:`repro.fvc.system.FvcSystemConfig` (or the
+    default) with the value-consistency oracle switched on.
+
+    ``verify_values`` cross-checks every value the system returns
+    against the traced value — observational, so statistics are
+    unchanged."""
+    import dataclasses
+
+    from repro.fvc.system import FvcSystemConfig
+
+    return dataclasses.replace(config or FvcSystemConfig(), verify_values=True)

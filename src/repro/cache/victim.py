@@ -9,7 +9,7 @@ exactly the property the FVC's compression sidesteps.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import CacheStats

@@ -6,6 +6,8 @@
     repro-fvc run fig10 [--fast]        # run one experiment
     repro-fvc run fig10 --jobs 4        # fan simulation cells across cores
     repro-fvc run all [--fast] [--jobs N]  # run everything, paper order
+    repro-fvc run fig13 --scale test --sanitize  # with runtime invariants
+    repro-fvc lint [paths...]           # simulator-invariant linter
     repro-fvc cache info|clear          # on-disk trace cache maintenance
     repro-fvc trace gcc --input ref -o gcc.trc[.gz]
     repro-fvc profile gcc [--input ref] # FVL summary of one workload
@@ -44,7 +46,6 @@ from repro.experiments.common import (
     fvc_stats,
     reduction_percent,
 )
-from repro.profiling.access import profile_accessed_values
 from repro.profiling.report import build_report
 from repro.trace.io import write_trace, write_trace_compact
 from repro.trace.stats import compute_stats
@@ -76,6 +77,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--json excludes --csv/--chart", file=sys.stderr)
         return 2
 
+    fast = args.fast or args.scale == "test"
+    if args.sanitize:
+        from repro.analysis import sanitize
+
+        # The flag travels through the environment so pool workers
+        # inherit it; checks stay observational, so output bytes match
+        # an unsanitized run exactly.
+        sanitize.enable()
+
     collected = []
 
     def show(experiment_id, result, elapsed):
@@ -98,6 +108,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.json:
             document = collected[0] if len(collected) == 1 else collected
             sys.stdout.write(dumps_canonical(document))
+        if args.sanitize:
+            # A violation anywhere (any worker, any cell) raises out of
+            # the run; reaching this line means every check held.  The
+            # summary goes to stderr so stdout stays byte-identical.
+            print("[sanitize] simulator invariants held", file=sys.stderr)
         return 0
 
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
@@ -106,23 +121,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # registry order regardless of completion order.
         from repro.engine.runner import run_experiments
 
-        started = time.time()
+        started = time.perf_counter()
         results = run_experiments(
-            ids, jobs=args.jobs, fast=args.fast, store=shared_store
+            ids, jobs=args.jobs, fast=fast, store=shared_store
         )
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         for experiment_id, result in zip(ids, results):
             show(experiment_id, result, elapsed / len(ids))
         if not args.json:
             print(f"[{len(ids)} experiments, {args.jobs} jobs, {elapsed:.1f}s]")
         return finish()
     for experiment_id in ids:
-        started = time.time()
+        started = time.perf_counter()
         result = run_experiment(
-            experiment_id, shared_store, fast=args.fast, jobs=args.jobs
+            experiment_id, shared_store, fast=fast, jobs=args.jobs
         )
-        show(experiment_id, result, time.time() - started)
+        show(experiment_id, result, time.perf_counter() - started)
     return finish()
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.linter import run as lint_run
+
+    return lint_run(
+        paths=args.paths,
+        select=args.select.split(",") if args.select else None,
+        max_suppressions=args.max_suppressions,
+        list_rules=args.list_rules,
+    )
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -292,9 +318,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _print_json(payload) -> None:
-    import json
+    from repro.experiments.render import dumps_canonical
 
-    print(json.dumps(payload, sort_keys=True, indent=2))
+    sys.stdout.write(dumps_canonical(payload))
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -362,6 +388,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="reduced configuration (tests)"
     )
     run.add_argument(
+        "--scale",
+        choices=("test", "full"),
+        default="full",
+        help="configuration scale: 'test' is an alias for --fast, "
+        "'full' the paper-scale sweep (default)",
+    )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable runtime invariant checks (repro.analysis.sanitize) "
+        "on every simulation cell; output bytes are unchanged",
+    )
+    run.add_argument(
         "--chart", action="store_true", help="append an ASCII bar chart"
     )
     run.add_argument(
@@ -383,6 +422,33 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical to --jobs 1",
     )
     run.set_defaults(func=_cmd_run)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the simulator-invariant linter (see docs/ANALYSIS.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/, else .)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--max-suppressions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="suppression budget (default 5)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk trace cache"

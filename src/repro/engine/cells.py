@@ -11,13 +11,17 @@ pay for the trace exactly once per process and once per machine.
 :func:`run_cell` is the single execution path used both sequentially
 (by the experiments' ``run``) and in parallel (by
 :func:`repro.engine.runner.run_cells`), which is what makes the
-parallel results bit-identical to the sequential ones.
+parallel results bit-identical to the sequential ones.  It is also
+where the runtime sanitizer (:mod:`repro.analysis.sanitize`, enabled
+by ``REPRO_SANITIZE=1``) hooks in: because the checks live on the one
+shared path, sanitized parallel runs exercise exactly the invariants
+sanitized sequential runs do.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.cache.direct import DirectMappedCache
 from repro.cache.geometry import CacheGeometry
@@ -75,17 +79,31 @@ class CellResult:
         return stats
 
 
+def _sanitize_check(cell: SimCell, check, *args) -> None:
+    """Run one sanitizer check, prefixing violations with cell context."""
+    from repro.analysis.sanitize import SanitizeViolation
+
+    try:
+        check(*args)
+    except SanitizeViolation as exc:
+        raise SanitizeViolation(
+            f"{cell.kind} cell {cell.workload}/{cell.input_name}: {exc}"
+        ) from exc
+
+
 def run_cell(cell: SimCell, store=None) -> CellResult:
     """Execute one cell against the given trace store (defaults to the
     process-wide :data:`repro.workloads.store.shared_store`)."""
     # Imported lazily: cells are constructed in contexts (CLI parsing,
     # planning) that should not pay for the experiment stack.
+    from repro.analysis import sanitize
     from repro.workloads.store import shared_store
 
     if store is None:
         store = shared_store
     trace = store.get(cell.workload, cell.input_name)
     geometry = cell.geometry()
+    sanitizing = sanitize.enabled()
 
     if cell.kind == "baseline":
         if geometry.ways == 1:
@@ -93,6 +111,10 @@ def run_cell(cell: SimCell, store=None) -> CellResult:
         else:
             simulator = SetAssociativeCache(geometry)
         stats = simulator.simulate_batch(trace.records)
+        if sanitizing:
+            _sanitize_check(
+                cell, sanitize.check_baseline, simulator, len(trace.records)
+            )
         return CellResult(cell=cell, stats=stats.as_dict())
 
     if cell.kind == "fvc":
@@ -100,9 +122,17 @@ def run_cell(cell: SimCell, store=None) -> CellResult:
         from repro.fvc.system import FvcSystem
 
         system = FvcSystem(
-            geometry, cell.fvc_entries, encoder_for(trace, cell.top_values)
+            geometry,
+            cell.fvc_entries,
+            encoder_for(trace, cell.top_values),
+            config=sanitize.sanitized_fvc_config() if sanitizing else None,
         )
+        audit = sanitize.attach_fvc_system(system) if sanitizing else None
         stats = system.simulate_batch(trace.records)
+        if sanitizing:
+            _sanitize_check(
+                cell, sanitize.check_fvc_system, system, len(trace.records), audit
+            )
         return CellResult(
             cell=cell,
             stats=stats.as_dict(),
@@ -118,6 +148,13 @@ def run_cell(cell: SimCell, store=None) -> CellResult:
         from repro.cache.classify import classify_misses
 
         result = classify_misses(trace.records, geometry)
+        if sanitizing:
+            _sanitize_check(
+                cell,
+                sanitize.check_access_count,
+                result.accesses,
+                len(trace.records),
+            )
         return CellResult(
             cell=cell,
             stats=CacheStats().as_dict(),

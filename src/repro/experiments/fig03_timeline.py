@@ -16,7 +16,6 @@ from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import input_for
 from repro.profiling.occurrence import OccurrenceCollector
 from repro.profiling.timeline import profile_timeline
-from repro.trace.trace import Trace
 from repro.workloads.registry import get_workload
 from repro.workloads.store import TraceStore
 

@@ -8,7 +8,7 @@ helps substantially; 3 to 7 helps less; reductions span ~1-68%.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.cache.geometry import CacheGeometry
 from repro.experiments.base import Experiment, ExperimentResult

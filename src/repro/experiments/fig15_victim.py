@@ -22,7 +22,6 @@ from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import (
     FVL_NAMES,
     baseline_stats,
-    encoder_for,
     fvc_stats,
     input_for,
     reduction_percent,

@@ -91,6 +91,19 @@ def experiment_ids() -> List[str]:
     return list(EXPERIMENTS)
 
 
+def registered_module_names() -> List[str]:
+    """Module names (``repro.experiments.<name>``) of every registered
+    experiment class, sorted and deduplicated.
+
+    The REG001 lint rule cross-checks this registry against the
+    ``fig*``/``table*`` modules on disk; this helper exposes the same
+    coverage to tests and tooling.
+    """
+    return sorted(
+        {type(exp).__module__.rsplit(".", 1)[-1] for exp in EXPERIMENTS.values()}
+    )
+
+
 def run_experiment(
     experiment_id: str, store=None, fast: bool = False, jobs: int = 1
 ):

@@ -45,6 +45,21 @@ def dumps_canonical(payload: object) -> str:
     return json.dumps(payload, sort_keys=True, indent=2) + "\n"
 
 
+def dumps_compact(payload: object) -> str:
+    """Canonical *compact* JSON text: sorted keys, no whitespace, no
+    trailing newline.  The densest deterministic form — what result-key
+    hashing and request bodies serialise through, so the same payload
+    always produces the same bytes (and therefore the same digest)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def dumps_line(payload: object) -> str:
+    """Canonical *single-line* JSON text: sorted keys, default item
+    spacing, trailing newline.  The HTTP response-body form — one
+    payload per line, stable bytes for a given payload."""
+    return json.dumps(payload, sort_keys=True) + "\n"
+
+
 def to_csv(result: ExperimentResult) -> str:
     """Render a result's rows as CSV (header order preserved)."""
     buffer = io.StringIO()

@@ -29,7 +29,7 @@ phenomenon Fig. 11 measures for the FVC.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.mainmem import MainMemory

@@ -35,7 +35,6 @@ from typing import Iterable, List, Optional, Tuple
 from repro.cache.geometry import CacheGeometry
 from repro.cache.mainmem import MainMemory
 from repro.cache.stats import CacheStats
-from repro.common.errors import ConfigurationError
 from repro.fvc.cache import FrequentValueCacheArray, SetAssociativeFvcArray
 from repro.fvc.encoding import FrequentValueEncoder
 

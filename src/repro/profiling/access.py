@@ -8,7 +8,7 @@ measurement, and the ranking that configures the FVC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.profiling.topk import ExactTopK
 from repro.trace.trace import Trace

@@ -20,14 +20,17 @@ old entries instead of serving stale ones.
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import fields as dataclass_fields
 from typing import Callable, Dict, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.engine.cells import CellResult, SimCell
 from repro.engine.trace_cache import TRACE_CACHE_VERSION
-from repro.experiments.render import dumps_canonical, experiment_payload
+from repro.experiments.render import (
+    dumps_canonical,
+    dumps_compact,
+    experiment_payload,
+)
 
 #: Bump when the spec normalisation or payload shape changes
 #: incompatibly; part of every result key.
@@ -131,9 +134,7 @@ def result_key(spec: Dict) -> str:
 
         inp = get_workload(spec["workload"]).input_named(spec["input_name"])
         material["seed"] = inp.data_seed
-    digest = hashlib.sha256(
-        json.dumps(material, sort_keys=True, separators=(",", ":")).encode()
-    )
+    digest = hashlib.sha256(dumps_compact(material).encode())
     return digest.hexdigest()[:24]
 
 

@@ -20,6 +20,8 @@ import urllib.error
 import urllib.request
 from typing import Dict, Optional
 
+from repro.experiments.render import dumps_compact
+
 #: Default service endpoint; overridable via ``REPRO_SERVICE_URL``.
 DEFAULT_URL = "http://127.0.0.1:8031"
 
@@ -64,7 +66,7 @@ class ServiceClient:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
-            data = json.dumps(body).encode("utf-8")
+            data = dumps_compact(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method

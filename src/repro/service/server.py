@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.common.errors import ReproError
+from repro.experiments.render import dumps_line
 from repro.service.api import (
     execute_spec,
     normalise_spec,
@@ -218,7 +219,7 @@ def _make_handler(service: ReproService, quiet: bool = True):
             self.wfile.write(body)
 
         def _json(self, status: int, payload: object) -> None:
-            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            body = dumps_line(payload).encode()
             self._send(status, body, "application/json")
 
         def _error(self, status: int, message: str) -> None:

@@ -18,7 +18,7 @@ fraction (the pattern table never changes; the feature maps churn).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.mem.space import AddressSpace
 from repro.workloads.base import Workload, WorkloadInput

@@ -18,7 +18,7 @@ Guest data addresses are word indexes into the guest RAM region;
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.common.errors import SimulatedMachineError
 from repro.common.words import WORD_MASK, to_s32

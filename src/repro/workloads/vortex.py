@@ -18,7 +18,7 @@ enums), so each FVC entry shields most of a line's reloads.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.mem.space import AddressSpace
 from repro.workloads.base import Workload, WorkloadInput

@@ -1,0 +1,409 @@
+"""Each lint rule against fixture trees that violate it, asserting the
+exact code and line of every finding plus suppression behaviour."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.linter import Linter
+
+
+def _lint(tmp_path: Path, files: dict, select=None):
+    root = tmp_path / "repro"
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return Linter(select=select).lint_paths([root])
+
+
+def _codes_lines(report):
+    return sorted((f.code, f.line) for f in report.findings)
+
+
+class TestDet001Randomness:
+    def test_import_and_calls(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "fvc/cache.py": """\
+                import random
+
+                def jitter():
+                    return random.random()
+                """
+            },
+            select=["DET001"],
+        )
+        assert _codes_lines(report) == [("DET001", 1), ("DET001", 4)]
+
+    def test_os_urandom_and_uuid4(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "engine/ids.py": """\
+                import os
+                import uuid
+
+                def fresh():
+                    return os.urandom(8), uuid.uuid4()
+                """
+            },
+            select=["DET001"],
+        )
+        assert _codes_lines(report) == [("DET001", 5), ("DET001", 5)]
+
+    def test_from_import(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"trace/gen.py": "from random import randint\n"},
+            select=["DET001"],
+        )
+        assert _codes_lines(report) == [("DET001", 1)]
+
+    def test_rng_module_exempt(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"common/rng.py": "import random\n"},
+            select=["DET001"],
+        )
+        assert report.findings == []
+
+    def test_suppression(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "service/jobs.py": (
+                    "import uuid\n"
+                    "ID = uuid.uuid4().hex  # repro: allow[DET001] not a result\n"
+                )
+            },
+            select=["DET001"],
+        )
+        # `import uuid` alone is fine (only uuid1/uuid4 calls draw
+        # entropy); the call on line 2 is suppressed.
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].line == 2
+
+
+class TestDet002UnorderedIteration:
+    def test_for_over_set_literal(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "cache/scan.py": """\
+                def scan():
+                    for x in {1, 2, 3}:
+                        yield x
+                """
+            },
+            select=["DET002"],
+        )
+        assert _codes_lines(report) == [("DET002", 2)]
+
+    def test_list_over_set_call(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"fvc/order.py": "def f(xs):\n    return list(set(xs))\n"},
+            select=["DET002"],
+        )
+        assert _codes_lines(report) == [("DET002", 2)]
+
+    def test_comprehension_over_set(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"engine/c.py": "def f(xs):\n    return [x for x in set(xs)]\n"},
+            select=["DET002"],
+        )
+        assert _codes_lines(report) == [("DET002", 2)]
+
+    def test_id_call(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"workloads/memo.py": "def key(obj):\n    return id(obj)\n"},
+            select=["DET002"],
+        )
+        assert _codes_lines(report) == [("DET002", 2)]
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "cache/ok.py": """\
+                def f(xs):
+                    for x in sorted(set(xs)):
+                        yield x
+                    return 3 in {1, 2, 3}
+                """
+            },
+            select=["DET002"],
+        )
+        assert report.findings == []
+
+    def test_out_of_scope_paths_unchecked(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"experiments/fig99.py": "for x in {1, 2}:\n    pass\n"},
+            select=["DET002"],
+        )
+        assert report.findings == []
+
+
+class TestDet003WallClock:
+    def test_time_time_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"engine/runner.py": "import time\nNOW = time.time()\n"},
+            select=["DET003"],
+        )
+        assert _codes_lines(report) == [("DET003", 2)]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/stamp.py": (
+                    "import datetime\nT = datetime.datetime.now()\n"
+                )
+            },
+            select=["DET003"],
+        )
+        assert _codes_lines(report) == [("DET003", 2)]
+
+    def test_perf_counter_allowed(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "cli.py": (
+                    "import time\n"
+                    "T0 = time.perf_counter()\n"
+                    "M = time.monotonic()\n"
+                )
+            },
+            select=["DET003"],
+        )
+        assert report.findings == []
+
+    def test_service_exempt(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"service/jobs.py": "import time\nNOW = time.time()\n"},
+            select=["DET003"],
+        )
+        assert report.findings == []
+
+
+class TestReg001Registry:
+    def test_module_never_imported(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": "EXPERIMENTS = {}\n",
+                "experiments/fig99_orphan.py": "class Fig99:\n    pass\n",
+            },
+            select=["REG001"],
+        )
+        assert _codes_lines(report) == [("REG001", 1)]
+        assert "fig99_orphan" in report.findings[0].message
+
+    def test_import_without_module_file(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": (
+                    "from repro.experiments.fig98_ghost import Fig98\n"
+                    "EXPERIMENTS = {1: Fig98()}\n"
+                ),
+                "experiments/fig97_real.py": "class Fig97:\n    pass\n",
+            },
+            select=["REG001"],
+        )
+        codes = _codes_lines(report)
+        # fig97_real never imported + fig98_ghost has no file behind it.
+        assert ("REG001", 1) in codes and len(codes) == 2
+
+    def test_imported_but_never_registered(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": (
+                    "from repro.experiments.fig96_idle import Fig96\n"
+                    "EXPERIMENTS = {}\n"
+                ),
+                "experiments/fig96_idle.py": "class Fig96:\n    pass\n",
+            },
+            select=["REG001"],
+        )
+        assert _codes_lines(report) == [("REG001", 1)]
+        assert "never registered" in report.findings[0].message
+
+    def test_consistent_registry_is_clean(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": (
+                    "from repro.experiments.fig95_ok import Fig95\n"
+                    "EXPERIMENTS = {e.experiment_id: e for e in (Fig95(),)}\n"
+                ),
+                "experiments/fig95_ok.py": "class Fig95:\n    pass\n",
+            },
+            select=["REG001"],
+        )
+        assert report.findings == []
+
+    def test_no_registry_in_lint_set_is_silent(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"experiments/fig94_alone.py": "class Fig94:\n    pass\n"},
+            select=["REG001"],
+        )
+        assert report.findings == []
+
+
+class TestApi001CanonicalJson:
+    def test_json_dumps_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "service/server.py": (
+                    "import json\n"
+                    "def body(payload):\n"
+                    "    return json.dumps(payload).encode()\n"
+                )
+            },
+            select=["API001"],
+        )
+        assert _codes_lines(report) == [("API001", 3)]
+
+    def test_from_json_import_dumps_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"service/x.py": "from json import dumps\n"},
+            select=["API001"],
+        )
+        assert _codes_lines(report) == [("API001", 1)]
+
+    def test_json_loads_is_fine(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "service/reader.py": (
+                    "import json\n"
+                    "def parse(raw):\n"
+                    "    return json.loads(raw)\n"
+                )
+            },
+            select=["API001"],
+        )
+        assert report.findings == []
+
+    def test_outside_service_unchecked(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {"experiments/render.py": "import json\nX = json.dumps({})\n"},
+            select=["API001"],
+        )
+        assert report.findings == []
+
+
+class TestStat001Counters:
+    def test_undeclared_self_counter(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "cache/victim.py": """\
+                class VictimCache:
+                    def __init__(self):
+                        self.hits = 0
+
+                    def access(self):
+                        self.hits += 1
+                        self.probes += 1
+                """
+            },
+            select=["STAT001"],
+        )
+        assert _codes_lines(report) == [("STAT001", 7)]
+        assert "self.probes" in report.findings[0].message
+
+    def test_unknown_stats_field(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "fvc/extra.py": """\
+                class Sim:
+                    def __init__(self, stats):
+                        self.stats = stats
+
+                    def touch(self):
+                        self.stats.read_hits += 1
+                        self.stats.bogus_counter += 1
+                """
+            },
+            select=["STAT001"],
+        )
+        assert _codes_lines(report) == [("STAT001", 7)]
+        assert "bogus_counter" in report.findings[0].message
+
+    def test_slots_declaration_counts(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "cache/slotted.py": """\
+                class Slotted:
+                    __slots__ = ("fills",)
+
+                    def access(self):
+                        self.fills += 1
+                """
+            },
+            select=["STAT001"],
+        )
+        assert report.findings == []
+
+    def test_real_cachestats_fields_pass(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "cache/ok.py": """\
+                class Sim:
+                    def __init__(self, stats):
+                        self.stats = stats
+                        self.local = 0
+
+                    def hit(self):
+                        self.stats.read_hits += 1
+                        self.stats.writeback_words += 4
+                        self.local += 1
+                """
+            },
+            select=["STAT001"],
+        )
+        assert report.findings == []
+
+
+class TestRealTreeCalibration:
+    """The rules' scopes against the actual source tree (kept here so a
+    scope regression fails loudly with the rule that drifted)."""
+
+    def test_stat001_knows_every_cachestats_slot(self):
+        from repro.cache.stats import CacheStats
+
+        # The rule reads __slots__ at lint time; this pins the contract
+        # that every slot is reported by as_dict() (which also adds
+        # derived aggregates like accesses/miss_rate on top).
+        stats = CacheStats()
+        assert set(CacheStats.__slots__) <= set(stats.as_dict())
+
+    def test_registry_helper_matches_disk(self):
+        from repro.experiments.registry import registered_module_names
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro" / "experiments"
+        on_disk = {
+            p.stem
+            for p in src.glob("*.py")
+            if p.stem.startswith(("fig", "table"))
+        }
+        assert on_disk <= set(registered_module_names())

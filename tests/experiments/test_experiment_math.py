@@ -11,7 +11,7 @@ import pytest
 
 from repro.experiments.fig04_miss_attribution import Fig04MissAttribution
 from repro.experiments.fig10_fvc_size import Fig10FvcSize
-from repro.experiments.fig13_dmc_vs_fvc import Fig13DmcVsFvc, _fvc_data_kb
+from repro.experiments.fig13_dmc_vs_fvc import _fvc_data_kb
 from repro.experiments.fig12_value_count import admissible_configs
 from repro.trace.synth import ping_pong_trace, zipf_value_trace
 from repro.trace.trace import Trace

@@ -9,7 +9,7 @@ simulator implements the protocol it claims to.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -6,7 +6,6 @@ a bare cache under an empty encoder) on random but *replayable* access
 sequences.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,8 +1,6 @@
 """Edge-case tests of the DMC+FVC system beyond the main protocol
 suite: accounting exactness, configuration corners, LRU interaction."""
 
-import pytest
-
 from repro.cache.geometry import CacheGeometry
 from repro.fvc.encoding import FrequentValueEncoder
 from repro.fvc.system import FvcSystem, FvcSystemConfig

@@ -3,8 +3,6 @@
 import importlib
 import pkgutil
 
-import pytest
-
 import repro
 
 

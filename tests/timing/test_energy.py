@@ -1,7 +1,5 @@
 """Tests for the energy model."""
 
-import pytest
-
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import CacheStats
 from repro.timing.energy import DEFAULT_ENERGY_MODEL, EnergyModel

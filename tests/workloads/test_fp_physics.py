@@ -4,8 +4,6 @@ The FP kernels are real numerical code; these tests check their
 numerical behaviour directly in the simulated memory.
 """
 
-import pytest
-
 from repro.common.words import word_to_float
 from repro.mem.space import AddressSpace
 from repro.workloads.fp import (
@@ -117,8 +115,6 @@ class TestHydro2d:
             for index in range(n * n)
         )
         # The disc has area ~pi*(n/5)^2 cells of density ~1.0-1.1.
-        import math
-
         disc_cells = sum(
             1
             for row in range(n)

@@ -4,7 +4,6 @@ from repro.mem.space import AddressSpace
 from repro.workloads.gcc import (
     _BINARY_TAGS,
     _SYMTAB_BUCKETS,
-    _TAG_IDENT,
     _TAG_NUM,
     GccWorkload,
 )
