@@ -9,6 +9,7 @@ DET0xx  determinism (randomness, ordering, wall clock)
 REG0xx  registration/coverage consistency
 API0xx  canonical serialisation
 STAT0xx statistics declaration/reporting
+FLT0xx  fault-injection coverage of hardened IO paths
 ======= ==========================================================
 """
 
@@ -23,6 +24,7 @@ from repro.analysis.rules.determinism import (
     NoUnorderedIteration,
     NoWallClock,
 )
+from repro.analysis.rules.faults import FaultPointCoverage
 from repro.analysis.rules.registry import RegistryConsistency
 from repro.analysis.rules.stats import CountersDeclaredAndReported
 
@@ -34,6 +36,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     RegistryConsistency(),
     CanonicalJsonOnly(),
     CountersDeclaredAndReported(),
+    FaultPointCoverage(),
 )
 
 __all__ = [
@@ -43,6 +46,7 @@ __all__ = [
     "SourceFile",
     "CanonicalJsonOnly",
     "CountersDeclaredAndReported",
+    "FaultPointCoverage",
     "NoAdHocRandomness",
     "NoUnorderedIteration",
     "NoWallClock",

@@ -7,8 +7,10 @@
     repro-fvc run fig10 --jobs 4        # fan simulation cells across cores
     repro-fvc run all [--fast] [--jobs N]  # run everything, paper order
     repro-fvc run fig13 --scale test --sanitize  # with runtime invariants
+    repro-fvc run fig13 --checkpoint DIR  # resumable: per-cell records
+    repro-fvc run fig13 --faults 'trace_cache.read:io_error@1'  # chaos
     repro-fvc lint [paths...]           # simulator-invariant linter
-    repro-fvc cache info|clear          # on-disk trace cache maintenance
+    repro-fvc cache info|clear|verify   # on-disk trace cache maintenance
     repro-fvc trace gcc --input ref -o gcc.trc[.gz]
     repro-fvc profile gcc [--input ref] # FVL summary of one workload
     repro-fvc report gcc                # full S2-style locality report
@@ -85,6 +87,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # inherit it; checks stay observational, so output bytes match
         # an unsanitized run exactly.
         sanitize.enable()
+    if args.faults:
+        import os
+
+        from repro.faults import FaultPlan, FaultSpecError, install
+
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except FaultSpecError as exc:
+            print(f"--faults: {exc}", file=sys.stderr)
+            return 2
+        # Installed here for this process, exported so pool workers
+        # and service children resolve the same plan from their own
+        # (per-process) counters.
+        install(plan)
+        os.environ["REPRO_FAULTS"] = args.faults
+
+    if args.checkpoint:
+        from pathlib import Path
+
+        from repro.engine.checkpoint import RunCheckpoint
+
+        checkpoint_root = Path(args.checkpoint)
+
+        def checkpoint_for(experiment_id: str) -> RunCheckpoint:
+            return RunCheckpoint(checkpoint_root / experiment_id)
 
     collected = []
 
@@ -116,9 +143,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
 
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
-    if args.jobs > 1 and len(ids) > 1:
+    if args.jobs > 1 and len(ids) > 1 and not args.checkpoint:
         # Whole experiments fan across the pool; results print in
-        # registry order regardless of completion order.
+        # registry order regardless of completion order.  (With
+        # --checkpoint, experiments run one by one below so each gets
+        # its own per-cell record directory.)
         from repro.engine.runner import run_experiments
 
         started = time.perf_counter()
@@ -133,10 +162,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return finish()
     for experiment_id in ids:
         started = time.perf_counter()
+        ckpt = checkpoint_for(experiment_id) if args.checkpoint else None
         result = run_experiment(
-            experiment_id, shared_store, fast=fast, jobs=args.jobs
+            experiment_id, shared_store, fast=fast, jobs=args.jobs,
+            checkpoint=ckpt,
         )
         show(experiment_id, result, time.perf_counter() - started)
+        if ckpt is not None:
+            # Stderr, so stdout stays byte-identical with and without
+            # checkpointing.
+            print(
+                f"[checkpoint] {experiment_id}: restored {ckpt.restored}, "
+                f"saved {ckpt.saved} cell record(s) under {ckpt.directory}",
+                file=sys.stderr,
+            )
     return finish()
 
 
@@ -160,6 +199,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached trace(s) from {cache.directory}")
         return 0
+    if args.action in ("verify", "fsck"):
+        report = cache.verify()
+        print(
+            f"trace cache {cache.directory}: {report['checked']} checked, "
+            f"{report['ok']} ok, {report['quarantined']} quarantined, "
+            f"{report['tmp_removed']} stale temp file(s) removed"
+        )
+        # Non-zero when corruption was found: the entries were
+        # quarantined (*.corrupt) and will regenerate on next use, but
+        # CI and operators should notice.
+        return 1 if report["quarantined"] else 0
     entries = cache.entries()
     print(f"trace cache: {cache.directory}")
     print(f"entries: {len(entries)}")
@@ -310,6 +360,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             job_timeout=args.timeout if args.timeout > 0 else None,
             max_retries=args.retries,
+            max_queue_depth=(
+                args.max_queue_depth if args.max_queue_depth > 0 else None
+            ),
             store_dir=Path(args.store_dir) if args.store_dir else None,
             store_capacity=args.capacity,
             quiet=not args.verbose,
@@ -324,10 +377,17 @@ def _print_json(payload) -> None:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.experiments.render import dumps_canonical
     from repro.service.client import JobFailed, ServiceClient, ServiceError
+    from repro.service.resilience import CircuitBreaker, RetryPolicy
 
-    client = ServiceClient(args.url)
+    # The CLI opts into client-side degradation: transient failures
+    # (connection errors, 503 shedding) retry with seeded jittered
+    # backoff, and a clearly-down service fails fast.
+    client = ServiceClient(
+        args.url,
+        retry=RetryPolicy(retries=args.retries) if args.retries > 0 else None,
+        breaker=CircuitBreaker(),
+    )
     try:
         job = client.submit_experiment(args.experiment, fast=args.fast)
         if not args.wait:
@@ -421,6 +481,23 @@ def build_parser() -> argparse.ArgumentParser:
         "or whole experiments ('all') across cores; results are "
         "bit-identical to --jobs 1",
     )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist per-cell results under DIR/<experiment>/ and "
+        "resume from them: an interrupted run re-executes only the "
+        "missing cells, bit-identical to an uninterrupted run "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault-injection plan, e.g. "
+        "'trace_cache.read:io_error@1;seed=7' (equivalent to "
+        "REPRO_FAULTS=SPEC; grammar in docs/ROBUSTNESS.md)",
+    )
     run.set_defaults(func=_cmd_run)
 
     lint = sub.add_parser(
@@ -451,9 +528,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.set_defaults(func=_cmd_lint)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk trace cache"
+        "cache", help="inspect, clear, or integrity-check the on-disk "
+        "trace cache"
     )
-    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "action",
+        choices=("info", "clear", "verify", "fsck"),
+        help="'verify' (alias 'fsck') checks every entry's sha256 "
+        "envelope, quarantines corrupt ones as *.corrupt, and sweeps "
+        "stale temp files; exits 1 when corruption was found",
+    )
     cache.set_defaults(func=_cmd_cache)
 
     trace = sub.add_parser("trace", help="generate and save a trace file")
@@ -533,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries after a worker crash (default 2)",
     )
     serve.add_argument(
+        "--max-queue-depth", type=int, default=256, metavar="N",
+        help="pending-queue bound before submissions shed with 503 "
+        "+ Retry-After; 0 disables the bound (default 256)",
+    )
+    serve.add_argument(
         "--store-dir", default=None,
         help="result-store directory (default "
         "$REPRO_RESULT_STORE_DIR or ~/.cache/repro-fvc/results)",
@@ -564,6 +653,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--timeout", type=float, default=300.0,
         help="--wait poll limit in seconds (default 300)",
+    )
+    submit.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="client-side retries for transient failures (connection "
+        "errors, 503 shedding) with jittered backoff; 0 disables "
+        "(default 3)",
     )
     submit.set_defaults(func=_cmd_submit)
 

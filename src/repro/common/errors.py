@@ -31,6 +31,25 @@ class TraceFormatError(ReproError):
     """A trace file or stream is malformed or truncated."""
 
 
+class IntegrityError(ReproError):
+    """A persisted entry failed its integrity check.
+
+    Raised when an on-disk envelope (trace cache entry, result-store
+    entry, checkpoint record) is truncated, bit-flipped, or otherwise
+    does not match its embedded SHA-256 digest.  Callers quarantine the
+    entry and regenerate; they never serve the corrupt payload.
+    """
+
+
+class FaultInjected(ReproError):
+    """A deterministic fault-injection plan fired at this point.
+
+    Only ever raised when ``REPRO_FAULTS`` (or ``run --faults``) armed
+    an injection site — never during normal operation.  Typed so chaos
+    tests can assert a *clean* failure rather than silent corruption.
+    """
+
+
 class WorkloadError(ReproError):
     """A synthetic workload was misconfigured or failed internally."""
 

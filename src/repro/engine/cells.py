@@ -97,8 +97,10 @@ def run_cell(cell: SimCell, store=None) -> CellResult:
     # Imported lazily: cells are constructed in contexts (CLI parsing,
     # planning) that should not pay for the experiment stack.
     from repro.analysis import sanitize
+    from repro.faults.sites import fault_point
     from repro.workloads.store import shared_store
 
+    fault_point("engine.cell")
     if store is None:
         store = shared_store
     trace = store.get(cell.workload, cell.input_name)

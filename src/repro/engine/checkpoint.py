@@ -1,0 +1,140 @@
+"""Checkpoint/resume for engine runs.
+
+A :class:`RunCheckpoint` persists each completed
+:class:`~repro.engine.cells.CellResult` as its own content-addressed
+record the moment the cell finishes, so a run killed at any point —
+power loss, OOM kill, an injected ``crash`` fault — resumes by
+re-running only the cells whose records are missing.  Because
+:func:`repro.engine.cells.run_cell` is deterministic, a resumed run's
+merged results are bit-identical to an uninterrupted run's; the chaos
+suite asserts exactly that.
+
+Layout: one file per cell, ``cell-<key>.ckpt``, where ``<key>`` is a
+sha256 digest over the cell's full field tuple and
+:data:`CHECKPOINT_VERSION`.  Records are canonical JSON wrapped in the
+same sha256 integrity envelope as every other durable artifact
+(:mod:`repro.common.integrity`) and published with the same atomic
+temp + ``fsync`` + rename discipline, so a record either exists and
+verifies or does not exist — a crash mid-save costs one cell, never a
+corrupt resume.  A record that fails verification is quarantined as
+``<name>.corrupt`` and its cell simply re-runs.
+
+Checkpoints are an engine-level feature: both the sequential and the
+parallel paths of :func:`repro.engine.runner.run_cells` consult the
+same records, so a run interrupted under ``--jobs 8`` can resume under
+``--jobs 1`` (or vice versa) without losing work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.common.errors import IntegrityError
+from repro.common.integrity import quarantine, read_enveloped, write_enveloped
+from repro.engine.cells import CellResult, SimCell
+
+#: Part of every record's content address; bump on any change to the
+#: record schema or to cell/result semantics that invalidates old
+#: checkpoints.
+CHECKPOINT_VERSION = 1
+
+#: Schema tag embedded in every record.
+RECORD_SCHEMA = "repro.checkpoint/1"
+
+
+def cell_key(cell: SimCell) -> str:
+    """Content address of one cell's checkpoint record."""
+    fields = dataclasses.asdict(cell)
+    material = json.dumps(
+        {"version": CHECKPOINT_VERSION, "cell": fields},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+
+
+class RunCheckpoint:
+    """Per-cell durable progress for one engine run.
+
+    Counters: ``restored`` (cells answered from records this run),
+    ``saved`` (records written this run), ``corrupt_quarantined``.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.restored = 0
+        self.saved = 0
+        self.corrupt_quarantined = 0
+
+    def path_for(self, cell: SimCell) -> Path:
+        """On-disk location of one cell's record (may not exist)."""
+        return self.directory / f"cell-{cell_key(cell)}.ckpt"
+
+    def load(self, cell: SimCell) -> Optional[CellResult]:
+        """The persisted result for ``cell``, or ``None``.
+
+        A record that fails its envelope check or does not decode is
+        quarantined and reported missing, so the cell re-runs.
+        """
+        path = self.path_for(cell)
+        if not path.exists():
+            return None
+        try:
+            payload = read_enveloped(path, site="checkpoint.read")
+            record = json.loads(payload.decode("utf-8"))
+            if record.get("schema") != RECORD_SCHEMA:
+                raise IntegrityError(
+                    f"{path}: unexpected record schema "
+                    f"{record.get('schema')!r}"
+                )
+            restored_cell = SimCell(**record["cell"])
+            if restored_cell != cell:
+                raise IntegrityError(f"{path}: record is for another cell")
+            result = CellResult(
+                cell=restored_cell,
+                stats=dict(record["stats"]),
+                extras=dict(record.get("extras", {})),
+            )
+        except OSError:
+            return None
+        except (IntegrityError, ValueError, KeyError, TypeError):
+            quarantine(path)
+            self.corrupt_quarantined += 1
+            return None
+        self.restored += 1
+        return result
+
+    def save(self, result: CellResult) -> Path:
+        """Durably persist one completed cell's result."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": RECORD_SCHEMA,
+            "cell": dataclasses.asdict(result.cell),
+            "stats": dict(result.stats),
+            "extras": dict(result.extras),
+        }
+        payload = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        path = self.path_for(result.cell)
+        write_enveloped(path, payload, site="checkpoint.write")
+        self.saved += 1
+        return path
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (for ``run --checkpoint`` reporting)."""
+        return {
+            "restored": self.restored,
+            "saved": self.saved,
+            "corrupt_quarantined": self.corrupt_quarantined,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RunCheckpoint({self.directory}, restored={self.restored}, "
+            f"saved={self.saved})"
+        )

@@ -91,6 +91,7 @@ def run_cells(
     store=None,
     progress: Optional[ProgressHook] = None,
     should_cancel: Optional[Callable[[], bool]] = None,
+    checkpoint=None,
 ) -> List[CellResult]:
     """Execute cells, in parallel when ``jobs > 1``.
 
@@ -103,6 +104,12 @@ def run_cells(
     cell order, from this process).  ``should_cancel()`` is polled at
     cell boundaries; returning true raises :class:`RunCancelled`.
     Neither hook affects the computed results.
+
+    ``checkpoint`` (a :class:`repro.engine.checkpoint.RunCheckpoint`)
+    makes the run resumable: cells with a persisted record are answered
+    from disk, freshly-computed cells are persisted the moment they
+    finish, and because every cell is deterministic the merged results
+    are bit-identical to an uninterrupted, checkpoint-free run.
     """
     cells = list(cells)
     total = len(cells)
@@ -113,23 +120,42 @@ def run_cells(
 
     def _check_cancel() -> None:
         if should_cancel is not None and should_cancel():
-            raise RunCancelled(f"cancelled after {len(results)}/{total} cells")
+            raise RunCancelled(f"cancelled after {done}/{total} cells")
 
-    results: List[CellResult] = []
-    if jobs <= 1 or total <= 1:
-        for cell in cells:
+    done = 0
+    results: List[Optional[CellResult]] = [None] * total
+    pending: List[int] = []
+    for index, cell in enumerate(cells):
+        restored = checkpoint.load(cell) if checkpoint is not None else None
+        if restored is not None:
+            results[index] = restored
+            done += 1
+        else:
+            pending.append(index)
+    if done:
+        _completed(done)
+
+    def _record(index: int, result: CellResult) -> None:
+        nonlocal done
+        results[index] = result
+        if checkpoint is not None:
+            checkpoint.save(result)
+        done += 1
+        _completed(done)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for index in pending:
             _check_cancel()
-            results.append(run_cell(cell, store))
-            _completed(len(results))
-        return results
-    _prewarm_traces(cells, store)
-    workers = min(jobs, total)
+            _record(index, run_cell(cells[index], store))
+        return results  # type: ignore[return-value]
+    pending_cells = [cells[index] for index in pending]
+    _prewarm_traces(pending_cells, store)
+    workers = min(jobs, len(pending_cells))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for result in pool.map(_run_cell_worker, cells):
+        for index, result in zip(pending, pool.map(_run_cell_worker, pending_cells)):
             _check_cancel()
-            results.append(result)
-            _completed(len(results))
-    return results
+            _record(index, result)
+    return results  # type: ignore[return-value]
 
 
 def _run_experiment_worker(args) -> "object":

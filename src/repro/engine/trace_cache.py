@@ -2,9 +2,10 @@
 
 Workload traces are pure functions of ``(workload, input, data seed)``,
 so they can be persisted once per machine and shared by every
-experiment, benchmark and worker process.  Entries are stored in the
-compact v2 trace format (:func:`repro.trace.io.write_trace_compact`),
-gzip-compressed, under a directory resolved as:
+experiment, benchmark and worker process.  Entries are the compact v2
+trace bytes (:func:`repro.trace.io.trace_to_compact_bytes`), zlib-
+compressed and wrapped in a sha256 integrity envelope
+(:mod:`repro.common.integrity`), under a directory resolved as:
 
 1. ``$REPRO_TRACE_CACHE_DIR`` when set;
 2. ``$XDG_CACHE_HOME/repro-fvc/traces`` when ``XDG_CACHE_HOME`` is set;
@@ -18,25 +19,50 @@ the only caching layer.
 The file name is content-addressed: a SHA-256 digest over the workload
 name, input name, the input's data seed, and
 :data:`TRACE_CACHE_VERSION`.  Bump the version constant whenever
-workload generation changes semantically — stale entries then simply
-stop being addressed and can be removed with ``repro-fvc cache clear``.
+workload generation or the entry layout changes semantically — stale
+entries then simply stop being addressed and can be removed with
+``repro-fvc cache clear``.
+
+Corrupt entries (failed envelope check, undecodable payload) are never
+served and never silently swallowed: :meth:`TraceCache.load`
+quarantines them as ``<name>.corrupt`` for post-mortem inspection and
+reports a miss, so the caller regenerates and re-persists a good entry
+— the cache self-heals.  ``repro-fvc cache verify`` runs the same
+check over every entry without serving any.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import tempfile
+import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import TraceFormatError
-from repro.trace.io import read_trace_any, read_trace_header, write_trace_compact
+from repro.common.errors import IntegrityError, TraceFormatError
+from repro.common.integrity import (
+    CORRUPT_SUFFIX,
+    quarantine,
+    read_enveloped,
+    write_enveloped,
+)
+from repro.trace.io import (
+    trace_from_bytes,
+    trace_header_from_bytes,
+    trace_to_compact_bytes,
+)
 from repro.trace.trace import Trace
 
 #: Bump to invalidate every persisted trace (e.g. after changing a
-#: workload's generation logic).  Part of every entry's content address.
-TRACE_CACHE_VERSION = 1
+#: workload's generation logic or the entry layout).  Part of every
+#: entry's content address.  2 = enveloped zlib-compressed v2 bytes.
+TRACE_CACHE_VERSION = 2
+
+#: Entry file suffix ("e" for enveloped).  Older ``.trc2.gz`` entries
+#: are no longer addressed; ``clear`` removes them too.
+ENTRY_SUFFIX = ".trc2e"
+
+_LEGACY_SUFFIX = ".trc2.gz"
 
 _DISABLE_VALUES = ("off", "0", "no", "false")
 
@@ -65,8 +91,8 @@ class TraceCache:
     ``get`` resolves a trace through three layers: the in-process memo,
     the on-disk entry, and finally workload synthesis (which persists
     the result for every later process on the machine).  The counters
-    ``memory_hits`` / ``disk_hits`` / ``synthesised`` / ``stores`` make
-    each layer's contribution observable.
+    ``memory_hits`` / ``disk_hits`` / ``synthesised`` / ``stores`` /
+    ``corrupt_quarantined`` make each layer's contribution observable.
     """
 
     def __init__(self, directory: Path) -> None:
@@ -76,6 +102,7 @@ class TraceCache:
         self.disk_hits = 0
         self.synthesised = 0
         self.stores = 0
+        self.corrupt_quarantined = 0
 
     # Content addressing ----------------------------------------------
     def _data_seed(self, workload_name: str, input_name: str) -> int:
@@ -95,46 +122,46 @@ class TraceCache:
     def path_for(self, workload_name: str, input_name: str = "ref") -> Path:
         """On-disk location of one entry (may not exist yet)."""
         digest = self.key(workload_name, input_name)
-        return self.directory / f"{workload_name}-{input_name}-{digest}.trc2.gz"
+        return (
+            self.directory
+            / f"{workload_name}-{input_name}-{digest}{ENTRY_SUFFIX}"
+        )
 
     # Individual layers ------------------------------------------------
+    def _quarantine(self, path: Path) -> None:
+        quarantine(path)
+        self.corrupt_quarantined += 1
+
     def load(self, workload_name: str, input_name: str = "ref") -> Optional[Trace]:
-        """Read one entry from disk, or ``None`` when absent/corrupt."""
+        """Read one entry from disk, or ``None`` when absent/corrupt.
+
+        A corrupt entry (truncated write that escaped the rename
+        discipline, bit rot, tampering) is quarantined as
+        ``<name>.corrupt`` — not unlinked, not served — and reported as
+        a miss so the caller regenerates it.
+        """
         path = self.path_for(workload_name, input_name)
         if not path.exists():
             return None
         try:
-            trace = read_trace_any(path)
-        except (TraceFormatError, OSError, EOFError):
-            # A truncated write (killed process) must not poison the
-            # cache: drop the entry and fall back to synthesis.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            payload = read_enveloped(path, site="trace_cache.read")
+            trace = trace_from_bytes(
+                zlib.decompress(payload), source=str(path)
+            )
+        except (IntegrityError, TraceFormatError, zlib.error, EOFError):
+            self._quarantine(path)
+            return None
+        except OSError:
             return None
         self.disk_hits += 1
         return trace
 
     def store(self, trace: Trace) -> Path:
-        """Persist ``trace`` (atomically: temp file + rename)."""
+        """Persist ``trace`` (enveloped; atomic temp + fsync + rename)."""
         path = self.path_for(trace.workload, trace.input_name)
         self.directory.mkdir(parents=True, exist_ok=True)
-        # The temp name must keep the ".gz" suffix: the trace writer
-        # picks gzip framing off the file name.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.directory), suffix=".tmp.gz"
-        )
-        os.close(fd)
-        try:
-            write_trace_compact(trace, tmp_name)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        payload = zlib.compress(trace_to_compact_bytes(trace), 6)
+        write_enveloped(path, payload, site="trace_cache.write")
         self.stores += 1
         return path
 
@@ -180,25 +207,74 @@ class TraceCache:
         if not self.directory.is_dir():
             return []
         found = []
-        for path in sorted(self.directory.glob("*.trc2.gz")):
+        for path in sorted(self.directory.glob(f"*{ENTRY_SUFFIX}")):
             try:
-                _, workload, input_name, count, _ = read_trace_header(path)
-            except (TraceFormatError, OSError, EOFError):
+                payload = read_enveloped(path)
+                _, workload, input_name, count, _ = trace_header_from_bytes(
+                    zlib.decompress(payload), source=str(path)
+                )
+            except (IntegrityError, TraceFormatError, zlib.error, OSError, EOFError):
                 continue
             found.append((path, workload, input_name, count))
         return found
 
+    def verify(self) -> Dict[str, int]:
+        """Check every entry's envelope and payload without serving any.
+
+        Corrupt entries are quarantined as ``<name>.corrupt``; stale
+        ``*.tmp`` droppings from killed writers are swept.  Returns
+        ``{"checked", "ok", "quarantined", "tmp_removed"}``.
+        """
+        checked = ok = quarantined = tmp_removed = 0
+        if not self.directory.is_dir():
+            return {
+                "checked": 0, "ok": 0, "quarantined": 0, "tmp_removed": 0,
+            }
+        for path in sorted(self.directory.glob(f"*{ENTRY_SUFFIX}")):
+            checked += 1
+            try:
+                payload = read_enveloped(path)
+                trace_header_from_bytes(
+                    zlib.decompress(payload), source=str(path)
+                )
+            except (IntegrityError, TraceFormatError, zlib.error, EOFError):
+                self._quarantine(path)
+                quarantined += 1
+            except OSError:
+                continue
+            else:
+                ok += 1
+        for stale in sorted(self.directory.glob("*.tmp")):
+            try:
+                stale.unlink()
+                tmp_removed += 1
+            except OSError:
+                pass
+        return {
+            "checked": checked,
+            "ok": ok,
+            "quarantined": quarantined,
+            "tmp_removed": tmp_removed,
+        }
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (including legacy-format and quarantined
+        ones); returns the number removed."""
         removed = 0
         if not self.directory.is_dir():
             return removed
-        for path in self.directory.glob("*.trc2.gz"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        patterns = (
+            f"*{ENTRY_SUFFIX}",
+            f"*{_LEGACY_SUFFIX}",
+            f"*{CORRUPT_SUFFIX}",
+        )
+        for pattern in patterns:
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         self._memo.clear()
         return removed
 
@@ -209,6 +285,7 @@ class TraceCache:
             "disk_hits": self.disk_hits,
             "synthesised": self.synthesised,
             "stores": self.stores,
+            "corrupt_quarantined": self.corrupt_quarantined,
         }
 
     def __repr__(self) -> str:

@@ -122,16 +122,23 @@ class Experiment(ABC):
         jobs: int = 1,
         progress=None,
         should_cancel=None,
+        checkpoint=None,
     ) -> ExperimentResult:
         """Run, fanning simulation cells across ``jobs`` processes when
         the experiment decomposes; deterministic — results are merged in
         plan order and are bit-identical to a sequential :meth:`run`.
 
-        ``progress`` / ``should_cancel`` are the engine's cell-boundary
-        hooks (see :func:`repro.engine.runner.run_cells`); they only
-        take effect when the experiment decomposes into cells.
+        ``progress`` / ``should_cancel`` / ``checkpoint`` are the
+        engine's cell-boundary hooks (see
+        :func:`repro.engine.runner.run_cells`); they only take effect
+        when the experiment decomposes into cells.
         """
-        if jobs > 1 or progress is not None or should_cancel is not None:
+        if (
+            jobs > 1
+            or progress is not None
+            or should_cancel is not None
+            or checkpoint is not None
+        ):
             plan = self.plan_cells(fast)
             if plan is not None:
                 from repro.engine.runner import run_cells
@@ -142,6 +149,7 @@ class Experiment(ABC):
                     store=self._store(store),
                     progress=progress,
                     should_cancel=should_cancel,
+                    checkpoint=checkpoint,
                 )
                 return self.merge_cells(plan, results, fast)
         return self.run(store, fast=fast)

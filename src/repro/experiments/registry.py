@@ -105,13 +105,21 @@ def registered_module_names() -> List[str]:
 
 
 def run_experiment(
-    experiment_id: str, store=None, fast: bool = False, jobs: int = 1
+    experiment_id: str,
+    store=None,
+    fast: bool = False,
+    jobs: int = 1,
+    checkpoint=None,
 ):
     """Run one experiment, fanning its simulation cells across ``jobs``
     worker processes when it decomposes (see
     :meth:`repro.experiments.base.Experiment.run_with_engine`).
-    Deterministic: any ``jobs`` value produces identical results."""
+    Deterministic: any ``jobs`` value produces identical results, with
+    or without a ``checkpoint``
+    (:class:`repro.engine.checkpoint.RunCheckpoint`)."""
     experiment = get_experiment(experiment_id)
-    if jobs > 1:
-        return experiment.run_with_engine(store, fast=fast, jobs=jobs)
+    if jobs > 1 or checkpoint is not None:
+        return experiment.run_with_engine(
+            store, fast=fast, jobs=jobs, checkpoint=checkpoint
+        )
     return experiment.run(store, fast=fast)

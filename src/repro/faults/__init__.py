@@ -1,0 +1,48 @@
+"""Deterministic fault injection (see ``docs/ROBUSTNESS.md``).
+
+A *fault plan* — parsed from ``REPRO_FAULTS=<spec>`` or ``run
+--faults`` — arms named **injection sites** threaded through the
+repository's IO and execution paths: the trace cache, the result
+store, engine cells, service worker children and the HTTP server.
+Each armed site can raise, delay, hang, crash the process, truncate or
+bit-flip payload bytes, at exact call ordinals, so every failure mode
+the durability layers claim to survive can be provoked on demand and
+replayed bit-identically.
+
+Two principles govern the design:
+
+* **determinism** — plans are seeded through
+  :func:`repro.common.rng.make_rng` and matched against per-site call
+  counters, so the same plan over the same command injects at exactly
+  the same points every run;
+* **observability** — every firing is recorded in the plan's
+  injection log, so tests can assert both *that* and *where* faults
+  landed.
+
+Nothing in this package runs unless a plan is installed; the default
+(`REPRO_FAULTS` unset) is a no-op on every hot path.
+"""
+
+from repro.common.errors import FaultInjected
+from repro.faults.plan import FaultClause, FaultPlan, FaultSpecError
+from repro.faults.sites import (
+    SITE_CATALOG,
+    InjectedIOError,
+    active,
+    fault_point,
+    install,
+    reset,
+)
+
+__all__ = [
+    "FaultClause",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedIOError",
+    "SITE_CATALOG",
+    "active",
+    "fault_point",
+    "install",
+    "reset",
+]

@@ -1,0 +1,275 @@
+"""Fault-plan parsing and deterministic clause matching.
+
+The plan grammar (full spec in ``docs/ROBUSTNESS.md``)::
+
+    plan    := clause (';' clause)*
+    clause  := 'seed=' INT
+             | site ':' action ['(' NUMBER ')'] ['@' when]
+    when    := INT                  -- exactly that call ordinal (1-based)
+             | INT '-' INT          -- every ordinal in the range
+             | 'every=' INT         -- every K-th call
+             | 'p=' FLOAT           -- seeded coin flip per call
+
+Examples::
+
+    trace_cache.read:io_error@1
+    result_store.write:bitflip@2
+    worker.child:crash@1;worker.child:slow(0.05)@2-3
+    server.request:delay(0.01)@every=3;seed=7
+
+Matching is purely a function of (plan text, per-site call ordinal):
+ordinal clauses compare against a per-site counter, and probabilistic
+clauses draw from a private generator seeded via
+:func:`repro.common.rng.make_rng` from the plan seed and site name —
+so replaying a plan over the same command injects at identical points,
+which the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+
+#: Actions a clause may name.  ``truncate``/``bitflip`` mutate payload
+#: bytes and are only valid at data-bearing sites; the rest apply
+#: anywhere the site's catalog entry allows.
+ACTIONS = (
+    "io_error",  # raise InjectedIOError (an OSError) at the site
+    "raise",     # raise FaultInjected (a typed ReproError)
+    "delay",     # sleep arg seconds (default 0.01), then proceed
+    "slow",      # alias of delay with a larger default (0.05)
+    "hang",      # sleep arg seconds (default 300) — park the caller
+    "crash",     # os._exit(70): the process dies without cleanup
+    "truncate",  # drop the second half of the payload bytes
+    "bitflip",   # flip one deterministically-chosen payload bit
+)
+
+#: Actions that transform payload bytes (need a data-bearing site).
+DATA_ACTIONS = ("truncate", "bitflip")
+
+_CLAUSE_RE = re.compile(
+    r"^(?P<site>[a-z_][a-z0-9_.]*)"
+    r":(?P<action>[a-z_]+)"
+    r"(?:\((?P<arg>[0-9]+(?:\.[0-9]+)?)\))?"
+    r"(?:@(?P<when>[0-9a-z=.\-]+))?$"
+)
+
+
+class FaultSpecError(ConfigurationError):
+    """A ``REPRO_FAULTS`` / ``--faults`` spec does not parse or names
+    an unknown site, action, or trigger."""
+
+
+@dataclass(frozen=True)
+class When:
+    """A clause's trigger: which call ordinals it fires on."""
+
+    kind: str  # "ordinals" | "every" | "prob"
+    first: int = 1
+    last: int = 1
+    step: int = 1
+    probability: float = 0.0
+
+    def matches(self, ordinal: int, rng) -> bool:
+        if self.kind == "ordinals":
+            return self.first <= ordinal <= self.last
+        if self.kind == "every":
+            return ordinal % self.step == 0
+        # "prob": one seeded draw per evaluated call — deterministic
+        # given the plan seed and the site's call sequence.
+        return rng.random() < self.probability
+
+    def describe(self) -> str:
+        if self.kind == "ordinals":
+            if self.first == self.last:
+                return f"@{self.first}"
+            return f"@{self.first}-{self.last}"
+        if self.kind == "every":
+            return f"@every={self.step}"
+        return f"@p={self.probability:g}"
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One armed ``site:action`` rule of a plan."""
+
+    site: str
+    action: str
+    arg: Optional[float] = None
+    when: When = field(default_factory=When)
+
+    def describe(self) -> str:
+        arg = f"({self.arg:g})" if self.arg is not None else ""
+        return f"{self.site}:{self.action}{arg}{self.when.describe()}"
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One recorded firing: which clause hit which site call."""
+
+    site: str
+    ordinal: int
+    action: str
+
+
+def _parse_when(text: Optional[str], clause: str) -> When:
+    if text is None:
+        return When(kind="ordinals", first=1, last=1)
+    if text.startswith("every="):
+        try:
+            step = int(text[len("every="):])
+        except ValueError:
+            step = 0
+        if step <= 0:
+            raise FaultSpecError(f"bad trigger {text!r} in clause {clause!r}")
+        return When(kind="every", step=step)
+    if text.startswith("p="):
+        try:
+            probability = float(text[len("p="):])
+        except ValueError:
+            probability = -1.0
+        if not 0.0 <= probability <= 1.0:
+            raise FaultSpecError(f"bad trigger {text!r} in clause {clause!r}")
+        return When(kind="prob", probability=probability)
+    first, sep, last = text.partition("-")
+    try:
+        lo = int(first)
+        hi = int(last) if sep else lo
+    except ValueError:
+        raise FaultSpecError(
+            f"bad trigger {text!r} in clause {clause!r}"
+        ) from None
+    if lo <= 0 or hi < lo:
+        raise FaultSpecError(f"bad trigger {text!r} in clause {clause!r}")
+    return When(kind="ordinals", first=lo, last=hi)
+
+
+class FaultPlan:
+    """A parsed fault plan: clauses, per-site counters, injection log.
+
+    Thread-safe — the service's HTTP threads and worker threads share
+    one installed plan.  Counters advance on every :meth:`decide`
+    (fired or not), so a clause's ``@3`` always means "the third call
+    at that site in this process".
+    """
+
+    def __init__(self, clauses: List[FaultClause], seed: int = 0, text: str = "") -> None:
+        self.clauses = list(clauses)
+        self.seed = seed
+        self.text = text
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._rngs: Dict[str, object] = {}
+        #: Every firing, in decision order — the replay-audit trail.
+        self.injections: List[Injection] = []
+
+    # Construction ------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a plan spec; raises :class:`FaultSpecError` on any
+        malformed clause, unknown site, or unknown action."""
+        from repro.faults.sites import SITE_CATALOG
+
+        clauses: List[FaultClause] = []
+        seed = 0
+        for raw in text.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            if raw.startswith("seed="):
+                try:
+                    seed = int(raw[len("seed="):])
+                except ValueError:
+                    raise FaultSpecError(f"bad seed clause {raw!r}") from None
+                continue
+            match = _CLAUSE_RE.match(raw)
+            if match is None:
+                raise FaultSpecError(
+                    f"cannot parse fault clause {raw!r} "
+                    "(expected site:action[(arg)][@when])"
+                )
+            site = match.group("site")
+            action = match.group("action")
+            entry = SITE_CATALOG.get(site)
+            if entry is None:
+                known = ", ".join(sorted(SITE_CATALOG))
+                raise FaultSpecError(
+                    f"unknown fault site {site!r} (have: {known})"
+                )
+            if action not in ACTIONS:
+                raise FaultSpecError(
+                    f"unknown fault action {action!r} "
+                    f"(have: {', '.join(ACTIONS)})"
+                )
+            if action in DATA_ACTIONS and not entry.carries_data:
+                raise FaultSpecError(
+                    f"action {action!r} needs payload bytes, but site "
+                    f"{site!r} carries none"
+                )
+            arg = match.group("arg")
+            clauses.append(
+                FaultClause(
+                    site=site,
+                    action=action,
+                    arg=float(arg) if arg is not None else None,
+                    when=_parse_when(match.group("when"), raw),
+                )
+            )
+        return cls(clauses, seed=seed, text=text)
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["FaultPlan"]:
+        """The plan ``REPRO_FAULTS`` selects, or ``None`` when unset
+        or empty."""
+        import os
+
+        environ = environ if environ is not None else os.environ
+        text = environ.get("REPRO_FAULTS", "").strip()
+        if not text:
+            return None
+        return cls.parse(text)
+
+    # Matching ----------------------------------------------------------
+    def _rng_for(self, site: str):
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = make_rng("faults", self.seed, site)
+            self._rngs[site] = rng
+        return rng
+
+    def decide(self, site: str) -> Optional[Tuple[FaultClause, int]]:
+        """Advance ``site``'s call counter and return the first armed
+        clause matching this ordinal (with the ordinal), or ``None``."""
+        with self._lock:
+            ordinal = self._counters.get(site, 0) + 1
+            self._counters[site] = ordinal
+            for clause in self.clauses:
+                if clause.site != site:
+                    continue
+                if clause.when.matches(ordinal, self._rng_for(site)):
+                    self.injections.append(
+                        Injection(site=site, ordinal=ordinal, action=clause.action)
+                    )
+                    return clause, ordinal
+        return None
+
+    # Introspection ------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Per-site call counts so far (copy)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def describe(self) -> str:
+        """Canonical one-line rendering of the plan."""
+        parts = [clause.describe() for clause in self.clauses]
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return ";".join(parts)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.describe()!r}, fired={len(self.injections)})"

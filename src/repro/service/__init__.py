@@ -11,7 +11,10 @@ cooperating pieces (see ``docs/SERVICE.md`` for the full protocol):
 * :mod:`repro.service.result_store` — the persistent result store with
   TinyLFU-style frequency admission;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
-  stdlib HTTP JSON API and its thin client.
+  stdlib HTTP JSON API and its thin client;
+* :mod:`repro.service.resilience` — client-side degradation: seeded
+  jittered retries and a circuit breaker (server-side shedding lives
+  in the queue/server pair).
 
 CLI: ``repro-fvc serve`` runs a server; ``repro-fvc submit`` /
 ``status`` / ``fetch`` talk to one.
@@ -31,7 +34,12 @@ from repro.service.client import (
     ServiceError,
     default_service_url,
 )
-from repro.service.jobs import Job, JobQueue
+from repro.service.jobs import Job, JobQueue, QueueFullError
+from repro.service.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+)
 from repro.service.result_store import (
     FrequencySketch,
     ResultStore,
@@ -49,7 +57,11 @@ __all__ = [
     "execute_spec",
     "Job",
     "JobQueue",
+    "QueueFullError",
     "WorkerPool",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryPolicy",
     "FrequencySketch",
     "ResultStore",
     "default_store_dir",

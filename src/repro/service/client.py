@@ -9,6 +9,13 @@ Wraps the HTTP JSON API in plain method calls::
 
 Used by the ``repro-fvc submit``/``status``/``fetch`` CLI verbs and the
 end-to-end tests; only :mod:`urllib.request`, no dependencies.
+
+Degradation is opt-in per client: pass a
+:class:`~repro.service.resilience.RetryPolicy` to retry transient
+failures (connection errors, HTTP 503 — honouring the server's
+``Retry-After`` hint) with seeded jittered backoff, and/or a
+:class:`~repro.service.resilience.CircuitBreaker` to fail fast once
+the service is clearly down instead of hammering it.
 """
 
 from __future__ import annotations
@@ -18,9 +25,10 @@ import os
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.experiments.render import dumps_compact
+from repro.service.resilience import CircuitBreaker, RetryPolicy
 
 #: Default service endpoint; overridable via ``REPRO_SERVICE_URL``.
 DEFAULT_URL = "http://127.0.0.1:8031"
@@ -32,11 +40,28 @@ def default_service_url() -> str:
 
 
 class ServiceError(Exception):
-    """An API-level failure (HTTP error status or unreachable server)."""
+    """An API-level failure (HTTP error status or unreachable server).
 
-    def __init__(self, message: str, status: Optional[int] = None) -> None:
+    ``status`` is the HTTP status (``None`` for transport failures);
+    ``retry_after`` carries the server's ``Retry-After`` hint in
+    seconds when one was sent (shedding responses).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+    @property
+    def transient(self) -> bool:
+        """Whether retrying could plausibly succeed: the server was
+        unreachable, or it answered 503 (shedding)."""
+        return self.status is None or self.status == 503
 
 
 class JobFailed(ServiceError):
@@ -51,18 +76,43 @@ class JobFailed(ServiceError):
 
 
 class ServiceClient:
-    """HTTP client for one service endpoint."""
+    """HTTP client for one service endpoint.
+
+    ``retry`` / ``breaker`` opt this client into transient-failure
+    retries and fail-fast circuit breaking (both default off — a bare
+    client behaves exactly like the pre-degradation one).  ``sleep`` is
+    injectable so retry tests run on a virtual clock.
+    """
 
     def __init__(
-        self, base_url: Optional[str] = None, timeout: float = 30.0
+        self,
+        base_url: Optional[str] = None,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.base_url = (base_url or default_service_url()).rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
+        self._sleep = sleep
+        self.retries_attempted = 0
 
     # Transport ---------------------------------------------------------
-    def _request(
+    def _request_once(
         self, method: str, path: str, body: Optional[Dict] = None
     ) -> bytes:
+        from repro.faults.sites import fault_point
+
+        try:
+            fault_point("client.request")
+        except OSError as exc:
+            # Injected transport failure: surface exactly like a
+            # connection error, so the retry/breaker paths engage.
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc}"
+            ) from None
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -80,15 +130,51 @@ class ServiceClient:
                 detail = json.loads(exc.read()).get("error", "")
             except (ValueError, OSError):
                 pass
+            retry_after = None
+            try:
+                header = exc.headers.get("Retry-After")
+                if header is not None:
+                    retry_after = float(header)
+            except (AttributeError, ValueError):
+                pass
             raise ServiceError(
                 f"{method} {path} -> HTTP {exc.code}"
                 + (f": {detail}" if detail else ""),
                 status=exc.code,
+                retry_after=retry_after,
             ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"cannot reach {self.base_url}: {exc.reason}"
             ) from None
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> bytes:
+        attempt = 0
+        while True:
+            if self.breaker is not None:
+                self.breaker.allow()  # raises CircuitOpenError when open
+            try:
+                payload = self._request_once(method, path, body)
+            except ServiceError as exc:
+                if self.breaker is not None and exc.transient:
+                    self.breaker.record_failure()
+                if (
+                    self.retry is None
+                    or not exc.transient
+                    or attempt >= self.retry.retries
+                ):
+                    raise
+                self._sleep(
+                    self.retry.delay_for(attempt, retry_after=exc.retry_after)
+                )
+                attempt += 1
+                self.retries_attempted += 1
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return payload
 
     def _json(self, method: str, path: str, body: Optional[Dict] = None):
         return json.loads(self._request(method, path, body))

@@ -12,7 +12,11 @@ Two service behaviours live here rather than in the workers:
   (``cached: true``), never touching the queue;
 * **in-flight deduplication** — a submission whose result key matches a
   job that is currently queued or running returns that job
-  (``deduplicated: true``) instead of simulating the same thing twice.
+  (``deduplicated: true``) instead of simulating the same thing twice;
+* **overload shedding** — with ``max_queue_depth`` set, a submission
+  that would enqueue a new job beyond the bound raises
+  :class:`QueueFullError` (the HTTP layer answers ``503`` +
+  ``Retry-After``) instead of growing an unbounded backlog.
 """
 
 from __future__ import annotations
@@ -35,6 +39,22 @@ CANCELLED = "cancelled"
 
 _LIVE = (QUEUED, RUNNING)
 _TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class QueueFullError(Exception):
+    """A submission was shed: the pending queue is at its depth bound.
+
+    The HTTP layer translates this into ``503`` with a ``Retry-After``
+    header — the overload contract is *reject new work loudly, never
+    drop accepted work silently*.
+    """
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(
+            f"queue is full ({depth} pending, limit {limit}); retry later"
+        )
+        self.depth = depth
+        self.limit = limit
 
 
 @dataclass
@@ -92,18 +112,26 @@ class JobQueue:
     HTTP threads and worker threads can share one instance freely.
     """
 
-    def __init__(self, max_jobs: int = 10000) -> None:
+    def __init__(
+        self,
+        max_jobs: int = 10000,
+        max_queue_depth: Optional[int] = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []  # insertion order, for trimming
         self._pending: "queue.Queue[str]" = queue.Queue()
         self._max_jobs = max_jobs
+        #: Pending-job bound; ``None`` = unbounded.  At the bound, new
+        #: (non-deduplicated) submissions raise :class:`QueueFullError`.
+        self.max_queue_depth = max_queue_depth
         self._serial = itertools.count(1)
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.cancelled = 0
         self.retries = 0
+        self.shed = 0
 
     def _new_id(self) -> str:
         # Job ids are transport handles, never result material: results
@@ -130,7 +158,10 @@ class JobQueue:
 
         When a live job with the same result key exists, that job is
         returned instead (``deduplicated=True``) and nothing new is
-        enqueued.
+        enqueued.  Deduplicated submissions are never shed — they add
+        no work — but a submission that *would* enqueue a new job while
+        ``max_queue_depth`` jobs are already pending raises
+        :class:`QueueFullError` instead of growing the backlog.
         """
         with self._lock:
             self.submitted += 1
@@ -141,6 +172,13 @@ class JobQueue:
                     and existing.state in _LIVE
                 ):
                     return existing, True
+            if self.max_queue_depth is not None:
+                depth = sum(
+                    1 for j in self._jobs.values() if j.state == QUEUED
+                )
+                if depth >= self.max_queue_depth:
+                    self.shed += 1
+                    raise QueueFullError(depth, self.max_queue_depth)
             job = Job(id=self._new_id(), spec=spec, result_key=result_key)
             self._jobs[job.id] = job
             self._order.append(job.id)
@@ -261,6 +299,7 @@ class JobQueue:
                 "failed": self.failed,
                 "cancelled": self.cancelled,
                 "retries": self.retries,
+                "shed": self.shed,
                 "queued": sum(1 for s in live if s == QUEUED),
                 "running": sum(1 for s in live if s == RUNNING),
             }

@@ -1,0 +1,160 @@
+"""Client-side degradation: retry policy and circuit breaker.
+
+Two small, composable defences for :class:`repro.service.client
+.ServiceClient` against a flaky or overloaded service:
+
+* :class:`RetryPolicy` — jittered exponential backoff for *transient*
+  failures (connection refused/reset, HTTP 503).  The jitter is drawn
+  from a generator seeded via :func:`repro.common.rng.make_rng`, so a
+  client's retry schedule is reproducible; a server-supplied
+  ``Retry-After`` hint floors the delay, so a shedding server's advice
+  is always respected.
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine.  After ``failure_threshold`` consecutive transport
+  failures the breaker opens and calls fail fast
+  (:class:`CircuitOpenError`) without touching the network; after
+  ``reset_timeout`` seconds one probe call is allowed through
+  (half-open), and its outcome closes or re-opens the circuit.  The
+  clock is injectable, so tests drive the state machine
+  deterministically without sleeping.
+
+Neither object is thread-safe on its own sub-second counters by
+accident: the breaker takes a lock, the policy is immutable except for
+its private RNG.  Both default to OFF in :class:`ServiceClient` — you
+opt in per client, as the CLI's ``submit`` verb does.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.common.rng import make_rng
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(Exception):
+    """A call failed fast because the circuit breaker is open."""
+
+    def __init__(self, remaining: float) -> None:
+        super().__init__(
+            f"circuit breaker is open (retry in {remaining:.1f}s)"
+        )
+        self.remaining = remaining
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with an injectable clock.
+
+    ``allow()`` gates a call; ``record_success()`` /
+    ``record_failure()`` report its outcome.  State transitions:
+
+    * **closed** — calls flow; ``failure_threshold`` consecutive
+      failures trip the breaker open.
+    * **open** — ``allow()`` raises :class:`CircuitOpenError` until
+      ``reset_timeout`` seconds have passed on the injected clock.
+    * **half-open** — exactly one probe call is allowed; success
+      closes the breaker, failure re-opens it (restarting the timer).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError("failure_threshold must be positive")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.fast_failures = 0  # calls refused without touching the net
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._observe()
+
+    def _observe(self) -> str:
+        # Lock held.  Open circuits decay to half-open by clock alone.
+        if self._state == OPEN:
+            if self._clock() - self._opened_at >= self.reset_timeout:
+                self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` when open."""
+        with self._lock:
+            state = self._observe()
+            if state == OPEN:
+                self.fast_failures += 1
+                remaining = self.reset_timeout - (
+                    self._clock() - self._opened_at
+                )
+                raise CircuitOpenError(max(remaining, 0.0))
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._observe()
+            if state == HALF_OPEN:
+                # The probe failed: straight back to open.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+
+class RetryPolicy:
+    """Seeded, jittered exponential backoff for transient failures.
+
+    ``delay_for(attempt)`` (attempt 0 = the delay before the first
+    retry) is ``backoff * 2^attempt`` capped at ``max_backoff``, times
+    a jitter factor in ``[1, 1 + jitter]`` drawn from a seeded RNG —
+    reproducible, but de-synchronised across clients with different
+    seeds (no thundering herd).  A server ``Retry-After`` hint floors
+    the result.
+    """
+
+    def __init__(
+        self,
+        retries: int = 3,
+        backoff: float = 0.2,
+        max_backoff: float = 5.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self._rng = make_rng("service", "client", "retry", seed)
+
+    def delay_for(
+        self, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
+        base = min(self.backoff * (2 ** attempt), self.max_backoff)
+        delay = base * (1.0 + self.jitter * self._rng.random())
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay

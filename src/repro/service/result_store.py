@@ -17,21 +17,27 @@ frequency sketch is built from the repo's own streaming counters
 sketches, current and previous, rotated every ``window`` observations
 so ancient popularity decays instead of pinning entries forever.
 
-Layout: one file per entry, ``<key>.json``, holding exactly the
-canonical payload bytes (so ``GET /v1/results/<key>`` is a plain read).
-Writes are atomic (temp file + ``os.replace``) like the trace cache's.
-Recency for victim tie-breaks comes from file mtimes, refreshed on hit.
+Layout: one file per entry, ``<key>.json``, holding the canonical
+payload bytes wrapped in a sha256 integrity envelope
+(:mod:`repro.common.integrity`).  Writes are atomic and durable (temp
+file + flush + ``fsync`` + ``os.replace`` + directory ``fsync``); reads
+verify the envelope, and an entry that fails verification is
+quarantined as ``<key>.json.corrupt`` and treated as a miss — the job
+layer then recomputes and re-persists it, so corruption self-heals and
+is never served.  Recency for victim tie-breaks comes from file
+mtimes, refreshed on hit.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.errors import IntegrityError
+from repro.common.integrity import quarantine, read_enveloped, write_enveloped
 from repro.profiling.topk import SpaceSaving
 
 #: Default maximum number of resident entries.
@@ -121,11 +127,19 @@ class ResultStore:
                     self._index[path.stem] = path.stat().st_mtime
                 except OSError:
                     continue
+            # One server process owns this directory, so temp files
+            # left by a killed writer are garbage by construction.
+            for stale in self.directory.glob("*.tmp"):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.admission_rejects = 0
         self.evictions = 0
+        self.corrupt_quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -147,11 +161,20 @@ class ResultStore:
             return None
         path = self._path(key)
         try:
-            payload = path.read_bytes()
+            payload = read_enveloped(path, site="result_store.read")
         except OSError:
             # Entry vanished behind our back (manual delete): heal.
             with self._lock:
                 self._index.pop(key, None)
+                self.misses += 1
+            return None
+        except IntegrityError:
+            # Never serve corrupt bytes: park the entry for post-mortem
+            # and report a miss, so the job layer recomputes it.
+            quarantine(path)
+            with self._lock:
+                self._index.pop(key, None)
+                self.corrupt_quarantined += 1
                 self.misses += 1
             return None
         now = None
@@ -174,20 +197,9 @@ class ResultStore:
     # Writes ------------------------------------------------------------
     def _write(self, key: str, payload: bytes) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.directory), suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self._index[key] = self._path(key).stat().st_mtime
+        path = self._path(key)
+        write_enveloped(path, payload, site="result_store.write")
+        self._index[key] = path.stat().st_mtime
 
     def put(self, key: str, payload: bytes) -> bool:
         """Offer a payload for residency; returns whether it was
@@ -225,6 +237,43 @@ class ResultStore:
             return True
 
     # Maintenance -------------------------------------------------------
+    def verify(self) -> Dict[str, int]:
+        """Envelope-check every resident entry without serving any.
+
+        Corrupt entries are quarantined as ``<key>.json.corrupt`` and
+        dropped from the index; stale ``*.tmp`` droppings are swept.
+        Returns ``{"checked", "ok", "quarantined", "tmp_removed"}``.
+        """
+        checked = ok = quarantined = tmp_removed = 0
+        with self._lock:
+            for key in list(self._index):
+                checked += 1
+                path = self._path(key)
+                try:
+                    read_enveloped(path)
+                except IntegrityError:
+                    quarantine(path)
+                    del self._index[key]
+                    self.corrupt_quarantined += 1
+                    quarantined += 1
+                except OSError:
+                    del self._index[key]
+                else:
+                    ok += 1
+            if self.directory.is_dir():
+                for stale in self.directory.glob("*.tmp"):
+                    try:
+                        stale.unlink()
+                        tmp_removed += 1
+                    except OSError:
+                        pass
+        return {
+            "checked": checked,
+            "ok": ok,
+            "quarantined": quarantined,
+            "tmp_removed": tmp_removed,
+        }
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         with self._lock:
@@ -262,4 +311,5 @@ class ResultStore:
                 "stores": self.stores,
                 "admission_rejects": self.admission_rejects,
                 "evictions": self.evictions,
+                "corrupt_quarantined": self.corrupt_quarantined,
             }

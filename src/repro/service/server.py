@@ -11,13 +11,21 @@ Endpoints (all JSON, all under ``/v1``):
 ``GET /v1/jobs``          every known job, submission order
 ``GET /v1/results/<key>`` the stored canonical payload bytes
 ``GET /v1/metrics``       flat counter snapshot (jobs, store, uptime)
-``GET /v1/healthz``       liveness probe
+``GET /v1/healthz``       liveness probe + degradation state
 ========================  ====================================================
 
 The server is a :class:`http.server.ThreadingHTTPServer` — requests are
 cheap bookkeeping; all simulation happens in the worker pool's child
 processes.  ``repro-fvc serve`` wires SIGTERM/SIGINT to a graceful
 drain: stop accepting, finish every accepted job, exit.
+
+**Overload contract**: the pending queue is bounded
+(``max_queue_depth``).  A submission that would grow the backlog past
+the bound is answered ``503`` with a ``Retry-After`` header — new work
+is rejected loudly; work already accepted is never dropped.  While the
+queue sits at its bound, ``/v1/healthz`` reports ``"degraded"`` (still
+HTTP 200 — the process is alive) and ``/v1/metrics`` exposes the shed
+count, so load balancers and clients can back off before the cliff.
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-from repro.common.errors import ReproError
+from repro.common.errors import FaultInjected, ReproError
 from repro.experiments.render import dumps_line
 from repro.service.api import (
     execute_spec,
@@ -39,7 +47,7 @@ from repro.service.api import (
     payload_bytes,
     result_key,
 )
-from repro.service.jobs import JobQueue
+from repro.service.jobs import JobQueue, QueueFullError
 from repro.service.result_store import (
     DEFAULT_CAPACITY,
     ResultStore,
@@ -61,6 +69,11 @@ class ServiceConfig:
     store_dir: Optional[Path] = None
     store_capacity: int = DEFAULT_CAPACITY
     quiet: bool = True
+    #: Pending-queue bound; submissions beyond it are shed with 503.
+    #: ``None`` = unbounded (the pre-degradation behaviour).
+    max_queue_depth: Optional[int] = 256
+    #: Floor for the 503 ``Retry-After`` hint, seconds.
+    retry_after_floor: float = 1.0
 
 
 class ReproService:
@@ -75,7 +88,7 @@ class ReproService:
         self.store = ResultStore(
             store_dir, capacity=self.config.store_capacity
         )
-        self.jobs = JobQueue()
+        self.jobs = JobQueue(max_queue_depth=self.config.max_queue_depth)
         self.pool = WorkerPool(
             self.jobs,
             run_spec=execute_spec,
@@ -110,6 +123,35 @@ class ReproService:
         body["deduplicated"] = deduplicated
         return body, 200 if deduplicated else 202
 
+    def degraded(self) -> bool:
+        """Whether the service is shedding: the pending queue sits at
+        its depth bound."""
+        limit = self.jobs.max_queue_depth
+        return limit is not None and self.jobs.queue_depth() >= limit
+
+    def retry_after(self) -> int:
+        """The ``Retry-After`` hint (whole seconds) for shed
+        submissions: how long one queue-slot's worth of work is
+        expected to take, given the backlog and worker count, floored
+        by the configured minimum."""
+        depth = self.jobs.queue_depth()
+        workers = max(self.pool.workers, 1)
+        estimate = max(self.config.retry_after_floor, depth / workers * 0.1)
+        return max(1, int(round(estimate)))
+
+    def healthz(self) -> Dict:
+        """The ``/v1/healthz`` body: liveness plus degradation state.
+
+        Always HTTP 200 while the process serves — ``"degraded"`` means
+        "alive but shedding new submissions", which load balancers
+        should read as *back off*, not *restart me*.
+        """
+        return {
+            "status": "degraded" if self.degraded() else "ok",
+            "queue_depth": self.jobs.queue_depth(),
+            "max_queue_depth": self.jobs.max_queue_depth,
+        }
+
     def metrics(self) -> Dict:
         """The flat ``/v1/metrics`` snapshot."""
         from repro import __version__
@@ -123,6 +165,8 @@ class ReproService:
             (f"result_store_{name}", value) for name, value in store.items()
         )
         flat["queue_depth"] = jobs["queued"]
+        flat["max_queue_depth"] = self.jobs.max_queue_depth
+        flat["degraded"] = self.degraded()
         flat["workers"] = self.pool.workers
         flat["uptime_seconds"] = round(time.time() - self.started_at, 3)
         flat["version"] = __version__
@@ -211,28 +255,61 @@ def _make_handler(service: ReproService, quiet: bool = True):
         server_version = "repro-fvc-service"
 
         # Responses ----------------------------------------------------
-        def _send(self, status: int, body: bytes, content_type: str) -> None:
+        def _send(
+            self,
+            status: int,
+            body: bytes,
+            content_type: str,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _json(self, status: int, payload: object) -> None:
+        def _json(
+            self,
+            status: int,
+            payload: object,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             body = dumps_line(payload).encode()
-            self._send(status, body, "application/json")
+            self._send(status, body, "application/json", headers=headers)
 
-        def _error(self, status: int, message: str) -> None:
-            self._json(status, {"error": message})
+        def _error(
+            self,
+            status: int,
+            message: str,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
+            self._json(status, {"error": message}, headers=headers)
+
+        def _guard(self) -> bool:
+            """The ``server.request`` fault point: every handler entry
+            consults it; an injected failure answers 500 instead of
+            touching any service state."""
+            from repro.faults.sites import fault_point
+
+            try:
+                fault_point("server.request")
+            except (FaultInjected, OSError) as exc:
+                self._error(500, f"injected server fault: {exc}")
+                return False
+            return True
 
         # Routing ------------------------------------------------------
         def _route(self) -> Tuple[str, ...]:
             return tuple(part for part in self.path.split("/") if part)
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if not self._guard():
+                return
             route = self._route()
             if route == ("v1", "healthz"):
-                self._json(200, {"status": "ok"})
+                self._json(200, service.healthz())
             elif route == ("v1", "metrics"):
                 self._json(200, service.metrics())
             elif route == ("v1", "jobs"):
@@ -261,6 +338,8 @@ def _make_handler(service: ReproService, quiet: bool = True):
                 self._error(404, f"no such endpoint: {self.path}")
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if not self._guard():
+                return
             route = self._route()
             if route != ("v1", "jobs"):
                 self._error(404, f"no such endpoint: {self.path}")
@@ -273,6 +352,13 @@ def _make_handler(service: ReproService, quiet: bool = True):
                 return
             try:
                 body, status = service.submit(raw)
+            except QueueFullError as exc:
+                self._error(
+                    503,
+                    str(exc),
+                    headers={"Retry-After": str(service.retry_after())},
+                )
+                return
             except ReproError as exc:
                 # SpecError, unknown experiments/workloads, bad
                 # geometry — all client mistakes.
@@ -281,6 +367,8 @@ def _make_handler(service: ReproService, quiet: bool = True):
             self._json(status, body)
 
         def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+            if not self._guard():
+                return
             route = self._route()
             if len(route) == 3 and route[:2] == ("v1", "jobs"):
                 job = service.jobs.cancel(route[2])

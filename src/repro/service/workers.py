@@ -45,10 +45,20 @@ def _mp_context():
         return multiprocessing.get_context()
 
 
-def _child_entry(conn, run_spec: SpecRunner, spec: Dict) -> None:
+def _child_entry(conn, run_spec: SpecRunner, spec: Dict, fault=None) -> None:
     """Child-process main: run the spec, stream progress, send the
-    verdict, close the pipe."""
+    verdict, close the pipe.
+
+    ``fault`` is a parent-decided ``(clause, ordinal)`` pair from the
+    ``worker.child`` injection site (see
+    :func:`repro.faults.sites.decide_child_fault`); ``crash`` clauses
+    hard-exit here, exercising the pool's crash-containment path.
+    """
     try:
+        if fault is not None:
+            from repro.faults.sites import apply_child_fault
+
+            apply_child_fault(fault)
 
         def report(done: int, total: int) -> None:
             conn.send(("progress", done, total))
@@ -152,6 +162,13 @@ class WorkerPool:
 
     def _execute(self, job: Job) -> None:
         attempt = 0
+        # Crash retries must not multiply a job's latency unboundedly:
+        # the cumulative backoff a job may spend between attempts is
+        # capped by its own timeout, so worst case (every attempt runs
+        # to the deadline and crashes) total time stays within
+        # (max_retries + 1) * job_timeout + job_timeout of backoff.
+        backoff_budget = self.job_timeout
+        backoff_spent = 0.0
         while True:
             attempt += 1
             job.attempts = attempt
@@ -171,7 +188,8 @@ class WorkerPool:
                 # Deterministic failures don't improve on retry.
                 self.queue.finish(job, jobstates.FAILED, error=value)
                 return
-            # Crash: retry with exponential backoff, bounded.
+            # Crash: retry with exponential backoff, bounded in both
+            # attempt count and total backoff time.
             if attempt > self.max_retries:
                 self.queue.finish(
                     job,
@@ -179,8 +197,23 @@ class WorkerPool:
                     error=f"{value} (gave up after {attempt} attempts)",
                 )
                 return
-            self.queue.note_retry()
             backoff = self.retry_backoff * (2 ** (attempt - 1))
+            if backoff_budget is not None:
+                remaining = backoff_budget - backoff_spent
+                if remaining <= 0:
+                    self.queue.finish(
+                        job,
+                        jobstates.FAILED,
+                        error=(
+                            f"{value} (retry budget of "
+                            f"{backoff_budget:.1f}s exhausted after "
+                            f"{attempt} attempts)"
+                        ),
+                    )
+                    return
+                backoff = min(backoff, remaining)
+            backoff_spent += backoff
+            self.queue.note_retry()
             # An event wait, so cancellation interrupts the backoff.
             if job.cancel_event.wait(backoff):
                 self.queue.finish(job, jobstates.CANCELLED)
@@ -201,10 +234,16 @@ class WorkerPool:
         ``("timeout", message)``, ``("cancelled", None)`` or
         ``("crash", message)`` — only the last is retryable.
         """
+        from repro.faults.sites import decide_child_fault
+
+        # The parent decides whether this attempt is faulted, so the
+        # ``worker.child`` ordinal counts *attempts* across all jobs —
+        # ``@1`` faults the first attempt and lets the retry succeed.
+        fault = decide_child_fault()
         reader, writer = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_child_entry,
-            args=(writer, self.run_spec, job.spec),
+            args=(writer, self.run_spec, job.spec, fault),
             daemon=True,
         )
         started = time.monotonic()

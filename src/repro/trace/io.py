@@ -175,71 +175,109 @@ def _read_varint(data: bytes, offset: int) -> Tuple[int, int]:
         shift += 7
 
 
-def write_trace_compact(trace: Trace, path: PathLike) -> None:
-    """Serialise ``trace`` in the delta/varint format (version 2)."""
+def trace_to_compact_bytes(trace: Trace) -> bytes:
+    """The delta/varint (version 2) serialisation of ``trace`` as
+    bytes — what the enveloped trace-cache entries embed."""
     workload = trace.workload.encode("utf-8")
     input_name = trace.input_name.encode("utf-8")
-    with _open(path, "wb") as stream:
-        stream.write(
-            _HEADER.pack(
-                _MAGIC,
-                _COMPACT_VERSION,
-                len(workload),
-                len(input_name),
-                0,
-                len(trace.records),
-                trace.instruction_count,
-            )
+    out = bytearray(
+        _HEADER.pack(
+            _MAGIC,
+            _COMPACT_VERSION,
+            len(workload),
+            len(input_name),
+            0,
+            len(trace.records),
+            trace.instruction_count,
         )
-        stream.write(workload)
-        stream.write(input_name)
-        buffer = bytearray()
+    )
+    out += workload
+    out += input_name
+    previous_word = 0
+    for op, address, value in trace.records:
+        word = address >> 2
+        out.append(op)
+        _write_varint(out, _zigzag(word - previous_word))
+        _write_varint(out, value)
+        previous_word = word
+    return bytes(out)
+
+
+def write_trace_compact(trace: Trace, path: PathLike) -> None:
+    """Serialise ``trace`` in the delta/varint format (version 2)."""
+    with _open(path, "wb") as stream:
+        stream.write(trace_to_compact_bytes(trace))
+
+
+def trace_header_from_bytes(
+    data: bytes, source: str = "trace"
+) -> Tuple[int, str, str, int, int]:
+    """Parse just the header out of in-memory trace bytes.
+
+    Returns ``(version, workload, input_name, record_count,
+    instruction_count)`` — the bytes-level sibling of
+    :func:`read_trace_header`.
+    """
+    if len(data) < _HEADER.size:
+        raise TraceFormatError(f"{source}: truncated header")
+    magic, version, wlen, ilen, _, count, instructions = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise TraceFormatError(f"{source}: bad magic {magic!r}")
+    names = data[_HEADER.size : _HEADER.size + wlen + ilen]
+    if len(names) < wlen + ilen:
+        raise TraceFormatError(f"{source}: truncated metadata")
+    workload = names[:wlen].decode("utf-8")
+    input_name = names[wlen:].decode("utf-8")
+    return version, workload, input_name, count, instructions
+
+
+def trace_from_bytes(data: bytes, source: str = "trace") -> Trace:
+    """Materialise a trace from in-memory bytes in either format."""
+    version, workload, input_name, count, instructions = trace_header_from_bytes(
+        data, source
+    )
+    offset = (
+        _HEADER.size
+        + len(workload.encode("utf-8"))
+        + len(input_name.encode("utf-8"))
+    )
+    payload = data[offset:]
+    if version == _VERSION:
+        expected = count * _RECORD.size
+        if len(payload) != expected:
+            raise TraceFormatError(
+                f"{source}: expected {expected} record bytes, "
+                f"found {len(payload)}"
+            )
+        records = [tuple(fields) for fields in _RECORD.iter_unpack(payload)]
+    elif version == _COMPACT_VERSION:
+        records = []
+        cursor = 0
         previous_word = 0
-        for op, address, value in trace.records:
-            word = address >> 2
-            buffer.append(op)
-            _write_varint(buffer, _zigzag(word - previous_word))
-            _write_varint(buffer, value)
-            previous_word = word
-            if len(buffer) >= 1 << 20:
-                stream.write(buffer)
-                buffer.clear()
-        if buffer:
-            stream.write(buffer)
+        try:
+            for _ in range(count):
+                op = payload[cursor]
+                cursor += 1
+                delta, cursor = _read_varint(payload, cursor)
+                value, cursor = _read_varint(payload, cursor)
+                previous_word += _unzigzag(delta)
+                records.append((op, previous_word << 2, value))
+        except IndexError:
+            raise TraceFormatError(
+                f"{source}: truncated compact payload"
+            ) from None
+    else:
+        raise TraceFormatError(f"{source}: unsupported version {version}")
+    return Trace(
+        records,  # type: ignore[arg-type]
+        workload=workload,
+        input_name=input_name,
+        instruction_count=instructions,
+    )
 
 
 def read_trace_any(path: PathLike) -> Trace:
     """Load a trace in either format (dispatch on the header version)."""
     with _open(path, "rb") as stream:
-        header = stream.read(_HEADER.size)
-        if len(header) < _HEADER.size:
-            raise TraceFormatError(f"{path}: truncated header")
-        magic, version, wlen, ilen, _, count, instructions = _HEADER.unpack(header)
-        if magic != _MAGIC:
-            raise TraceFormatError(f"{path}: bad magic {magic!r}")
-        if version == _VERSION:
-            return read_trace(path)
-        if version != _COMPACT_VERSION:
-            raise TraceFormatError(f"{path}: unsupported version {version}")
-        workload = stream.read(wlen).decode("utf-8")
-        input_name = stream.read(ilen).decode("utf-8")
-        payload = stream.read()
-    records = []
-    offset = 0
-    previous_word = 0
-    try:
-        for _ in range(count):
-            op = payload[offset]
-            offset += 1
-            delta, offset = _read_varint(payload, offset)
-            value, offset = _read_varint(payload, offset)
-            previous_word += _unzigzag(delta)
-            records.append((op, previous_word << 2, value))
-    except IndexError:
-        raise TraceFormatError(f"{path}: truncated compact payload") from None
-    return Trace(
-        records,
-        workload=workload,
-        input_name=input_name,
-        instruction_count=instructions,
-    )
+        data = stream.read()
+    return trace_from_bytes(data, source=str(path))

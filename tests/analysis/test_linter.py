@@ -191,7 +191,10 @@ class TestRunEntryPoint:
         out = io.StringIO()
         assert run(list_rules=True, out=out) == 0
         text = out.getvalue()
-        for code in ("DET001", "DET002", "DET003", "REG001", "API001", "STAT001"):
+        for code in (
+            "DET001", "DET002", "DET003", "REG001", "API001", "STAT001",
+            "FLT001",
+        ):
             assert code in text
 
     def test_max_suppressions_flag(self, tmp_path):
@@ -219,5 +222,5 @@ class TestRuleScoping:
         from repro.analysis.rules import ALL_RULES
 
         codes = [rule.code for rule in ALL_RULES]
-        assert len(codes) == len(set(codes)) == 6
+        assert len(codes) == len(set(codes)) == 7
         assert all(rule.title for rule in ALL_RULES)

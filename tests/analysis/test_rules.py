@@ -384,6 +384,82 @@ class TestStat001Counters:
         assert report.findings == []
 
 
+class TestFlt001FaultCoverage:
+    def test_unguarded_open_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "engine/trace_cache.py": """\
+                def load(path):
+                    with open(path, "rb") as handle:
+                        return handle.read()
+                """
+            },
+            select=["FLT001"],
+        )
+        assert _codes_lines(report) == [("FLT001", 2)]
+        assert "fault" in report.findings[0].message
+
+    def test_unguarded_write_bytes_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "engine/checkpoint.py": """\
+                def save(path, payload):
+                    path.write_bytes(payload)
+                """
+            },
+            select=["FLT001"],
+        )
+        assert _codes_lines(report) == [("FLT001", 2)]
+
+    def test_enveloped_helpers_count_as_guards(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "engine/trace_cache.py": """\
+                from repro.common.integrity import read_enveloped
+
+                def load(path):
+                    return read_enveloped(path, site="trace_cache.read")
+                """
+            },
+            select=["FLT001"],
+        )
+        assert report.findings == []
+
+    def test_fault_point_beside_raw_io_passes(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "service/result_store.py": """\
+                from repro.faults.sites import fault_point
+
+                def read_raw(path):
+                    fault_point("result_store.read")
+                    with open(path, "rb") as handle:
+                        return handle.read()
+                """
+            },
+            select=["FLT001"],
+        )
+        assert report.findings == []
+
+    def test_unhardened_modules_out_of_scope(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "trace/io.py": """\
+                def read(path):
+                    with open(path, "rb") as handle:
+                        return handle.read()
+                """
+            },
+            select=["FLT001"],
+        )
+        assert report.findings == []
+
+
 class TestRealTreeCalibration:
     """The rules' scopes against the actual source tree (kept here so a
     scope regression fails loudly with the rule that drifted)."""

@@ -16,6 +16,23 @@ from repro.workloads.store import TraceStore
 
 
 @pytest.fixture(scope="session", autouse=True)
+def _no_ambient_fault_plan():
+    """Keep fault injection opt-in per test: a REPRO_FAULTS plan left in
+    the environment must not leak into every store/engine test.  Chaos
+    tests install their own plans explicitly."""
+    plan = os.environ.pop("REPRO_FAULTS", None)
+    from repro.faults import reset
+
+    reset()
+    try:
+        yield
+    finally:
+        if plan is not None:
+            os.environ["REPRO_FAULTS"] = plan
+        reset()
+
+
+@pytest.fixture(scope="session", autouse=True)
 def _isolated_trace_cache(tmp_path_factory):
     """Keep the suite hermetic: unless the environment already pins the
     trace cache, point it at a per-session temporary directory so tests

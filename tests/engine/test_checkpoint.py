@@ -1,0 +1,138 @@
+"""Checkpoint/resume: record addressing, durability, and bit-identical
+resumed runs across jobs counts."""
+
+import pytest
+
+from repro.common.integrity import write_enveloped
+from repro.engine.cells import SimCell, run_cell
+from repro.engine.checkpoint import RunCheckpoint, cell_key
+from repro.engine.runner import run_cells
+from repro.faults import reset
+
+_CELLS = [
+    SimCell(workload="go", input_name="test", size_bytes=4096),
+    SimCell(
+        workload="go",
+        input_name="test",
+        kind="fvc",
+        size_bytes=4096,
+        fvc_entries=128,
+        top_values=3,
+    ),
+    SimCell(workload="compress", input_name="test", size_bytes=4096),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    reset()
+    yield
+    reset()
+
+
+class TestAddressing:
+    def test_key_is_stable(self):
+        again = SimCell(workload="go", input_name="test", size_bytes=4096)
+        assert cell_key(_CELLS[0]) == cell_key(again)
+
+    def test_key_separates_cells(self):
+        assert len({cell_key(cell) for cell in _CELLS}) == len(_CELLS)
+
+    def test_version_is_part_of_the_address(self, monkeypatch):
+        before = cell_key(_CELLS[0])
+        monkeypatch.setattr(
+            "repro.engine.checkpoint.CHECKPOINT_VERSION", 999
+        )
+        assert cell_key(_CELLS[0]) != before
+
+
+class TestRecords:
+    def test_save_load_round_trip(self, tmp_path, store):
+        checkpoint = RunCheckpoint(tmp_path / "ckpt")
+        result = run_cell(_CELLS[1], store)
+        checkpoint.save(result)
+        assert checkpoint.stats()["saved"] == 1
+
+        fresh = RunCheckpoint(tmp_path / "ckpt")
+        loaded = fresh.load(_CELLS[1])
+        assert loaded is not None
+        assert loaded.cell == result.cell
+        assert loaded.stats == result.stats
+        assert loaded.extras == result.extras
+        assert fresh.stats() == {
+            "restored": 1, "saved": 0, "corrupt_quarantined": 0,
+        }
+
+    def test_load_missing_record(self, tmp_path):
+        assert RunCheckpoint(tmp_path).load(_CELLS[0]) is None
+
+    def test_corrupt_record_is_quarantined(self, tmp_path, store):
+        checkpoint = RunCheckpoint(tmp_path)
+        path = checkpoint.save(run_cell(_CELLS[0], store))
+        path.write_bytes(b"garbage, not an envelope")
+        fresh = RunCheckpoint(tmp_path)
+        assert fresh.load(_CELLS[0]) is None
+        assert fresh.corrupt_quarantined == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_foreign_schema_is_quarantined(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        path = checkpoint.path_for(_CELLS[0])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_enveloped(path, b'{"schema": "something/else"}')
+        assert checkpoint.load(_CELLS[0]) is None
+        assert checkpoint.corrupt_quarantined == 1
+
+
+class TestResume:
+    def test_checkpointed_run_matches_plain_run(self, tmp_path, store):
+        baseline = run_cells(_CELLS, store=store)
+        first = RunCheckpoint(tmp_path / "ckpt")
+        assert run_cells(_CELLS, store=store, checkpoint=first) == baseline
+        assert first.stats()["saved"] == len(_CELLS)
+
+        resumed = RunCheckpoint(tmp_path / "ckpt")
+        assert run_cells(_CELLS, store=store, checkpoint=resumed) == baseline
+        assert resumed.stats() == {
+            "restored": len(_CELLS), "saved": 0, "corrupt_quarantined": 0,
+        }
+
+    def test_partial_checkpoint_reruns_only_missing_cells(
+        self, tmp_path, store
+    ):
+        first = RunCheckpoint(tmp_path / "ckpt")
+        baseline = run_cells(_CELLS, store=store, checkpoint=first)
+        first.path_for(_CELLS[1]).unlink()
+
+        resumed = RunCheckpoint(tmp_path / "ckpt")
+        assert run_cells(_CELLS, store=store, checkpoint=resumed) == baseline
+        assert resumed.stats()["restored"] == len(_CELLS) - 1
+        assert resumed.stats()["saved"] == 1
+
+    def test_resume_works_across_jobs_counts(self, tmp_path, store):
+        first = RunCheckpoint(tmp_path / "ckpt")
+        baseline = run_cells(_CELLS, store=store, checkpoint=first)
+        first.path_for(_CELLS[0]).unlink()
+        first.path_for(_CELLS[2]).unlink()
+
+        resumed = RunCheckpoint(tmp_path / "ckpt")
+        parallel = run_cells(
+            _CELLS, jobs=2, store=store, checkpoint=resumed
+        )
+        assert parallel == baseline
+        assert resumed.stats()["restored"] == 1
+        assert resumed.stats()["saved"] == 2
+
+    def test_progress_counts_restored_cells(self, tmp_path, store):
+        run_cells(
+            _CELLS, store=store, checkpoint=RunCheckpoint(tmp_path / "c")
+        )
+        seen = []
+        run_cells(
+            _CELLS,
+            store=store,
+            checkpoint=RunCheckpoint(tmp_path / "c"),
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(len(_CELLS), len(_CELLS))]

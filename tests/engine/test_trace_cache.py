@@ -2,13 +2,14 @@
 
 import pytest
 
+from repro.common.integrity import read_enveloped
 from repro.engine.trace_cache import (
     TRACE_CACHE_VERSION,
     TraceCache,
     default_cache_dir,
     default_trace_cache,
 )
-from repro.trace.io import read_trace_header
+from repro.trace.io import trace_header_from_bytes
 from repro.workloads.store import TraceStore
 
 
@@ -35,7 +36,7 @@ class TestContentAddressing:
         path = cache.path_for("gcc", "test")
         assert path.parent == cache.directory
         assert path.name.startswith("gcc-test-")
-        assert path.name.endswith(".trc2.gz")
+        assert path.name.endswith(".trc2e")
         assert cache.key("gcc", "test") in path.name
 
     def test_version_is_part_of_the_address(self, cache, monkeypatch):
@@ -56,6 +57,7 @@ class TestLayers:
             "disk_hits": 0,
             "synthesised": 1,
             "stores": 1,
+            "corrupt_quarantined": 0,
         }
         assert cache.path_for("go", "test").exists()
 
@@ -78,16 +80,20 @@ class TestLayers:
             "disk_hits": 1,
             "synthesised": 0,
             "stores": 0,
+            "corrupt_quarantined": 0,
         }
 
-    def test_corrupt_entry_is_dropped_and_regenerated(self, cache):
+    def test_corrupt_entry_is_quarantined_and_regenerated(self, cache):
         cache.get("go", "test")
         path = cache.path_for("go", "test")
         path.write_bytes(b"not a trace file")
         fresh = TraceCache(cache.directory)
         trace = fresh.load("go", "test")
         assert trace is None
-        assert not path.exists()  # the poisoned entry was removed
+        # The poisoned entry was moved aside, not served and not lost.
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert fresh.corrupt_quarantined == 1
         assert len(fresh.get("go", "test")) > 0
         assert fresh.synthesised == 1
 
@@ -99,8 +105,13 @@ class TestLayers:
             ("go", "test"),
             ("compress", "test"),
         }
+        import zlib
+
         for path, _, _, count in entries:
-            version, workload, _, header_count, _ = read_trace_header(path)
+            payload = zlib.decompress(read_enveloped(path))
+            version, workload, _, header_count, _ = trace_header_from_bytes(
+                payload
+            )
             assert version == 2
             assert header_count == count
         assert cache.clear() == 2
@@ -210,14 +221,15 @@ class TestConcurrentWriters:
 
         assert loaded == get_workload("go").generate_trace("test")
         # Exactly one entry, no temp debris.
-        assert len(list(directory.glob("*.trc2.gz"))) == 1
-        assert list(directory.glob("*.tmp.gz")) == []
+        assert len(list(directory.glob("*.trc2e"))) == 1
+        assert list(directory.glob("*.tmp")) == []
 
     def test_store_uses_private_temp_and_atomic_replace(
         self, cache, monkeypatch
     ):
         """The atomic-rename contract itself: payload is written to a
-        mkstemp-private file and lands via a single os.replace."""
+        mkstemp-private file and lands via a single os.replace (the
+        publication step lives in repro.common.integrity now)."""
         trace = cache.get("go", "test")
         calls = []
         real_replace = __import__("os").replace
@@ -227,16 +239,16 @@ class TestConcurrentWriters:
             return real_replace(src, dst)
 
         monkeypatch.setattr(
-            "repro.engine.trace_cache.os.replace", spying_replace
+            "repro.common.integrity.os.replace", spying_replace
         )
         final = cache.store(trace)
         assert len(calls) == 1
         src, dst = calls[0]
         assert dst == str(final)
         assert src != dst
-        assert src.endswith(".tmp.gz")  # gzip framing is name-driven
+        assert src.endswith(".tmp")
         assert str(cache.directory) in src  # same fs: rename is atomic
-        assert list(cache.directory.glob("*.tmp.gz")) == []
+        assert list(cache.directory.glob("*.tmp")) == []
 
     def test_loser_overwrite_keeps_entry_valid(self, cache, monkeypatch):
         """Deterministic interleaving: writer B completes fully while
@@ -254,7 +266,7 @@ class TestConcurrentWriters:
             return real_replace(src, dst)
 
         monkeypatch.setattr(
-            "repro.engine.trace_cache.os.replace", racing_replace
+            "repro.common.integrity.os.replace", racing_replace
         )
         cache.store(trace)  # A
         monkeypatch.undo()
@@ -262,4 +274,4 @@ class TestConcurrentWriters:
         fresh = TraceCache(cache.directory)
         loaded = fresh.load("go", "test")
         assert loaded == trace
-        assert list(cache.directory.glob("*.tmp.gz")) == []
+        assert list(cache.directory.glob("*.tmp")) == []

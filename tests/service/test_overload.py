@@ -1,0 +1,93 @@
+"""Overload shedding: the bounded queue, 503 + Retry-After at the HTTP
+surface, degraded health reporting, and recovery without dropping any
+accepted job."""
+
+import time
+
+import pytest
+
+from repro.faults import install, reset
+from repro.faults.plan import FaultPlan
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobQueue, QueueFullError
+from repro.service.server import ReproService, ServiceConfig
+
+
+class TestQueueBound:
+    def test_submissions_past_the_bound_shed(self):
+        queue = JobQueue(max_queue_depth=2)
+        queue.submit({"n": 1}, "k1")
+        queue.submit({"n": 2}, "k2")
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit({"n": 3}, "k3")
+        assert excinfo.value.depth == 2
+        assert excinfo.value.limit == 2
+        assert "retry later" in str(excinfo.value)
+        assert queue.stats()["shed"] == 1
+
+    def test_duplicate_submission_is_never_shed(self):
+        queue = JobQueue(max_queue_depth=1)
+        job, deduplicated = queue.submit({"n": 1}, "k1")
+        assert not deduplicated
+        again, deduplicated = queue.submit({"n": 1}, "k1")
+        assert again is job and deduplicated
+        assert queue.stats()["shed"] == 0
+
+    def test_unbounded_by_default(self):
+        queue = JobQueue()
+        for n in range(300):
+            queue.submit({"n": n}, f"k{n}")
+        assert queue.stats()["shed"] == 0
+        assert queue.queue_depth() == 300
+
+
+class TestServerShedding:
+    """One worker, queue bound 1: with the first job parked by an
+    injected ``worker.child`` slowdown, a second queues (degraded), a
+    third is shed with 503 + Retry-After — and once the backlog drains,
+    every *accepted* job has completed and submissions flow again."""
+
+    @pytest.fixture()
+    def service(self, tmp_path):
+        install(FaultPlan.parse("worker.child:slow(1.5)@1-2"))
+        config = ServiceConfig(
+            port=0,
+            workers=1,
+            max_queue_depth=1,
+            job_timeout=120.0,
+            store_dir=tmp_path / "results",
+        )
+        service = ReproService(config).start()
+        yield service
+        service.stop(drain=False)
+        reset()
+
+    def test_shed_degrade_recover(self, service):
+        client = ServiceClient(service.url)
+        first = client.submit_experiment("fig9", fast=True)
+
+        deadline = time.monotonic() + 30.0
+        while service.jobs.running_count() == 0:
+            assert time.monotonic() < deadline, "first job never claimed"
+            time.sleep(0.02)
+
+        second = client.submit_experiment("fig10", fast=True)
+        assert client.healthz()["status"] == "degraded"
+        assert client.metrics()["degraded"] is True
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_experiment("fig12", fast=True)
+        assert excinfo.value.status == 503
+        assert excinfo.value.transient
+        assert excinfo.value.retry_after is not None
+        assert excinfo.value.retry_after >= 1.0
+
+        # Both accepted jobs complete; nothing accepted was dropped.
+        assert client.wait(first["id"], timeout=120.0)["state"] == "done"
+        assert client.wait(second["id"], timeout=120.0)["state"] == "done"
+
+        # The backlog drained: health is green and submissions flow.
+        assert client.healthz()["status"] == "ok"
+        third = client.submit_experiment("fig12", fast=True)
+        assert client.wait(third["id"], timeout=120.0)["state"] == "done"
+        assert client.metrics()["jobs_shed"] == 1

@@ -52,7 +52,11 @@ class TestResultStoreBasics:
         store = ResultStore(store_dir, capacity=4)
         raw = _payload("exact")
         store.put("k1", raw)
-        assert (store_dir / "k1.json").read_bytes() == raw
+        # On disk the payload sits inside an integrity envelope; the
+        # unwrapped bytes (and every get()) are exactly what was put.
+        from repro.common.integrity import unwrap
+
+        assert unwrap((store_dir / "k1.json").read_bytes()) == raw
         assert store.get("k1") == raw
 
     def test_overwrite_same_key_admitted(self, store_dir):

@@ -37,7 +37,10 @@ def client(service):
 
 class TestEndpoints:
     def test_healthz(self, client):
-        assert client.healthz() == {"status": "ok"}
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["queue_depth"] == 0
+        assert "max_queue_depth" in body
 
     def test_metrics_shape(self, client):
         metrics = client.metrics()

@@ -132,6 +132,51 @@ class TestCrashes:
         finally:
             pool.stop(drain=False)
 
+    def test_backoff_time_is_bounded_by_the_job_timeout(
+        self, queue, tmp_path
+    ):
+        # Generous attempt count but a bounded budget: cumulative backoff
+        # may not exceed the job's own timeout, so the pool gives up on
+        # the crash-looping job long before 50 retries.  The timeout is
+        # kept large relative to child-spawn latency so no single
+        # (instantly crashing) attempt can itself hit the deadline.
+        pool = _run_pool(
+            queue,
+            _crashy_runner,
+            max_retries=50,
+            retry_backoff=2.5,
+            job_timeout=3.0,
+        )
+        try:
+            spec = {"counter": str(tmp_path / "attempts"), "crashes": 99}
+            job, _ = queue.submit(spec, "k")
+            _wait_for(lambda: job.state == jobstates.FAILED, timeout=30.0)
+            assert "retry budget" in job.error
+            # 2.5s + 0.5s exhausts the 3.0s budget: attempt 3 fails.
+            assert job.attempts == 3
+        finally:
+            pool.stop(drain=False)
+
+
+class TestInjectedFaults:
+    def test_injected_child_crash_is_retried_transparently(self, queue):
+        from repro.faults import install, reset
+        from repro.faults.plan import FaultPlan
+
+        install(FaultPlan.parse("worker.child:crash@1"))
+        try:
+            pool = _run_pool(queue, _ok_runner, retry_backoff=0.01)
+            try:
+                job, _ = queue.submit({"tag": "x"}, "k")
+                _wait_for(lambda: job.state == jobstates.DONE)
+                assert job.payload == {"echo": "x"}
+                assert job.attempts == 2
+                assert queue.stats()["retries"] == 1
+            finally:
+                pool.stop(drain=False)
+        finally:
+            reset()
+
 
 class TestTimeoutsAndCancellation:
     def test_timeout_kills_and_fails(self, queue):
