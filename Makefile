@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-sanitize lint bench bench-fast bench-quick examples experiments clean
+.PHONY: install test test-fast test-sanitize lint bench bench-fast bench-quick bench-obs examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -39,6 +39,11 @@ bench-fast:
 bench-quick:
 	$(PYTHON) -m pytest benchmarks/bench_fig09_access_time.py \
 		benchmarks/bench_table4_constancy.py --benchmark-only
+
+# Observability overhead gate: the same cell batch with obs off vs
+# fully on must stay within 5%; writes BENCH_obs.json.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/obs_overhead.py -o BENCH_obs.json
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Observability overhead gate: obs fully on must cost < 5%.
+
+Times the same batch of simulation cells twice — once with metrics and
+tracing disabled (the default) and once with both armed — and writes
+``BENCH_obs.json``.  Exits non-zero when the median instrumented run is
+more than :data:`MAX_OVERHEAD_PERCENT` slower than the median baseline,
+which is the CI perf-smoke job's contract that observability stays
+observational in cost as well as in content.
+
+Stdlib only; run as ``make bench-obs`` or directly::
+
+    PYTHONPATH=src python benchmarks/obs_overhead.py [-o BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+#: The gate: enabling observability may cost at most this much.
+MAX_OVERHEAD_PERCENT = 5.0
+
+#: Timed repetitions per mode (medians are compared).
+REPEATS = 5
+
+_CELL_SPECS = (
+    ("gcc", "baseline", 8 * 1024),
+    ("gcc", "fvc", 8 * 1024),
+    ("m88ksim", "baseline", 8 * 1024),
+    ("m88ksim", "fvc", 8 * 1024),
+    ("li", "baseline", 4 * 1024),
+    ("li", "fvc", 4 * 1024),
+)
+
+
+def _cells():
+    from repro.engine.cells import SimCell
+
+    return [
+        SimCell(
+            workload=workload,
+            input_name="test",
+            kind=kind,
+            size_bytes=size_bytes,
+            fvc_entries=256,
+            top_values=7,
+        )
+        for workload, kind, size_bytes in _CELL_SPECS
+    ]
+
+
+def _run_batch(cells, store) -> float:
+    from repro.engine.cells import run_cell
+
+    started = time.perf_counter()
+    for cell in cells:
+        run_cell(cell, store)
+    return time.perf_counter() - started
+
+
+def _measure(cells, store) -> list:
+    # One untimed warmup settles trace materialisation and imports.
+    _run_batch(cells, store)
+    return [_run_batch(cells, store) for _ in range(REPEATS)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_obs.json",
+        help="result file (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import tracing
+    from repro.workloads.store import TraceStore
+
+    cells = _cells()
+    store = TraceStore(max_traces=8)
+    # Materialise every trace up front so neither mode pays synthesis.
+    for cell in cells:
+        store.get(cell.workload, cell.input_name)
+
+    for name in ("REPRO_OBS", tracing.ENV_VAR):
+        os.environ.pop(name, None)
+    tracing.reset()
+    baseline = _measure(cells, store)
+
+    with tempfile.TemporaryDirectory(prefix="obs-bench-") as scratch:
+        os.environ["REPRO_OBS"] = "1"
+        os.environ[tracing.ENV_VAR] = os.path.join(scratch, "spans.jsonl")
+        tracing.reset()
+        try:
+            instrumented = _measure(cells, store)
+        finally:
+            os.environ.pop("REPRO_OBS", None)
+            os.environ.pop(tracing.ENV_VAR, None)
+            tracing.reset()
+
+    baseline_median = statistics.median(baseline)
+    instrumented_median = statistics.median(instrumented)
+    overhead_percent = 100.0 * (
+        (instrumented_median - baseline_median) / baseline_median
+    )
+    passed = overhead_percent < MAX_OVERHEAD_PERCENT
+
+    report = {
+        "schema": "repro.bench-obs/1",
+        "cells": len(cells),
+        "repeats": REPEATS,
+        "baseline_seconds": baseline,
+        "instrumented_seconds": instrumented,
+        "baseline_median_seconds": baseline_median,
+        "instrumented_median_seconds": instrumented_median,
+        "overhead_percent": overhead_percent,
+        "max_overhead_percent": MAX_OVERHEAD_PERCENT,
+        "passed": passed,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"obs overhead: baseline {baseline_median:.3f}s, "
+        f"instrumented {instrumented_median:.3f}s -> "
+        f"{overhead_percent:+.2f}% (gate < {MAX_OVERHEAD_PERCENT}%)"
+    )
+    if not passed:
+        print("FAIL: observability overhead exceeds the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

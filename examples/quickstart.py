@@ -1,61 +1,49 @@
 #!/usr/bin/env python3
 """Quickstart: profile a program, build an FVC, measure the win.
 
-Walks the paper's whole flow on one workload in under a minute:
+Walks the paper's whole flow on one workload in under a minute, using
+only the stable facade (``repro.api``):
 
-1. run the gcc analog and collect its memory-reference trace;
-2. profile the frequently accessed values (paper §2);
-3. configure a top-7 frequent value encoder from the profile;
-4. simulate a 16 KB direct-mapped cache with and without a 512-entry
-   FVC and compare miss rates and memory traffic (paper §4).
+1. run the gcc analog and profile its frequently accessed values
+   (paper §2);
+2. simulate a 16 KB direct-mapped cache with and without a 512-entry
+   FVC built over the top 7 values and compare miss rates (paper §4).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    CacheGeometry,
-    DirectMappedCache,
-    FrequentValueEncoder,
-    FvcSystem,
-    get_workload,
-    profile_accessed_values,
-)
+from repro import api
 
 
 def main() -> None:
-    # 1. Trace a real program execution (the train input keeps it quick).
-    workload = get_workload("gcc")
-    trace = workload.generate_trace("train")
-    print(f"traced {workload.spec_analog} analog: {len(trace):,} accesses, "
-          f"{trace.footprint_words():,} words touched")
-
-    # 2. Find the frequently accessed values.
-    profile = profile_accessed_values(trace)
-    print("\ntop accessed values (value: share of all accesses):")
+    # 1. Profile the frequently accessed values of one traced execution
+    #    (the train input keeps it quick).
+    profile = api.profile_trace("gcc", input_name="train")
+    print("top accessed values (value: share of all accesses):")
     for value, count in profile.ranked[:7]:
         print(f"  {value:>10x}  {100 * count / profile.total_accesses:5.1f}%")
     print(f"top-10 coverage: {100 * profile.coverage(10):.1f}% of accesses")
 
-    # 3. Build the encoder the FVC will use (top 7 values, 3-bit codes).
-    encoder = FrequentValueEncoder.for_top_values(profile.top_values(7), 3)
+    # 2. Baseline vs DMC+FVC over the same trace.  simulate() rebuilds
+    #    the top-7 encoder from the trace's profile internally.
+    baseline = api.simulate("gcc", input_name="train")
+    augmented = api.simulate(
+        "gcc", input_name="train", kind="fvc",
+        fvc_entries=512, top_values=7,
+    )
 
-    # 4. Baseline vs DMC+FVC.
-    geometry = CacheGeometry(size_bytes=16 * 1024, line_bytes=32)
-    baseline = DirectMappedCache(geometry).simulate(trace.records)
-    system = FvcSystem(geometry, fvc_entries=512, encoder=encoder)
-    augmented = system.simulate(trace.records)
-
-    print(f"\n{geometry.describe()} alone:")
-    print(f"  miss rate {100 * baseline.miss_rate:.3f}%  "
-          f"traffic {baseline.traffic_words:,} words")
-    print(f"{geometry.describe()} + 512-entry top-7 FVC "
-          f"({system.fvc.data_storage_bytes() / 1024:.2f} KB of codes):")
-    print(f"  miss rate {100 * augmented.miss_rate:.3f}%  "
-          f"traffic {augmented.traffic_words:,} words")
-    reduction = 100 * (baseline.miss_rate - augmented.miss_rate) / baseline.miss_rate
+    print(f"\n16KB direct-mapped alone "
+          f"({baseline.accesses:,} accesses):")
+    print(f"  miss rate {100 * baseline.miss_rate:.3f}%")
+    print("16KB direct-mapped + 512-entry top-7 FVC:")
+    print(f"  miss rate {100 * augmented.miss_rate:.3f}%")
+    reduction = 100 * (
+        (baseline.miss_rate - augmented.miss_rate) / baseline.miss_rate
+    )
     print(f"  -> {reduction:.1f}% fewer misses; "
-          f"{system.fvc_read_hits:,} read hits and "
-          f"{system.fvc_write_hits:,} write hits served from compressed codes")
+          f"{augmented.extras['fvc_read_hits']:,} read hits and "
+          f"{augmented.extras['fvc_write_hits']:,} write hits "
+          "served from compressed codes")
 
 
 if __name__ == "__main__":

@@ -39,7 +39,6 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.setassoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
 from repro.cache.victim import VictimCacheSystem
-from repro.experiments import EXPERIMENTS, get_experiment
 from repro.fvc.cache import FrequentValueCacheArray
 from repro.fvc.compression import CompressedCache
 from repro.fvc.dynamic import DynamicFvcSystem
@@ -62,6 +61,49 @@ from repro.workloads.registry import (
 from repro.workloads.store import TraceStore, get_trace, shared_store
 
 __version__ = "1.0.0"
+
+#: Deprecated top-level re-exports: name → (home module, attribute,
+#: suggested replacement on the stable facade).  Importing one still
+#: works for one release but warns; use :mod:`repro.api` instead.
+_DEPRECATED_EXPORTS = {
+    "EXPERIMENTS": (
+        "repro.experiments.registry",
+        "EXPERIMENTS",
+        "repro.api.list_experiments()",
+    ),
+    "get_experiment": (
+        "repro.experiments.registry",
+        "get_experiment",
+        "repro.api.run_experiment()",
+    ),
+}
+
+#: Submodules resolved lazily so ``import repro`` stays light and
+#: circular-import-free (``repro.api`` pulls the experiment stack).
+_LAZY_SUBMODULES = ("api", "obs")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    entry = _DEPRECATED_EXPORTS.get(name)
+    if entry is not None:
+        import importlib
+        import warnings
+
+        module_name, attribute, replacement = entry
+        warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated and will stop "
+            f"working in a future release; use {replacement} (the stable "
+            "facade is repro.api)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "CacheGeometry",

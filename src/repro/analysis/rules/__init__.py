@@ -10,6 +10,7 @@ REG0xx  registration/coverage consistency
 API0xx  canonical serialisation
 STAT0xx statistics declaration/reporting
 FLT0xx  fault-injection coverage of hardened IO paths
+OBS0xx  observability (metric-name catalog discipline)
 ======= ==========================================================
 """
 
@@ -25,6 +26,7 @@ from repro.analysis.rules.determinism import (
     NoWallClock,
 )
 from repro.analysis.rules.faults import FaultPointCoverage
+from repro.analysis.rules.obs import RegisteredMetricNames
 from repro.analysis.rules.registry import RegistryConsistency
 from repro.analysis.rules.stats import CountersDeclaredAndReported
 
@@ -37,6 +39,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     CanonicalJsonOnly(),
     CountersDeclaredAndReported(),
     FaultPointCoverage(),
+    RegisteredMetricNames(),
 )
 
 __all__ = [
@@ -50,5 +53,6 @@ __all__ = [
     "NoAdHocRandomness",
     "NoUnorderedIteration",
     "NoWallClock",
+    "RegisteredMetricNames",
     "RegistryConsistency",
 ]

@@ -1,0 +1,77 @@
+"""OBS001 — metric names are literal, snake_case and registered.
+
+The observability contract (:mod:`repro.obs.names`) is that every
+metric the codebase records appears once in the catalog: that is what
+makes ``/v1/metrics`` a stable versioned surface instead of a grab-bag
+of ad-hoc keys, and what lets docs and dashboards enumerate the
+complete set.  The registry API (``registry.counter(name)`` and
+friends) get-or-creates by name, so a typo'd or unregistered name
+silently mints a new metric — visible only to whoever diffs the
+exposition output.  This rule catches it statically instead:
+
+* the name argument must be a **string literal** (a variable would hide
+  the name from this check and from ``grep``);
+* the literal must be well-formed snake_case
+  (:func:`repro.obs.names.is_metric_name`);
+* the literal must be a member of
+  :data:`repro.obs.names.METRIC_NAMES`.
+
+``repro/obs/`` itself is excluded: the registry implementation and its
+helpers legitimately handle names as variables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile
+
+#: Registry methods whose first argument is a metric name.
+_REGISTRY_METHODS = ("counter", "gauge", "histogram")
+
+
+class RegisteredMetricNames(Rule):
+    code = "OBS001"
+    title = "metric names are literal, snake_case, and catalogued"
+    # The registry implementation handles names as variables by design.
+    exclude = ("repro/obs/",)
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        # Imported here, not at module top: the linter must be able to
+        # load even when repro.obs is mid-refactor; and the catalog is
+        # the runtime's, so rule and registry can never drift.
+        from repro.obs.names import METRIC_NAMES, is_metric_name
+
+        for node in ast.walk(source_file.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _REGISTRY_METHODS
+            ):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                yield node.lineno, (
+                    f".{node.func.attr}() called with a non-literal metric "
+                    "name — spell the name as a string literal so OBS001 "
+                    "(and grep) can see it"
+                )
+                continue
+            name = first.value
+            if not is_metric_name(name):
+                yield node.lineno, (
+                    f"metric name {name!r} is not snake_case "
+                    "([a-z][a-z0-9_]*, max 64 chars)"
+                )
+            elif name not in METRIC_NAMES:
+                yield node.lineno, (
+                    f"metric name {name!r} is not registered in "
+                    "repro.obs.names.METRIC_NAMES — add it to the catalog "
+                    "(and docs/OBSERVABILITY.md) or fix the typo"
+                )

@@ -103,6 +103,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         install(plan)
         os.environ["REPRO_FAULTS"] = args.faults
 
+    if args.trace_out:
+        import os
+
+        from repro.obs import tracing
+
+        # The path travels through the environment so pool workers
+        # append spans to the same file; span output never touches
+        # stdout, which stays byte-identical to an untraced run.
+        os.environ[tracing.ENV_VAR] = args.trace_out
+        tracing.reset()
+
     if args.checkpoint:
         from pathlib import Path
 
@@ -140,6 +151,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # the run; reaching this line means every check held.  The
             # summary goes to stderr so stdout stays byte-identical.
             print("[sanitize] simulator invariants held", file=sys.stderr)
+        if args.trace_out:
+            from repro.obs import tracing
+
+            tracer = tracing.active()
+            if tracer is not None:
+                tracer.flush()
+                print(
+                    f"[obs] {tracer.spans_recorded} span(s) from this "
+                    f"process appended to {args.trace_out}",
+                    file=sys.stderr,
+                )
         return 0
 
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
@@ -214,13 +236,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"trace cache: {cache.directory}")
     print(f"entries: {len(entries)}")
     total = 0
+    # Sizes are bytes, matching the observability contract
+    # (result_store_size_bytes and friends) — never KB.
     for path, workload, input_name, count in entries:
         size = path.stat().st_size
         total += size
         print(f"  {workload:10s} {input_name:6s} {count:>10,} accesses "
-              f"{size / 1024:8.1f} KB")
+              f"{size:>12,} bytes")
     if entries:
-        print(f"total: {total / 1024:.1f} KB")
+        print(f"total: {total:,} bytes in {len(entries)} entr(y/ies)")
     return 0
 
 
@@ -238,6 +262,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     trace = shared_store.get(args.workload, args.input)
     print(compute_stats(trace).format())
+    return 0
+
+
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
+    from repro.obs.profiling import profile_run, write_collapsed
+
+    try:
+        profile = profile_run(
+            args.experiment, fast=args.fast, store=shared_store
+        )
+    except ConfigurationError as exc:
+        print(f"profile-run: {exc}", file=sys.stderr)
+        return 2
+    output = args.output or f"{args.experiment}.folded"
+    write_collapsed(profile, output, weight=args.weight)
+    print(
+        f"{args.experiment}: {len(profile.cells)} cell(s), "
+        f"{profile.total_references:,} references in "
+        f"{profile.elapsed_seconds:.2f}s "
+        f"({profile.throughput():,.0f} refs/s)"
+    )
+    print(f"collapsed stacks ({args.weight} weights) written to {output}")
     return 0
 
 
@@ -498,6 +545,15 @@ def build_parser() -> argparse.ArgumentParser:
         "'trace_cache.read:io_error@1;seed=7' (equivalent to "
         "REPRO_FAULTS=SPEC; grammar in docs/ROBUSTNESS.md)",
     )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="append structured spans (canonical JSONL, one per span) "
+        "to FILE: engine cells, trace-cache resolutions, checkpoint "
+        "records (equivalent to REPRO_OBS_TRACE=FILE; stdout bytes are "
+        "unchanged — see docs/OBSERVABILITY.md)",
+    )
     run.set_defaults(func=_cmd_run)
 
     lint = sub.add_parser(
@@ -555,6 +611,34 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("workload")
     profile.add_argument("--input", default="ref")
     profile.set_defaults(func=_cmd_profile)
+
+    profile_run = sub.add_parser(
+        "profile-run",
+        help="profile one experiment cell by cell and emit a "
+        "flamegraph-compatible collapsed-stack file "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    profile_run.add_argument(
+        "experiment", help="a decomposable experiment id, e.g. fig13"
+    )
+    profile_run.add_argument(
+        "--fast", action="store_true", help="reduced configuration (tests)"
+    )
+    profile_run.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="collapsed-stack output path (default <experiment>.folded)",
+    )
+    profile_run.add_argument(
+        "--weight",
+        choices=("refs", "micros"),
+        default="refs",
+        help="stack weights: deterministic trace-reference counts "
+        "('refs', default) or measured microseconds ('micros')",
+    )
+    profile_run.set_defaults(func=_cmd_profile_run)
 
     report = sub.add_parser("report", help="full S2-style FVL report")
     report.add_argument("workload")

@@ -20,6 +20,7 @@ sanitized sequential runs do.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -91,19 +92,62 @@ def _sanitize_check(cell: SimCell, check, *args) -> None:
         ) from exc
 
 
+def cell_span_key(cell: SimCell) -> str:
+    """The content-derived span key for a cell: every field that selects
+    the simulation, so the same cell has the same span id in every run
+    and every process (see :mod:`repro.obs.tracing`)."""
+    return (
+        f"{cell.kind}/{cell.workload}/{cell.input_name}/"
+        f"{cell.size_bytes}/{cell.line_bytes}/{cell.ways}/"
+        f"{cell.fvc_entries}/{cell.top_values}"
+    )
+
+
+def _record_cell_metrics(references: int, elapsed: float) -> None:
+    """Feed the opt-in hot-loop accounting (no-op unless REPRO_OBS=1)."""
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    registry = obs.registry()
+    registry.counter("engine_cells_total").inc()
+    registry.counter("engine_cell_references_total").inc(references)
+    registry.histogram("engine_cell_seconds").observe(elapsed)
+
+
 def run_cell(cell: SimCell, store=None) -> CellResult:
     """Execute one cell against the given trace store (defaults to the
     process-wide :data:`repro.workloads.store.shared_store`)."""
     # Imported lazily: cells are constructed in contexts (CLI parsing,
     # planning) that should not pay for the experiment stack.
-    from repro.analysis import sanitize
     from repro.faults.sites import fault_point
+    from repro.obs import tracing
     from repro.workloads.store import shared_store
 
     fault_point("engine.cell")
     if store is None:
         store = shared_store
-    trace = store.get(cell.workload, cell.input_name)
+    with tracing.span(
+        "engine.cell",
+        key=cell_span_key(cell),
+        attrs={
+            "workload": cell.workload,
+            "input": cell.input_name,
+            "kind": cell.kind,
+        },
+    ):
+        started = time.perf_counter()
+        trace = store.get(cell.workload, cell.input_name)
+        result = _simulate(cell, trace)
+        _record_cell_metrics(len(trace.records), time.perf_counter() - started)
+    return result
+
+
+def _simulate(cell: SimCell, trace) -> CellResult:
+    """Dispatch one cell to its simulator (the observable unit of
+    :func:`run_cell`; callers go through ``run_cell``, never here)."""
+    from repro.analysis import sanitize
+
     geometry = cell.geometry()
     sanitizing = sanitize.enabled()
 

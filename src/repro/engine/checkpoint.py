@@ -33,9 +33,11 @@ import json
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro import obs
 from repro.common.errors import IntegrityError
 from repro.common.integrity import quarantine, read_enveloped, write_enveloped
 from repro.engine.cells import CellResult, SimCell
+from repro.obs import tracing
 
 #: Part of every record's content address; bump on any change to the
 #: record schema or to cell/result semantics that invalidates old
@@ -83,29 +85,40 @@ class RunCheckpoint:
         path = self.path_for(cell)
         if not path.exists():
             return None
-        try:
-            payload = read_enveloped(path, site="checkpoint.read")
-            record = json.loads(payload.decode("utf-8"))
-            if record.get("schema") != RECORD_SCHEMA:
-                raise IntegrityError(
-                    f"{path}: unexpected record schema "
-                    f"{record.get('schema')!r}"
+        with tracing.span("checkpoint.load", key=cell_key(cell)) as span:
+            try:
+                payload = read_enveloped(path, site="checkpoint.read")
+                record = json.loads(payload.decode("utf-8"))
+                if record.get("schema") != RECORD_SCHEMA:
+                    raise IntegrityError(
+                        f"{path}: unexpected record schema "
+                        f"{record.get('schema')!r}"
+                    )
+                restored_cell = SimCell(**record["cell"])
+                if restored_cell != cell:
+                    raise IntegrityError(f"{path}: record is for another cell")
+                result = CellResult(
+                    cell=restored_cell,
+                    stats=dict(record["stats"]),
+                    extras=dict(record.get("extras", {})),
                 )
-            restored_cell = SimCell(**record["cell"])
-            if restored_cell != cell:
-                raise IntegrityError(f"{path}: record is for another cell")
-            result = CellResult(
-                cell=restored_cell,
-                stats=dict(record["stats"]),
-                extras=dict(record.get("extras", {})),
-            )
-        except OSError:
-            return None
-        except (IntegrityError, ValueError, KeyError, TypeError):
-            quarantine(path)
-            self.corrupt_quarantined += 1
-            return None
+            except OSError:
+                return None
+            except (IntegrityError, ValueError, KeyError, TypeError):
+                quarantine(path)
+                self.corrupt_quarantined += 1
+                if obs.enabled():
+                    obs.registry().counter(
+                        "checkpoint_corrupt_quarantined_total"
+                    ).inc()
+                if span is not None:
+                    span.attrs["outcome"] = "quarantined"
+                return None
+            if span is not None:
+                span.attrs["outcome"] = "restored"
         self.restored += 1
+        if obs.enabled():
+            obs.registry().counter("checkpoint_restored_total").inc()
         return result
 
     def save(self, result: CellResult) -> Path:
@@ -121,8 +134,11 @@ class RunCheckpoint:
             record, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
         path = self.path_for(result.cell)
-        write_enveloped(path, payload, site="checkpoint.write")
+        with tracing.span("checkpoint.save", key=cell_key(result.cell)):
+            write_enveloped(path, payload, site="checkpoint.write")
         self.saved += 1
+        if obs.enabled():
+            obs.registry().counter("checkpoint_saved_total").inc()
         return path
 
     def stats(self) -> Dict[str, int]:

@@ -39,6 +39,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.common.errors import IntegrityError, TraceFormatError
 from repro.common.integrity import (
     CORRUPT_SUFFIX,
@@ -131,6 +132,10 @@ class TraceCache:
     def _quarantine(self, path: Path) -> None:
         quarantine(path)
         self.corrupt_quarantined += 1
+        if obs.enabled():
+            obs.registry().counter(
+                "trace_cache_corrupt_quarantined_total"
+            ).inc()
 
     def load(self, workload_name: str, input_name: str = "ref") -> Optional[Trace]:
         """Read one entry from disk, or ``None`` when absent/corrupt.
@@ -154,15 +159,25 @@ class TraceCache:
         except OSError:
             return None
         self.disk_hits += 1
+        if obs.enabled():
+            obs.registry().counter("trace_cache_disk_hits_total").inc()
         return trace
 
     def store(self, trace: Trace) -> Path:
         """Persist ``trace`` (enveloped; atomic temp + fsync + rename)."""
+        from repro.obs import tracing
+
         path = self.path_for(trace.workload, trace.input_name)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        payload = zlib.compress(trace_to_compact_bytes(trace), 6)
-        write_enveloped(path, payload, site="trace_cache.write")
+        with tracing.span(
+            "trace_cache.store",
+            key=f"{trace.workload}/{trace.input_name}",
+        ):
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = zlib.compress(trace_to_compact_bytes(trace), 6)
+            write_enveloped(path, payload, site="trace_cache.write")
         self.stores += 1
+        if obs.enabled():
+            obs.registry().counter("trace_cache_stores_total").inc()
         return path
 
     def load_or_generate(
@@ -170,17 +185,29 @@ class TraceCache:
     ) -> Trace:
         """Disk layer: read the entry, synthesising and persisting on a
         miss.  (No in-process memoisation — see :meth:`get`.)"""
-        trace = self.load(workload_name, input_name)
-        if trace is not None:
-            return trace
-        from repro.workloads.registry import get_workload
+        from repro.obs import tracing
 
-        trace = get_workload(workload_name).generate_trace(input_name)
-        self.synthesised += 1
-        try:
-            self.store(trace)
-        except OSError:
-            pass  # read-only cache dir: serve the trace uncached
+        with tracing.span(
+            "trace_cache.load",
+            key=f"{workload_name}/{input_name}",
+        ) as span:
+            trace = self.load(workload_name, input_name)
+            if trace is not None:
+                if span is not None:
+                    span.attrs["outcome"] = "disk_hit"
+                return trace
+            from repro.workloads.registry import get_workload
+
+            trace = get_workload(workload_name).generate_trace(input_name)
+            self.synthesised += 1
+            if obs.enabled():
+                obs.registry().counter("trace_cache_synthesised_total").inc()
+            if span is not None:
+                span.attrs["outcome"] = "synthesised"
+            try:
+                self.store(trace)
+            except OSError:
+                pass  # read-only cache dir: serve the trace uncached
         return trace
 
     def get(self, workload_name: str, input_name: str = "ref") -> Trace:
@@ -189,6 +216,8 @@ class TraceCache:
         cached = self._memo.get(memo_key)
         if cached is not None:
             self.memory_hits += 1
+            if obs.enabled():
+                obs.registry().counter("trace_cache_memory_hits_total").inc()
             return cached
         trace = self.load_or_generate(workload_name, input_name)
         self._memo[memo_key] = trace

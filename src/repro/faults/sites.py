@@ -156,7 +156,17 @@ def _flip_one_bit(data: bytes, seed: int, site: str, ordinal: int) -> bytes:
 
 
 def _apply(clause, ordinal: int, site: str, data: Optional[bytes], seed: int):
+    # Observability first: the action may raise or exit the process, and
+    # an injected fault is exactly the kind of event a trace should show.
+    from repro import obs
+    from repro.obs import tracing
+
     action = clause.action
+    tracing.event(
+        "fault_injected", site=site, action=action, ordinal=ordinal
+    )
+    if obs.enabled():
+        obs.registry().counter("faults_injected_total").inc()
     if action == "io_error":
         raise InjectedIOError(
             f"injected io_error at {site} (call #{ordinal})"

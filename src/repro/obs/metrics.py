@@ -1,0 +1,314 @@
+"""The typed metrics registry: counters, gauges, histograms.
+
+One registry API replaces the ad-hoc counter dicts that grew in
+``service/server.py``, ``engine/trace_cache.py`` and ``cache/stats.py``:
+a metric is created once (get-or-create by registered name), mutated
+through a typed handle, and exposed in two spellings of one snapshot —
+
+* the versioned JSON payload (``schema: "metrics/v1"``) that
+  ``GET /v1/metrics`` serves, and
+* a Prometheus-style text exposition (``GET /v1/metrics?format=prom``).
+
+Metric names must be well-formed snake_case identifiers
+(:func:`repro.obs.names.is_metric_name`); in-repo call sites must
+additionally name only catalog members — the OBS001 lint rule enforces
+that statically.  Histograms use **fixed** bucket boundaries chosen at
+creation, never adapted at runtime, so two runs of the same workload
+bucket identically.
+
+Thread-safe: one lock per registry guards creation and the snapshot;
+per-metric mutation uses the same lock via the handles.  All of this is
+observational — nothing here feeds result payloads or result keys.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.names import is_metric_name
+
+#: Schema tag of the versioned ``/v1/metrics`` payload.
+METRICS_SCHEMA = "metrics/v1"
+
+#: Default histogram buckets for operation latencies, in seconds.
+#: Fixed boundaries — identical runs bucket identically.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+Number = Union[int, float]
+
+
+def _check_name(name: str) -> str:
+    if not is_metric_name(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: metric names are snake_case "
+            "identifiers ([a-z][a-z0-9_]*)"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "", _lock=None) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._value = 0
+        self._lock = _lock if _lock is not None else threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> Dict[str, object]:
+        """The metric's ``metrics/v1`` entry."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "", _lock=None) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._value: Number = 0
+        self._lock = _lock if _lock is not None else threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: Number) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> Dict[str, object]:
+        """The metric's ``metrics/v1`` entry."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A distribution over fixed, creation-time bucket boundaries.
+
+    ``buckets`` are upper bounds (inclusive, ascending); an implicit
+    ``+Inf`` bucket catches the rest.  Counts are exposed cumulatively,
+    the Prometheus convention, in both exposition formats.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+        help: str = "",
+        _lock=None,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(
+            later <= earlier for later, earlier in zip(bounds[1:], bounds)
+        ):
+            raise ValueError(
+                "histogram buckets must be non-empty and strictly ascending"
+            )
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # [+Inf] last
+        self._sum = 0.0
+        self._count = 0
+        self._lock = _lock if _lock is not None else threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        index = len(self.buckets)
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(upper_bound_label, cumulative_count)`` per bucket, ending
+        with ``+Inf``."""
+        with self._lock:
+            counts = list(self._counts)
+        labels = [_bound_label(bound) for bound in self.buckets] + ["+Inf"]
+        running = 0
+        out = []
+        for label, count in zip(labels, counts):
+            running += count
+            out.append((label, running))
+        return out
+
+    def sample(self) -> Dict[str, object]:
+        """The metric's ``metrics/v1`` entry (cumulative buckets)."""
+        return {
+            "type": "histogram",
+            "buckets": [
+                {"le": label, "count": count}
+                for label, count in self.cumulative()
+            ],
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+def _bound_label(bound: float) -> str:
+    """A stable spelling for a bucket bound (``0.05``, not ``5e-02``)."""
+    text = f"{bound:.6f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    One instance per scope: :func:`repro.obs.registry` holds the
+    process-global one the engine records into; the service owns a
+    per-service instance so embedded test services never share state.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, kind, **kwargs) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, _lock=self._lock, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named ``name``, created on first use."""
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """The histogram named ``name``, created on first use.  Buckets
+        are fixed at creation; later calls must not disagree."""
+        metric = self._get_or_create(name, Histogram, buckets=buckets, help=help)
+        if tuple(float(b) for b in buckets) != metric.buckets:
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric.buckets}"
+            )
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def samples(self) -> Dict[str, Dict[str, object]]:
+        """Every metric's ``metrics/v1`` entry, name-sorted."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.sample() for name, metric in metrics}
+
+    def reset(self) -> None:
+        """Drop every metric (tests)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+# Exposition ------------------------------------------------------------
+def metrics_payload(
+    samples: Dict[str, Dict[str, object]]
+) -> Dict[str, object]:
+    """Wrap per-metric entries as the versioned ``metrics/v1`` payload."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "metrics": {name: samples[name] for name in sorted(samples)},
+    }
+
+
+def _prom_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if value is None:
+        return "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(
+    samples: Dict[str, Dict[str, object]], namespace: str = "repro"
+) -> str:
+    """Render per-metric entries as Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms expand into
+    the conventional ``_bucket``/``_sum``/``_count`` series.  Output is
+    name-sorted, so identical snapshots render identical bytes.
+    """
+    lines: List[str] = []
+    for name in sorted(samples):
+        entry = samples[name]
+        kind = entry.get("type", "gauge")
+        full = f"{namespace}_{name}" if namespace else name
+        lines.append(f"# TYPE {full} {kind}")
+        if kind == "histogram":
+            for bucket in entry.get("buckets", ()):
+                lines.append(
+                    f'{full}_bucket{{le="{bucket["le"]}"}} '
+                    f'{_prom_value(bucket["count"])}'
+                )
+            lines.append(f"{full}_sum {_prom_value(entry.get('sum', 0.0))}")
+            lines.append(f"{full}_count {_prom_value(entry.get('count', 0))}")
+        else:
+            lines.append(f"{full} {_prom_value(entry.get('value'))}")
+    return "\n".join(lines) + "\n"

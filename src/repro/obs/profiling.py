@@ -1,0 +1,170 @@
+"""Profiling hooks: per-cell throughput and collapsed-stack output.
+
+Two consumers share the machinery:
+
+* **Opt-in hot-loop accounting** — with observability enabled
+  (:func:`repro.obs.enabled`), :func:`repro.engine.cells.run_cell`
+  feeds the process-global registry: cells executed, trace references
+  replayed, and a latency histogram (``engine_cells_total``,
+  ``engine_cell_references_total``, ``engine_cell_seconds``), from
+  which reference throughput falls out.
+* **``repro-fvc profile-run``** — runs one decomposable experiment
+  cell by cell and emits a flamegraph-compatible *collapsed stack*
+  file: one line per cell, ``frame;frame;frame weight``, digestible by
+  ``flamegraph.pl`` or speedscope.  Weights are either deterministic
+  trace-reference counts (``refs``, the default — identical every run)
+  or measured microseconds (``micros``).
+
+Profiling never touches simulation state: cells run through the same
+:func:`~repro.engine.cells.run_cell` path as any other run, so a
+profiled run's results are bit-identical to an unprofiled one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Valid ``collapsed()`` weight modes.
+WEIGHTS = ("refs", "micros")
+
+
+@dataclass(frozen=True)
+class CellProfile:
+    """One profiled cell: its stack frames and both weight candidates."""
+
+    stack: Tuple[str, ...]
+    references: int
+    micros: int
+
+    def line(self, weight: str = "refs") -> str:
+        """One collapsed-stack line (``frame;frame weight``)."""
+        if weight not in WEIGHTS:
+            raise ConfigurationError(
+                f"unknown profile weight {weight!r}; choose from {WEIGHTS}"
+            )
+        value = self.references if weight == "refs" else self.micros
+        return ";".join(self.stack) + f" {value}"
+
+
+@dataclass
+class RunProfile:
+    """Everything ``profile-run`` measured for one experiment."""
+
+    experiment_id: str
+    cells: List[CellProfile]
+    elapsed_seconds: float
+
+    @property
+    def total_references(self) -> int:
+        return sum(cell.references for cell in self.cells)
+
+    def throughput(self) -> float:
+        """References replayed per second across the whole run."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total_references / self.elapsed_seconds
+
+    def collapsed(self, weight: str = "refs") -> str:
+        """The collapsed-stack document (one cell per line, trailing
+        newline).  ``refs`` weights are deterministic; ``micros`` are
+        measurements."""
+        return "".join(cell.line(weight) + "\n" for cell in self.cells)
+
+
+def _frame(text: str) -> str:
+    """Collapsed-stack frames must not contain separators or spaces."""
+    return text.replace(";", ",").replace(" ", "_")
+
+
+def cell_frames(experiment_id: str, cell) -> Tuple[str, ...]:
+    """The stack a cell contributes to the flamegraph: experiment →
+    workload/input → simulator configuration."""
+    geometry = (
+        f"{cell.size_bytes // 1024}KB/{cell.line_bytes}B/{cell.ways}w"
+    )
+    config = f"{cell.kind}:{geometry}"
+    if cell.kind == "fvc":
+        config += f"/{cell.fvc_entries}e/top{cell.top_values}"
+    return (
+        _frame(f"repro-fvc:{experiment_id}"),
+        _frame(f"{cell.workload}/{cell.input_name}"),
+        _frame(config),
+    )
+
+
+def _cell_references(result) -> int:
+    """Trace references a finished cell replayed (deterministic)."""
+    accesses = result.extras.get("accesses")
+    if accesses is not None:
+        return int(accesses)
+    stats = result.stats
+    return int(
+        stats.get("read_hits", 0)
+        + stats.get("read_misses", 0)
+        + stats.get("write_hits", 0)
+        + stats.get("write_misses", 0)
+    )
+
+
+def profile_run(
+    experiment_id: str,
+    fast: bool = False,
+    store=None,
+) -> RunProfile:
+    """Run one experiment cell by cell, timing each.
+
+    Only experiments that decompose into engine cells
+    (:meth:`repro.experiments.base.Experiment.plan_cells`) can be
+    profiled this way; others raise :class:`ConfigurationError` naming
+    the decomposable ones.
+    """
+    from repro.engine.cells import run_cell
+    from repro.experiments.registry import experiment_ids, get_experiment
+    from repro.workloads.store import shared_store
+
+    experiment = get_experiment(experiment_id)
+    plan = experiment.plan_cells(fast)
+    if plan is None:
+        decomposable = [
+            other
+            for other in experiment_ids()
+            if get_experiment(other).plan_cells(fast) is not None
+        ]
+        raise ConfigurationError(
+            f"experiment {experiment_id!r} does not decompose into cells "
+            f"and cannot be profiled; decomposable: {', '.join(decomposable)}"
+        )
+    if store is None:
+        store = shared_store
+    cells: List[CellProfile] = []
+    run_started = time.perf_counter()
+    for cell in plan:
+        started = time.perf_counter()
+        result = run_cell(cell, store)
+        elapsed = time.perf_counter() - started
+        cells.append(
+            CellProfile(
+                stack=cell_frames(experiment_id, cell),
+                references=_cell_references(result),
+                micros=int(elapsed * 1_000_000),
+            )
+        )
+    return RunProfile(
+        experiment_id=experiment_id,
+        cells=cells,
+        elapsed_seconds=time.perf_counter() - run_started,
+    )
+
+
+def write_collapsed(
+    profile: RunProfile, path: str, weight: str = "refs"
+) -> Optional[str]:
+    """Write the collapsed-stack file; returns the path written."""
+    document = profile.collapsed(weight)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path

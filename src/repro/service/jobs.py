@@ -40,6 +40,11 @@ CANCELLED = "cancelled"
 _LIVE = (QUEUED, RUNNING)
 _TERMINAL = (DONE, FAILED, CANCELLED)
 
+#: Schema tag stamped on every job view the service returns.  Clients
+#: must tolerate unknown keys; additive changes keep this tag, breaking
+#: changes bump it (see ``docs/API.md``).
+JOB_SCHEMA = "job/v1"
+
 
 class QueueFullError(Exception):
     """A submission was shed: the pending queue is at its depth bound.
@@ -85,6 +90,7 @@ class Job:
     def as_dict(self, include_result: bool = True) -> Dict:
         """The job's public JSON view (``GET /v1/jobs/<id>``)."""
         view: Dict[str, object] = {
+            "schema": JOB_SCHEMA,
             "id": self.id,
             "spec": self.spec,
             "result_key": self.result_key,

@@ -300,12 +300,30 @@ class ResultStore:
         with self._lock:
             return len(self._index)
 
+    def size_bytes(self) -> int:
+        """Total on-disk bytes of resident entries (envelope included).
+
+        Sizes are always bytes in the observability contract — never KB,
+        never entry counts pretending to be sizes.
+        """
+        with self._lock:
+            keys = list(self._index)
+        total = 0
+        for key in keys:
+            try:
+                total += self._path(key).stat().st_size
+            except OSError:
+                continue
+        return total
+
     def stats(self) -> Dict[str, int]:
         """Counter snapshot for ``/v1/metrics``."""
+        size = self.size_bytes()
         with self._lock:
             return {
                 "entries": len(self._index),
                 "capacity": self.capacity,
+                "size_bytes": size,
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,

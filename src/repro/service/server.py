@@ -10,7 +10,9 @@ Endpoints (all JSON, all under ``/v1``):
 ``DELETE /v1/jobs/<id>``  request cancellation
 ``GET /v1/jobs``          every known job, submission order
 ``GET /v1/results/<key>`` the stored canonical payload bytes
-``GET /v1/metrics``       flat counter snapshot (jobs, store, uptime)
+``GET /v1/metrics``       versioned ``metrics/v1`` snapshot (plus the
+                          legacy flat keys); ``?format=prom`` renders
+                          Prometheus text exposition
 ``GET /v1/healthz``       liveness probe + degradation state
 ========================  ====================================================
 
@@ -38,9 +40,16 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.common.errors import FaultInjected, ReproError
 from repro.experiments.render import dumps_line
+from repro.obs import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    prometheus_text,
+    tracing,
+)
 from repro.service.api import (
     execute_spec,
     normalise_spec,
@@ -89,6 +98,10 @@ class ReproService:
             store_dir, capacity=self.config.store_capacity
         )
         self.jobs = JobQueue(max_queue_depth=self.config.max_queue_depth)
+        #: Per-service registry (request counters/latency, worker
+        #: attempts) — per-instance so embedded test services never
+        #: share metric state.
+        self.registry = MetricsRegistry()
         self.pool = WorkerPool(
             self.jobs,
             run_spec=execute_spec,
@@ -97,6 +110,7 @@ class ReproService:
             max_retries=self.config.max_retries,
             retry_backoff=self.config.retry_backoff,
             on_done=self._store_result,
+            registry=self.registry,
         )
         self.started_at = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -152,8 +166,63 @@ class ReproService:
             "max_queue_depth": self.jobs.max_queue_depth,
         }
 
+    #: Legacy flat key → registered counter name (``docs/API.md``
+    #: documents the aliases; the flat spellings survive one release).
+    _JOB_COUNTERS = {
+        "submitted": "jobs_submitted_total",
+        "completed": "jobs_completed_total",
+        "failed": "jobs_failed_total",
+        "cancelled": "jobs_cancelled_total",
+        "retries": "jobs_retried_total",
+        "shed": "jobs_shed_total",
+    }
+    _STORE_COUNTERS = {
+        "hits": "result_store_hits_total",
+        "misses": "result_store_misses_total",
+        "stores": "result_store_stores_total",
+        "admission_rejects": "result_store_admission_rejects_total",
+        "evictions": "result_store_evictions_total",
+        "corrupt_quarantined": "result_store_corrupt_quarantined_total",
+    }
+
+    def metric_samples(self) -> Dict[str, Dict[str, object]]:
+        """Every metric as its ``metrics/v1`` entry, under registered
+        names: counters end in ``_total``, sizes are bytes
+        (``_bytes``), durations are seconds (``_seconds``)."""
+        from repro import obs
+
+        jobs = self.jobs.stats()
+        store = self.store.stats()
+        samples: Dict[str, Dict[str, object]] = {}
+        for raw, name in self._JOB_COUNTERS.items():
+            samples[name] = {"type": "counter", "value": jobs[raw]}
+        for raw, name in self._STORE_COUNTERS.items():
+            samples[name] = {"type": "counter", "value": store[raw]}
+        limit = self.jobs.max_queue_depth
+        gauges = {
+            "jobs_queued": jobs["queued"],
+            "jobs_running": jobs["running"],
+            "queue_depth": jobs["queued"],
+            "max_queue_depth": 0 if limit is None else limit,
+            "result_store_entries": store["entries"],
+            "result_store_capacity": store["capacity"],
+            "result_store_size_bytes": store["size_bytes"],
+            "workers": self.pool.workers,
+            "degraded": 1 if self.degraded() else 0,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+        for name, value in gauges.items():
+            samples[name] = {"type": "gauge", "value": value}
+        # Request counters/latency and worker attempts live in the
+        # per-service registry; engine metrics (REPRO_OBS=1 in-process
+        # runs) in the process-global one.
+        samples.update(self.registry.samples())
+        samples.update(obs.registry().samples())
+        return {name: samples[name] for name in sorted(samples)}
+
     def metrics(self) -> Dict:
-        """The flat ``/v1/metrics`` snapshot."""
+        """The ``/v1/metrics`` body: the versioned ``metrics/v1``
+        object plus every legacy flat key (aliases, one release)."""
         from repro import __version__
 
         jobs = self.jobs.stats()
@@ -170,6 +239,8 @@ class ReproService:
         flat["workers"] = self.pool.workers
         flat["uptime_seconds"] = round(time.time() - self.started_at, 3)
         flat["version"] = __version__
+        flat["schema"] = METRICS_SCHEMA
+        flat["metrics"] = self.metric_samples()
         return flat
 
     # Lifecycle ---------------------------------------------------------
@@ -302,16 +373,51 @@ def _make_handler(service: ReproService, quiet: bool = True):
 
         # Routing ------------------------------------------------------
         def _route(self) -> Tuple[str, ...]:
-            return tuple(part for part in self.path.split("/") if part)
+            path = urlsplit(self.path).path
+            return tuple(part for part in path.split("/") if part)
+
+        def _query(self) -> Dict[str, str]:
+            parsed = parse_qs(urlsplit(self.path).query)
+            return {name: values[-1] for name, values in parsed.items()}
+
+        def _dispatch(self, method: str, handler) -> None:
+            """Every request: count it, time it, span it, handle it."""
+            started = time.perf_counter()
+            service.registry.counter("server_requests_total").inc()
+            with tracing.span(
+                "server.request",
+                attrs={"method": method, "path": self.path},
+            ):
+                try:
+                    handler()
+                finally:
+                    service.registry.histogram(
+                        "server_request_seconds"
+                    ).observe(time.perf_counter() - started)
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("GET", self._handle_get)
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("POST", self._handle_post)
+
+        def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("DELETE", self._handle_delete)
+
+        def _handle_get(self) -> None:
             if not self._guard():
                 return
             route = self._route()
             if route == ("v1", "healthz"):
                 self._json(200, service.healthz())
             elif route == ("v1", "metrics"):
-                self._json(200, service.metrics())
+                if self._query().get("format") == "prom":
+                    body = prometheus_text(service.metric_samples())
+                    self._send(
+                        200, body.encode(), "text/plain; version=0.0.4"
+                    )
+                else:
+                    self._json(200, service.metrics())
             elif route == ("v1", "jobs"):
                 self._json(
                     200,
@@ -337,7 +443,7 @@ def _make_handler(service: ReproService, quiet: bool = True):
             else:
                 self._error(404, f"no such endpoint: {self.path}")
 
-        def do_POST(self) -> None:  # noqa: N802 - http.server API
+        def _handle_post(self) -> None:
             if not self._guard():
                 return
             route = self._route()
@@ -366,7 +472,7 @@ def _make_handler(service: ReproService, quiet: bool = True):
                 return
             self._json(status, body)
 
-        def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        def _handle_delete(self) -> None:
             if not self._guard():
                 return
             route = self._route()

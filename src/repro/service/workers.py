@@ -86,6 +86,7 @@ class WorkerPool:
         max_retries: int = 2,
         retry_backoff: float = 0.1,
         on_done: Optional[DoneHook] = None,
+        registry=None,
     ) -> None:
         if workers <= 0:
             raise ValueError("worker pool needs at least one worker")
@@ -96,6 +97,9 @@ class WorkerPool:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.on_done = on_done
+        #: Optional :class:`repro.obs.MetricsRegistry` the pool reports
+        #: attempt counts into (the owning service passes its own).
+        self.registry = registry
         self._ctx = _mp_context()
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
@@ -169,10 +173,21 @@ class WorkerPool:
         # (max_retries + 1) * job_timeout + job_timeout of backoff.
         backoff_budget = self.job_timeout
         backoff_spent = 0.0
+        from repro.obs import tracing
+
         while True:
             attempt += 1
             job.attempts = attempt
-            kind, value = self._attempt(job)
+            if self.registry is not None:
+                self.registry.counter("worker_attempts_total").inc()
+            with tracing.span(
+                "worker.job",
+                key=f"{job.result_key}#{attempt}",
+                attrs={"job_id": job.id, "attempt": attempt},
+            ) as span:
+                kind, value = self._attempt(job)
+                if span is not None:
+                    span.attrs["outcome"] = kind
             if kind == "done":
                 stored = None
                 if self.on_done is not None:

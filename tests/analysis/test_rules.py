@@ -483,3 +483,81 @@ class TestRealTreeCalibration:
             if p.stem.startswith(("fig", "table"))
         }
         assert on_disk <= set(registered_module_names())
+
+
+class TestObs001MetricNames:
+    def test_registered_literal_names_pass(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "engine/cells.py": """\
+                def record(registry):
+                    registry.counter("engine_cells_total").inc()
+                    registry.histogram("engine_cell_seconds").observe(0.1)
+                    registry.gauge("queue_depth").set(3)
+                """
+            },
+            select=["OBS001"],
+        )
+        assert report.findings == []
+
+    def test_unregistered_name_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "engine/cells.py": """\
+                def record(registry):
+                    registry.counter("engine_cellz_total").inc()
+                """
+            },
+            select=["OBS001"],
+        )
+        assert _codes_lines(report) == [("OBS001", 2)]
+        assert "METRIC_NAMES" in report.findings[0].message
+
+    def test_non_snake_case_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "service/server.py": """\
+                def record(registry):
+                    registry.counter("Engine-Cells").inc()
+                """
+            },
+            select=["OBS001"],
+        )
+        assert _codes_lines(report) == [("OBS001", 2)]
+        assert "snake_case" in report.findings[0].message
+
+    def test_non_literal_name_flagged(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "service/server.py": """\
+                def record(registry, name):
+                    registry.counter(name).inc()
+                """
+            },
+            select=["OBS001"],
+        )
+        assert _codes_lines(report) == [("OBS001", 2)]
+        assert "literal" in report.findings[0].message
+
+    def test_obs_package_is_excluded(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "obs/metrics.py": """\
+                def helper(registry, name):
+                    return registry.counter(name)
+                """
+            },
+            select=["OBS001"],
+        )
+        assert report.findings == []
+
+    def test_catalog_names_are_well_formed(self):
+        from repro.obs.names import METRIC_NAMES, is_metric_name
+
+        assert METRIC_NAMES
+        assert all(is_metric_name(name) for name in METRIC_NAMES)

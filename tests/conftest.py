@@ -33,6 +33,27 @@ def _no_ambient_fault_plan():
 
 
 @pytest.fixture(scope="session", autouse=True)
+def _no_ambient_obs():
+    """Keep observability opt-in per test: REPRO_OBS / REPRO_OBS_TRACE
+    left in the environment must not arm metrics or tracing for every
+    test.  Obs tests enable them explicitly."""
+    saved = {
+        name: os.environ.pop(name, None)
+        for name in ("REPRO_OBS", "REPRO_OBS_TRACE")
+    }
+    from repro.obs import tracing
+
+    tracing.reset()
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is not None:
+                os.environ[name] = value
+        tracing.reset()
+
+
+@pytest.fixture(scope="session", autouse=True)
 def _isolated_trace_cache(tmp_path_factory):
     """Keep the suite hermetic: unless the environment already pins the
     trace cache, point it at a per-session temporary directory so tests

@@ -1,0 +1,112 @@
+"""The stable facade (``repro.api``) and the deprecation shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import api
+
+
+class TestCatalogs:
+    def test_list_experiments(self):
+        experiments = api.list_experiments()
+        assert "fig13" in experiments
+        assert experiments == api.list_experiments()  # stable order
+
+    def test_list_workloads(self):
+        workloads = api.list_workloads()
+        assert "gcc" in workloads
+        assert "m88ksim" in workloads
+
+
+class TestSimulate:
+    def test_deterministic_outcome(self, store):
+        first = api.simulate(
+            "gcc", input_name="test", kind="fvc", size_bytes=8 * 1024,
+            fvc_entries=256, store=store,
+        )
+        second = api.simulate(
+            "gcc", input_name="test", kind="fvc", size_bytes=8 * 1024,
+            fvc_entries=256, store=store,
+        )
+        assert first == second
+        assert first.accesses > 0
+        assert 0.0 < first.miss_rate < 1.0
+        assert first.extras["fvc_hits"] > 0
+
+    def test_baseline_stats_shape(self, store):
+        outcome = api.simulate("li", input_name="test", store=store)
+        assert outcome.kind == "baseline"
+        assert outcome.misses == (
+            outcome.stats["read_misses"] + outcome.stats["write_misses"]
+        )
+
+    def test_classify_uses_extras_accesses(self, store):
+        outcome = api.simulate(
+            "go", input_name="test", kind="classify", store=store
+        )
+        assert outcome.accesses == outcome.extras["accesses"]
+
+
+class TestRunExperiment:
+    def test_returns_payload_dict(self, store):
+        payload = api.run_experiment("fig9", fast=True, store=store)
+        assert isinstance(payload, dict)
+        assert payload["schema"] == "repro.experiment/1"
+        assert payload["experiment_id"] == "fig9"
+        assert payload["rows"]
+
+
+class TestProfileTrace:
+    def test_top_values(self, store):
+        profile = api.profile_trace("gcc", input_name="test", store=store)
+        top = profile.top_values(7)
+        assert len(top) == 7
+
+
+class TestFacadeContract:
+    def test_all_is_explicit_and_sorted(self):
+        assert api.__all__ == sorted(api.__all__)
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_lazy_submodule_access(self):
+        import repro
+
+        assert repro.api is api
+        assert repro.obs.ENV_VAR == "REPRO_OBS"
+
+
+class TestDeprecatedTopLevelExports:
+    def test_experiments_warns(self):
+        import repro
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            experiments = repro.EXPERIMENTS
+        assert experiments  # still functional for one release
+        assert any(
+            issubclass(item.category, DeprecationWarning)
+            and "repro.api" in str(item.message)
+            for item in caught
+        )
+
+    def test_get_experiment_warns(self):
+        import repro
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            get_experiment = repro.get_experiment
+        assert callable(get_experiment)
+        assert any(
+            issubclass(item.category, DeprecationWarning)
+            for item in caught
+        )
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing

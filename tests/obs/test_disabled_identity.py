@@ -1,0 +1,38 @@
+"""Observability is observational: enabling it changes no result bytes.
+
+The ISSUE-level guarantee — obs disabled (the default) produces outputs
+byte-identical to obs enabled — regression-tested at the payload layer,
+where every consumer (CLI ``--json``, the result store, the HTTP API)
+reads from.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.experiments.registry import run_experiment
+from repro.experiments.render import dumps_canonical, experiment_payload
+from repro.obs import tracing
+
+
+def _fig13_payload_bytes(store) -> str:
+    result = run_experiment("fig13", store=store, fast=True)
+    return dumps_canonical(experiment_payload(result))
+
+
+def test_fig13_bytes_identical_with_obs_enabled(
+    tmp_path, monkeypatch, store
+):
+    baseline = _fig13_payload_bytes(store)
+
+    monkeypatch.setenv(obs.ENV_VAR, "1")
+    monkeypatch.setenv(tracing.ENV_VAR, str(tmp_path / "spans.jsonl"))
+    tracing.reset()
+    try:
+        instrumented = _fig13_payload_bytes(store)
+    finally:
+        tracing.reset()
+
+    assert instrumented == baseline
+    # And the instrumented run did actually record something.
+    assert (tmp_path / "spans.jsonl").exists()
+    assert obs.registry().counter("engine_cells_total").value > 0

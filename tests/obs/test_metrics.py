@@ -1,0 +1,153 @@
+"""The metrics registry: typed handles, snapshots, both expositions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_payload,
+    prometheus_text,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("jobs_completed_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.sample() == {"type": "counter", "value": 5}
+
+    def test_rejects_negative(self):
+        counter = Counter("jobs_completed_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_rejects_bad_names(self):
+        for bad in ("CamelCase", "kebab-case", "9starts_with_digit", ""):
+            with pytest.raises(ValueError):
+                Counter(bad)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(7)
+        gauge.add(-3)
+        assert gauge.value == 4
+        assert gauge.sample() == {"type": "gauge", "value": 4}
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = Histogram("engine_cell_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+        assert histogram.cumulative() == [
+            ("0.1", 1),
+            ("1", 3),
+            ("10", 4),
+            ("+Inf", 5),
+        ]
+
+    def test_sample_shape(self):
+        histogram = Histogram("engine_cell_seconds", buckets=(1.0,))
+        histogram.observe(0.5)
+        sample = histogram.sample()
+        assert sample["type"] == "histogram"
+        assert sample["buckets"] == [
+            {"le": "1", "count": 1},
+            {"le": "+Inf", "count": 1},
+        ]
+        assert sample["count"] == 1
+
+    def test_rejects_unordered_or_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("engine_cell_seconds", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("engine_cell_seconds", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("engine_cell_seconds", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        first = registry.counter("jobs_completed_total")
+        second = registry.counter("jobs_completed_total")
+        assert first is second
+        first.inc()
+        assert second.value == 1
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_completed_total")
+        with pytest.raises(TypeError):
+            registry.gauge("jobs_completed_total")
+
+    def test_histogram_bucket_disagreement_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("engine_cell_seconds", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("engine_cell_seconds", buckets=(0.5, 5.0))
+
+    def test_samples_are_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_completed_total").inc()
+        registry.gauge("queue_depth").set(2)
+        samples = registry.samples()
+        assert list(samples) == sorted(samples)
+        assert samples["jobs_completed_total"]["value"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_completed_total").inc()
+        registry.reset()
+        assert registry.names() == []
+        assert registry.counter("jobs_completed_total").value == 0
+
+
+class TestExposition:
+    def test_payload_schema(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_completed_total").inc(3)
+        payload = metrics_payload(registry.samples())
+        assert payload["schema"] == METRICS_SCHEMA == "metrics/v1"
+        assert payload["metrics"]["jobs_completed_total"] == {
+            "type": "counter",
+            "value": 3,
+        }
+
+    def test_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_completed_total").inc(2)
+        registry.gauge("queue_depth").set(1)
+        histogram = registry.histogram(
+            "engine_cell_seconds", buckets=(0.5, 5.0)
+        )
+        histogram.observe(0.1)
+        histogram.observe(1.0)
+        text = prometheus_text(registry.samples())
+        lines = text.splitlines()
+        assert "# TYPE repro_jobs_completed_total counter" in lines
+        assert "repro_jobs_completed_total 2" in lines
+        assert "# TYPE repro_queue_depth gauge" in lines
+        assert 'repro_engine_cell_seconds_bucket{le="0.5"} 1' in lines
+        assert 'repro_engine_cell_seconds_bucket{le="+Inf"} 2' in lines
+        assert "repro_engine_cell_seconds_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_prometheus_text_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue_depth").set(4)
+        registry.counter("jobs_completed_total").inc()
+        assert prometheus_text(registry.samples()) == prometheus_text(
+            registry.samples()
+        )

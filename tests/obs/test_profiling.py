@@ -1,0 +1,89 @@
+"""Profiling hooks: collapsed stacks and per-cell accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.engine.cells import SimCell
+from repro.obs.profiling import (
+    CellProfile,
+    cell_frames,
+    profile_run,
+    write_collapsed,
+)
+
+
+class TestCellProfile:
+    def test_line_weights(self):
+        profile = CellProfile(
+            stack=("a", "b", "c"), references=100, micros=250
+        )
+        assert profile.line("refs") == "a;b;c 100"
+        assert profile.line("micros") == "a;b;c 250"
+
+    def test_unknown_weight_raises(self):
+        profile = CellProfile(stack=("a",), references=1, micros=1)
+        with pytest.raises(ConfigurationError):
+            profile.line("seconds")
+
+
+class TestCellFrames:
+    def test_frames_have_no_separators(self):
+        cell = SimCell(
+            workload="gcc", input_name="test", kind="fvc", fvc_entries=512
+        )
+        frames = cell_frames("fig13", cell)
+        assert len(frames) == 3
+        for frame in frames:
+            assert ";" not in frame
+            assert " " not in frame
+        assert frames[0] == "repro-fvc:fig13"
+        assert frames[1] == "gcc/test"
+        assert "fvc" in frames[2]
+
+
+class TestProfileRun:
+    def test_fig13_fast_profiles_every_cell(self, store):
+        profile = profile_run("fig13", fast=True, store=store)
+        assert profile.experiment_id == "fig13"
+        assert len(profile.cells) > 0
+        assert profile.total_references > 0
+        assert profile.elapsed_seconds > 0
+        assert profile.throughput() > 0
+        for cell in profile.cells:
+            assert len(cell.stack) == 3
+            assert cell.references > 0
+            assert cell.micros >= 0
+
+    def test_refs_collapsed_is_deterministic(self, store):
+        first = profile_run("fig13", fast=True, store=store)
+        second = profile_run("fig13", fast=True, store=store)
+        assert first.collapsed("refs") == second.collapsed("refs")
+
+    def test_non_decomposable_experiment_raises(self, store):
+        from repro.experiments.registry import experiment_ids, get_experiment
+
+        flat = [
+            experiment_id
+            for experiment_id in experiment_ids()
+            if get_experiment(experiment_id).plan_cells(True) is None
+        ]
+        if not flat:
+            pytest.skip("every experiment decomposes into cells")
+        with pytest.raises(ConfigurationError) as excinfo:
+            profile_run(flat[0], fast=True, store=store)
+        assert "decomposable" in str(excinfo.value)
+
+    def test_write_collapsed(self, tmp_path, store):
+        profile = profile_run("fig13", fast=True, store=store)
+        path = tmp_path / "out.folded"
+        assert write_collapsed(profile, str(path)) == str(path)
+        document = path.read_text(encoding="utf-8")
+        assert document.endswith("\n")
+        lines = document.splitlines()
+        assert len(lines) == len(profile.cells)
+        for line in lines:
+            frames, weight = line.rsplit(" ", 1)
+            assert frames.count(";") == 2
+            assert int(weight) > 0

@@ -1,0 +1,180 @@
+"""Structured tracing: deterministic span identity, nesting, JSONL."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.cells import SimCell, cell_span_key, run_cell
+from repro.engine.runner import run_cells
+from repro.engine.trace_cache import TraceCache
+from repro.obs import tracing
+from repro.obs.tracing import SPAN_SCHEMA, Tracer, span_id
+from repro.workloads.store import TraceStore
+
+
+def _read_spans(path):
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines]
+
+
+@pytest.fixture
+def traced(tmp_path, monkeypatch):
+    """Enable tracing to a temp file; yields the file path."""
+    path = tmp_path / "spans.jsonl"
+    monkeypatch.setenv(tracing.ENV_VAR, str(path))
+    tracing.reset()
+    try:
+        yield path
+    finally:
+        tracing.reset()
+
+
+class TestSpanId:
+    def test_deterministic(self):
+        assert span_id("engine.cell", "k", None) == span_id(
+            "engine.cell", "k", None
+        )
+
+    def test_varies_with_inputs(self):
+        base = span_id("engine.cell", "k", None)
+        assert span_id("engine.other", "k", None) != base
+        assert span_id("engine.cell", "k2", None) != base
+        assert span_id("engine.cell", "k", "deadbeef00000000") != base
+
+    def test_shape(self):
+        digest = span_id("a", "b", None)
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+
+class TestTracer:
+    def test_nesting_records_parentage(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "out.jsonl"))
+        with tracer.span("outer", key="o") as outer:
+            with tracer.span("inner", key="i") as inner:
+                assert inner.parent_id == outer.span_id
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_unkeyed_spans_get_ordinals(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "out.jsonl"))
+        with tracer.span("root") as first:
+            pass
+        with tracer.span("root") as second:
+            pass
+        assert (first.key, second.key) == ("#1", "#2")
+        assert first.span_id != second.span_id
+
+    def test_error_attribute_on_exception(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "out.jsonl"))
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed", key="d") as doomed:
+                raise RuntimeError("boom")
+        assert doomed.attrs["error"] == "RuntimeError"
+
+    def test_flush_writes_canonical_jsonl(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        tracer = Tracer(str(path))
+        with tracer.span("outer", key="o"):
+            with tracer.span("inner", key="i") as inner:
+                inner.add_event("mark", detail=1)
+        # Root closed -> both spans flushed, inner (closed first) first.
+        records = _read_spans(path)
+        assert [record["name"] for record in records] == ["inner", "outer"]
+        for record in records:
+            assert record["schema"] == SPAN_SCHEMA
+            # Canonical single-line form: sorted keys, stable bytes.
+            assert json.dumps(record, sort_keys=True) == json.dumps(record)
+        assert records[0]["parent_id"] == records[1]["span_id"]
+        assert records[0]["events"] == [{"name": "mark", "detail": 1}]
+
+    def test_module_span_is_noop_when_disabled(self):
+        tracing.reset()
+        assert tracing.active() is None
+        with tracing.span("anything", key="k") as span:
+            assert span is None
+        tracing.event("ignored")  # must not raise
+
+
+_CELLS = [
+    SimCell(workload="gcc", input_name="test", kind="baseline",
+            size_bytes=size)
+    for size in (4 * 1024, 8 * 1024)
+] + [
+    SimCell(workload="m88ksim", input_name="test", kind="baseline",
+            size_bytes=size)
+    for size in (4 * 1024, 8 * 1024)
+]
+
+
+def _cell_spans(path):
+    return {
+        (record["span_id"], record["key"])
+        for record in _read_spans(path)
+        if record["name"] == "engine.cell"
+    }
+
+
+class TestEngineSpans:
+    def test_cell_span_ids_identical_across_jobs(
+        self, tmp_path, monkeypatch, store
+    ):
+        """The span-id set of a --jobs 4 run equals a --jobs 1 run:
+        identity is content-derived, never process-derived."""
+        sequential = tmp_path / "seq.jsonl"
+        parallel = tmp_path / "par.jsonl"
+
+        monkeypatch.setenv(tracing.ENV_VAR, str(sequential))
+        tracing.reset()
+        run_cells(_CELLS, jobs=1, store=store)
+
+        monkeypatch.setenv(tracing.ENV_VAR, str(parallel))
+        tracing.reset()
+        run_cells(_CELLS, jobs=4, store=store)
+        tracing.reset()
+
+        expected = {
+            (span_id("engine.cell", cell_span_key(cell), None),
+             cell_span_key(cell))
+            for cell in _CELLS
+        }
+        assert _cell_spans(sequential) == expected
+        assert _cell_spans(parallel) == expected
+
+    def test_trace_cache_spans_nest_under_cell(self, tmp_path, traced):
+        """With a cold disk cache, one cell's trace resolution shows up
+        as trace_cache.load (synthesised) under engine.cell, with the
+        persist as trace_cache.store under the load."""
+        fresh_store = TraceStore(
+            max_traces=2, disk_cache=TraceCache(tmp_path / "cache")
+        )
+        cell = _CELLS[0]
+        run_cell(cell, fresh_store)
+
+        records = {record["name"]: record for record in _read_spans(traced)}
+        cell_record = records["engine.cell"]
+        load = records["trace_cache.load"]
+        store_record = records["trace_cache.store"]
+        assert cell_record["key"] == cell_span_key(cell)
+        assert cell_record["parent_id"] is None
+        assert cell_record["attrs"]["workload"] == cell.workload
+        assert load["parent_id"] == cell_record["span_id"]
+        assert load["key"] == f"{cell.workload}/{cell.input_name}"
+        assert load["attrs"]["outcome"] == "synthesised"
+        assert store_record["parent_id"] == load["span_id"]
+
+    def test_warm_load_reports_disk_hit(self, tmp_path, traced):
+        cache = TraceCache(tmp_path / "cache")
+        cell = _CELLS[0]
+        run_cell(cell, TraceStore(max_traces=2, disk_cache=cache))
+        run_cell(cell, TraceStore(max_traces=2, disk_cache=cache))
+
+        outcomes = [
+            record["attrs"]["outcome"]
+            for record in _read_spans(traced)
+            if record["name"] == "trace_cache.load"
+        ]
+        assert outcomes == ["synthesised", "disk_hit"]
