@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-sanitize lint bench bench-fast bench-quick bench-obs examples experiments clean
+.PHONY: install test test-fast test-sanitize lint bench bench-core bench-fast bench-quick bench-obs examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -31,6 +31,12 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Backend speedup trajectory: the fig13 sweep under both backends must
+# show >= 5x for numpy with byte-identical payloads; refreshes the
+# committed BENCH_core.json (docs/PERFORMANCE.md explains the fields).
+bench-core:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py -o BENCH_core.json
 
 bench-fast:
 	$(PYTHON) -m pytest benchmarks/bench_core.py --benchmark-only \

@@ -4,6 +4,14 @@ Unlike the per-figure benchmarks (one full experiment per run), these
 use pytest-benchmark's statistical mode to track the throughput of the
 hot paths: the baseline cache, the DMC+FVC system, the encoder, and the
 profiling counters.
+
+Run directly (``make bench-core``), the module instead measures the
+fig13 DMC-vs-FVC sweep under ``REPRO_BACKEND=python`` and
+``REPRO_BACKEND=numpy`` and writes ``BENCH_core.json`` at the repo
+root — the committed perf trajectory.  The numpy backend must beat the
+pure-Python oracle by at least :data:`SPEEDUP_GATE` on this sweep, and
+both runs must produce byte-identical canonical payloads (the dual-run
+contract, enforced here as well as in tests/kernels/test_dual_run.py).
 """
 
 from __future__ import annotations
@@ -86,3 +94,111 @@ def test_space_saving_throughput(benchmark, records):
             add(value)
 
     benchmark(work)
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: the committed backend-speedup trajectory
+# ----------------------------------------------------------------------
+
+#: The numpy backend must beat the oracle by at least this factor on
+#: the fig13 DMC-vs-FVC sweep (acceptance gate for BENCH_core.json).
+SPEEDUP_GATE = 5.0
+
+#: Timed repetitions per backend (medians are compared; one untimed
+#: warmup run per backend settles traces, imports and kernel memos so
+#: both backends are measured steady-state under equal conditions).
+REPEATS = 3
+
+
+def _measure_backend(backend_name: str, store):
+    import os
+    import time
+
+    from repro.api import run_experiment
+    from repro.experiments.render import dumps_canonical
+
+    os.environ["REPRO_BACKEND"] = backend_name
+    payload = run_experiment("fig13", fast=True, store=store)  # warmup
+    timings = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        run_experiment("fig13", fast=True, store=store)
+        timings.append(time.perf_counter() - started)
+    return timings, dumps_canonical(payload)
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import os
+    import statistics
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="fig13 sweep speedup: numpy backend vs pure Python"
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_core.json",
+        help="result file (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.kernels.backend import numpy_available
+    from repro.workloads.store import TraceStore
+
+    if not numpy_available():
+        print(
+            "numpy is not importable; install the fast extra "
+            "(pip install .[fast]) to measure the vectorized backend",
+            file=sys.stderr,
+        )
+        return 1
+
+    saved = os.environ.get("REPRO_BACKEND")
+    store = TraceStore(max_traces=8)
+    try:
+        python_times, python_payload = _measure_backend("python", store)
+        numpy_times, numpy_payload = _measure_backend("numpy", store)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = saved
+
+    python_median = statistics.median(python_times)
+    numpy_median = statistics.median(numpy_times)
+    speedup = python_median / numpy_median
+    identical = python_payload == numpy_payload
+    passed = speedup >= SPEEDUP_GATE and identical
+
+    report = {
+        "schema": "repro.bench-core/1",
+        "experiment": "fig13",
+        "repeats": REPEATS,
+        "python_seconds": python_times,
+        "numpy_seconds": numpy_times,
+        "python_median_seconds": python_median,
+        "numpy_median_seconds": numpy_median,
+        "speedup": speedup,
+        "speedup_gate": SPEEDUP_GATE,
+        "payloads_identical": identical,
+        "passed": passed,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"fig13 sweep: python {python_median:.3f}s, numpy "
+        f"{numpy_median:.3f}s -> {speedup:.1f}x "
+        f"(gate >= {SPEEDUP_GATE}x), payloads "
+        f"{'identical' if identical else 'DIVERGED'}"
+    )
+    if not passed:
+        print("FAIL: backend speedup gate not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

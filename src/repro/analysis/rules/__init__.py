@@ -11,6 +11,7 @@ API0xx  canonical serialisation
 STAT0xx statistics declaration/reporting
 FLT0xx  fault-injection coverage of hardened IO paths
 OBS0xx  observability (metric-name catalog discipline)
+PERF0xx performance (vectorized-kernel discipline)
 ======= ==========================================================
 """
 
@@ -27,6 +28,7 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.faults import FaultPointCoverage
 from repro.analysis.rules.obs import RegisteredMetricNames
+from repro.analysis.rules.perf import NoPerRecordKernelLoops
 from repro.analysis.rules.registry import RegistryConsistency
 from repro.analysis.rules.stats import CountersDeclaredAndReported
 
@@ -40,6 +42,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     CountersDeclaredAndReported(),
     FaultPointCoverage(),
     RegisteredMetricNames(),
+    NoPerRecordKernelLoops(),
 )
 
 __all__ = [
@@ -51,6 +54,7 @@ __all__ = [
     "CountersDeclaredAndReported",
     "FaultPointCoverage",
     "NoAdHocRandomness",
+    "NoPerRecordKernelLoops",
     "NoUnorderedIteration",
     "NoWallClock",
     "RegisteredMetricNames",

@@ -1,0 +1,65 @@
+"""PERF001 — kernels must not loop over per-record data in Python.
+
+The whole point of :mod:`repro.kernels` is that the numpy backend
+replays traces as columnar array operations; a ``for`` statement that
+walks a per-record sequence element-by-element silently reintroduces
+the per-record Python dispatch the backend exists to remove, and no
+test catches it — results stay identical, only the speedup evaporates.
+
+The static proxy: inside ``repro/kernels/``, flag any ``for``
+*statement* whose iterable mentions a per-record sequence — the
+``records`` attribute, a ``*_list`` identifier (the kernels' naming
+convention for plain-list mirrors of trace-length arrays), or a
+``.tolist()`` call.  Loops over *event* streams (misses, flagged runs,
+committed windows — orders of magnitude smaller than the trace) are the
+sanctioned exception and must say so with a justified
+``# repro: allow[PERF001] <why>`` suppression.
+
+Generator expressions and comprehensions are exempt: feeding
+``np.fromiter`` a per-record generator *is* the columnar ingestion
+path, consumed inside numpy rather than dispatched per element in the
+interpreter loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile
+
+
+def _mentions_per_record_sequence(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and (
+            sub.id == "records" or sub.id.endswith("_list")
+        ):
+            return True
+        if isinstance(sub, ast.Attribute) and (
+            sub.attr == "records" or sub.attr.endswith("_list")
+        ):
+            return True
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "tolist"
+        ):
+            return True
+    return False
+
+
+class NoPerRecordKernelLoops(Rule):
+    code = "PERF001"
+    title = "kernel code must not iterate per-record data in Python"
+    include = ("repro/kernels/",)
+
+    def check(self, source_file: SourceFile) -> Iterator[Tuple[int, str]]:
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, ast.For):
+                continue
+            if _mentions_per_record_sequence(node.iter):
+                yield node.lineno, (
+                    "for-loop over a per-record sequence in kernel code — "
+                    "vectorize it, or justify a bounded event-stream loop "
+                    "with '# repro: allow[PERF001] <why>'"
+                )

@@ -147,11 +147,15 @@ def _simulate(cell: SimCell, trace) -> CellResult:
     """Dispatch one cell to its simulator (the observable unit of
     :func:`run_cell`; callers go through ``run_cell``, never here)."""
     from repro.analysis import sanitize
+    from repro.kernels import dispatch
 
     geometry = cell.geometry()
     sanitizing = sanitize.enabled()
 
     if cell.kind == "baseline":
+        stats = dispatch.try_baseline_stats(trace, geometry)
+        if stats is not None:
+            return CellResult(cell=cell, stats=stats.as_dict())
         if geometry.ways == 1:
             simulator = DirectMappedCache(geometry)
         else:
@@ -167,6 +171,12 @@ def _simulate(cell: SimCell, trace) -> CellResult:
         from repro.experiments.common import encoder_for
         from repro.fvc.system import FvcSystem
 
+        replayed = dispatch.try_fvc_replay(
+            trace, geometry, cell.fvc_entries, encoder_for(trace, cell.top_values)
+        )
+        if replayed is not None:
+            stats, extras = replayed
+            return CellResult(cell=cell, stats=stats.as_dict(), extras=extras)
         system = FvcSystem(
             geometry,
             cell.fvc_entries,

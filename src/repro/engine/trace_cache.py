@@ -2,8 +2,8 @@
 
 Workload traces are pure functions of ``(workload, input, data seed)``,
 so they can be persisted once per machine and shared by every
-experiment, benchmark and worker process.  Entries are the compact v2
-trace bytes (:func:`repro.trace.io.trace_to_compact_bytes`), zlib-
+experiment, benchmark and worker process.  Entries are columnar v3
+trace bytes (:func:`repro.trace.io.trace_to_columnar_bytes`), zlib-
 compressed and wrapped in a sha256 integrity envelope
 (:mod:`repro.common.integrity`), under a directory resolved as:
 
@@ -50,18 +50,26 @@ from repro.common.integrity import (
 from repro.trace.io import (
     trace_from_bytes,
     trace_header_from_bytes,
-    trace_to_compact_bytes,
+    trace_to_columnar_bytes,
 )
 from repro.trace.trace import Trace
 
-#: Bump to invalidate every persisted trace (e.g. after changing a
-#: workload's generation logic or the entry layout).  Part of every
-#: entry's content address.  2 = enveloped zlib-compressed v2 bytes.
+#: Bump to invalidate every persisted trace (e.g. after changing
+#: workload generation semantically).  Part of every entry's content
+#: address.  The payload *kind* is identified by suffix and magic, not
+#: by this number: version 2 addresses serve both envelope kinds below.
 TRACE_CACHE_VERSION = 2
 
-#: Entry file suffix ("e" for enveloped).  Older ``.trc2.gz`` entries
-#: are no longer addressed; ``clear`` removes them too.
-ENTRY_SUFFIX = ".trc2e"
+#: Entry file suffix for columnar (v3) payloads — what ``store`` writes.
+ENTRY_SUFFIX = ".trcbe"
+
+#: Entry file suffix for compact (v2) payloads.  Entries written by
+#: earlier releases keep working: ``load`` falls back to this suffix at
+#: the same content address, and ``entries``/``verify``/``clear`` cover
+#: both kinds.
+COMPACT_SUFFIX = ".trc2e"
+
+_ENTRY_SUFFIXES = (ENTRY_SUFFIX, COMPACT_SUFFIX)
 
 _LEGACY_SUFFIX = ".trc2.gz"
 
@@ -128,6 +136,14 @@ class TraceCache:
             / f"{workload_name}-{input_name}-{digest}{ENTRY_SUFFIX}"
         )
 
+    def _candidate_paths(
+        self, workload_name: str, input_name: str
+    ) -> Tuple[Path, ...]:
+        """Load order for one entry: columnar first, then a compact
+        entry persisted by an earlier release at the same address."""
+        columnar = self.path_for(workload_name, input_name)
+        return columnar, columnar.with_suffix(COMPACT_SUFFIX)
+
     # Individual layers ------------------------------------------------
     def _quarantine(self, path: Path) -> None:
         quarantine(path)
@@ -145,23 +161,24 @@ class TraceCache:
         ``<name>.corrupt`` — not unlinked, not served — and reported as
         a miss so the caller regenerates it.
         """
-        path = self.path_for(workload_name, input_name)
-        if not path.exists():
-            return None
-        try:
-            payload = read_enveloped(path, site="trace_cache.read")
-            trace = trace_from_bytes(
-                zlib.decompress(payload), source=str(path)
-            )
-        except (IntegrityError, TraceFormatError, zlib.error, EOFError):
-            self._quarantine(path)
-            return None
-        except OSError:
-            return None
-        self.disk_hits += 1
-        if obs.enabled():
-            obs.registry().counter("trace_cache_disk_hits_total").inc()
-        return trace
+        for path in self._candidate_paths(workload_name, input_name):
+            if not path.exists():
+                continue
+            try:
+                payload = read_enveloped(path, site="trace_cache.read")
+                trace = trace_from_bytes(
+                    zlib.decompress(payload), source=str(path)
+                )
+            except (IntegrityError, TraceFormatError, zlib.error, EOFError):
+                self._quarantine(path)
+                continue
+            except OSError:
+                continue
+            self.disk_hits += 1
+            if obs.enabled():
+                obs.registry().counter("trace_cache_disk_hits_total").inc()
+            return trace
+        return None
 
     def store(self, trace: Trace) -> Path:
         """Persist ``trace`` (enveloped; atomic temp + fsync + rename)."""
@@ -173,7 +190,7 @@ class TraceCache:
             key=f"{trace.workload}/{trace.input_name}",
         ):
             self.directory.mkdir(parents=True, exist_ok=True)
-            payload = zlib.compress(trace_to_compact_bytes(trace), 6)
+            payload = zlib.compress(trace_to_columnar_bytes(trace), 6)
             write_enveloped(path, payload, site="trace_cache.write")
         self.stores += 1
         if obs.enabled():
@@ -236,7 +253,7 @@ class TraceCache:
         if not self.directory.is_dir():
             return []
         found = []
-        for path in sorted(self.directory.glob(f"*{ENTRY_SUFFIX}")):
+        for path in self._entry_paths():
             try:
                 payload = read_enveloped(path)
                 _, workload, input_name, count, _ = trace_header_from_bytes(
@@ -246,6 +263,12 @@ class TraceCache:
                 continue
             found.append((path, workload, input_name, count))
         return found
+
+    def _entry_paths(self):
+        paths = []
+        for suffix in _ENTRY_SUFFIXES:
+            paths.extend(self.directory.glob(f"*{suffix}"))
+        return sorted(paths)
 
     def verify(self) -> Dict[str, int]:
         """Check every entry's envelope and payload without serving any.
@@ -259,7 +282,7 @@ class TraceCache:
             return {
                 "checked": 0, "ok": 0, "quarantined": 0, "tmp_removed": 0,
             }
-        for path in sorted(self.directory.glob(f"*{ENTRY_SUFFIX}")):
+        for path in self._entry_paths():
             checked += 1
             try:
                 payload = read_enveloped(path)
@@ -294,6 +317,7 @@ class TraceCache:
             return removed
         patterns = (
             f"*{ENTRY_SUFFIX}",
+            f"*{COMPACT_SUFFIX}",
             f"*{_LEGACY_SUFFIX}",
             f"*{CORRUPT_SUFFIX}",
         )

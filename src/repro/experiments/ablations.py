@@ -25,6 +25,7 @@ from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import (
     FVL_NAMES,
     baseline_stats,
+    fvc_miss_stats,
     fvc_stats,
     input_for,
     reduction_percent,
@@ -53,8 +54,8 @@ class _ConfigAblation(Experiment):
         for name in FVL_NAMES:
             trace = store.get(name, input_name)
             base = baseline_stats(trace, _GEOMETRY)
-            default_stats, _ = fvc_stats(trace, _GEOMETRY, 512, top_values=7)
-            flipped_stats, _ = fvc_stats(
+            default_stats = fvc_miss_stats(trace, _GEOMETRY, 512, top_values=7)
+            flipped_stats = fvc_miss_stats(
                 trace, _GEOMETRY, 512, top_values=7, config=flipped
             )
             rows.append(

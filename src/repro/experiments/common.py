@@ -15,6 +15,7 @@ from repro.cache.setassoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
 from repro.fvc.encoding import FrequentValueEncoder
 from repro.fvc.system import FvcSystem, FvcSystemConfig
+from repro.kernels import dispatch
 from repro.profiling.access import AccessProfile, profile_accessed_values
 from repro.trace.trace import Trace
 
@@ -40,7 +41,28 @@ def access_profile(trace: Trace) -> AccessProfile:
     external ``id()``-keyed table could serve another trace's profile
     once ids are recycled.
     """
-    return trace.memo("access_profile", profile_accessed_values)
+    return trace.memo("access_profile", _profile)
+
+
+def _profile(trace: Trace) -> AccessProfile:
+    """Build the profile via whichever backend is active.
+
+    Both paths rank by ``(-count, value)`` over identical counts, so the
+    resulting profiles — and every encoder derived from them — are equal
+    object-for-object regardless of backend.
+    """
+    if dispatch.kernels_active():
+        from repro.kernels.columnar import KernelUnsupported, ranked_value_counts
+
+        try:
+            total, distinct, ranked = ranked_value_counts(trace, depth=32)
+        except KernelUnsupported:
+            pass
+        else:
+            return AccessProfile(
+                total_accesses=total, distinct_values=distinct, ranked=ranked
+            )
+    return profile_accessed_values(trace)
 
 
 def encoder_for(trace: Trace, top_values: int) -> FrequentValueEncoder:
@@ -55,6 +77,9 @@ def encoder_for(trace: Trace, top_values: int) -> FrequentValueEncoder:
 
 def baseline_stats(trace: Trace, geometry: CacheGeometry) -> CacheStats:
     """Miss statistics of the conventional cache alone."""
+    stats = dispatch.try_baseline_stats(trace, geometry)
+    if stats is not None:
+        return stats
     if geometry.ways == 1:
         return DirectMappedCache(geometry).simulate_batch(trace.records)
     return SetAssociativeCache(geometry).simulate_batch(trace.records)
@@ -74,6 +99,28 @@ def fvc_stats(
     )
     stats = system.simulate_batch(trace.records)
     return stats, system
+
+
+def fvc_miss_stats(
+    trace: Trace,
+    geometry: CacheGeometry,
+    fvc_entries: int,
+    top_values: int,
+    config: Optional[FvcSystemConfig] = None,
+) -> CacheStats:
+    """Miss statistics of the cache + FVC system when the simulated
+    system itself is not needed afterwards — the kernel-eligible path.
+
+    Only the default configuration is in the kernels' proven envelope;
+    any custom ``config`` (and any kernel decline) replays the oracle.
+    """
+    if config is None:
+        replayed = dispatch.try_fvc_replay(
+            trace, geometry, fvc_entries, encoder_for(trace, top_values)
+        )
+        if replayed is not None:
+            return replayed[0]
+    return fvc_stats(trace, geometry, fvc_entries, top_values, config=config)[0]
 
 
 def reduction_percent(base: CacheStats, improved: CacheStats) -> float:

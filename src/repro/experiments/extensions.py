@@ -29,7 +29,7 @@ from repro.experiments.common import (
     access_profile,
     baseline_stats,
     encoder_for,
-    fvc_stats,
+    fvc_miss_stats,
     input_for,
     reduction_percent,
 )
@@ -38,6 +38,7 @@ from repro.fvc.encoding import FrequentValueEncoder
 from repro.fvc.compression import CompressedCache
 from repro.fvc.hybrid import HybridFvcVictimSystem
 from repro.fvc.system import FvcSystem
+from repro.kernels.dispatch import try_hierarchy_replay
 from repro.timing.energy import DEFAULT_ENERGY_MODEL
 from repro.timing.performance import DEFAULT_PERFORMANCE_MODEL
 from repro.workloads.store import TraceStore
@@ -110,7 +111,7 @@ class ExtEnergy(Experiment):
             trace = store.get(name, input_name)
             base = baseline_stats(trace, _GEOMETRY)
             doubled = baseline_stats(trace, double)
-            augmented, _ = fvc_stats(trace, _GEOMETRY, 512, top_values=7)
+            augmented = fvc_miss_stats(trace, _GEOMETRY, 512, top_values=7)
             base_nj = model.baseline_total_nj(base, _GEOMETRY)
             fvc_nj = model.fvc_system_total_nj(augmented, _GEOMETRY, 3)
             double_nj = model.baseline_total_nj(doubled, double)
@@ -156,7 +157,7 @@ class ExtCrossInput(Experiment):
             trace = store.get(name, run_input)
             profile_trace = store.get(name, profile_input)
             base = baseline_stats(trace, _GEOMETRY)
-            self_stats, _ = fvc_stats(trace, _GEOMETRY, 512, top_values=7)
+            self_stats = fvc_miss_stats(trace, _GEOMETRY, 512, top_values=7)
             cross_encoder = FrequentValueEncoder.for_top_values(
                 access_profile(profile_trace).top_values(7), 3
             )
@@ -299,7 +300,7 @@ class ExtCompressionCache(Experiment):
         for name in FVL_NAMES:
             trace = store.get(name, input_name)
             base = baseline_stats(trace, geometry)
-            fvc, _ = fvc_stats(trace, geometry, 256, top_values=7)
+            fvc = fvc_miss_stats(trace, geometry, 256, top_values=7)
             compressed = CompressedCache(geometry, encoder_for(trace, 7))
             compressed_stats = compressed.simulate(trace.records)
             rows.append(
@@ -350,7 +351,8 @@ class ExtHierarchy(Experiment):
         for name in FVL_NAMES:
             trace = store.get(name, input_name)
             plain = TwoLevelSystem(l1, l2)
-            plain.simulate(trace.records)
+            if not try_hierarchy_replay(plain, trace):
+                plain.simulate(trace.records)
             fvc = TwoLevelFvcSystem(l1, l2, 512, encoder_for(trace, 7))
             fvc.simulate(trace.records)
             saved = 0.0
@@ -409,7 +411,7 @@ class ExtPerformance(Experiment):
             trace = store.get(name, input_name)
             base = baseline_stats(trace, geometry)
             doubled = baseline_stats(trace, double)
-            augmented, _ = fvc_stats(trace, geometry, 512, top_values=7)
+            augmented = fvc_miss_stats(trace, geometry, 512, top_values=7)
             base_amat = model.amat_ns(base, geometry)
             fvc_amat = model.amat_ns(augmented, geometry, fvc_entries=512)
             double_amat = model.amat_ns(doubled, double)

@@ -17,7 +17,7 @@ from repro.experiments.common import (
     FVL_NAMES,
     LINE_SIZES,
     baseline_stats,
-    fvc_stats,
+    fvc_miss_stats,
     input_for,
     reduction_percent,
 )
@@ -64,7 +64,7 @@ class Fig12ValueCount(Experiment):
                     "base_miss_%": round(100 * base.miss_rate, 3),
                 }
                 for top in (1, 3, 7):
-                    stats, _ = fvc_stats(trace, geometry, 512, top_values=top)
+                    stats = fvc_miss_stats(trace, geometry, 512, top_values=top)
                     row[f"red_top{top}_%"] = round(
                         reduction_percent(base, stats), 1
                     )

@@ -22,7 +22,7 @@ from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import (
     FVL_NAMES,
     baseline_stats,
-    fvc_stats,
+    fvc_miss_stats,
     input_for,
     reduction_percent,
 )
@@ -65,7 +65,7 @@ class Fig15Victim(Experiment):
                 stats = system.simulate(trace.records)
                 row[f"{label}_red_%"] = round(reduction_percent(base, stats), 1)
             for label, entries in (("fvc128", 128), ("fvc512", 512)):
-                stats, _ = fvc_stats(trace, geometry, entries, top_values=7)
+                stats = fvc_miss_stats(trace, geometry, entries, top_values=7)
                 row[f"{label}_red_%"] = round(reduction_percent(base, stats), 1)
             rows.append(row)
         result = self._result(headers, rows)

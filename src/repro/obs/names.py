@@ -58,6 +58,10 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "checkpoint_restored_total",
         "checkpoint_saved_total",
         "checkpoint_corrupt_quarantined_total",
+        # Kernels: backend dispatch (repro.kernels.dispatch).
+        "kernel_replays_total",
+        "kernel_declines_total",
+        "kernel_replay_seconds",
         # Faults: injected-fault observability (repro.faults.sites).
         "faults_injected_total",
         # Service: job lifecycle (repro.service.jobs).

@@ -222,5 +222,5 @@ class TestRuleScoping:
         from repro.analysis.rules import ALL_RULES
 
         codes = [rule.code for rule in ALL_RULES]
-        assert len(codes) == len(set(codes)) == 8
+        assert len(codes) == len(set(codes)) == 9
         assert all(rule.title for rule in ALL_RULES)

@@ -36,7 +36,7 @@ class TestContentAddressing:
         path = cache.path_for("gcc", "test")
         assert path.parent == cache.directory
         assert path.name.startswith("gcc-test-")
-        assert path.name.endswith(".trc2e")
+        assert path.name.endswith(".trcbe")
         assert cache.key("gcc", "test") in path.name
 
     def test_version_is_part_of_the_address(self, cache, monkeypatch):
@@ -112,10 +112,34 @@ class TestLayers:
             version, workload, _, header_count, _ = trace_header_from_bytes(
                 payload
             )
-            assert version == 2
+            assert version == 3
             assert header_count == count
         assert cache.clear() == 2
         assert cache.entries() == []
+
+    def test_legacy_compact_entry_is_served(self, cache):
+        """An entry persisted by an earlier release (compact v2 bytes
+        under ``.trc2e``) still loads at the same content address."""
+        import zlib
+
+        from repro.common.integrity import write_enveloped
+        from repro.engine.trace_cache import COMPACT_SUFFIX
+        from repro.trace.io import trace_to_compact_bytes
+        from repro.workloads.registry import get_workload
+
+        trace = get_workload("go").generate_trace("test")
+        legacy = cache.path_for("go", "test").with_suffix(COMPACT_SUFFIX)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        write_enveloped(
+            legacy, zlib.compress(trace_to_compact_bytes(trace), 6)
+        )
+        loaded = cache.load("go", "test")
+        assert loaded == trace
+        assert cache.disk_hits == 1
+        # Both kinds are visible to maintenance commands.
+        assert {(w, i) for _, w, i, _ in cache.entries()} == {("go", "test")}
+        assert cache.verify()["ok"] == 1
+        assert cache.clear() == 1
 
     def test_ensure_creates_the_entry(self, cache):
         path = cache.ensure("go", "test")
@@ -221,7 +245,7 @@ class TestConcurrentWriters:
 
         assert loaded == get_workload("go").generate_trace("test")
         # Exactly one entry, no temp debris.
-        assert len(list(directory.glob("*.trc2e"))) == 1
+        assert len(list(directory.glob("*.trcbe"))) == 1
         assert list(directory.glob("*.tmp")) == []
 
     def test_store_uses_private_temp_and_atomic_replace(

@@ -66,7 +66,7 @@ class TestTraceCacheKill:
 
         # Nothing was published; the orphaned temp file is the only
         # debris, and a reader sees a plain miss.
-        assert list(directory.glob("*.trc2e")) == []
+        assert list(directory.glob("*.trcbe")) == []
         assert len(list(directory.glob("*.tmp"))) == 1
         cache = TraceCache(directory)
         assert cache.load("go", "test") is None
@@ -75,7 +75,7 @@ class TestTraceCacheKill:
         report = cache.verify()
         assert report["tmp_removed"] == 1
         assert len(cache.get("go", "test")) > 0
-        assert len(list(directory.glob("*.trc2e"))) == 1
+        assert len(list(directory.glob("*.trcbe"))) == 1
         assert list(directory.glob("*.tmp")) == []
 
 

@@ -1,0 +1,158 @@
+"""Kernel-vs-oracle parity: the exactness contract of repro.kernels.
+
+Every kernel must reproduce its pure-Python oracle's statistics to the
+last counter on any trace it accepts, and must decline (``None`` /
+``False``) on anything outside its proven envelope so the caller falls
+back to the oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.direct import DirectMappedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import TwoLevelSystem
+from repro.cache.setassoc import SetAssociativeCache
+from repro.experiments.common import encoder_for
+from repro.fvc.encoding import FrequentValueEncoder
+from repro.fvc.system import FvcSystem
+from repro.kernels import backend
+from repro.kernels.dmc import dmc_stats
+from repro.kernels.fvc import fvc_cell_replay
+from repro.kernels.hierarchy import hierarchy_replay
+from repro.kernels.setassoc import setassoc_stats
+from repro.profiling.access import profile_accessed_values
+from repro.trace.trace import Trace
+
+pytestmark = pytest.mark.skipif(
+    not backend.numpy_available(), reason="vectorized backend needs numpy"
+)
+
+
+def _fvc_oracle(trace, geometry, entries, encoder):
+    system = FvcSystem(geometry, entries, encoder)
+    system.simulate_batch(trace.records)
+    extras = {
+        "main_hits": system.main_hits,
+        "fvc_hits": system.fvc_hits,
+        "fvc_read_hits": system.fvc_read_hits,
+        "fvc_write_hits": system.fvc_write_hits,
+    }
+    return system.stats.as_dict(), extras
+
+
+class TestBaselineParity:
+    @pytest.mark.parametrize(
+        "size_kb, line_bytes", [(4, 16), (16, 32), (64, 64)]
+    )
+    def test_dmc(self, gcc_trace, size_kb, line_bytes):
+        geometry = CacheGeometry(size_kb * 1024, line_bytes, ways=1)
+        stats = dmc_stats(gcc_trace, geometry)
+        assert stats is not None
+        oracle = DirectMappedCache(geometry).simulate_batch(gcc_trace.records)
+        assert stats.as_dict() == oracle.as_dict()
+
+    @pytest.mark.parametrize("ways", [2, 4])
+    def test_setassoc(self, gcc_trace, ways):
+        geometry = CacheGeometry(16 * 1024, 32, ways=ways)
+        stats = setassoc_stats(gcc_trace, geometry)
+        assert stats is not None
+        oracle = SetAssociativeCache(geometry).simulate_batch(
+            gcc_trace.records
+        )
+        assert stats.as_dict() == oracle.as_dict()
+
+
+class TestFvcParity:
+    def test_small_geometry(self, gcc_trace):
+        geometry = CacheGeometry(4 * 1024, 16, ways=1)
+        encoder = encoder_for(gcc_trace, 3)
+        replayed = fvc_cell_replay(gcc_trace, geometry, 128, encoder)
+        assert replayed is not None
+        stats, extras = replayed
+        oracle_stats, oracle_extras = _fvc_oracle(
+            gcc_trace, geometry, 128, encoder
+        )
+        assert stats.as_dict() == oracle_stats
+        assert extras == oracle_extras
+
+    def test_pending_install_flushed_at_end_of_trace(self, store):
+        # Regression: the kernel resolves installs lazily at the
+        # victim's next touch, but the oracle installs eagerly — a
+        # displacement of a dirty FVC entry near the end of the trace
+        # must still be flushed even though the victim is never touched
+        # again.  compress/test at this geometry ends with 76 such
+        # displacements; before the end-of-group resolve the kernel
+        # undercounted writebacks by exactly that many entries.
+        trace = store.get("compress", "test")
+        geometry = CacheGeometry(16 * 1024, 32, ways=1)
+        encoder = encoder_for(trace, 7)
+        replayed = fvc_cell_replay(trace, geometry, 512, encoder)
+        assert replayed is not None
+        stats, extras = replayed
+        oracle_stats, oracle_extras = _fvc_oracle(
+            trace, geometry, 512, encoder
+        )
+        assert stats.as_dict() == oracle_stats
+        assert extras == oracle_extras
+
+
+class TestHierarchyParity:
+    def test_fresh_system_fast_forward(self, gcc_trace):
+        l1 = CacheGeometry(8 * 1024, 32, ways=1)
+        l2 = CacheGeometry(64 * 1024, 32, ways=4)
+        fast = TwoLevelSystem(l1, l2)
+        assert hierarchy_replay(fast, gcc_trace)
+        oracle = TwoLevelSystem(l1, l2)
+        oracle.simulate(gcc_trace.records)
+        assert fast.stats.as_dict() == oracle.stats.as_dict()
+        assert fast.l2_stats.as_dict() == oracle.l2_stats.as_dict()
+
+    def test_declines_warm_system(self, gcc_trace):
+        system = TwoLevelSystem(
+            CacheGeometry(8 * 1024, 32, ways=1),
+            CacheGeometry(64 * 1024, 32, ways=4),
+        )
+        system.simulate(gcc_trace.records[:64])
+        assert hierarchy_replay(system, gcc_trace) is False
+
+    def test_declines_setassoc_l1(self, gcc_trace):
+        system = TwoLevelSystem(
+            CacheGeometry(8 * 1024, 32, ways=2),
+            CacheGeometry(64 * 1024, 32, ways=4),
+        )
+        assert hierarchy_replay(system, gcc_trace) is False
+
+
+class TestDeclines:
+    def test_value_inconsistent_trace(self):
+        # A load observing a value other than the word's last store is
+        # outside the FVC kernel's envelope (its FVC-hit reasoning
+        # depends on value consistency).
+        trace = Trace([(1, 0, 5), (0, 0, 7)], workload="syn")
+        geometry = CacheGeometry(4096, 16, ways=1)
+        encoder = FrequentValueEncoder((0, 1, 2), 2)
+        assert fvc_cell_replay(trace, geometry, 64, encoder) is None
+
+    def test_out_of_range_value(self):
+        trace = Trace([(0, 0, 2**33)], workload="syn")
+        geometry = CacheGeometry(4096, 16, ways=1)
+        encoder = FrequentValueEncoder((0, 1, 2), 2)
+        assert fvc_cell_replay(trace, geometry, 64, encoder) is None
+
+    def test_non_power_of_two_fvc(self, gcc_trace):
+        geometry = CacheGeometry(4096, 16, ways=1)
+        encoder = encoder_for(gcc_trace, 3)
+        assert fvc_cell_replay(gcc_trace, geometry, 96, encoder) is None
+
+
+class TestProfileParity:
+    def test_ranked_value_counts_match_oracle(self, gcc_trace):
+        from repro.kernels.columnar import ranked_value_counts
+
+        total, distinct, ranked = ranked_value_counts(gcc_trace, depth=32)
+        oracle = profile_accessed_values(gcc_trace)
+        assert total == oracle.total_accesses
+        assert distinct == oracle.distinct_values
+        assert tuple(ranked) == oracle.ranked

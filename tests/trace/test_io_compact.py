@@ -83,6 +83,53 @@ class TestCompactness:
         assert v2.stat().st_size < v1.stat().st_size
 
 
+class TestStreamingWriter:
+    def test_multi_chunk_stream_matches_in_memory(self, tmp_path, monkeypatch):
+        # Stand-in for a multi-million-record trace: shrink the chunk
+        # size so a small synthetic trace crosses many chunk
+        # boundaries, then check the streamed file equals the in-memory
+        # serialisation byte for byte.
+        from repro.trace import io as trace_io
+
+        monkeypatch.setattr(trace_io, "_CHUNK_BYTES", 64)
+        trace = Trace(
+            [
+                (index & 1, (0x1000 + index * 4) & 0xFFFFFFFC, index % 97)
+                for index in range(5000)
+            ],
+            workload="syn",
+            input_name="test",
+        )
+        chunks = list(trace_io._compact_chunks(trace))
+        assert len(chunks) > 10  # header chunk + many record chunks
+        assert max(len(chunk) for chunk in chunks[1:]) < 64 + 16
+        path = tmp_path / "t.trc2"
+        write_trace_compact(trace, path)
+        streamed = path.read_bytes()
+        assert streamed == b"".join(chunks)
+        assert streamed == trace_io.trace_to_compact_bytes(trace)
+        assert read_trace_any(path) == trace
+
+    def test_chunk_boundary_roundtrip(self, tmp_path):
+        # Real chunk threshold: a trace big enough that the record
+        # buffer flushes mid-stream at the production chunk size.
+        from repro.trace.io import _CHUNK_RECORDS
+
+        count = _CHUNK_RECORDS + _CHUNK_RECORDS // 2
+        trace = Trace(
+            [
+                (0, (index * 4) & 0xFFFFFFFC, index & 0xFFFF)
+                for index in range(count)
+            ],
+            workload="big",
+        )
+        path = tmp_path / "big.trc2"
+        write_trace_compact(trace, path)
+        loaded = read_trace_any(path)
+        assert len(loaded) == count
+        assert loaded == trace
+
+
 class TestCompactErrors:
     def test_truncated_payload(self, tmp_path):
         trace = Trace([(0, 16, 1)] * 20)
