@@ -1,0 +1,203 @@
+"""Cluster fabric smoke gate (CI: the cluster-smoke job).
+
+Starts an in-process coordinator (``ReproService`` on an ephemeral
+port), attaches two real ``repro-fvc worker`` subprocesses, runs the
+fig13 test-scale sweep through the cluster lane, and gates on the
+bit-identical contract: the stored payload must equal what
+``repro-fvc run fig13 --fast --json`` (``--jobs 1``) prints, byte for
+byte.  Every cell must have been computed via worker leases — zero
+coordinator-side fallback.
+
+``--kill-one`` runs the failure drill on top: one worker is poisoned
+(``REPRO_FAULTS=engine.cell:hang``) so its first cell stalls, the
+worker is then SIGKILLed mid-lease, and the run must still complete
+with identical bytes — the coordinator's worker-TTL reap re-issues the
+orphaned lease to the surviving worker, and the audit log must record
+the takeover.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cluster_smoke.py [--kill-one]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from contextlib import redirect_stdout
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+EXPERIMENT = "fig13"
+
+
+def local_payload() -> bytes:
+    """What ``run fig13 --fast --json`` prints with ``--jobs 1``."""
+    from repro.cli import main
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        rc = main(["run", EXPERIMENT, "--fast", "--json"])
+    assert rc == 0, f"local run failed with exit code {rc}"
+    return buffer.getvalue().encode()
+
+
+def spawn_worker(url: str, name: str, cache_dir: str, faults: str = ""):
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+        REPRO_TRACE_CACHE_DIR=cache_dir,
+    )
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--coordinator", url, "--name", name, "--poll", "0.1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def wait_until(predicate, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise SystemExit(f"cluster smoke FAILED: {message}")
+        time.sleep(0.1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--kill-one",
+        action="store_true",
+        help="SIGKILL one worker mid-lease and gate the takeover",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import ReproService, ServiceConfig
+
+    tmp = tempfile.mkdtemp(prefix="cluster-smoke-")
+    service = ReproService(
+        ServiceConfig(
+            port=0,
+            workers=1,
+            store_dir=os.path.join(tmp, "results"),
+            # A tight TTL keeps the SIGKILL drill fast; the lease
+            # timeout stays long so recovery demonstrably comes from
+            # worker-loss reaping, not lease expiry.
+            cluster_worker_ttl=3.0,
+            cluster_lease_timeout=120.0,
+        )
+    ).start()
+    workers = []
+    try:
+        hang = "engine.cell:hang(300)@1" if args.kill_one else ""
+        workers.append(
+            spawn_worker(
+                service.url, "victim" if args.kill_one else "w0",
+                os.path.join(tmp, "cache-0"), faults=hang,
+            )
+        )
+        workers.append(
+            spawn_worker(
+                service.url, "w1", os.path.join(tmp, "cache-1")
+            )
+        )
+        wait_until(
+            lambda: service.cluster.live_worker_count() == 2,
+            timeout=30.0,
+            message="workers never registered",
+        )
+
+        client = ServiceClient(service.url)
+        job = client.submit_experiment(EXPERIMENT, fast=True)
+
+        if args.kill_one:
+            # The poisoned worker's first leased cell hangs.  Wait
+            # until it actually holds a lease, then SIGKILL it.
+            victim = workers[0]
+
+            def victim_holds_a_lease() -> bool:
+                view = service.cluster.workers_view()
+                return any(
+                    entry["pid"] == victim.pid and entry["leases"] > 0
+                    for entry in view["workers"]
+                )
+
+            wait_until(
+                victim_holds_a_lease,
+                timeout=60.0,
+                message="poisoned worker never took a lease",
+            )
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=10)
+            print(f"SIGKILLed worker pid {victim.pid} mid-lease")
+
+        done = client.wait(job["id"], timeout=600)
+        assert done["state"] == "done", done
+        served = client.result_bytes(done["result_key"])
+
+        expected = local_payload()
+        if served != expected:
+            raise SystemExit(
+                "cluster smoke FAILED: served payload differs from "
+                f"run --jobs 1 ({len(served)} vs {len(expected)} bytes)"
+            )
+
+        entries = service.metrics()["metrics"]
+        completed = entries["cluster_leases_completed_total"]["value"]
+        fallback = entries["cluster_local_fallback_total"]["value"]
+        assert completed >= 1, entries
+        if not args.kill_one:
+            assert fallback == 0, (
+                f"expected pure worker execution, saw {fallback} "
+                "local-fallback cells"
+            )
+
+        if args.kill_one:
+            events = [e["event"] for e in service.cluster.log_events()]
+            assert "worker_lost" in events, events
+            assert "reissue" in events, events
+            lost = entries["cluster_workers_lost_total"]["value"]
+            reissued = entries["cluster_leases_reissued_total"]["value"]
+            assert lost >= 1 and reissued >= 1, entries
+            print(
+                f"takeover OK: {lost} worker(s) lost, "
+                f"{reissued} lease(s) re-issued, audit log has "
+                f"{events.count('worker_lost')} worker_lost + "
+                f"{events.count('reissue')} reissue entries"
+            )
+
+        print(
+            f"cluster smoke OK: {EXPERIMENT} payload byte-identical "
+            f"across 2 workers ({completed} leases completed, "
+            f"{fallback} local fallback)"
+        )
+        return 0
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+        service.stop(drain=False)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,13 @@ Service mode (see docs/SERVICE.md)::
     repro-fvc status job-00001-abcdef12       # poll one job
     repro-fvc fetch <result-key>              # stored result payload
 
+Cluster mode (see docs/CLUSTER.md) — ``serve`` doubles as the
+coordinator; thin workers attach over the same ``/v1`` protocol::
+
+    repro-fvc serve --port 8031               # coordinator
+    repro-fvc worker --coordinator http://127.0.0.1:8031
+    repro-fvc worker --coordinator ... --batch 4 --name lab-02
+
 (Equivalent: ``python -m repro ...``.)
 """
 
@@ -238,9 +245,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         # quarantined (*.corrupt) and will regenerate on next use, but
         # CI and operators should notice.
         return 1 if report["quarantined"] else 0
+    from repro.engine.trace_cache import COMPACT_SUFFIX, ENTRY_SUFFIX
+
     entries = cache.entries()
+    # Entry kinds are distinguishable by suffix: columnar (.trcbe) is
+    # what this release writes, compact (.trc2e) what earlier releases
+    # persisted at the same content address.  Report them separately —
+    # a lumped total hides a cache full of legacy entries.
+    columnar = sum(1 for path, *_ in entries if path.suffix == ENTRY_SUFFIX)
+    legacy = sum(1 for path, *_ in entries if path.suffix == COMPACT_SUFFIX)
     print(f"trace cache: {cache.directory}")
-    print(f"entries: {len(entries)}")
+    print(f"entries: {len(entries)} "
+          f"({columnar} columnar {ENTRY_SUFFIX}, "
+          f"{legacy} legacy {COMPACT_SUFFIX})")
     total = 0
     # Sizes are bytes, matching the observability contract
     # (result_store_size_bytes and friends) — never KB.
@@ -443,6 +460,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store_dir=Path(args.store_dir) if args.store_dir else None,
             store_capacity=args.capacity,
             quiet=not args.verbose,
+            cluster_lease_timeout=args.lease_timeout,
+            cluster_worker_ttl=args.worker_ttl,
+            cluster_dispatchers=args.cluster_dispatchers,
+        )
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.worker import WorkerConfig, run_worker
+
+    return run_worker(
+        WorkerConfig(
+            coordinator=args.coordinator,
+            name=args.name,
+            batch=args.batch,
+            poll=args.poll,
+            timeout=args.timeout,
+            max_cells=args.max_cells if args.max_cells > 0 else None,
+            once=args.once,
         )
     )
 
@@ -776,7 +812,58 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="S",
+        help="cluster: seconds a granted cell lease stays valid before "
+        "it is revoked and re-issued (default 30)",
+    )
+    serve.add_argument(
+        "--worker-ttl", type=float, default=10.0, metavar="S",
+        help="cluster: seconds a silent worker stays registered; "
+        "workers heartbeat at a third of this (default 10)",
+    )
+    serve.add_argument(
+        "--cluster-dispatchers", type=int, default=2, metavar="K",
+        help="coordinator threads driving cluster-lane jobs (default 2)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a thin cluster worker attached to a coordinator "
+        "(registers, heartbeats, leases simulation cells over /v1); "
+        "see docs/CLUSTER.md",
+    )
+    worker.add_argument(
+        "--coordinator", required=True, metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8031",
+    )
+    worker.add_argument(
+        "--name", default="worker",
+        help="worker display name in GET /v1/workers (default 'worker')",
+    )
+    worker.add_argument(
+        "--batch", type=int, default=2, metavar="N",
+        help="cell leases pulled per request (default 2)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="idle re-poll interval in seconds (default 0.5)",
+    )
+    worker.add_argument(
+        "--timeout", type=float, default=30.0, metavar="S",
+        help="per-request HTTP timeout (default 30)",
+    )
+    worker.add_argument(
+        "--max-cells", type=int, default=0, metavar="N",
+        help="exit after N completed cells; 0 = unbounded (default)",
+    )
+    worker.add_argument(
+        "--once", action="store_true",
+        help="exit once the coordinator drains (after completing at "
+        "least one cell); for tests and benchmarks",
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     url_help = (
         "service URL (default $REPRO_SERVICE_URL or http://127.0.0.1:8031)"

@@ -14,10 +14,10 @@ Naming conventions (enforced by :func:`is_metric_name` plus review):
   pretending to be sizes);
 * durations are seconds and end in ``_seconds``.
 
-The service's legacy flat keys (``jobs_retries`` and friends) predate
-the catalog; they survive one release as documented aliases of the
-registered names (see :meth:`repro.service.server.ReproService.metrics`)
-and are not part of this set.
+The service's legacy flat keys (``jobs_retries`` and friends) predated
+the catalog, were aliased for exactly one release, and are now retired:
+``/v1/metrics`` serves only the structured ``metrics/v1`` entries named
+here (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -93,5 +93,23 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "workers",
         "degraded",
         "uptime_seconds",
+        # Cluster: coordinator-side fabric state (repro.cluster).
+        "cluster_workers",
+        "cluster_workers_registered_total",
+        "cluster_workers_lost_total",
+        "cluster_heartbeats_total",
+        "cluster_leases_issued_total",
+        "cluster_leases_completed_total",
+        "cluster_leases_expired_total",
+        "cluster_leases_reissued_total",
+        "cluster_cells_stolen_total",
+        "cluster_results_stale_total",
+        "cluster_local_fallback_total",
+        "cluster_trace_serves_total",
+        "cluster_pending_cells",
+        "cluster_leased_cells",
+        # Cluster: worker-side loop (repro.cluster.worker).
+        "cluster_cells_total",
+        "cluster_trace_fetches_total",
     }
 )

@@ -45,6 +45,16 @@ _TERMINAL = (DONE, FAILED, CANCELLED)
 #: changes bump it (see ``docs/API.md``).
 JOB_SCHEMA = "job/v1"
 
+#: Execution lanes.  ``local`` jobs are claimed by the in-process
+#: worker pool (child processes on this host); ``cluster`` jobs by the
+#: cluster executor, which shards their cells across registered remote
+#: workers (see ``docs/CLUSTER.md``).  A lane is an execution strategy,
+#: never a result namespace: both lanes produce the same payload bytes
+#: for the same spec.
+LOCAL_LANE = "local"
+CLUSTER_LANE = "cluster"
+LANES = (LOCAL_LANE, CLUSTER_LANE)
+
 
 class QueueFullError(Exception):
     """A submission was shed: the pending queue is at its depth bound.
@@ -86,6 +96,8 @@ class Job:
     payload: Optional[Dict] = None
     #: Set to request cancellation; checked queued and running.
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: Which execution lane claims this job (``local`` / ``cluster``).
+    lane: str = LOCAL_LANE
 
     def as_dict(self, include_result: bool = True) -> Dict:
         """The job's public JSON view (``GET /v1/jobs/<id>``)."""
@@ -94,6 +106,7 @@ class Job:
             "id": self.id,
             "spec": self.spec,
             "result_key": self.result_key,
+            "lane": self.lane,
             "state": self.state,
             "created": self.created,
             "started": self.started,
@@ -126,7 +139,9 @@ class JobQueue:
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []  # insertion order, for trimming
-        self._pending: "queue.Queue[str]" = queue.Queue()
+        self._pending: Dict[str, "queue.Queue[str]"] = {
+            lane: queue.Queue() for lane in LANES
+        }
         self._max_jobs = max_jobs
         #: Pending-job bound; ``None`` = unbounded.  At the bound, new
         #: (non-deduplicated) submissions raise :class:`QueueFullError`.
@@ -159,16 +174,21 @@ class JobQueue:
                 return
 
     # Submission --------------------------------------------------------
-    def submit(self, spec: Dict, result_key: str) -> Tuple[Job, bool]:
+    def submit(
+        self, spec: Dict, result_key: str, lane: str = LOCAL_LANE
+    ) -> Tuple[Job, bool]:
         """Register a new queued job; returns ``(job, deduplicated)``.
 
         When a live job with the same result key exists, that job is
         returned instead (``deduplicated=True``) and nothing new is
         enqueued.  Deduplicated submissions are never shed — they add
         no work — but a submission that *would* enqueue a new job while
-        ``max_queue_depth`` jobs are already pending raises
-        :class:`QueueFullError` instead of growing the backlog.
+        ``max_queue_depth`` jobs are already pending (across every
+        lane) raises :class:`QueueFullError` instead of growing the
+        backlog.
         """
+        if lane not in LANES:
+            raise ValueError(f"unknown job lane {lane!r}")
         with self._lock:
             self.submitted += 1
             for job_id in reversed(self._order):
@@ -185,11 +205,14 @@ class JobQueue:
                 if depth >= self.max_queue_depth:
                     self.shed += 1
                     raise QueueFullError(depth, self.max_queue_depth)
-            job = Job(id=self._new_id(), spec=spec, result_key=result_key)
+            job = Job(
+                id=self._new_id(), spec=spec, result_key=result_key,
+                lane=lane,
+            )
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._trim()
-        self._pending.put(job.id)
+        self._pending[lane].put(job.id)
         return job, False
 
     def add_cached(self, spec: Dict, result_key: str, payload: Dict) -> Job:
@@ -215,11 +238,14 @@ class JobQueue:
         return job
 
     # Worker side -------------------------------------------------------
-    def next_job(self, timeout: float = 0.2) -> Optional[Job]:
-        """Claim the next pending job (``running``), or ``None`` on
-        timeout.  Jobs cancelled while queued are resolved here."""
+    def next_job(
+        self, timeout: float = 0.2, lane: str = LOCAL_LANE
+    ) -> Optional[Job]:
+        """Claim the next pending job (``running``) from ``lane``, or
+        ``None`` on timeout.  Jobs cancelled while queued are resolved
+        here."""
         try:
-            job_id = self._pending.get(timeout=timeout)
+            job_id = self._pending[lane].get(timeout=timeout)
         except queue.Empty:
             return None
         with self._lock:
@@ -286,10 +312,15 @@ class JobQueue:
         with self._lock:
             return [self._jobs[job_id] for job_id in self._order]
 
-    def queue_depth(self) -> int:
-        """Number of jobs waiting for a worker."""
+    def queue_depth(self, lane: Optional[str] = None) -> int:
+        """Number of jobs waiting for a worker — in ``lane``, or in
+        every lane when ``lane`` is ``None`` (the overload bound)."""
         with self._lock:
-            return sum(1 for j in self._jobs.values() if j.state == QUEUED)
+            return sum(
+                1
+                for j in self._jobs.values()
+                if j.state == QUEUED and (lane is None or j.lane == lane)
+            )
 
     def running_count(self) -> int:
         with self._lock:

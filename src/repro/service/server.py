@@ -2,24 +2,35 @@
 
 Endpoints (all JSON, all under ``/v1``):
 
-========================  ====================================================
-``POST /v1/jobs``         submit a job spec; answered from the result store
-                          when the key is resident, deduplicated against
-                          in-flight jobs otherwise
-``GET /v1/jobs/<id>``     job status, progress, and (when done) the result
-``DELETE /v1/jobs/<id>``  request cancellation
-``GET /v1/jobs``          every known job, submission order
-``GET /v1/results/<key>`` the stored canonical payload bytes
-``GET /v1/metrics``       versioned ``metrics/v1`` snapshot (plus the
-                          legacy flat keys); ``?format=prom`` renders
-                          Prometheus text exposition
-``GET /v1/healthz``       liveness probe + degradation state
-========================  ====================================================
+================================  ============================================
+``POST /v1/jobs``                 submit a job spec; answered from the result
+                                  store when the key is resident, deduplicated
+                                  against in-flight jobs otherwise
+``GET /v1/jobs/<id>``             job status, progress, and (when done) the
+                                  result
+``DELETE /v1/jobs/<id>``          request cancellation
+``GET /v1/jobs``                  every known job, submission order
+``GET /v1/results/<key>``         the stored canonical payload bytes
+``GET /v1/metrics``               versioned ``metrics/v1`` snapshot only (the
+                                  pre-catalog flat keys are retired);
+                                  ``?format=prom`` renders Prometheus text
+``GET /v1/healthz``               liveness probe + degradation state
+``POST /v1/workers``              register a cluster worker
+``POST /v1/workers/<id>/heartbeat``  refresh a worker's liveness clock
+``DELETE /v1/workers/<id>``       deregister (graceful worker goodbye)
+``GET /v1/workers``               fabric topology + queue state
+``POST /v1/cells/lease``          pull cell leases for a worker
+``POST /v1/cells/<id>/result``    push one computed cell payload
+``GET /v1/traces/<wl>/<input>``   enveloped trace-cache entry bytes
+================================  ============================================
 
 The server is a :class:`http.server.ThreadingHTTPServer` — requests are
 cheap bookkeeping; all simulation happens in the worker pool's child
-processes.  ``repro-fvc serve`` wires SIGTERM/SIGINT to a graceful
-drain: stop accepting, finish every accepted job, exit.
+processes, or — when cluster workers are registered — in the remote
+worker processes the :class:`~repro.cluster.ClusterScheduler` leases
+cells to (``docs/CLUSTER.md``).  ``repro-fvc serve`` wires
+SIGTERM/SIGINT to a graceful drain: stop accepting, finish every
+accepted job, exit.
 
 **Overload contract**: the pending queue is bounded
 (``max_queue_depth``).  A submission that would grow the backlog past
@@ -83,6 +94,15 @@ class ServiceConfig:
     max_queue_depth: Optional[int] = 256
     #: Floor for the 503 ``Retry-After`` hint, seconds.
     retry_after_floor: float = 1.0
+    #: Cluster: how long a granted cell lease stays valid before it is
+    #: revoked and re-issued (worker-loss recovery latency).  Mirrors
+    #: :data:`repro.cluster.protocol.DEFAULT_LEASE_SECONDS`.
+    cluster_lease_timeout: float = 30.0
+    #: Cluster: how long a silent worker stays registered.  Mirrors
+    #: :data:`repro.cluster.protocol.DEFAULT_WORKER_TTL_SECONDS`.
+    cluster_worker_ttl: float = 10.0
+    #: Cluster: coordinator threads driving ``cluster``-lane jobs.
+    cluster_dispatchers: int = 2
 
 
 class ReproService:
@@ -112,6 +132,25 @@ class ReproService:
             on_done=self._store_result,
             registry=self.registry,
         )
+        # Imported lazily: repro.cluster leans on repro.service.api, so
+        # a module-level import here would be circular.
+        from repro.cluster.coordinator import ClusterExecutor, ClusterScheduler
+
+        #: Coordinator-side cluster fabric: worker registry, lease
+        #: table, pending-cell queue (docs/CLUSTER.md).
+        self.cluster = ClusterScheduler(
+            store=self.store,
+            registry=self.registry,
+            lease_timeout=self.config.cluster_lease_timeout,
+            worker_ttl=self.config.cluster_worker_ttl,
+        )
+        self.cluster_exec = ClusterExecutor(
+            self.jobs,
+            self.cluster,
+            on_done=self._store_result,
+            dispatchers=self.config.cluster_dispatchers,
+            registry=self.registry,
+        )
         self.started_at = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
@@ -121,6 +160,25 @@ class ReproService:
         """Worker-pool completion hook: offer the payload for
         result-store residency."""
         return self.store.put(job.result_key, payload_bytes(payload))
+
+    def _pick_lane(self, spec: Dict) -> str:
+        """Which lane executes a new job: the ``cluster`` lane when
+        live workers are registered and the spec decomposes into cells
+        (cell specs always do; experiments when they plan cells), the
+        local worker pool otherwise."""
+        from repro.service.jobs import CLUSTER_LANE, LOCAL_LANE
+
+        if self.cluster.live_worker_count() == 0:
+            return LOCAL_LANE
+        if spec["type"] == "cell":
+            return CLUSTER_LANE
+        if spec["type"] == "experiment":
+            from repro.experiments.registry import get_experiment
+
+            experiment = get_experiment(spec["experiment_id"])
+            if experiment.plan_cells(spec["fast"]) is not None:
+                return CLUSTER_LANE
+        return LOCAL_LANE
 
     def submit(self, raw_spec: object) -> Tuple[Dict, int]:
         """Handle one submission; returns ``(body, http_status)``."""
@@ -132,7 +190,9 @@ class ReproService:
             body = job.as_dict()
             body["deduplicated"] = False
             return body, 200
-        job, deduplicated = self.jobs.submit(spec, key)
+        job, deduplicated = self.jobs.submit(
+            spec, key, lane=self._pick_lane(spec)
+        )
         body = job.as_dict()
         body["deduplicated"] = deduplicated
         return body, 200 if deduplicated else 202
@@ -166,8 +226,9 @@ class ReproService:
             "max_queue_depth": self.jobs.max_queue_depth,
         }
 
-    #: Legacy flat key → registered counter name (``docs/API.md``
-    #: documents the aliases; the flat spellings survive one release).
+    #: Raw stats key → registered counter name (the catalogued
+    #: spellings are the only ones ``/v1/metrics`` serves — the old
+    #: flat aliases are retired, see ``docs/OBSERVABILITY.md``).
     _JOB_COUNTERS = {
         "submitted": "jobs_submitted_total",
         "completed": "jobs_completed_total",
@@ -213,6 +274,8 @@ class ReproService:
         }
         for name, value in gauges.items():
             samples[name] = {"type": "gauge", "value": value}
+        # Cluster fabric state (registrations, leases, steals).
+        samples.update(self.cluster.metric_samples())
         # Request counters/latency and worker attempts live in the
         # per-service registry; engine metrics (REPRO_OBS=1 in-process
         # runs) in the process-global one.
@@ -222,26 +285,17 @@ class ReproService:
 
     def metrics(self) -> Dict:
         """The ``/v1/metrics`` body: the versioned ``metrics/v1``
-        object plus every legacy flat key (aliases, one release)."""
+        object, nothing else.  The pre-catalog flat keys
+        (``jobs_completed`` and friends) were aliased for exactly one
+        release and are retired — consumers read
+        ``metrics["<registered name>"]["value"]``."""
         from repro import __version__
 
-        jobs = self.jobs.stats()
-        store = self.store.stats()
-        flat: Dict[str, object] = {
-            f"jobs_{name}": value for name, value in jobs.items()
+        return {
+            "schema": METRICS_SCHEMA,
+            "version": __version__,
+            "metrics": self.metric_samples(),
         }
-        flat.update(
-            (f"result_store_{name}", value) for name, value in store.items()
-        )
-        flat["queue_depth"] = jobs["queued"]
-        flat["max_queue_depth"] = self.jobs.max_queue_depth
-        flat["degraded"] = self.degraded()
-        flat["workers"] = self.pool.workers
-        flat["uptime_seconds"] = round(time.time() - self.started_at, 3)
-        flat["version"] = __version__
-        flat["schema"] = METRICS_SCHEMA
-        flat["metrics"] = self.metric_samples()
-        return flat
 
     # Lifecycle ---------------------------------------------------------
     @property
@@ -263,6 +317,7 @@ class ReproService:
         )
         self._httpd.daemon_threads = True
         self.pool.start()
+        self.cluster_exec.start()
         self._http_thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-service-http",
@@ -284,6 +339,7 @@ class ReproService:
         if self._http_thread is not None:
             self._http_thread.join(timeout=5.0)
             self._http_thread = None
+        self.cluster_exec.stop(drain=drain, timeout=timeout)
         self.pool.stop(drain=drain, timeout=timeout)
 
 
@@ -440,37 +496,110 @@ def _make_handler(service: ReproService, quiet: bool = True):
                     self._error(404, f"no such result: {route[2]}")
                 else:
                     self._send(200, payload, "application/json")
+            elif route == ("v1", "workers"):
+                self._json(200, service.cluster.workers_view())
+            elif len(route) == 4 and route[:2] == ("v1", "traces"):
+                try:
+                    blob = service.cluster.trace_entry_bytes(
+                        route[2], route[3]
+                    )
+                except ReproError as exc:
+                    self._error(404, str(exc))
+                except OSError as exc:
+                    self._error(500, f"trace entry unavailable: {exc}")
+                else:
+                    self._send(200, blob, "application/octet-stream")
             else:
                 self._error(404, f"no such endpoint: {self.path}")
+
+        def _read_json(self):
+            """The request body as JSON, or ``None`` after answering
+            400 (callers just return)."""
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                return json.loads(self.rfile.read(length) or b"null")
+            except (ValueError, json.JSONDecodeError):
+                self._error(400, "request body must be valid JSON")
+                return None
 
         def _handle_post(self) -> None:
             if not self._guard():
                 return
             route = self._route()
-            if route != ("v1", "jobs"):
-                self._error(404, f"no such endpoint: {self.path}")
-                return
-            try:
-                length = int(self.headers.get("Content-Length", "0"))
-                raw = json.loads(self.rfile.read(length) or b"null")
-            except (ValueError, json.JSONDecodeError):
-                self._error(400, "request body must be valid JSON")
-                return
-            try:
-                body, status = service.submit(raw)
-            except QueueFullError as exc:
-                self._error(
-                    503,
-                    str(exc),
-                    headers={"Retry-After": str(service.retry_after())},
+            if route == ("v1", "jobs"):
+                raw = self._read_json()
+                if raw is None:
+                    return
+                try:
+                    body, status = service.submit(raw)
+                except QueueFullError as exc:
+                    self._error(
+                        503,
+                        str(exc),
+                        headers={"Retry-After": str(service.retry_after())},
+                    )
+                    return
+                except ReproError as exc:
+                    # SpecError, unknown experiments/workloads, bad
+                    # geometry — all client mistakes.
+                    self._error(400, str(exc))
+                    return
+                self._json(status, body)
+            elif route == ("v1", "workers"):
+                raw = self._read_json()
+                if raw is None:
+                    return
+                raw = raw if isinstance(raw, dict) else {}
+                grant = service.cluster.register(
+                    name=str(raw.get("name", "worker")),
+                    pid=raw.get("pid"),
+                    host=raw.get("host"),
                 )
-                return
-            except ReproError as exc:
-                # SpecError, unknown experiments/workloads, bad
-                # geometry — all client mistakes.
-                self._error(400, str(exc))
-                return
-            self._json(status, body)
+                self._json(200, grant)
+            elif (
+                len(route) == 4
+                and route[:2] == ("v1", "workers")
+                and route[3] == "heartbeat"
+            ):
+                try:
+                    self._json(200, service.cluster.heartbeat(route[2]))
+                except (FaultInjected, OSError) as exc:
+                    self._error(500, f"injected cluster fault: {exc}")
+            elif route == ("v1", "cells", "lease"):
+                raw = self._read_json()
+                if raw is None:
+                    return
+                raw = raw if isinstance(raw, dict) else {}
+                try:
+                    grant = service.cluster.lease(
+                        str(raw.get("worker_id", "")),
+                        max_leases=int(raw.get("max_leases", 1)),
+                    )
+                except (FaultInjected, OSError) as exc:
+                    self._error(500, f"injected cluster fault: {exc}")
+                    return
+                self._json(200, grant)
+            elif (
+                len(route) == 4
+                and route[:2] == ("v1", "cells")
+                and route[3] == "result"
+            ):
+                raw = self._read_json()
+                if raw is None:
+                    return
+                raw = raw if isinstance(raw, dict) else {}
+                try:
+                    verdict = service.cluster.complete(
+                        route[2],
+                        str(raw.get("worker_id", "")),
+                        raw.get("payload"),
+                    )
+                except (FaultInjected, OSError) as exc:
+                    self._error(500, f"injected cluster fault: {exc}")
+                    return
+                self._json(200, verdict)
+            else:
+                self._error(404, f"no such endpoint: {self.path}")
 
         def _handle_delete(self) -> None:
             if not self._guard():
@@ -482,6 +611,11 @@ def _make_handler(service: ReproService, quiet: bool = True):
                     self._error(404, f"no such job: {route[2]}")
                 else:
                     self._json(202, job.as_dict(include_result=False))
+            elif len(route) == 3 and route[:2] == ("v1", "workers"):
+                if service.cluster.deregister(route[2]):
+                    self._json(200, {"removed": True})
+                else:
+                    self._error(404, f"no such worker: {route[2]}")
             else:
                 self._error(404, f"no such endpoint: {self.path}")
 

@@ -1,0 +1,333 @@
+"""Coordinator scheduler unit tests: leases, liveness, stealing.
+
+Everything here drives :class:`ClusterScheduler` on an injected clock —
+no sleeping, no HTTP, and (for the protocol tests) no simulation:
+payloads are minimal valid ``repro.cell/1`` dicts.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.coordinator import ClusterScheduler
+from repro.cluster.protocol import (
+    cell_fields,
+    cell_from_fields,
+    cell_task_key,
+)
+from repro.engine.cells import SimCell, run_cell
+from repro.service.api import CELL_SCHEMA, cell_payload, result_key
+
+
+def make_cells(count):
+    """Distinct tiny cells (distinct geometry => distinct task keys)."""
+    return [
+        SimCell(
+            workload="go",
+            input_name="test",
+            kind="baseline",
+            size_bytes=(index + 1) * 1024,
+        )
+        for index in range(count)
+    ]
+
+
+def payload_for(cell):
+    """A wire-valid payload without running any simulation."""
+    return {
+        "schema": CELL_SCHEMA,
+        "cell": cell_fields(cell),
+        "stats": {"accesses": 1},
+        "extras": {},
+    }
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+@pytest.fixture()
+def sched(clock):
+    return ClusterScheduler(
+        lease_timeout=30.0, worker_ttl=10.0, max_attempts=3, clock=clock
+    )
+
+
+class TestRegistry:
+    def test_register_grants_id_and_timing(self, sched):
+        grant = sched.register(name="alpha", pid=42, host="h")
+        assert grant["schema"] == "worker/v1"
+        assert grant["worker_id"] == "w-0001"
+        assert grant["lease_seconds"] == 30.0
+        assert 0 < grant["heartbeat_seconds"] < 10.0
+
+    def test_heartbeat_refreshes_and_unknown_is_flagged(self, sched, clock):
+        worker = sched.register()["worker_id"]
+        clock.now = 9.0
+        assert sched.heartbeat(worker)["known"] is True
+        assert sched.live_worker_count() == 1
+        assert sched.heartbeat("w-9999")["known"] is False
+
+    def test_silent_worker_expires_after_ttl(self, sched, clock):
+        sched.register()
+        clock.now = 10.1
+        sched.reap()
+        assert sched.live_worker_count() == 0
+        assert sched.counters["cluster_workers_lost_total"] == 1
+
+    def test_deregister_requeues_held_leases(self, sched):
+        worker = sched.register()["worker_id"]
+        cells = make_cells(1)
+        sched._task_for(cells[0])
+        assert sched.lease(worker)["leases"]
+        assert sched.deregister(worker) is True
+        assert sched.deregister(worker) is False
+        # The cell went back to the queue for the next worker.
+        other = sched.register()["worker_id"]
+        assert sched.lease(other)["leases"]
+
+
+class TestLeasing:
+    def test_lease_batches_and_drains(self, sched):
+        worker = sched.register()["worker_id"]
+        for cell in make_cells(3):
+            sched._task_for(cell)
+        grant = sched.lease(worker, max_leases=2)
+        assert len(grant["leases"]) == 2
+        assert [entry["attempt"] for entry in grant["leases"]] == [1, 1]
+        assert len(sched.lease(worker, max_leases=2)["leases"]) == 1
+        assert sched.lease(worker)["leases"] == []
+
+    def test_unknown_worker_is_told_to_reregister(self, sched):
+        assert sched.lease("w-0404") == {
+            "schema": "lease/v1", "known": False, "leases": [],
+        }
+
+    def test_leased_cell_travels_as_its_field_dict(self, sched):
+        worker = sched.register()["worker_id"]
+        cell = make_cells(1)[0]
+        sched._task_for(cell)
+        wire = sched.lease(worker)["leases"][0]["cell"]
+        assert cell_from_fields(wire) == cell
+
+    def test_expired_lease_is_reissued_with_higher_attempt(
+        self, sched, clock
+    ):
+        worker = sched.register()["worker_id"]
+        cell = make_cells(1)[0]
+        sched._task_for(cell)
+        first = sched.lease(worker)["leases"][0]
+        clock.now = 31.0  # past lease_timeout, inside a fresh ttl below
+        sched.heartbeat(worker)
+        second = sched.lease(worker)["leases"][0]
+        assert second["attempt"] == 2
+        assert second["lease_id"] != first["lease_id"]
+        events = [e["event"] for e in sched.log_events()]
+        assert "lease_expired" in events and "reissue" in events
+        assert sched.counters["cluster_leases_expired_total"] == 1
+        assert sched.counters["cluster_leases_reissued_total"] == 1
+
+    def test_worker_loss_requeues_to_survivor(self, sched, clock):
+        lost = sched.register(name="doomed")["worker_id"]
+        cell = make_cells(1)[0]
+        sched._task_for(cell)
+        assert sched.lease(lost)["leases"]
+        clock.now = 10.5  # doomed never heartbeats again
+        survivor = sched.register(name="survivor")["worker_id"]
+        grant = sched.lease(survivor)
+        assert len(grant["leases"]) == 1
+        assert grant["leases"][0]["attempt"] == 2
+        events = [e["event"] for e in sched.log_events()]
+        assert "worker_lost" in events
+        takeovers = sched.log_events("reissue")
+        assert takeovers and takeovers[0]["worker"] == lost
+
+    def test_idle_worker_steals_from_loaded_one(self, sched):
+        loaded = sched.register(name="loaded")["worker_id"]
+        for cell in make_cells(3):
+            sched._task_for(cell)
+        assert len(sched.lease(loaded, max_leases=3)["leases"]) == 3
+        thief = sched.register(name="thief")["worker_id"]
+        stolen = sched.lease(thief)
+        assert len(stolen["leases"]) == 1
+        assert sched.counters["cluster_cells_stolen_total"] == 1
+        # Stealing never takes the victim's last lease.
+        assert len(sched.lease(thief)["leases"]) == 1
+        assert sched.lease(thief)["leases"] == []
+
+    def test_lease_budget_diverts_to_local_fallback(self, sched, clock):
+        worker = sched.register()["worker_id"]
+        cell = make_cells(1)[0]
+        sched._task_for(cell)
+        for round_index in range(3):  # max_attempts grants
+            assert sched.lease(worker)["leases"], round_index
+            clock.now += 31.0
+            sched.heartbeat(worker)
+        # Budget spent: workers never see the cell again ...
+        assert sched.lease(worker)["leases"] == []
+        # ... the coordinator claims it instead.
+        assert sched._claim_local() is not None
+
+
+class TestResults:
+    def test_complete_resolves_the_lease(self, sched):
+        worker = sched.register()["worker_id"]
+        cell = make_cells(1)[0]
+        task = sched._task_for(cell)
+        lease = sched.lease(worker)["leases"][0]
+        verdict = sched.complete(
+            lease["lease_id"], worker, payload_for(cell)
+        )
+        assert verdict == {"accepted": True, "stale": False}
+        assert task.state == "done"
+        assert task.event.is_set()
+        assert sched.counters["cluster_leases_completed_total"] == 1
+
+    def test_stale_push_is_acknowledged_and_dropped(self, sched, clock):
+        worker = sched.register()["worker_id"]
+        cell = make_cells(1)[0]
+        sched._task_for(cell)
+        old = sched.lease(worker)["leases"][0]
+        clock.now = 31.0
+        sched.heartbeat(worker)
+        fresh = sched.lease(worker)["leases"][0]
+        stale = sched.complete(old["lease_id"], worker, payload_for(cell))
+        assert stale == {"accepted": False, "stale": True}
+        good = sched.complete(fresh["lease_id"], worker, payload_for(cell))
+        assert good["accepted"] is True
+        assert sched.counters["cluster_results_stale_total"] == 1
+
+    def test_mismatched_worker_is_stale(self, sched):
+        worker = sched.register()["worker_id"]
+        other = sched.register()["worker_id"]
+        cell = make_cells(1)[0]
+        sched._task_for(cell)
+        lease = sched.lease(worker)["leases"][0]
+        verdict = sched.complete(lease["lease_id"], other, payload_for(cell))
+        assert verdict["stale"] is True
+
+    def test_malformed_payload_requeues_the_cell(self, sched):
+        worker = sched.register()["worker_id"]
+        cell = make_cells(1)[0]
+        task = sched._task_for(cell)
+        lease = sched.lease(worker)["leases"][0]
+        bad = payload_for(make_cells(2)[1])  # wrong cell fields
+        verdict = sched.complete(lease["lease_id"], worker, bad)
+        assert verdict == {"accepted": False, "stale": False}
+        assert task.state == "pending"
+        assert sched.lease(worker)["leases"]  # re-grantable
+
+
+class TestTaskKeys:
+    def test_task_key_is_the_cell_job_result_key(self):
+        cell = SimCell(workload="gcc", input_name="test", kind="fvc")
+        spec = {"type": "cell"}
+        spec.update(cell_fields(cell))
+        assert cell_task_key(cell) == result_key(spec)
+
+    def test_result_store_is_a_cluster_wide_memo(self, clock, store):
+        """A cell whose payload is already stored is born done — no
+        lease, no simulation."""
+
+        class DictStore:
+            def __init__(self):
+                self.blobs = {}
+
+            def get(self, key):
+                return self.blobs.get(key)
+
+            def put(self, key, payload):
+                self.blobs[key] = payload
+                return True
+
+        memo = DictStore()
+        cell = SimCell(
+            workload="go", input_name="test", kind="baseline",
+            size_bytes=4 * 1024,
+        )
+        first = ClusterScheduler(store=memo, clock=clock)
+        results = first.run_cells([cell], store=store)
+        assert cell_task_key(cell) in memo.blobs
+        second = ClusterScheduler(store=memo, clock=clock)
+        again = second.run_cells([cell], store=store)
+        assert again[0].stats == results[0].stats
+        # Second scheduler resolved purely from the store.
+        assert second.counters["cluster_local_fallback_total"] == 0
+        assert [e["event"] for e in second.log_events()] == ["complete"]
+
+
+class TestRunCells:
+    def test_no_workers_falls_back_to_local_and_matches_run_cell(
+        self, store
+    ):
+        cells = make_cells(2)
+        sched = ClusterScheduler(clock=time.monotonic)
+        results = sched.run_cells(cells, store=store)
+        for cell, result in zip(cells, results):
+            direct = run_cell(cell, store)
+            assert result.stats == direct.stats
+            assert result.extras == direct.extras
+        assert sched.counters["cluster_local_fallback_total"] == 2
+
+    def test_worker_computed_cells_merge_bit_identically(self, store):
+        """A thread playing the worker protocol produces results equal
+        to direct run_cell — the determinism contract end to end."""
+        cells = make_cells(2)
+        sched = ClusterScheduler(
+            lease_timeout=60.0, worker_ttl=60.0, clock=time.monotonic
+        )
+        worker = sched.register(name="thread")["worker_id"]
+
+        def worker_loop():
+            done = 0
+            while done < len(cells):
+                grant = sched.lease(worker, max_leases=1)
+                for lease in grant["leases"]:
+                    cell = cell_from_fields(lease["cell"])
+                    sched.complete(
+                        lease["lease_id"], worker,
+                        cell_payload(run_cell(cell, store)),
+                    )
+                    done += 1
+
+        thread = threading.Thread(target=worker_loop, daemon=True)
+        thread.start()
+        results = sched.run_cells(cells, store=store)
+        thread.join(timeout=30)
+        for cell, result in zip(cells, results):
+            direct = run_cell(cell, store)
+            assert result.stats == direct.stats
+            assert result.extras == direct.extras
+        assert sched.counters["cluster_local_fallback_total"] == 0
+
+    def test_progress_reports_monotonically(self, store):
+        cells = make_cells(2)
+        sched = ClusterScheduler(clock=time.monotonic)
+        seen = []
+        sched.run_cells(
+            cells, progress=lambda done, total: seen.append((done, total)),
+            store=store,
+        )
+        assert seen[0] == (0, 2)
+        assert seen[-1] == (2, 2)
+        assert [s for s, _ in seen] == sorted(s for s, _ in seen)
+
+
+class TestMetricSamples:
+    def test_samples_are_catalogued_and_typed(self, sched):
+        from repro.obs.names import METRIC_NAMES
+
+        samples = sched.metric_samples()
+        assert set(samples) <= METRIC_NAMES
+        assert samples["cluster_workers"]["type"] == "gauge"
+        assert samples["cluster_leases_issued_total"]["type"] == "counter"

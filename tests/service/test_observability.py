@@ -1,5 +1,5 @@
 """Service observability: versioned metrics payload, prom exposition,
-job/v1-tagged job views — while every legacy flat key keeps working."""
+job/v1-tagged job views — with the legacy flat keys gone for good."""
 
 import pytest
 
@@ -51,9 +51,12 @@ class TestMetricsV1:
         assert histogram["count"] >= 1
         assert histogram["buckets"][-1]["le"] == "+Inf"
 
-    def test_legacy_flat_keys_survive(self, client, finished_job):
-        """One release of aliasing: the pre-metrics/v1 flat spelling."""
+    def test_legacy_flat_keys_are_retired(self, client, finished_job):
+        """The pre-metrics/v1 flat spellings were aliased for exactly
+        one release; the payload now carries only the envelope and the
+        structured entries."""
         metrics = client.metrics()
+        assert sorted(metrics) == ["metrics", "schema", "version"]
         for legacy in (
             "jobs_submitted",
             "jobs_completed",
@@ -62,10 +65,13 @@ class TestMetricsV1:
             "queue_depth",
             "uptime_seconds",
         ):
-            assert legacy in metrics
-        assert metrics["jobs_submitted"] == (
-            metrics["metrics"]["jobs_submitted_total"]["value"]
-        )
+            assert legacy not in metrics
+
+    def test_cluster_metrics_are_registered(self, client, finished_job):
+        structured = client.metrics()["metrics"]
+        assert structured["cluster_workers"]["type"] == "gauge"
+        assert structured["cluster_leases_issued_total"]["type"] == "counter"
+        assert structured["cluster_pending_cells"]["value"] == 0
 
     def test_prometheus_exposition(self, client, finished_job):
         body = client._request("GET", "/v1/metrics?format=prom").decode()

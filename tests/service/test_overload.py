@@ -73,7 +73,7 @@ class TestServerShedding:
 
         second = client.submit_experiment("fig10", fast=True)
         assert client.healthz()["status"] == "degraded"
-        assert client.metrics()["degraded"] is True
+        assert client.metrics()["metrics"]["degraded"]["value"] == 1
 
         with pytest.raises(ServiceError) as excinfo:
             client.submit_experiment("fig12", fast=True)
@@ -90,4 +90,4 @@ class TestServerShedding:
         assert client.healthz()["status"] == "ok"
         third = client.submit_experiment("fig12", fast=True)
         assert client.wait(third["id"], timeout=120.0)["state"] == "done"
-        assert client.metrics()["jobs_shed"] == 1
+        assert client.metrics()["metrics"]["jobs_shed_total"]["value"] == 1

@@ -44,17 +44,19 @@ class TestEndpoints:
 
     def test_metrics_shape(self, client):
         metrics = client.metrics()
-        for counter in (
-            "jobs_submitted",
-            "jobs_completed",
-            "jobs_failed",
-            "jobs_cancelled",
-            "result_store_hits",
-            "result_store_admission_rejects",
+        assert metrics["schema"] == "metrics/v1"
+        structured = metrics["metrics"]
+        for name in (
+            "jobs_submitted_total",
+            "jobs_completed_total",
+            "jobs_failed_total",
+            "jobs_cancelled_total",
+            "result_store_hits_total",
+            "result_store_admission_rejects_total",
             "queue_depth",
             "uptime_seconds",
         ):
-            assert counter in metrics
+            assert name in structured
 
     def test_unknown_endpoint_404(self, client):
         with pytest.raises(ServiceError) as err:
@@ -130,11 +132,18 @@ class TestAcceptance:
         assert again["result"] is not None
         assert again["result_key"] == key
 
+        def sample(snapshot, name):
+            return snapshot["metrics"][name]["value"]
+
         after = client.metrics()
-        assert after["jobs_completed"] == before["jobs_completed"] + 1
+        assert sample(after, "jobs_completed_total") == (
+            sample(before, "jobs_completed_total") + 1
+        )
         # Hits: two fetches + the resubmission lookup.
-        assert after["result_store_hits"] >= before["result_store_hits"] + 3
-        assert "result_store_admission_rejects" in after
+        assert sample(after, "result_store_hits_total") >= (
+            sample(before, "result_store_hits_total") + 3
+        )
+        assert "result_store_admission_rejects_total" in after["metrics"]
 
 
 class TestJobLifecycle:
