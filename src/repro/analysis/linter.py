@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import ast
 import io
+import json
 import re
 import sys
 import tokenize
@@ -220,33 +221,7 @@ class Linter:
         return report
 
 
-def run(
-    paths: Optional[Sequence[str]] = None,
-    select: Optional[Sequence[str]] = None,
-    max_suppressions: Optional[int] = None,
-    list_rules: bool = False,
-    out: Optional[TextIO] = None,
-) -> int:
-    """Execute one lint run; returns the process exit code.
-
-    Shared by ``repro-fvc lint`` and ``python -m repro.analysis``.
-    """
-    out = out if out is not None else sys.stdout
-    if list_rules:
-        for rule in ALL_RULES:
-            kind = "project" if isinstance(rule, ProjectRule) else "file"
-            print(f"{rule.code}  [{kind}] {rule.title}", file=out)
-            print(f"        scope: {rule.scope_description()}", file=out)
-        return 0
-    if not paths:
-        default = Path("src")
-        paths = [str(default if default.is_dir() else Path("."))]
-    budget = (
-        DEFAULT_SUPPRESSION_BUDGET if max_suppressions is None else max_suppressions
-    )
-    linter = Linter(budget=budget, select=select)
-    report = linter.lint_paths([Path(p) for p in paths])
-
+def _render_text(report: LintReport, out: TextIO) -> None:
     for finding in sorted(report.findings):
         print(finding.render(), file=out)
     for path, line, codes in report.unused_suppressions:
@@ -266,6 +241,94 @@ def run(
             "fix findings instead of allowing them away",
             file=out,
         )
+
+
+def _render_json(report: LintReport) -> str:
+    document = {
+        "files_checked": report.files_checked,
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in sorted(report.findings)
+        ],
+        "suppressed": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in sorted(report.suppressed)
+        ],
+        "unused_suppressions": [
+            {"path": path, "line": line, "codes": codes}
+            for path, line, codes in report.unused_suppressions
+        ],
+        "suppression_budget": report.budget,
+        "over_budget": report.over_budget,
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def run(
+    paths: Optional[Sequence[str]] = None,
+    select: Optional[Sequence[str]] = None,
+    max_suppressions: Optional[int] = None,
+    list_rules: bool = False,
+    out: Optional[TextIO] = None,
+    output_format: str = "text",
+    output_path: Optional[str] = None,
+) -> int:
+    """Execute one lint run; returns the process exit code.
+
+    Shared by ``repro-fvc lint`` and ``python -m repro.analysis``.
+    ``output_format`` is ``text`` (human report), ``json`` (machine
+    summary) or ``sarif`` (SARIF 2.1.0); the machine formats print only
+    the document itself.  ``output_path`` writes the report to a file
+    instead of ``out`` (exit code is unaffected).
+    """
+    out = out if out is not None else sys.stdout
+    if output_format not in ("text", "json", "sarif"):
+        raise ValueError(f"unknown lint output format: {output_format!r}")
+    if list_rules:
+        for rule in ALL_RULES:
+            kind = "project" if isinstance(rule, ProjectRule) else "file"
+            print(f"{rule.code}  [{kind}] {rule.title}", file=out)
+            print(f"        scope: {rule.scope_description()}", file=out)
+        return 0
+    if not paths:
+        default = Path("src")
+        paths = [str(default if default.is_dir() else Path("."))]
+    budget = (
+        DEFAULT_SUPPRESSION_BUDGET if max_suppressions is None else max_suppressions
+    )
+    linter = Linter(budget=budget, select=select)
+    report = linter.lint_paths([Path(p) for p in paths])
+
+    if output_format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        rendered = render_sarif(report, rules=linter.rules)
+    elif output_format == "json":
+        rendered = _render_json(report)
+    else:
+        rendered = None
+
+    if rendered is not None:
+        if output_path is not None:
+            Path(output_path).write_text(rendered, encoding="utf-8")
+        else:
+            out.write(rendered)
+    elif output_path is not None:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            _render_text(report, handle)
+    else:
+        _render_text(report, out)
     return report.exit_code
 
 
@@ -289,6 +352,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="additional comma-separated rule codes (merged with --select)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
         "--max-suppressions",
         type=int,
         default=None,
@@ -298,12 +380,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def merge_selected_codes(
+    select: Optional[str], rules: Optional[str]
+) -> Optional[List[str]]:
+    """Merge the ``--select`` and ``--rules`` code lists (either may be
+    ``None``); returns ``None`` when neither was given (= run all)."""
+    codes: List[str] = []
+    for raw in (select, rules):
+        if raw:
+            codes.extend(c for c in (p.strip() for p in raw.split(",")) if c)
+    return codes or None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    select = args.select.split(",") if args.select else None
-    return run(
-        paths=args.paths,
-        select=select,
-        max_suppressions=args.max_suppressions,
-        list_rules=args.list_rules,
-    )
+    select = merge_selected_codes(args.select, args.rules)
+    try:
+        return run(
+            paths=args.paths,
+            select=select,
+            max_suppressions=args.max_suppressions,
+            list_rules=args.list_rules,
+            output_format=args.output_format,
+            output_path=args.output,
+        )
+    except Exception as exc:  # noqa: BLE001 - exit-code contract
+        # Findings exit 1; an analyzer crash must be distinguishable
+        # from "the tree has findings", so internal errors exit 2.
+        print(f"lint: internal error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,1086 @@
+"""Whole-program semantic model backing the CONC/PROTO/COV rule families.
+
+The per-file rules in :mod:`repro.analysis.rules` see one AST at a time;
+that is enough for "no wall clock in simulators" but blind to the bugs a
+threaded service actually grows: a dict mutated from two thread entry
+points, a helper that holds a lock across disk IO, a client calling a
+route the server renamed.  This module builds the project-wide picture
+those checks need:
+
+* a **function index** — every module-level function, method, nested
+  function and lambda, keyed by dotted qualname
+  (``repro.service.jobs.JobQueue.submit``);
+* an approximate **call graph** over that index, resolved through
+  ``self.m()``, bare names, imports, ``self.attr = ClassName(...)``
+  attribute types, parameter annotations, and constructor calls;
+* **thread roots** — entry points that run concurrently: targets of
+  ``threading.Thread(target=...)``, ``do_*`` methods of HTTP handler
+  classes (``ThreadingHTTPServer`` runs each request on its own
+  thread), and the functions that spawn threads (the spawning thread
+  keeps running concurrently with its children).  A root is *multi*
+  when many identical threads execute it (creation inside a loop, or
+  one-per-request handlers), so a single multi root already implies
+  concurrent self-interference;
+* **lock modeling** — lock-valued attributes (``self._lock =
+  threading.Lock()``, including the ``x if x is not None else
+  threading.Lock()`` form and dict-of-locks containers), module-level
+  locks, ``with`` guards, and linear ``acquire()``/``release()``
+  pairs, tracked per statement so every attribute write and call site
+  carries the set of locks held at that point;
+* an **entry-lock fixpoint** — the locks guaranteed held on *every*
+  path into a function (the intersection over its call sites), so a
+  "caller must hold the lock" helper is not misread as unguarded;
+* a transitive **blocking bit** — whether a function can reach
+  sleep/subprocess/socket/file IO, so CONC003 can flag a lock held
+  across an innocuous-looking helper call.
+
+Everything here is a deliberate approximation: no aliasing, no dynamic
+dispatch, no cross-process reasoning.  The rules built on top choose
+their thresholds so the approximations fail towards silence, and
+``docs/ANALYSIS.md`` documents the blind spots.
+
+Model construction is cached per file set (keyed by path + source), so
+the three CONC rules plus COV share one build per lint run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules.base import SourceFile, dotted_name
+
+#: A lock's identity: ``(owning scope qualname, attribute or name)``.
+#: ``repro.service.jobs.JobQueue._lock`` is one lock however it is
+#: reached; a dict-of-locks container is one id with a ``[*]`` suffix.
+LockId = Tuple[str, str]
+
+#: Call-attribute names treated as directly blocking.  ``.wait`` is
+#: deliberately absent (``Condition.wait`` releases its lock) and so are
+#: ``.get``/``.put`` (``dict.get`` collisions).
+_BLOCKING_ATTRS = {
+    "recv",
+    "send",
+    "sendall",
+    "accept",
+    "connect",
+    "communicate",
+    "read_bytes",
+    "write_bytes",
+    "read_text",
+    "write_text",
+}
+
+#: Dotted-name suffixes treated as directly blocking.
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.fsync",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "urllib.request.urlopen",
+    "urlopen",
+    "socket.create_connection",
+}
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+_HANDLER_BASES = {"BaseHTTPRequestHandler", "SimpleHTTPRequestHandler"}
+
+
+@dataclass
+class AttrWrite:
+    """One ``obj.attr = ...`` (or augmented) write observed in a body."""
+
+    owner: str  #: class qualname owning the attribute
+    attr: str
+    line: int
+    function: str  #: qualname of the writing function
+    locks: FrozenSet[LockId]  #: locks held locally at the write
+    in_init: bool  #: written inside ``__init__``/``__post_init__``
+
+
+@dataclass
+class BlockingCall:
+    """A directly blocking primitive call."""
+
+    line: int
+    desc: str
+    locks: FrozenSet[LockId]
+
+
+@dataclass
+class CallSite:
+    """One call observed in a body, with best-effort resolution."""
+
+    line: int
+    locks: FrozenSet[LockId]
+    callee: Optional[str] = None  #: resolved qualname, if any
+
+
+@dataclass
+class ThreadCreation:
+    """One ``threading.Thread(target=...)`` site."""
+
+    line: int
+    target: Optional[str]  #: resolved target qualname
+    multi: bool  #: created inside a loop
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the rules need to know about one function."""
+
+    qualname: str
+    module: str
+    cls: Optional[str]  #: owning class qualname, or None
+    name: str
+    line: int
+    param_types: Dict[str, str] = field(default_factory=dict)
+    writes: List[AttrWrite] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    blocking: List[BlockingCall] = field(default_factory=list)
+    thread_creations: List[ThreadCreation] = field(default_factory=list)
+    #: Locks guaranteed held at entry (fixpoint over call sites).
+    entry_locks: FrozenSet[LockId] = frozenset()
+    #: Whether the function can transitively reach a blocking primitive.
+    blocks: bool = False
+    blocks_why: str = ""
+
+
+@dataclass
+class ClassInfo:
+    """One class: its lock attributes and attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: Attributes holding a dict of locks (``self._locks[k]`` guards).
+    lock_dict_attrs: Set[str] = field(default_factory=set)
+    #: Attributes that are ``threading.local()`` (never shared).
+    local_attrs: Set[str] = field(default_factory=set)
+    #: ``self.attr = ClassName(...)`` types, for call resolution.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, str] = field(default_factory=dict)  #: name -> qualname
+    is_http_handler: bool = False
+
+
+@dataclass
+class ThreadRoot:
+    """One concurrent entry point."""
+
+    qualname: str
+    multi: bool
+    reason: str
+
+
+class ProjectModel:
+    """The assembled whole-program view (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.roots: List[ThreadRoot] = []
+        #: qualname -> set of resolved callee qualnames
+        self.call_graph: Dict[str, Set[str]] = {}
+        #: SourceFile each function was defined in.
+        self.function_files: Dict[str, SourceFile] = {}
+
+    # -- queries used by the rules ------------------------------------
+
+    def reachable(self, root: str) -> Set[str]:
+        """Transitive closure of the call graph from ``root``."""
+        seen: Set[str] = set()
+        frontier = [root]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.call_graph.get(current, ()))
+        return seen
+
+    def root_contexts(self, qualname: str) -> List[ThreadRoot]:
+        """The thread roots from which ``qualname`` is reachable."""
+        return [
+            root for root in self.roots if qualname in self._closure(root.qualname)
+        ]
+
+    def concurrency_degree(self, qualname: str) -> int:
+        """How many threads may execute ``qualname`` concurrently
+        (a *multi* root alone counts as two)."""
+        degree = 0
+        for root in self.root_contexts(qualname):
+            degree += 2 if root.multi else 1
+        return degree
+
+    def effective_locks(self, function: str, held: FrozenSet[LockId]) -> FrozenSet[LockId]:
+        """Locks held at a point in ``function``: the locally held set
+        plus the function's guaranteed entry locks."""
+        info = self.functions.get(function)
+        if info is None:
+            return held
+        return held | info.entry_locks
+
+    # -- internals ----------------------------------------------------
+
+    def _closure(self, root: str) -> Set[str]:
+        cache = getattr(self, "_closure_cache", None)
+        if cache is None:
+            cache = {}
+            self._closure_cache = cache
+        if root not in cache:
+            cache[root] = self.reachable(root)
+        return cache[root]
+
+
+# ---------------------------------------------------------------------
+# Per-module scanning
+
+
+def _module_name(relpath: str) -> str:
+    name = relpath[:-3] if relpath.endswith(".py") else relpath
+    parts = [part for part in name.split("/") if part]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    """``threading.Lock()`` / ``Lock()`` / the IfExp reuse pattern."""
+    if isinstance(node, ast.IfExp):
+        return _is_lock_factory(node.body) or _is_lock_factory(node.orelse)
+    if isinstance(node, ast.BoolOp):
+        return any(_is_lock_factory(value) for value in node.values)
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is None:
+            return False
+        return name.split(".")[-1] in _LOCK_FACTORIES
+    return False
+
+
+def _is_threading_local(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] == "local"
+    return False
+
+
+def _lambda_qualname(owner: str, node: ast.Lambda) -> str:
+    return f"{owner}.<lambda@{node.lineno}>"
+
+
+class _ModuleScanner:
+    """Scans one module: classes, functions, imports, module locks."""
+
+    def __init__(self, source_file: SourceFile, model: ProjectModel) -> None:
+        self.file = source_file
+        self.model = model
+        self.module = _module_name(source_file.relpath)
+        #: local name -> imported dotted target
+        self.imports: Dict[str, str] = {}
+        self.module_locks: Set[str] = set()
+        #: local class name -> class qualname (filled in pass 1)
+        self.local_classes: Dict[str, str] = {}
+        self.local_functions: Dict[str, str] = {}
+
+    # pass 1: indexing ------------------------------------------------
+
+    def index(self) -> None:
+        for node in self.file.tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._record_import(node)
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(node, cls=None, owner=self.module)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and _is_lock_factory(node.value):
+                        self.module_locks.add(target.id)
+
+    def _record_import(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self.imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                return
+            for alias in node.names:
+                self.imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+    def _index_class(self, node: ast.ClassDef, owner: Optional[str] = None) -> None:
+        qualname = f"{owner or self.module}.{node.name}"
+        info = ClassInfo(
+            qualname=qualname,
+            module=self.module,
+            name=node.name,
+            line=node.lineno,
+            bases=[
+                base
+                for base in (dotted_name(b) for b in node.bases)
+                if base is not None
+            ],
+        )
+        info.is_http_handler = any(
+            base.split(".")[-1] in _HANDLER_BASES for base in info.bases
+        )
+        self.model.classes[qualname] = info
+        self.local_classes[node.name] = qualname
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qualname = self._index_function(item, cls=qualname, owner=qualname)
+                info.methods[item.name] = method_qualname
+            elif isinstance(item, ast.ClassDef):
+                self._index_class(item, owner=qualname)
+        self._scan_init_attrs(node, info)
+
+    def _scan_init_attrs(self, node: ast.ClassDef, info: ClassInfo) -> None:
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name not in ("__init__", "__post_init__"):
+                continue
+            for stmt in ast.walk(item):
+                targets: List[ast.expr] = []
+                value: Optional[ast.expr] = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = list(stmt.targets), stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is None or value is None:
+                        continue
+                    if _is_lock_factory(value):
+                        info.lock_attrs.add(attr)
+                    elif _is_threading_local(value):
+                        info.local_attrs.add(attr)
+                    elif isinstance(value, (ast.Dict,)) and all(
+                        _is_lock_factory(v) for v in value.values
+                    ) and value.values:
+                        info.lock_dict_attrs.add(attr)
+                    elif isinstance(value, ast.Dict) and not value.values:
+                        # Empty dict: a lock container iff later filled
+                        # with lock factories anywhere in the class.
+                        if _dict_filled_with_locks(node, attr):
+                            info.lock_dict_attrs.add(attr)
+                    elif isinstance(value, ast.Call):
+                        callee = dotted_name(value.func)
+                        if callee is not None:
+                            resolved = self._resolve_class_name(callee)
+                            if resolved is not None:
+                                info.attr_types[attr] = resolved
+                # Subscript fills: self._locks[k] = threading.Lock()
+                if isinstance(stmt, ast.Assign) and _is_lock_factory(stmt.value):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Subscript):
+                            attr = _self_attr(target.value)
+                            if attr is not None:
+                                info.lock_dict_attrs.add(attr)
+
+    def _resolve_class_name(self, callee: str) -> Optional[str]:
+        head = callee.split(".")[0]
+        if callee in self.local_classes:
+            return self.local_classes[callee]
+        if head in self.imports:
+            dotted = self.imports[head] + callee[len(head):]
+            return dotted
+        return None
+
+    def _index_function(
+        self, node: ast.AST, cls: Optional[str], owner: str
+    ) -> str:
+        qualname = f"{owner}.{node.name}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.module,
+            cls=cls,
+            name=node.name,
+            line=node.lineno,
+        )
+        self.model.functions[qualname] = info
+        self.model.function_files[qualname] = self.file
+        if cls is None:
+            self.local_functions[node.name] = qualname
+        return qualname
+
+    # pass 2: body analysis -------------------------------------------
+
+    def analyse(self) -> None:
+        for node in self.file.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyse_function(node, cls=None, owner=self.module)
+            elif isinstance(node, ast.ClassDef):
+                self._analyse_class(node)
+
+    def _analyse_class(
+        self,
+        node: ast.ClassDef,
+        owner: Optional[str] = None,
+        closure: Optional[Dict[str, str]] = None,
+    ) -> None:
+        qualname = f"{owner or self.module}.{node.name}"
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyse_function(
+                    item, cls=qualname, owner=qualname, closure=closure
+                )
+            elif isinstance(item, ast.ClassDef):
+                self._analyse_class(item, owner=qualname, closure=closure)
+
+    def _analyse_function(
+        self,
+        node: ast.AST,
+        cls: Optional[str],
+        owner: str,
+        closure: Optional[Dict[str, str]] = None,
+    ) -> None:
+        qualname = f"{owner}.{node.name}"
+        info = self.model.functions.get(qualname)
+        if info is None:  # pragma: no cover - indexing covers all defs
+            return
+        info.param_types = self._param_types(node, cls, closure)
+        walker = _BodyWalker(self, info, node)
+        walker.run()
+        # Nested defs and lambdas get their own FunctionInfo entries,
+        # discovered during the walk.
+
+    def _param_types(
+        self,
+        node: ast.AST,
+        cls: Optional[str],
+        closure: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, str]:
+        # Closure captures first: a nested handler class sees the
+        # factory function's annotated params as free variables.
+        types: Dict[str, str] = dict(closure or {})
+        args = node.args
+        all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in all_args:
+            if arg.annotation is None:
+                continue
+            annotation = arg.annotation
+            # Optional["X"] / "X" string annotations: take the literal.
+            if isinstance(annotation, ast.Constant) and isinstance(
+                annotation.value, str
+            ):
+                name: Optional[str] = annotation.value
+            else:
+                name = dotted_name(annotation)
+                if name is None and isinstance(annotation, ast.Subscript):
+                    # Optional[X] → X
+                    inner = annotation.slice
+                    name = dotted_name(inner) if isinstance(inner, ast.expr) else None
+            if name is None:
+                continue
+            resolved = self._resolve_class_name(name)
+            if resolved is not None:
+                types[arg.arg] = resolved
+        if cls is not None and all_args and all_args[0].arg in ("self", "cls"):
+            types[all_args[0].arg] = cls
+        return types
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` for a plain ``self.attr`` expression, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _dict_filled_with_locks(cls_node: ast.ClassDef, attr: str) -> bool:
+    for stmt in ast.walk(cls_node):
+        if isinstance(stmt, ast.Assign) and _is_lock_factory(stmt.value):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and _self_attr(target.value) == attr
+                ):
+                    return True
+        if isinstance(stmt, ast.Call):
+            # self._locks.setdefault(k, threading.Lock())
+            name = dotted_name(stmt.func)
+            if (
+                name is not None
+                and name.endswith(f"self.{attr}.setdefault".replace("self.", ""))
+                and stmt.args
+                and any(_is_lock_factory(arg) for arg in stmt.args)
+            ):
+                return True
+    return False
+
+
+class _BodyWalker:
+    """Walks one function body, tracking the held-lock set per
+    statement (``with`` guards plus linear acquire/release pairs)."""
+
+    def __init__(
+        self,
+        scanner: _ModuleScanner,
+        info: FunctionInfo,
+        node: ast.AST,
+    ) -> None:
+        self.scanner = scanner
+        self.info = info
+        self.node = node
+        self.model = scanner.model
+        self.cls = scanner.model.classes.get(info.cls) if info.cls else None
+        self.in_init = info.name in ("__init__", "__post_init__")
+
+    def run(self) -> None:
+        self._walk_block(self.node.body, frozenset(), in_loop=False)
+
+    # -- lock identification ------------------------------------------
+
+    def _lock_for_expr(self, node: ast.expr) -> Optional[LockId]:
+        attr = _self_attr(node)
+        if attr is not None and self.cls is not None:
+            if attr in self.cls.lock_attrs:
+                return (self.cls.qualname, attr)
+        if isinstance(node, ast.Subscript):
+            base_attr = _self_attr(node.value)
+            if (
+                base_attr is not None
+                and self.cls is not None
+                and base_attr in self.cls.lock_dict_attrs
+            ):
+                return (self.cls.qualname, f"{base_attr}[*]")
+        if isinstance(node, ast.Name) and node.id in self.scanner.module_locks:
+            return (self.scanner.module, node.id)
+        # param.lockattr where the param's class is known
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            owner = self.info.param_types.get(node.value.id)
+            if owner is not None:
+                owner_info = self.model.classes.get(owner)
+                if owner_info is not None and node.attr in owner_info.lock_attrs:
+                    return (owner, node.attr)
+        # Heuristic of last resort: anything whose name says "lock".
+        name = dotted_name(node)
+        if name is not None and "lock" in name.split(".")[-1].lower():
+            return (self.info.qualname, name)
+        return None
+
+    # -- block walking ------------------------------------------------
+
+    def _walk_block(
+        self, body: Sequence[ast.stmt], held: FrozenSet[LockId], in_loop: bool
+    ) -> None:
+        current = set(held)
+        for stmt in body:
+            self._walk_stmt(stmt, current, in_loop)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: Set[LockId], in_loop: bool) -> None:
+        locks = frozenset(held)
+        if isinstance(stmt, ast.With):
+            added: Set[LockId] = set()
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, locks, in_loop, is_with=True)
+                lock = self._lock_for_expr(item.context_expr)
+                if lock is not None:
+                    added.add(lock)
+            self._walk_block(stmt.body, locks | added, in_loop)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = self.scanner._index_function(
+                stmt, cls=self.info.cls, owner=self.info.qualname
+            )
+            nested = self.model.functions[qualname]
+            nested.param_types = self.scanner._param_types(
+                stmt, self.info.cls, closure=self.info.param_types
+            )
+            # Nested defs close over the enclosing scope (including
+            # self when nested in a method).
+            _BodyWalker(self.scanner, nested, stmt).run()
+            return
+        if isinstance(stmt, ast.ClassDef):
+            # A class defined inside a function (the HTTP handler
+            # factory pattern): index and analyse it now, seeding its
+            # methods with the factory's annotated params as closure
+            # types.
+            self.scanner._index_class(stmt, owner=self.info.qualname)
+            self.scanner._analyse_class(
+                stmt, owner=self.info.qualname, closure=self.info.param_types
+            )
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter, locks, in_loop)
+            self._walk_block(stmt.body, locks, in_loop=True)
+            self._walk_block(stmt.orelse, locks, in_loop)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test, locks, in_loop)
+            self._walk_block(stmt.body, locks, in_loop=True)
+            self._walk_block(stmt.orelse, locks, in_loop)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test, locks, in_loop)
+            self._walk_block(stmt.body, locks, in_loop)
+            self._walk_block(stmt.orelse, locks, in_loop)
+            return
+        if isinstance(stmt, ast.Try):
+            # acquire() directly before try / release() in finally is
+            # the classic linear pair: the try body runs under the
+            # locks acquired so far; the finally's release applies
+            # after.
+            self._walk_block(stmt.body, frozenset(held), in_loop)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body, frozenset(held), in_loop)
+            self._walk_block(stmt.orelse, frozenset(held), in_loop)
+            self._walk_block(stmt.finalbody, frozenset(held), in_loop)
+            for sub in stmt.finalbody:
+                self._apply_acquire_release(sub, held)
+            return
+        # Plain statement: acquire/release bookkeeping, then writes and
+        # calls.
+        self._apply_acquire_release(stmt, held)
+        locks = frozenset(held)
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._record_writes(stmt, locks)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._scan_call(node, locks, in_loop)
+            elif isinstance(node, ast.Lambda):
+                self._register_lambda(node)
+
+    def _apply_acquire_release(self, stmt: ast.stmt, held: Set[LockId]) -> None:
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return
+        call = stmt.value
+        if not isinstance(call.func, ast.Attribute):
+            return
+        if call.func.attr == "acquire":
+            lock = self._lock_for_expr(call.func.value)
+            if lock is not None:
+                held.add(lock)
+        elif call.func.attr == "release":
+            lock = self._lock_for_expr(call.func.value)
+            if lock is not None:
+                held.discard(lock)
+
+    # -- expression-level scanning ------------------------------------
+
+    def _scan_expr(
+        self,
+        node: ast.expr,
+        locks: FrozenSet[LockId],
+        in_loop: bool,
+        is_with: bool = False,
+    ) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._scan_call(sub, locks, in_loop)
+            elif isinstance(sub, ast.Lambda):
+                self._register_lambda(sub)
+
+    def _register_lambda(self, node: ast.Lambda) -> str:
+        qualname = _lambda_qualname(self.info.qualname, node)
+        if qualname not in self.model.functions:
+            info = FunctionInfo(
+                qualname=qualname,
+                module=self.scanner.module,
+                cls=self.info.cls,
+                name="<lambda>",
+                line=node.lineno,
+            )
+            info.param_types = dict(self.info.param_types)
+            self.model.functions[qualname] = info
+            self.model.function_files[qualname] = self.scanner.file
+            saved = self.info
+            self.info = info
+            try:
+                self._scan_expr(node.body, frozenset(), in_loop=False)
+                if isinstance(node.body, ast.Call):
+                    pass  # already scanned
+                # Lambda bodies can also write attributes only via
+                # calls; plain assignments are impossible in a lambda.
+            finally:
+                self.info = saved
+        return qualname
+
+    def _record_writes(self, stmt: ast.stmt, locks: FrozenSet[LockId]) -> None:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    targets.extend(target.elts)
+                else:
+                    targets.append(target)
+        elif isinstance(stmt, ast.AugAssign):
+            targets.append(stmt.target)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets.append(stmt.target)
+        for target in targets:
+            owner_attr = self._owner_attr(target)
+            if owner_attr is None:
+                continue
+            owner, attr = owner_attr
+            owner_info = self.model.classes.get(owner)
+            if owner_info is not None and attr in owner_info.local_attrs:
+                continue  # threading.local: per-thread by construction
+            self.info.writes.append(
+                AttrWrite(
+                    owner=owner,
+                    attr=attr,
+                    line=target.lineno,
+                    function=self.info.qualname,
+                    locks=locks,
+                    in_init=self.in_init,
+                )
+            )
+
+    def _owner_attr(self, target: ast.expr) -> Optional[Tuple[str, str]]:
+        """``(class qualname, attr)`` for a tracked attribute write."""
+        if not isinstance(target, ast.Attribute):
+            # Subscript writes (self.d[k] = v) mutate the container in
+            # place; the container attribute itself is not rebound, and
+            # per-key aliasing is beyond this model.
+            return None
+        base = target.value
+        if not isinstance(base, ast.Name):
+            return None  # chained (a.b.c = x): invisible by design
+        if base.id == "self":
+            if self.info.cls is None:
+                return None
+            return (self.info.cls, target.attr)
+        owner = self.info.param_types.get(base.id)
+        if owner is not None:
+            return (owner, target.attr)
+        return None
+
+    def _scan_call(
+        self, node: ast.Call, locks: FrozenSet[LockId], in_loop: bool
+    ) -> None:
+        name = dotted_name(node.func)
+        # Thread creation?
+        if name is not None and name.split(".")[-1] == "Thread" and (
+            name.startswith("threading") or name == "Thread"
+        ):
+            target = self._thread_target(node)
+            self.info.thread_creations.append(
+                ThreadCreation(line=node.lineno, target=target, multi=in_loop)
+            )
+            return
+        # Blocking primitive?
+        desc = self._blocking_desc(node, name)
+        if desc is not None:
+            self.info.blocking.append(
+                BlockingCall(line=node.lineno, desc=desc, locks=locks)
+            )
+            return
+        # Ordinary call: try to resolve.
+        callee = self._resolve_call(node, name)
+        self.info.calls.append(CallSite(line=node.lineno, locks=locks, callee=callee))
+
+    def _blocking_desc(self, node: ast.Call, name: Optional[str]) -> Optional[str]:
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            return "open()"
+        if name is not None:
+            for dotted in _BLOCKING_DOTTED:
+                if name == dotted or name.endswith("." + dotted):
+                    return f"{dotted}()"
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in _BLOCKING_ATTRS:
+                return f".{attr}()"
+            if attr == "join":
+                # thread.join() / thread.join(5.0) — but never
+                # ", ".join(parts).
+                if not node.args and not node.keywords:
+                    return ".join()"
+                if (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, (int, float))
+                ):
+                    return ".join(timeout)"
+        return None
+
+    def _thread_target(self, node: ast.Call) -> Optional[str]:
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                return self._resolve_target_expr(keyword.value)
+        return None
+
+    def _resolve_target_expr(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Lambda):
+            return self._register_lambda(node)
+        if isinstance(node, ast.Call):
+            # functools.partial(f, ...) → f
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] == "partial" and node.args:
+                return self._resolve_target_expr(node.args[0])
+            return None
+        return self._resolve_ref(node)
+
+    def _resolve_ref(self, node: ast.expr) -> Optional[str]:
+        """Resolve a function *reference* (not a call) to a qualname."""
+        attr = _self_attr(node)
+        if attr is not None:
+            return self._resolve_method(self.info.cls, attr)
+        if isinstance(node, ast.Name):
+            return self._resolve_bare(node.id)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            base = node.value.id
+            owner = self.info.param_types.get(base)
+            if owner is not None:
+                return self._resolve_method(owner, node.attr)
+            dotted = self.scanner.imports.get(base)
+            if dotted is not None:
+                candidate = f"{dotted}.{node.attr}"
+                if candidate in self.model.functions:
+                    return candidate
+                if candidate in self.model.classes:
+                    return self.model.classes[candidate].methods.get("__init__")
+        return None
+
+    def _resolve_bare(self, name: str) -> Optional[str]:
+        if name in self.scanner.local_functions:
+            return self.scanner.local_functions[name]
+        if name in self.scanner.local_classes:
+            cls = self.model.classes[self.scanner.local_classes[name]]
+            return cls.methods.get("__init__")
+        dotted = self.scanner.imports.get(name)
+        if dotted is not None:
+            if dotted in self.model.functions:
+                return dotted
+            if dotted in self.model.classes:
+                return self.model.classes[dotted].methods.get("__init__")
+        # Nested function defined in this same function?
+        nested = f"{self.info.qualname}.{name}"
+        if nested in self.model.functions:
+            return nested
+        return None
+
+    def _resolve_method(self, cls_qualname: Optional[str], method: str) -> Optional[str]:
+        seen: Set[str] = set()
+        while cls_qualname is not None and cls_qualname not in seen:
+            seen.add(cls_qualname)
+            cls = self.model.classes.get(cls_qualname)
+            if cls is None:
+                return None
+            if method in cls.methods:
+                return cls.methods[method]
+            # Single-inheritance walk over project-local bases.
+            next_cls = None
+            for base in cls.bases:
+                resolved = None
+                candidate = f"{cls.module}.{base.split('.')[-1]}"
+                if candidate in self.model.classes:
+                    resolved = candidate
+                if resolved is not None:
+                    next_cls = resolved
+                    break
+            cls_qualname = next_cls
+        return None
+
+    def _resolve_call(self, node: ast.Call, name: Optional[str]) -> Optional[str]:
+        if isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            attr = node.func.attr
+            self_attr = _self_attr(base)
+            if isinstance(base, ast.Name):
+                if base.id == "self":
+                    return self._resolve_method(self.info.cls, attr)
+                owner = self.info.param_types.get(base.id)
+                if owner is not None:
+                    return self._resolve_method(owner, attr)
+                dotted = self.scanner.imports.get(base.id)
+                if dotted is not None:
+                    candidate = f"{dotted}.{attr}"
+                    if candidate in self.model.functions:
+                        return candidate
+                    if candidate in self.model.classes:
+                        return self.model.classes[candidate].methods.get("__init__")
+                if base.id in self.scanner.local_classes:
+                    return self._resolve_method(
+                        self.scanner.local_classes[base.id], attr
+                    )
+                return None
+            if self_attr is not None and self.cls is not None:
+                owner = self.cls.attr_types.get(self_attr)
+                if owner is not None:
+                    return self._resolve_method(owner, attr)
+                return None
+            return None
+        if isinstance(node.func, ast.Name):
+            return self._resolve_bare(node.func.id)
+        return None
+
+
+# ---------------------------------------------------------------------
+# Assembly: call graph, roots, fixpoints
+
+
+def _assemble(files: Sequence[SourceFile]) -> ProjectModel:
+    model = ProjectModel()
+    scanners = [_ModuleScanner(source_file, model) for source_file in files]
+    for scanner in scanners:
+        scanner.index()
+    for scanner in scanners:
+        scanner.analyse()
+
+    # Call graph.
+    for qualname, info in model.functions.items():
+        edges = model.call_graph.setdefault(qualname, set())
+        for site in info.calls:
+            if site.callee is not None:
+                edges.add(site.callee)
+        for creation in info.thread_creations:
+            if creation.target is not None:
+                edges.add(creation.target)
+
+    # Thread roots.
+    seen_roots: Set[Tuple[str, bool]] = set()
+
+    def add_root(qualname: str, multi: bool, reason: str) -> None:
+        key = (qualname, multi)
+        if key not in seen_roots:
+            seen_roots.add(key)
+            model.roots.append(ThreadRoot(qualname, multi, reason))
+
+    for qualname, info in model.functions.items():
+        for creation in info.thread_creations:
+            if creation.target is not None:
+                add_root(
+                    creation.target,
+                    creation.multi,
+                    "threading.Thread target"
+                    + (" (created in a loop)" if creation.multi else ""),
+                )
+            # The spawning function keeps running concurrently with
+            # its children.
+            add_root(qualname, False, "spawns threads")
+    for cls in model.classes.values():
+        if cls.is_http_handler:
+            for method_name, method_qualname in cls.methods.items():
+                if method_name.startswith("do_"):
+                    add_root(
+                        method_qualname,
+                        True,
+                        "HTTP handler (one thread per request)",
+                    )
+    model.roots.sort(key=lambda root: (root.qualname, not root.multi))
+
+    _fix_entry_locks(model)
+    _fix_blocking(model)
+    return model
+
+
+def _fix_entry_locks(model: ProjectModel) -> None:
+    """Fixpoint: locks guaranteed held on every path into a function."""
+    universe: Set[LockId] = set()
+    for info in model.functions.values():
+        for write in info.writes:
+            universe.update(write.locks)
+        for site in info.calls:
+            universe.update(site.locks)
+        for blocking in info.blocking:
+            universe.update(blocking.locks)
+    top = frozenset(universe)
+
+    # Call sites per callee.
+    incoming: Dict[str, List[Tuple[str, FrozenSet[LockId]]]] = {}
+    for qualname, info in model.functions.items():
+        for site in info.calls:
+            if site.callee is not None:
+                incoming.setdefault(site.callee, []).append((qualname, site.locks))
+
+    root_names = {root.qualname for root in model.roots}
+    entry: Dict[str, FrozenSet[LockId]] = {}
+    for qualname in model.functions:
+        if qualname in root_names or qualname not in incoming:
+            entry[qualname] = frozenset()
+        else:
+            entry[qualname] = top
+    changed = True
+    while changed:
+        changed = False
+        for qualname, info in model.functions.items():
+            if qualname in root_names or qualname not in incoming:
+                continue
+            meet: Optional[FrozenSet[LockId]] = None
+            for caller, site_locks in incoming[qualname]:
+                effective = entry.get(caller, frozenset()) | site_locks
+                meet = effective if meet is None else (meet & effective)
+            new = meet if meet is not None else frozenset()
+            if new != entry[qualname]:
+                entry[qualname] = new
+                changed = True
+    for qualname, locks in entry.items():
+        model.functions[qualname].entry_locks = locks
+
+
+def _fix_blocking(model: ProjectModel) -> None:
+    """Fixpoint: can a function transitively reach a blocking call?"""
+    for info in model.functions.values():
+        if info.blocking:
+            info.blocks = True
+            info.blocks_why = info.blocking[0].desc
+    changed = True
+    while changed:
+        changed = False
+        for info in model.functions.values():
+            if info.blocks:
+                continue
+            for site in info.calls:
+                callee = site.callee and model.functions.get(site.callee)
+                if callee is not None and callee.blocks:
+                    info.blocks = True
+                    info.blocks_why = f"calls {callee.qualname} ({callee.blocks_why})"
+                    changed = True
+                    break
+    return
+
+
+# ---------------------------------------------------------------------
+# Cached entry point
+
+_CACHE: Dict[Tuple[Tuple[str, int], ...], ProjectModel] = {}
+
+
+def get_model(files: Sequence[SourceFile]) -> ProjectModel:
+    """Build (or reuse) the project model for ``files``.
+
+    Keyed by every file's path and source hash, so the CONC rules and
+    COV share one build per lint run while edits invalidate cleanly.
+    """
+    key = tuple((str(f.path), hash(f.source)) for f in files)
+    model = _CACHE.get(key)
+    if model is None:
+        model = _assemble(files)
+        _CACHE.clear()  # one live model is enough
+        _CACHE[key] = model
+    return model
+
+
+def iter_shared_writes(
+    model: ProjectModel,
+) -> Iterable[Tuple[Tuple[str, str], List[AttrWrite]]]:
+    """All non-``__init__`` attribute writes grouped by (class, attr),
+    sorted for deterministic reporting."""
+    grouped: Dict[Tuple[str, str], List[AttrWrite]] = {}
+    for info in model.functions.values():
+        for write in info.writes:
+            if write.in_init:
+                continue
+            grouped.setdefault((write.owner, write.attr), []).append(write)
+    for key in sorted(grouped):
+        writes = grouped[key]
+        writes.sort(key=lambda w: (w.function, w.line))
+        yield key, writes

@@ -1,0 +1,184 @@
+"""CONC — lock-discipline rules over the threaded modules.
+
+Built on :mod:`repro.analysis.model`: the analyzer knows which
+functions run on which threads (thread roots), which locks are held at
+every attribute write and call site (including caller-held entry
+locks), and which calls can block.  Three rules fall out:
+
+* **CONC001** — a shared mutable attribute is written from two or more
+  concurrent contexts and at least one write holds no lock.  A *multi*
+  root (a worker pool loop, an HTTP handler) counts as two contexts by
+  itself: the pool races with its own clones.
+* **CONC002** — an attribute's guarded writes disagree about *which*
+  lock guards it: two writes hold disjoint lock sets, so the guard is
+  an illusion (each writer excludes only its own kind).
+* **CONC003** — a lock is held across a blocking call: sleep,
+  subprocess, socket or file IO, directly or through a helper that
+  transitively reaches one.  Holding a hot lock across IO turns every
+  other thread's bounded critical section into an unbounded one.
+
+Approximations (see docs/ANALYSIS.md for the full list): attribute
+writes are tracked through ``self`` and annotated parameters only —
+chained attribute paths (``a.b.c = x``) and dict values are invisible;
+the call graph has no aliasing or dynamic dispatch, so untyped
+indirection fails towards silence, not noise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.rules.base import ProjectRule, SourceFile
+
+if TYPE_CHECKING:  # runtime import is deferred: model imports this package
+    from repro.analysis.model import AttrWrite, LockId, ProjectModel
+
+
+def _lock_name(lock: LockId) -> str:
+    owner, attr = lock
+    return f"{owner.split('.')[-1]}.{attr}"
+
+
+def _locks_name(locks: FrozenSet[LockId]) -> str:
+    return ", ".join(sorted(_lock_name(lock) for lock in locks))
+
+
+def _short(qualname: str) -> str:
+    return ".".join(qualname.split(".")[-2:])
+
+
+class _ConcRule(ProjectRule):
+    """Shared plumbing: build the model, map findings back to files."""
+
+    def _file_for(
+        self, model: ProjectModel, function: str, files: Sequence[SourceFile]
+    ) -> SourceFile:
+        return model.function_files.get(function, files[0])
+
+
+class SharedWriteWithoutLock(_ConcRule):
+    """CONC001: concurrent attribute write with no lock held."""
+
+    code = "CONC001"
+    title = (
+        "shared attribute written from concurrent thread contexts "
+        "with no lock held"
+    )
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Tuple[SourceFile, int, str]]:
+        from repro.analysis.model import get_model, iter_shared_writes
+
+        model = get_model(files)
+        for (owner, attr), writes in iter_shared_writes(model):
+            roots = {}
+            for write in writes:
+                for root in model.root_contexts(write.function):
+                    existing = roots.get(root.qualname)
+                    if existing is None or (root.multi and not existing):
+                        roots[root.qualname] = root.multi
+            degree = sum(2 if multi else 1 for multi in roots.values())
+            if degree < 2:
+                continue
+            root_names = ", ".join(
+                _short(name) + ("[xN]" if multi else "")
+                for name, multi in sorted(roots.items())
+            )
+            for write in writes:
+                held = model.effective_locks(write.function, write.locks)
+                if held:
+                    continue
+                yield (
+                    self._file_for(model, write.function, files),
+                    write.line,
+                    f"'{_short(owner)}.{attr}' is written here without a "
+                    f"lock but is reachable from {degree} concurrent "
+                    f"contexts ({root_names}); guard the write or make "
+                    "the attribute thread-local",
+                )
+
+
+class InconsistentLockForAttribute(_ConcRule):
+    """CONC002: the same attribute is guarded by disjoint locks."""
+
+    code = "CONC002"
+    title = "attribute guarded by different locks on different write paths"
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Tuple[SourceFile, int, str]]:
+        from repro.analysis.model import get_model, iter_shared_writes
+
+        model = get_model(files)
+        for (owner, attr), writes in iter_shared_writes(model):
+            guarded: List[Tuple[AttrWrite, FrozenSet[LockId]]] = []
+            for write in writes:
+                held = model.effective_locks(write.function, write.locks)
+                if held:
+                    guarded.append((write, held))
+            if len(guarded) < 2:
+                continue
+            common = guarded[0][1]
+            for _write, held in guarded[1:]:
+                common = common & held
+            if common:
+                continue  # one lock covers every write
+            first_write, first_locks = guarded[0]
+            seen_sets: Set[FrozenSet[LockId]] = {first_locks}
+            for write, held in guarded[1:]:
+                if held in seen_sets:
+                    continue
+                seen_sets.add(held)
+                yield (
+                    self._file_for(model, write.function, files),
+                    write.line,
+                    f"'{_short(owner)}.{attr}' is guarded by "
+                    f"{{{_locks_name(held)}}} here but by "
+                    f"{{{_locks_name(first_locks)}}} at "
+                    f"{_short(first_write.function)}:{first_write.line} — "
+                    "no common lock, so the writes do not exclude each "
+                    "other",
+                )
+
+
+class LockHeldAcrossBlockingCall(_ConcRule):
+    """CONC003: a lock is held across a blocking call."""
+
+    code = "CONC003"
+    title = "lock held across a blocking call (sleep/subprocess/socket/IO)"
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Tuple[SourceFile, int, str]]:
+        from repro.analysis.model import get_model
+
+        model = get_model(files)
+        for qualname in sorted(model.functions):
+            info = model.functions[qualname]
+            reported: Dict[int, str] = {}
+            for blocking in info.blocking:
+                if blocking.locks and blocking.line not in reported:
+                    reported[blocking.line] = (
+                        f"{_locks_name(blocking.locks)} held across blocking "
+                        f"call {blocking.desc} — move the IO outside the "
+                        "critical section"
+                    )
+            for site in info.calls:
+                if not site.locks or site.callee is None:
+                    continue
+                callee = model.functions.get(site.callee)
+                if callee is None or not callee.blocks:
+                    continue
+                if site.line not in reported:
+                    reported[site.line] = (
+                        f"{_locks_name(site.locks)} held across call to "
+                        f"{_short(site.callee)}, which can block "
+                        f"({callee.blocks_why}) — move the call outside "
+                        "the critical section"
+                    )
+            source_file = model.function_files.get(qualname)
+            if source_file is None:
+                continue
+            for line in sorted(reported):
+                yield source_file, line, reported[line]

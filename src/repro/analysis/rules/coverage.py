@@ -1,0 +1,166 @@
+"""COV — catalog-coverage rules closing the loop OBS001/FLT001 opened.
+
+FLT001 proves hardened IO paths consult :func:`fault_point`; OBS001
+proves registry calls use catalogued metric names.  Neither proves the
+catalogs themselves are *live*: a fault site nobody injects is an
+untested defence, and a catalogued metric nobody emits is documentation
+of a counter that does not exist.  These rules walk the catalogs:
+
+* **COV001** — every site in ``repro/faults/sites.py``'s
+  ``SITE_CATALOG`` must be exercised by at least one test under the
+  repo's ``tests/`` tree (named in a fault plan string, an env
+  ``REPRO_FAULTS`` value, or a direct ``fault_point`` call).  Matching
+  is textual with a boundary guard, so ``trace_cache.write`` is not
+  credited by ``trace_cache.write.publish``.
+* **COV002** — every name in ``repro/obs/names.py``'s
+  ``METRIC_NAMES`` must appear as a string literal somewhere else in
+  the linted tree (the emission or serving site).  The converse —
+  an emission using an uncatalogued name — is already OBS001.
+
+Both rules key off the catalog files and skip silently when they are
+absent from the linted set (linting a subtree or a fixture cannot
+manufacture coverage findings); COV001 additionally skips when no
+``tests/`` directory exists next to ``src/`` (a copied source tree).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.rules.base import ProjectRule, SourceFile
+
+
+def _find_file(
+    files: Sequence[SourceFile], suffix: str
+) -> Optional[SourceFile]:
+    for source_file in files:
+        if source_file.relpath.endswith(suffix):
+            return source_file
+    return None
+
+
+def _repo_tests_dir(source_file: SourceFile) -> Optional[Path]:
+    """``tests/`` next to the ``src/`` tree containing ``source_file``."""
+    parts = source_file.path.resolve().parts
+    for index in range(len(parts) - 1, 0, -1):
+        if parts[index] == "src":
+            tests = Path(*parts[:index]) / "tests"
+            return tests if tests.is_dir() else None
+    return None
+
+
+class FaultSitesExercised(ProjectRule):
+    """COV001: every catalogued fault site is exercised by a test."""
+
+    code = "COV001"
+    title = "fault site catalogued but exercised by no test"
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Tuple[SourceFile, int, str]]:
+        catalog_file = _find_file(files, "repro/faults/sites.py")
+        if catalog_file is None:
+            return
+        tests_dir = _repo_tests_dir(catalog_file)
+        if tests_dir is None:
+            return
+        corpus: List[str] = []
+        for path in sorted(tests_dir.rglob("*.py")):
+            try:
+                corpus.append(path.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+        text = "\n".join(corpus)
+        for name, line in self._sites(catalog_file):
+            pattern = re.compile(
+                r"(?<![\w.])" + re.escape(name) + r"(?![\w.])"
+            )
+            if pattern.search(text) is None:
+                yield (
+                    catalog_file,
+                    line,
+                    f"fault site '{name}' is catalogued here but no test "
+                    "under tests/ exercises it — add an injection test "
+                    "or retire the site",
+                )
+
+    @staticmethod
+    def _sites(catalog_file: SourceFile) -> List[Tuple[str, int]]:
+        sites: List[Tuple[str, int]] = []
+        for node in ast.walk(catalog_file.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "Site"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                sites.append((node.args[0].value, node.lineno))
+        return sites
+
+
+class MetricNamesEmitted(ProjectRule):
+    """COV002: every catalogued metric name is emitted somewhere."""
+
+    code = "COV002"
+    title = "metric name catalogued but never emitted in the linted tree"
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Tuple[SourceFile, int, str]]:
+        catalog_file = _find_file(files, "repro/obs/names.py")
+        if catalog_file is None:
+            return
+        emitted: Dict[str, bool] = {}
+        names = self._names(catalog_file)
+        if not names:
+            return
+        wanted = {name for name, _line in names}
+        for source_file in files:
+            if source_file is catalog_file:
+                continue
+            for node in ast.walk(source_file.tree):
+                if (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node.value in wanted
+                ):
+                    emitted[node.value] = True
+        for name, line in names:
+            if not emitted.get(name):
+                yield (
+                    catalog_file,
+                    line,
+                    f"metric '{name}' is catalogued here but never "
+                    "emitted anywhere in the linted tree — wire it up "
+                    "or retire the name",
+                )
+
+    @staticmethod
+    def _names(catalog_file: SourceFile) -> List[Tuple[str, int]]:
+        for node in catalog_file.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == "METRIC_NAMES"
+                for target in targets
+            ):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            names: List[Tuple[str, int]] = []
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    names.append((sub.value, sub.lineno))
+            return names
+        return []

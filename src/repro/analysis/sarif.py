@@ -1,0 +1,130 @@
+"""SARIF 2.1.0 serialisation of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua
+franca CI systems speak: GitHub code scanning, most IDE problem
+panels, and artifact diff tooling all ingest it directly.  This module
+turns a :class:`~repro.analysis.linter.LintReport` into one
+``sarif-version 2.1.0`` document with:
+
+- a ``tool.driver`` rule table carrying every registered rule's code,
+  title and scope, so viewers can render rule help without the repo;
+- one ``result`` per surviving finding, anchored to a
+  ``physicalLocation`` (file + line);
+- suppressed findings included as results with a ``suppressions``
+  entry of kind ``inSource`` — they are part of the record, just
+  marked as accepted.
+
+Determinism is a hard contract: the document is built purely from the
+report (no timestamps, no hostnames, no absolute paths beyond what the
+report already carries) and serialised with sorted keys, so two runs
+over the same tree produce byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.rules import ALL_RULES, ProjectRule, Rule
+
+#: The SARIF schema this module emits.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: How the tool identifies itself in ``tool.driver``.
+TOOL_NAME = "repro-fvc-lint"
+INFORMATION_URI = "https://example.invalid/repro-fvc/docs/ANALYSIS.md"
+
+
+def _rule_descriptor(rule: Rule) -> Dict:
+    kind = "project" if isinstance(rule, ProjectRule) else "file"
+    return {
+        "id": rule.code,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "properties": {
+            "kind": kind,
+            "scope": rule.scope_description(),
+        },
+    }
+
+
+def _result(finding, rules_index: Dict[str, int], suppressed: bool) -> Dict:
+    result: Dict = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {"startLine": finding.line},
+                }
+            }
+        ],
+    }
+    if finding.code in rules_index:
+        result["ruleIndex"] = rules_index[finding.code]
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": "repro: allow[...] comment at the site",
+            }
+        ]
+    return result
+
+
+def report_to_sarif(report, rules: Optional[Sequence[Rule]] = None) -> Dict:
+    """The SARIF 2.1.0 document for one lint report, as a plain dict.
+
+    ``rules`` defaults to the full registry; pass the linter's (possibly
+    ``--select``-filtered) rule list to keep the driver table in step
+    with what actually ran.
+    """
+    rule_list = list(ALL_RULES if rules is None else rules)
+    rules_index = {rule.code: i for i, rule in enumerate(rule_list)}
+    results: List[Dict] = []
+    for finding in sorted(report.findings):
+        results.append(_result(finding, rules_index, suppressed=False))
+    for finding in sorted(report.suppressed):
+        results.append(_result(finding, rules_index, suppressed=True))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": INFORMATION_URI,
+                        "rules": [_rule_descriptor(r) for r in rule_list],
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "filesChecked": report.files_checked,
+                    "suppressionBudget": report.budget,
+                    "suppressionsUsed": len(report.suppressed),
+                    "unusedSuppressions": [
+                        {"uri": path, "startLine": line, "codes": codes}
+                        for path, line, codes in report.unused_suppressions
+                    ],
+                },
+            }
+        ],
+    }
+
+
+def render_sarif(report, rules: Optional[Sequence[Rule]] = None) -> str:
+    """Serialise the report deterministically: sorted keys, two-space
+    indent, trailing newline — byte-identical across runs."""
+    return (
+        json.dumps(report_to_sarif(report, rules), indent=2, sort_keys=True)
+        + "\n"
+    )

@@ -215,14 +215,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.linter import merge_selected_codes
     from repro.analysis.linter import run as lint_run
 
-    return lint_run(
-        paths=args.paths,
-        select=args.select.split(",") if args.select else None,
-        max_suppressions=args.max_suppressions,
-        list_rules=args.list_rules,
-    )
+    try:
+        return lint_run(
+            paths=args.paths,
+            select=merge_selected_codes(args.select, args.rules),
+            max_suppressions=args.max_suppressions,
+            list_rules=args.list_rules,
+            output_format=args.output_format,
+            output_path=args.output,
+        )
+    except Exception as exc:  # noqa: BLE001 - exit-code contract
+        # 0 clean / 1 findings / 2 analyzer crash.
+        print(f"lint: internal error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -639,6 +647,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="additional comma-separated rule codes (merged with --select)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
     )
     lint.add_argument(
         "--max-suppressions",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -97,6 +98,10 @@ class ServiceClient:
         self.retry = retry
         self.breaker = breaker
         self._sleep = sleep
+        # One client is shared across threads (the cluster worker's
+        # heartbeat thread and its lease loop), so the diagnostic
+        # counter takes a lock rather than racing the increments away.
+        self._stats_lock = threading.Lock()
         self.retries_attempted = 0
 
     # Transport ---------------------------------------------------------
@@ -170,7 +175,8 @@ class ServiceClient:
                     self.retry.delay_for(attempt, retry_after=exc.retry_after)
                 )
                 attempt += 1
-                self.retries_attempted += 1
+                with self._stats_lock:
+                    self.retries_attempted += 1
                 continue
             if self.breaker is not None:
                 self.breaker.record_success()

@@ -265,6 +265,21 @@ class JobQueue:
         with self._lock:
             self.retries += 1
 
+    def note_attempt(self, job: Job, attempt: int) -> None:
+        """Record that ``job`` is starting attempt ``attempt``.
+
+        Job records are read by HTTP threads (``GET /v1/jobs/<id>``)
+        while a worker thread mutates them, so the write goes through
+        the queue's lock like every other job mutation.
+        """
+        with self._lock:
+            job.attempts = attempt
+
+    def note_progress(self, job: Job, done: int, total: int) -> None:
+        """Record engine-hook progress for ``job`` (cells done/total)."""
+        with self._lock:
+            job.progress = (done, total)
+
     def finish(
         self,
         job: Job,

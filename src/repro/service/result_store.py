@@ -195,11 +195,13 @@ class ResultStore:
             return key in self._index
 
     # Writes ------------------------------------------------------------
-    def _write(self, key: str, payload: bytes) -> None:
+    def _write(self, key: str, payload: bytes) -> float:
+        """Persist ``key`` and return the entry's mtime.  Pure IO — the
+        caller publishes the index entry under the lock."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         write_enveloped(path, payload, site="result_store.write")
-        self._index[key] = path.stat().st_mtime
+        return path.stat().st_mtime
 
     def put(self, key: str, payload: bytes) -> bool:
         """Offer a payload for residency; returns whether it was
@@ -211,14 +213,19 @@ class ResultStore:
         strictly higher estimated frequency displaces it — the TinyLFU
         rule.  A rejected payload is *not* lost to the caller: the job
         record still carries it; it just is not persisted.
+
+        The admission/eviction decision happens under the lock; the
+        write itself does not (CONC003: a store write would otherwise
+        stall every HTTP read on disk latency).  That is safe because
+        ``write_enveloped`` publishes via atomic rename and one key
+        always maps to the same canonical payload bytes, so concurrent
+        writers of a key are idempotent; the index entry only appears
+        after the bytes are durably in place.
         """
+        victim_path: Optional[Path] = None
         with self._lock:
             self.sketch.touch(key)
-            if key in self._index:
-                self._write(key, payload)  # refresh (idempotent)
-                self.stores += 1
-                return True
-            if len(self._index) >= self.capacity:
+            if key not in self._index and len(self._index) >= self.capacity:
                 victim = min(
                     self._index,
                     key=lambda k: (self.sketch.estimate(k), self._index[k]),
@@ -226,15 +233,19 @@ class ResultStore:
                 if self.sketch.estimate(key) <= self.sketch.estimate(victim):
                     self.admission_rejects += 1
                     return False
-                try:
-                    self._path(victim).unlink()
-                except OSError:
-                    pass
+                victim_path = self._path(victim)
                 del self._index[victim]
                 self.evictions += 1
-            self._write(key, payload)
+        if victim_path is not None:
+            try:
+                victim_path.unlink()
+            except OSError:
+                pass
+        mtime = self._write(key, payload)
+        with self._lock:
+            self._index[key] = mtime
             self.stores += 1
-            return True
+        return True
 
     # Maintenance -------------------------------------------------------
     def verify(self) -> Dict[str, int]:
@@ -244,29 +255,40 @@ class ResultStore:
         dropped from the index; stale ``*.tmp`` droppings are swept.
         Returns ``{"checked", "ok", "quarantined", "tmp_removed"}``.
         """
+        # Snapshot the key set, check entries outside the lock (the
+        # envelope reads are file IO; holding the lock across them
+        # would stall every concurrent get/put on disk latency), then
+        # reconcile per entry.  An entry put concurrently with its
+        # check simply gets verified next run.
         checked = ok = quarantined = tmp_removed = 0
         with self._lock:
-            for key in list(self._index):
-                checked += 1
-                path = self._path(key)
+            keys = list(self._index)
+        for key in keys:
+            checked += 1
+            path = self._path(key)
+            try:
+                read_enveloped(path)
+            except IntegrityError:
+                quarantine(path)
+                with self._lock:
+                    if self._index.pop(key, None) is not None:
+                        self.corrupt_quarantined += 1
+                        quarantined += 1
+            except OSError:
+                with self._lock:
+                    self._index.pop(key, None)
+            else:
+                ok += 1
+        # The tmp sweep assumes no concurrent writer (verify is an
+        # offline maintenance op): an in-flight atomic publish uses a
+        # .tmp name this would remove.
+        if self.directory.is_dir():
+            for stale in self.directory.glob("*.tmp"):
                 try:
-                    read_enveloped(path)
-                except IntegrityError:
-                    quarantine(path)
-                    del self._index[key]
-                    self.corrupt_quarantined += 1
-                    quarantined += 1
+                    stale.unlink()
+                    tmp_removed += 1
                 except OSError:
-                    del self._index[key]
-                else:
-                    ok += 1
-            if self.directory.is_dir():
-                for stale in self.directory.glob("*.tmp"):
-                    try:
-                        stale.unlink()
-                        tmp_removed += 1
-                    except OSError:
-                        pass
+                    pass
         return {
             "checked": checked,
             "ok": ok,

@@ -177,7 +177,7 @@ class WorkerPool:
 
         while True:
             attempt += 1
-            job.attempts = attempt
+            self.queue.note_attempt(job, attempt)
             if self.registry is not None:
                 self.registry.counter("worker_attempts_total").inc()
             with tracing.span(
@@ -285,7 +285,7 @@ class WorkerPool:
                     except (EOFError, OSError):
                         break
                     if message[0] == "progress":
-                        job.progress = (message[1], message[2])
+                        self.queue.note_progress(job, message[1], message[2])
                     else:
                         verdict = (message[0], message[1])
                 elif not process.is_alive():

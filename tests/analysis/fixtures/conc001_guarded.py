@@ -1,0 +1,27 @@
+"""CONC001 non-detection fixture: the same shared counter, every
+write under one lock.
+
+Expected: zero findings — both thread contexts write ``count`` while
+holding ``self._lock``.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1  # guarded: no finding
+
+
+def spawn(counter: Counter) -> None:
+    first = threading.Thread(target=counter.bump)
+    second = threading.Thread(target=counter.bump)
+    first.start()
+    second.start()
+    first.join()
+    second.join()

@@ -1,0 +1,26 @@
+"""CONC001 detection fixture: a shared counter written from two
+thread contexts with no lock held.
+
+Expected finding: CONC001 at the ``self.count += 1`` line inside
+``Counter.bump`` (two Thread targets reach it; no lock is held).
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def bump(self) -> None:
+        self.count += 1  # <- CONC001 fires here
+
+
+def spawn(counter: Counter) -> None:
+    first = threading.Thread(target=counter.bump)
+    second = threading.Thread(target=counter.bump)
+    first.start()
+    second.start()
+    first.join()
+    second.join()

@@ -1,0 +1,30 @@
+"""CONC002 detection fixture: one attribute, two write paths, two
+different locks — the guard is an illusion.
+
+Expected finding: one CONC002 anchored at the ``self.total`` write in
+``Ledger.debit``, naming the disagreeing lock in ``Ledger.credit``.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self.total = 0
+        self._debit_lock = threading.Lock()
+        self._credit_lock = threading.Lock()
+
+    def debit(self, amount: int) -> None:
+        with self._debit_lock:
+            self.total -= amount  # <- CONC002 fires here
+
+    def credit(self, amount: int) -> None:
+        with self._credit_lock:
+            self.total += amount
+
+
+def spawn(ledger: Ledger) -> None:
+    first = threading.Thread(target=ledger.debit)
+    second = threading.Thread(target=ledger.credit)
+    first.start()
+    second.start()

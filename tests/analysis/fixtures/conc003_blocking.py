@@ -1,0 +1,33 @@
+"""CONC003 detection fixture: locks held across blocking calls, in
+both ``with`` and linear ``acquire()``/``release()`` form — plus one
+clean method that releases before blocking (no finding).
+
+Expected findings: CONC003 at the ``time.sleep`` inside ``slow_with``
+and at the ``time.sleep`` between ``acquire``/``release`` in
+``slow_linear``; nothing for ``clean_release_first``.
+"""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.polls = 0
+
+    def slow_with(self) -> None:
+        with self._lock:
+            self.polls += 1
+            time.sleep(0.1)  # <- CONC003: sleep under the lock
+
+    def slow_linear(self) -> None:
+        self._lock.acquire()
+        time.sleep(0.1)  # <- CONC003: sleep between acquire/release
+        self._lock.release()
+
+    def clean_release_first(self) -> None:
+        self._lock.acquire()
+        self.polls += 1
+        self._lock.release()
+        time.sleep(0.1)  # lock already released: no finding

@@ -1,0 +1,33 @@
+"""Non-detection fixture: a dict-of-locks container used
+consistently.
+
+Every write to ``self.slots`` happens under ``self._locks[key]`` —
+the analyzer models the whole container as one lock identity, so the
+guard is consistent and nothing fires.
+"""
+
+import threading
+
+
+class Sharded:
+    def __init__(self) -> None:
+        self.slots = 0
+        self._locks = {
+            "a": threading.Lock(),
+            "b": threading.Lock(),
+        }
+
+    def bump(self, key: str) -> None:
+        with self._locks[key]:
+            self.slots += 1  # dict lock held consistently: no finding
+
+    def drop(self, key: str) -> None:
+        with self._locks[key]:
+            self.slots -= 1
+
+
+def spawn(shard: Sharded) -> None:
+    first = threading.Thread(target=shard.bump)
+    second = threading.Thread(target=shard.drop)
+    first.start()
+    second.start()

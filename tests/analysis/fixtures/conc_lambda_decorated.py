@@ -1,0 +1,39 @@
+"""Edge-case fixture: thread targets that are a lambda and a
+decorated function.
+
+Expected finding: CONC001 at the unguarded ``state.hits += 1`` write
+inside ``worker`` — the lambda target and the decorated-function
+target are two concurrent contexts reaching the same write.
+"""
+
+import functools
+import threading
+
+
+def logged(func):
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        return func(*args, **kwargs)
+
+    return wrapper
+
+
+class State:
+    def __init__(self) -> None:
+        self.hits = 0
+
+
+def worker(state: State) -> None:
+    state.hits += 1  # <- CONC001 fires here
+
+
+@logged
+def decorated_worker(state: State) -> None:
+    worker(state)
+
+
+def spawn(state: State) -> None:
+    first = threading.Thread(target=lambda: worker(state))
+    second = threading.Thread(target=functools.partial(decorated_worker, state))
+    first.start()
+    second.start()

@@ -1,0 +1,41 @@
+"""PROTO fixture: a handler class and its client in one file.
+
+The handler serves ``GET /v1/ping`` and ``GET /v1/items/<id>``; the
+client makes three requests:
+
+* ``GET /v1/ping`` — served exactly: no finding;
+* ``GET /v1/items/{item_id}`` — the dynamic segment matches the
+  server wildcard: no finding;
+* ``GET /v1/gone`` — no branch serves it: **PROTO001** fires at the
+  call line.
+"""
+
+
+from http.server import BaseHTTPRequestHandler
+
+
+class Handler(BaseHTTPRequestHandler):
+    def _split(self, path):
+        return tuple(part for part in path.split("/") if part)
+
+    def do_GET(self):  # noqa: N802 - http.server naming contract
+        route = self._split("/v1/ping")
+        if route == ("v1", "ping"):
+            return "pong"
+        if len(route) == 3 and route[:2] == ("v1", "items"):
+            return route[2]
+        return None
+
+
+class Client:
+    def _json(self, method, path):
+        return (method, path)
+
+    def ping(self):
+        return self._json("GET", "/v1/ping")
+
+    def item(self, item_id):
+        return self._json("GET", f"/v1/items/{item_id}")
+
+    def gone(self):
+        return self._json("GET", "/v1/gone")  # <- PROTO001 fires here

@@ -1,0 +1,57 @@
+"""CONC rules over the edge-case fixtures: detection where a race is
+real, silence where the discipline holds."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.linter import Linter
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint(name, *codes):
+    report = Linter(select=codes or ("CONC001", "CONC002", "CONC003")).lint_paths(
+        [FIXTURES / f"{name}.py"]
+    )
+    return report.findings
+
+
+class TestConc001:
+    def test_unguarded_shared_write_is_found(self):
+        findings = lint("conc001_unguarded")
+        assert [(f.code, f.line) for f in findings] == [("CONC001", 17)]
+        assert "Counter.count" in findings[0].message
+
+    def test_guarded_write_is_silent(self):
+        assert lint("conc001_guarded") == []
+
+    def test_lambda_and_decorated_thread_targets_are_contexts(self):
+        findings = lint("conc_lambda_decorated")
+        assert [(f.code, f.line) for f in findings] == [("CONC001", 27)]
+        assert "State.hits" in findings[0].message
+
+    def test_consistent_dict_locks_are_silent(self):
+        assert lint("conc_dict_locks") == []
+
+
+class TestConc002:
+    def test_disjoint_locks_for_one_attribute_are_found(self):
+        findings = lint("conc002_mixed_locks")
+        assert [(f.code, f.line) for f in findings] == [("CONC002", 19)]
+        message = findings[0].message
+        assert "_debit_lock" in message and "_credit_lock" in message
+
+
+class TestConc003:
+    def test_blocking_under_with_and_linear_locks_found(self):
+        findings = lint("conc003_blocking")
+        assert [(f.code, f.line) for f in findings] == [
+            ("CONC003", 22),
+            ("CONC003", 26),
+        ]
+
+    def test_release_before_blocking_is_silent(self):
+        # Line 33 (sleep after release) must not appear above.
+        lines = {f.line for f in lint("conc003_blocking")}
+        assert 33 not in lines

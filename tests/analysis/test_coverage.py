@@ -1,0 +1,101 @@
+"""COV rules: catalog-driven coverage checks and their
+skip-when-absent contract, exercised over synthetic mini-repos."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.linter import Linter
+
+
+def make_repo(tmp_path, *, sites=(), tested=(), metrics=(), emitted=()):
+    """A minimal ``src/repro`` tree with a fault-site catalog, a metric
+    catalog, and a tests/ directory referencing ``tested`` sites."""
+    src = tmp_path / "src" / "repro"
+    (src / "faults").mkdir(parents=True)
+    (src / "obs").mkdir(parents=True)
+    site_lines = ["class Site:", "    def __init__(self, name):", "        self.name = name", ""]
+    site_lines += [f'SITE_{i} = Site("{name}")' for i, name in enumerate(sites)]
+    (src / "faults" / "sites.py").write_text("\n".join(site_lines) + "\n")
+    names = ", ".join(f'"{name}"' for name in metrics)
+    (src / "obs" / "names.py").write_text(f"METRIC_NAMES = ({names})\n")
+    emits = "\n".join(f'EMIT_{i} = "{name}"' for i, name in enumerate(emitted))
+    (src / "obs" / "metrics.py").write_text(emits + "\n")
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    body = "\n".join(f'PLAN_{i} = "{name}:io_error@1"' for i, name in enumerate(tested))
+    (tests / "test_sites.py").write_text(body + "\n")
+    return src
+
+
+class TestCov001:
+    def test_untested_site_is_found_tested_site_is_not(self, tmp_path):
+        src = make_repo(
+            tmp_path,
+            sites=("alpha.write", "beta.read"),
+            tested=("alpha.write",),
+        )
+        report = Linter(select=("COV001",)).lint_paths([src])
+        assert [f.code for f in report.findings] == ["COV001"]
+        assert "beta.read" in report.findings[0].message
+
+    def test_boundary_guard_rejects_prefix_credit(self, tmp_path):
+        # A test naming only 'alpha.write.publish' does NOT exercise
+        # the bare 'alpha.write' site.
+        src = make_repo(
+            tmp_path,
+            sites=("alpha.write",),
+            tested=("alpha.write.publish",),
+        )
+        report = Linter(select=("COV001",)).lint_paths([src])
+        assert [f.code for f in report.findings] == ["COV001"]
+
+    def test_skips_without_tests_directory(self, tmp_path):
+        src = make_repo(tmp_path, sites=("alpha.write",))
+        (tmp_path / "tests" / "test_sites.py").unlink()
+        (tmp_path / "tests").rmdir()
+        report = Linter(select=("COV001",)).lint_paths([src])
+        assert report.findings == []
+
+    def test_skips_without_catalog_in_linted_set(self, tmp_path):
+        src = make_repo(tmp_path, sites=("alpha.write",))
+        report = Linter(select=("COV001",)).lint_paths([src / "obs"])
+        assert report.findings == []
+
+
+class TestCov002:
+    def test_unemitted_metric_is_found_emitted_is_not(self, tmp_path):
+        src = make_repo(
+            tmp_path,
+            metrics=("jobs_done_total", "ghost_total"),
+            emitted=("jobs_done_total",),
+        )
+        report = Linter(select=("COV002",)).lint_paths([src])
+        assert [f.code for f in report.findings] == ["COV002"]
+        assert "ghost_total" in report.findings[0].message
+
+    def test_catalog_file_itself_does_not_count_as_emission(self, tmp_path):
+        src = make_repo(tmp_path, metrics=("ghost_total",))
+        report = Linter(select=("COV002",)).lint_paths([src])
+        assert [f.code for f in report.findings] == ["COV002"]
+
+    def test_skips_without_catalog_in_linted_set(self, tmp_path):
+        src = make_repo(tmp_path, metrics=("ghost_total",))
+        report = Linter(select=("COV002",)).lint_paths([src / "faults"])
+        assert report.findings == []
+
+
+class TestRealCatalogs:
+    SRC = Path(__file__).resolve().parents[2] / "src"
+
+    def test_every_real_fault_site_is_exercised(self):
+        report = Linter(select=("COV001",)).lint_paths([self.SRC])
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )
+
+    def test_every_real_metric_is_emitted(self):
+        report = Linter(select=("COV002",)).lint_paths([self.SRC])
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )

@@ -5,6 +5,7 @@ test_rules.py)."""
 from __future__ import annotations
 
 import io
+import json
 from pathlib import Path
 
 from repro.analysis.linter import (
@@ -13,6 +14,8 @@ from repro.analysis.linter import (
     Linter,
     PARSE_ERROR_CODE,
     _parse_suppressions,
+    main,
+    merge_selected_codes,
     run,
 )
 from repro.analysis.rules.base import Rule, package_relpath
@@ -222,5 +225,92 @@ class TestRuleScoping:
         from repro.analysis.rules import ALL_RULES
 
         codes = [rule.code for rule in ALL_RULES]
-        assert len(codes) == len(set(codes)) == 9
+        assert len(codes) == len(set(codes)) == 16
         assert all(rule.title for rule in ALL_RULES)
+
+
+class TestFormatsAndExitCodes:
+    def test_json_format_emits_only_the_document(self, tmp_path):
+        root = _tree(tmp_path, {"bad.py": "import random\n"})
+        out = io.StringIO()
+        assert run(paths=[str(root)], out=out, output_format="json") == 1
+        document = json.loads(out.getvalue())
+        assert document["exit_code"] == 1
+        assert document["findings"][0]["code"] == "DET001"
+
+    def test_sarif_format_emits_only_the_document(self, tmp_path):
+        root = _tree(tmp_path, {"bad.py": "import random\n"})
+        out = io.StringIO()
+        assert run(paths=[str(root)], out=out, output_format="sarif") == 1
+        document = json.loads(out.getvalue())
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+    def test_unknown_format_is_an_internal_error(self):
+        # An unknown format reaching run() raises, which main() maps
+        # to exit code 2.
+        assert main_with_bad_format() == 2
+
+    def test_rules_flag_merges_with_select(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"bad.py": "import random\nimport time\ntime.time()\n"},
+        )
+        out = io.StringIO()
+        # DET001 (random import) + DET002 (wall clock) both present;
+        # selecting one code at a time must partition the findings.
+        assert run(paths=[str(root)], select=["DET001"], out=out) == 1
+        only_det001 = out.getvalue()
+        assert "DET001" in only_det001 and "DET002" not in only_det001
+
+    def test_merge_selected_codes(self):
+        assert merge_selected_codes(None, None) is None
+        assert merge_selected_codes("DET001", None) == ["DET001"]
+        assert merge_selected_codes(None, "CONC001, CONC002") == [
+            "CONC001",
+            "CONC002",
+        ]
+        assert merge_selected_codes("DET001", "CONC001") == [
+            "DET001",
+            "CONC001",
+        ]
+
+    def test_cli_exit_codes_zero_one_two(self, tmp_path):
+        clean = _tree(tmp_path / "clean", {"ok.py": "X = 1\n"})
+        dirty = _tree(tmp_path / "dirty", {"bad.py": "import random\n"})
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+
+    def test_internal_error_exits_two(self, tmp_path, monkeypatch, capsys):
+        import repro.analysis.linter as linter_mod
+
+        def boom(self, paths):
+            raise RuntimeError("synthetic analyzer crash")
+
+        monkeypatch.setattr(linter_mod.Linter, "lint_paths", boom)
+        assert main([str(tmp_path)]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_output_flag_writes_file_and_keeps_exit_code(self, tmp_path):
+        root = _tree(tmp_path, {"bad.py": "import random\n"})
+        target = tmp_path / "report.json"
+        out = io.StringIO()
+        assert (
+            run(
+                paths=[str(root)],
+                out=out,
+                output_format="json",
+                output_path=str(target),
+            )
+            == 1
+        )
+        assert out.getvalue() == ""
+        assert json.loads(target.read_text())["exit_code"] == 1
+
+
+def main_with_bad_format():
+    try:
+        run(paths=["."], output_format="yaml")
+    except ValueError:
+        return 2
+    return 0

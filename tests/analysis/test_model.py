@@ -1,0 +1,157 @@
+"""The whole-program semantic model: indexing, thread roots, lock
+tracking, entry-lock and blocking fixpoints."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.model import get_model, iter_shared_writes
+from repro.analysis.rules.base import SourceFile, package_relpath
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def load(*names):
+    files = []
+    for name in names:
+        path = FIXTURES / f"{name}.py"
+        source = path.read_text(encoding="utf-8")
+        files.append(
+            SourceFile(
+                path=path,
+                relpath=package_relpath(path),
+                source=source,
+                tree=ast.parse(source, filename=str(path)),
+            )
+        )
+    return files
+
+
+def synthetic(source, name="synthetic"):
+    tree = ast.parse(source)
+    return SourceFile(
+        path=Path(f"{name}.py"),
+        relpath=f"repro/{name}.py",
+        source=source,
+        tree=tree,
+    )
+
+
+class TestIndexing:
+    def test_functions_and_methods_are_indexed_by_qualname(self):
+        model = get_model(load("conc001_unguarded"))
+        names = set(model.functions)
+        assert "repro.conc001_unguarded.Counter.bump" in names
+        assert "repro.conc001_unguarded.Counter.__init__" in names
+        assert "repro.conc001_unguarded.spawn" in names
+
+    def test_init_writes_are_not_shared_writes(self):
+        model = get_model(load("conc001_unguarded"))
+        shared = {attr for (_owner, attr), _writes in iter_shared_writes(model)}
+        # __init__ assigns count and _lock; only the bump() write to
+        # count survives as a shared write.
+        assert "_lock" not in shared
+        assert "count" in shared
+
+
+class TestThreadRoots:
+    def test_thread_targets_become_roots(self):
+        model = get_model(load("conc001_unguarded"))
+        roots = {root.qualname for root in model.roots}
+        assert "repro.conc001_unguarded.Counter.bump" in roots
+        # The spawning function keeps running concurrently.
+        assert "repro.conc001_unguarded.spawn" in roots
+
+    def test_lambda_and_partial_targets_resolve(self):
+        model = get_model(load("conc_lambda_decorated"))
+        roots = {root.qualname for root in model.roots}
+        assert any("<lambda@" in root for root in roots)
+        assert "repro.conc_lambda_decorated.decorated_worker" in roots
+
+    def test_http_do_methods_are_multi_roots(self):
+        model = get_model(load("proto_routes"))
+        multi = {
+            root.qualname for root in model.roots if root.multi
+        }
+        assert "repro.proto_routes.Handler.do_GET" in multi
+
+    def test_loop_created_threads_are_multi(self):
+        source = (
+            "import threading\n"
+            "def worker():\n"
+            "    pass\n"
+            "def pool():\n"
+            "    for _ in range(4):\n"
+            "        threading.Thread(target=worker).start()\n"
+        )
+        model = get_model([synthetic(source)])
+        multi = {root.qualname for root in model.roots if root.multi}
+        assert "repro.synthetic.worker" in multi
+
+
+class TestLockTracking:
+    def test_with_lock_guard_is_recorded(self):
+        model = get_model(load("conc001_guarded"))
+        info = model.functions["repro.conc001_guarded.Counter.bump"]
+        (write,) = [w for w in info.writes if w.attr == "count"]
+        assert write.locks, "the with-guarded write must carry its lock"
+
+    def test_dict_locks_collapse_to_one_identity(self):
+        model = get_model(load("conc_dict_locks"))
+        bump = model.functions["repro.conc_dict_locks.Sharded.bump"]
+        drop = model.functions["repro.conc_dict_locks.Sharded.drop"]
+        bump_locks = {w.locks for w in bump.writes if w.attr == "slots"}
+        drop_locks = {w.locks for w in drop.writes if w.attr == "slots"}
+        assert bump_locks == drop_locks
+        (locks,) = bump_locks
+        assert any(attr.endswith("[*]") for _owner, attr in locks)
+
+    def test_acquire_release_window_tracked(self):
+        model = get_model(load("conc003_blocking"))
+        linear = model.functions["repro.conc003_blocking.Poller.slow_linear"]
+        assert any(b.locks for b in linear.blocking)
+        clean = model.functions[
+            "repro.conc003_blocking.Poller.clean_release_first"
+        ]
+        assert all(not b.locks for b in clean.blocking)
+
+
+class TestFixpoints:
+    def test_blocking_bit_propagates_through_helpers(self):
+        source = (
+            "import time\n"
+            "def leaf():\n"
+            "    time.sleep(1)\n"
+            "def middle():\n"
+            "    leaf()\n"
+            "def top():\n"
+            "    middle()\n"
+        )
+        model = get_model([synthetic(source)])
+        assert model.functions["repro.synthetic.leaf"].blocks
+        assert model.functions["repro.synthetic.middle"].blocks
+        assert model.functions["repro.synthetic.top"].blocks
+
+    def test_entry_locks_cover_caller_held_helpers(self):
+        source = (
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.value = 0\n"
+            "    def _store(self, value):\n"
+            "        self.value = value\n"
+            "    def put(self, value):\n"
+            "        with self._lock:\n"
+            "            self._store(value)\n"
+        )
+        model = get_model([synthetic(source)])
+        store = model.functions["repro.synthetic.Box._store"]
+        assert store.entry_locks, (
+            "every caller holds the lock, so _store inherits it"
+        )
+
+    def test_model_cache_hits_for_identical_input(self):
+        files = load("conc001_unguarded")
+        assert get_model(files) is get_model(files)

@@ -1,0 +1,93 @@
+"""PROTO rules: route extraction, matching, and the skip-when-absent
+contract."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.linter import Linter
+from repro.analysis.rules.base import SourceFile, package_relpath
+from repro.analysis.rules.proto import (
+    WILD,
+    Route,
+    _extract_client_calls,
+    _extract_server_routes,
+    _matches,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def load(name):
+    path = FIXTURES / f"{name}.py"
+    source = path.read_text(encoding="utf-8")
+    return SourceFile(
+        path=path,
+        relpath=package_relpath(path),
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+    )
+
+
+class TestExtraction:
+    def test_server_routes_cover_equality_and_prefix_branches(self):
+        routes = {
+            b.route for b in _extract_server_routes([load("proto_routes")])
+        }
+        assert Route("GET", ("v1", "ping")) in routes
+        assert Route("GET", ("v1", "items", WILD)) in routes
+
+    def test_client_calls_cover_literal_and_fstring_paths(self):
+        calls = {
+            c.route for c in _extract_client_calls([load("proto_routes")])
+        }
+        assert Route("GET", ("v1", "ping")) in calls
+        assert Route("GET", ("v1", "items", WILD)) in calls
+        assert Route("GET", ("v1", "gone")) in calls
+
+
+class TestMatching:
+    def test_fixed_client_segment_matches_server_wildcard(self):
+        assert _matches(
+            Route("GET", ("v1", "items", "abc")),
+            Route("GET", ("v1", "items", WILD)),
+        )
+
+    def test_dynamic_client_segment_needs_server_wildcard(self):
+        assert not _matches(
+            Route("GET", ("v1", WILD)), Route("GET", ("v1", "ping"))
+        )
+
+    def test_method_and_length_must_agree(self):
+        assert not _matches(
+            Route("POST", ("v1", "ping")), Route("GET", ("v1", "ping"))
+        )
+        assert not _matches(
+            Route("GET", ("v1", "ping", "x")), Route("GET", ("v1", "ping"))
+        )
+
+
+class TestRules:
+    def test_unknown_route_is_found_dynamic_route_is_not(self):
+        report = Linter(select=("PROTO001",)).lint_paths(
+            [FIXTURES / "proto_routes.py"]
+        )
+        assert [(f.code, f.line) for f in report.findings] == [("PROTO001", 41)]
+        assert "/v1/gone" in report.findings[0].message
+
+    def test_no_handler_in_set_means_no_proto_findings(self):
+        # A client-only file set has no reference half: stay silent.
+        report = Linter(select=("PROTO001", "PROTO002")).lint_paths(
+            [FIXTURES / "conc001_unguarded.py"]
+        )
+        assert report.findings == []
+
+    def test_fixture_set_skips_documentation_check(self):
+        # Fixtures live outside any src/repro tree, so the docs/API.md
+        # half of PROTO002 must not fire even though the fixture's
+        # routes are documented nowhere.
+        report = Linter(select=("PROTO002",)).lint_paths(
+            [FIXTURES / "proto_routes.py"]
+        )
+        assert report.findings == []

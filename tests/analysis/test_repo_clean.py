@@ -63,3 +63,30 @@ class TestInjectedViolationCaught:
         assert report.exit_code == 1
         assert {f.line for f in det001} >= {planted_line, planted_line + 1}
         assert all(f.path.endswith("fvc/cache.py") for f in det001)
+
+    def test_planted_unguarded_shared_write_fails_lint(self, tmp_path):
+        """The CI lint gate's concurrency probe: copy the tree, strip
+        the lock from a known-shared write in ``service/client.py``,
+        and the lint run must go non-zero with CONC001 at that line."""
+        root = tmp_path / "repro"
+        shutil.copytree(
+            SRC / "repro",
+            root,
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        target = root / "service" / "client.py"
+        source = target.read_text()
+        planted = source.replace(
+            "                with self._stats_lock:\n"
+            "                    self.retries_attempted += 1\n",
+            "                self.retries_attempted += 1\n",
+        )
+        assert planted != source, "the guarded increment moved; update me"
+        target.write_text(planted)
+        report = Linter().lint_paths([root])
+        conc001 = [f for f in report.findings if f.code == "CONC001"]
+        assert report.exit_code == 1
+        assert conc001, "stripping the lock must surface CONC001"
+        assert all(
+            f.path.endswith("service/client.py") for f in conc001
+        )

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 output: structure, suppressions, and byte-for-byte
+determinism."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.linter import Linter, run
+from repro.analysis.sarif import SARIF_VERSION, render_sarif, report_to_sarif
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint_fixture(name, select=None):
+    return Linter(select=select).lint_paths([FIXTURES / f"{name}.py"])
+
+
+class TestDocument:
+    def test_version_and_driver_rules(self):
+        report = lint_fixture("conc001_unguarded")
+        doc = report_to_sarif(report)
+        assert doc["version"] == SARIF_VERSION
+        driver = doc["runs"][0]["tool"]["driver"]
+        codes = [rule["id"] for rule in driver["rules"]]
+        assert "CONC001" in codes and "PROTO001" in codes
+
+    def test_result_carries_physical_location(self):
+        report = lint_fixture("conc001_unguarded", select=("CONC001",))
+        doc = report_to_sarif(report)
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "CONC001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "conc001_unguarded.py"
+        )
+        assert location["region"]["startLine"] == 17
+        assert "suppressions" not in result
+
+    def test_suppressed_findings_are_marked_in_source(self, tmp_path):
+        source = (FIXTURES / "conc001_unguarded.py").read_text()
+        planted = source.replace(
+            "self.count += 1  # <- CONC001 fires here",
+            "self.count += 1  # repro: allow[CONC001] fixture budget probe",
+        )
+        target = tmp_path / "allowed.py"
+        target.write_text(planted)
+        report = Linter(select=("CONC001",)).lint_paths([target])
+        assert report.findings == [] and len(report.suppressed) == 1
+        doc = report_to_sarif(report)
+        (result,) = doc["runs"][0]["results"]
+        assert result["suppressions"][0]["kind"] == "inSource"
+
+    def test_rule_table_follows_selection(self):
+        linter = Linter(select=("CONC001",))
+        report = linter.lint_paths([FIXTURES / "conc001_unguarded.py"])
+        doc = report_to_sarif(report, rules=linter.rules)
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert [rule["id"] for rule in driver["rules"]] == ["CONC001"]
+
+
+class TestDeterminism:
+    def test_two_renders_are_byte_identical(self):
+        first = render_sarif(lint_fixture("conc003_blocking"))
+        second = render_sarif(lint_fixture("conc003_blocking"))
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_two_cli_runs_are_byte_identical(self):
+        outputs = []
+        for _ in range(2):
+            out = io.StringIO()
+            code = run(
+                paths=[str(FIXTURES / "conc003_blocking.py")],
+                out=out,
+                output_format="sarif",
+            )
+            assert code == 1
+            outputs.append(out.getvalue())
+        assert outputs[0] == outputs[1]
+        json.loads(outputs[0])  # and it is valid JSON
+
+    def test_output_flag_writes_the_same_bytes(self, tmp_path):
+        target = tmp_path / "report.sarif"
+        out = io.StringIO()
+        run(
+            paths=[str(FIXTURES / "conc003_blocking.py")],
+            out=out,
+            output_format="sarif",
+            output_path=str(target),
+        )
+        assert out.getvalue() == ""
+        assert target.read_text() == render_sarif(
+            lint_fixture("conc003_blocking")
+        )

@@ -331,3 +331,66 @@ class TestMetricSamples:
         assert set(samples) <= METRIC_NAMES
         assert samples["cluster_workers"]["type"] == "gauge"
         assert samples["cluster_leases_issued_total"]["type"] == "counter"
+
+
+class TestFaultSites:
+    """The coordinator's three injection sites actually fire.
+
+    Each site sits at the entry of its RPC — before any state is
+    touched — so an injected fault must surface as the typed error and
+    leave the fabric consistent for the retry.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_plan(self):
+        from repro.faults import reset
+
+        reset()
+        yield
+        reset()
+
+    def test_heartbeat_site_fires_before_liveness_refresh(self, sched, clock):
+        from repro.common.errors import FaultInjected
+        from repro.faults import install
+        from repro.faults.plan import FaultPlan
+
+        worker = sched.register()["worker_id"]
+        install(FaultPlan.parse("cluster.heartbeat:raise@1"))
+        clock.now = 9.0
+        with pytest.raises(FaultInjected):
+            sched.heartbeat(worker)
+        # The clause is spent; the retry lands and refreshes liveness.
+        assert sched.heartbeat(worker)["known"] is True
+        assert sched.counters["cluster_heartbeats_total"] == 1
+
+    def test_lease_site_fires_before_any_grant(self, sched):
+        from repro.common.errors import FaultInjected
+        from repro.faults import install
+        from repro.faults.plan import FaultPlan
+
+        worker = sched.register()["worker_id"]
+        sched._task_for(make_cells(1)[0])
+        install(FaultPlan.parse("cluster.lease:raise@1"))
+        with pytest.raises(FaultInjected):
+            sched.lease(worker)
+        # Nothing was dequeued: the retry still gets the cell.
+        grant = sched.lease(worker)
+        assert len(grant["leases"]) == 1
+        assert grant["leases"][0]["attempt"] == 1
+
+    def test_result_site_fires_before_lease_resolution(self, sched):
+        from repro.common.errors import FaultInjected
+        from repro.faults import install
+        from repro.faults.plan import FaultPlan
+
+        worker = sched.register()["worker_id"]
+        cell = make_cells(1)[0]
+        sched._task_for(cell)
+        lease = sched.lease(worker)["leases"][0]
+        install(FaultPlan.parse("cluster.result:raise@1"))
+        with pytest.raises(FaultInjected):
+            sched.complete(lease["lease_id"], worker, payload_for(cell))
+        # The lease is still live: the retried push is accepted, not
+        # treated as stale.
+        verdict = sched.complete(lease["lease_id"], worker, payload_for(cell))
+        assert verdict["accepted"] is True

@@ -87,6 +87,21 @@ class TestWriteRead:
         write_enveloped(path, b"data", site="result_store.write")
         assert read_enveloped(path) == b"data"
 
+    def test_injected_checkpoint_publish_fault_leaves_no_partial_record(
+        self, tmp_path
+    ):
+        # Same crash-safety contract as the stores, at the checkpoint
+        # site: a fault between temp write and rename publishes
+        # nothing and leaves no droppings.
+        install(FaultPlan.parse("checkpoint.write.publish:io_error@1"))
+        path = tmp_path / "record.ckpt"
+        with pytest.raises(InjectedIOError):
+            write_enveloped(path, b"record payload", site="checkpoint.write")
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+        write_enveloped(path, b"record payload", site="checkpoint.write")
+        assert read_enveloped(path) == b"record payload"
+
     def test_injected_bitflip_is_detected_on_read(self, tmp_path):
         install(FaultPlan.parse("checkpoint.write:bitflip@1"))
         path = tmp_path / "record.ckpt"

@@ -2,6 +2,8 @@
 deterministic clock, the seeded retry policy, and both wired into
 :class:`ServiceClient` without any real network."""
 
+import threading
+
 import pytest
 
 from repro.faults import install, reset
@@ -196,3 +198,40 @@ class TestClientIntegration:
             client.healthz()
         assert excinfo.value.transient
         assert "cannot reach" in str(excinfo.value)
+
+
+class TestRetryCounterThreadSafety:
+    def test_concurrent_retries_never_lose_increments(self):
+        """The retry counter is shared between the cluster worker's
+        heartbeat thread and its lease loop; increments go through the
+        client's stats lock, so none are lost under contention."""
+        client = ServiceClient(
+            "http://stub.invalid",
+            retry=RetryPolicy(retries=1, backoff=0.0, jitter=0.0),
+            sleep=lambda seconds: None,
+        )
+        local = threading.local()
+
+        def stub(method, path, body=None):
+            # Strict per-thread alternation: each request fails once
+            # (503) and then succeeds, independent of interleaving.
+            if not getattr(local, "failed", False):
+                local.failed = True
+                raise ServiceError("flaky", status=503)
+            local.failed = False
+            return b"{}"
+
+        client._request_once = stub
+        workers = [
+            threading.Thread(
+                target=lambda: [client._json("GET", "/v1/healthz") for _ in range(50)]
+            )
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        # Every request failed exactly once then succeeded: one retry
+        # per request, none raced away.
+        assert client.retries_attempted == 4 * 50

@@ -114,3 +114,29 @@ class TestViews:
         ids = [j.id for j in queue.jobs()]
         assert first.id not in ids  # oldest terminal record dropped
         assert len(ids) == 2
+
+
+class TestNoteMutators:
+    """The queue-mediated job mutators the worker pool uses instead of
+    writing job records directly (shared with the HTTP threads)."""
+
+    def test_note_attempt_updates_record(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), "key-a")
+        queue.note_attempt(job, 3)
+        assert job.attempts == 3
+
+    def test_note_progress_updates_record(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), "key-b")
+        queue.note_progress(job, 2, 8)
+        assert job.progress == (2, 8)
+
+    def test_mutators_are_visible_in_job_view(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), "key-c")
+        queue.note_attempt(job, 1)
+        queue.note_progress(job, 4, 4)
+        view = job.as_dict()
+        assert view["attempts"] == 1
+        assert view["progress"] == {"done": 4, "total": 4}

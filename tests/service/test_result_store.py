@@ -160,3 +160,74 @@ class TestAtomicity:
         (store_dir / "k1.json").unlink()
         assert store.get("k1") is None
         assert len(store) == 0
+
+
+class TestPutLockDiscipline:
+    """put() publishes the index entry only after the bytes are on
+    disk, and never holds the store lock across the file write."""
+
+    def test_index_entry_appears_with_the_file(self, store_dir):
+        store = ResultStore(store_dir, capacity=4)
+        assert store.put("k", _payload("k"))
+        assert store.contains("k")
+        assert (store_dir / "k.json").exists()
+
+    def test_failed_write_leaves_no_index_entry(self, store_dir, monkeypatch):
+        store = ResultStore(store_dir, capacity=4)
+
+        def boom(key, payload):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(store, "_write", boom)
+        with pytest.raises(OSError):
+            store.put("k", _payload("k"))
+        assert not store.contains("k")
+        assert store.stats()["stores"] == 0
+
+    def test_eviction_decision_survives_concurrent_reads(self, store_dir):
+        # The victim leaves the index before its file is unlinked, so
+        # a concurrent get() of the victim key reports a clean miss
+        # (heal path) rather than serving a half-deleted entry.
+        store = ResultStore(store_dir, capacity=1)
+        store.put("cold", _payload("cold"))
+        for _ in range(5):
+            store.get("hot")  # drive hot's sketch estimate up
+        assert store.put("hot", _payload("hot"))
+        assert not store.contains("cold")
+        assert store.get("cold") is None
+        assert store.get("hot") is not None
+
+
+class TestVerifyLockDiscipline:
+    """verify() snapshots the key set and reconciles per entry instead
+    of holding the lock across every envelope read."""
+
+    def test_verify_counts_and_heals(self, store_dir):
+        store = ResultStore(store_dir, capacity=8)
+        store.put("good", _payload("good"))
+        store.put("bad", _payload("bad"))
+        bad_path = store_dir / "bad.json"
+        bad_path.write_bytes(b"corrupt garbage")
+        report = store.verify()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert report["quarantined"] == 1
+        assert not store.contains("bad")
+        assert store.contains("good")
+
+    def test_verify_sweeps_tmp_droppings(self, store_dir):
+        store = ResultStore(store_dir, capacity=8)
+        store.put("k", _payload("k"))
+        (store_dir / "zombie.tmp").write_bytes(b"half a write")
+        report = store.verify()
+        assert report["tmp_removed"] == 1
+        assert list(store_dir.glob("*.tmp")) == []
+
+    def test_verify_tolerates_entry_vanishing_mid_scan(self, store_dir):
+        store = ResultStore(store_dir, capacity=8)
+        store.put("gone", _payload("gone"))
+        (store_dir / "gone.json").unlink()
+        report = store.verify()
+        assert report["checked"] == 1
+        assert report["ok"] == 0
+        assert not store.contains("gone")
