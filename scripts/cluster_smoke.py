@@ -15,9 +15,18 @@ with identical bytes — the coordinator's worker-TTL reap re-issues the
 orphaned lease to the surviving worker, and the audit log must record
 the takeover.
 
+``--kill-coordinator`` drills the other side of the fabric: the
+coordinator runs as a real ``repro-fvc serve --state-dir`` subprocess,
+is SIGKILLed mid-fig13 (after at least one lease completed), and is
+restarted on the same port and state dir.  The restarted coordinator
+must recover the job from its write-ahead journal, the workers must
+re-attach through their heartbeat ``known: false`` loop, and the final
+payload must still be byte-identical to ``run --jobs 1``.
+
 Usage::
 
-    PYTHONPATH=src python scripts/cluster_smoke.py [--kill-one]
+    PYTHONPATH=src python scripts/cluster_smoke.py \
+        [--kill-one | --kill-coordinator]
 """
 
 from __future__ import annotations
@@ -77,6 +86,127 @@ def wait_until(predicate, timeout: float, message: str) -> None:
         time.sleep(0.1)
 
 
+def spawn_coordinator(port: int, tmp: str):
+    """A real ``serve`` subprocess with a durable ``--state-dir``."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    env.pop("REPRO_FAULTS", None)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port),
+            "--workers", "1",
+            "--store-dir", os.path.join(tmp, "results"),
+            "--state-dir", os.path.join(tmp, "state"),
+            "--worker-ttl", "3",
+            "--lease-timeout", "120",
+        ],
+        env=env,
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def killpg(process) -> None:
+    try:
+        os.killpg(process.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    process.wait(timeout=30)
+
+
+def kill_coordinator_drill() -> int:
+    """SIGKILL the coordinator mid-run, restart it, gate recovery."""
+    import socket
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    url = f"http://127.0.0.1:{port}"
+    client = ServiceClient(url)
+
+    def healthy() -> bool:
+        try:
+            client.healthz()
+            return True
+        except ServiceError:
+            return False
+
+    def metric(name: str) -> float:
+        try:
+            return client.metrics()["metrics"][name]["value"]
+        except (ServiceError, KeyError):
+            return -1.0
+
+    tmp = tempfile.mkdtemp(prefix="cluster-smoke-")
+    coordinator = spawn_coordinator(port, tmp)
+    workers = []
+    try:
+        wait_until(healthy, 60.0, "coordinator never became healthy")
+        # Slow every cell so the SIGKILL demonstrably lands mid-run:
+        # some leases completed, others still in flight.
+        for index in range(2):
+            workers.append(
+                spawn_worker(
+                    url, f"w{index}", os.path.join(tmp, f"cache-{index}"),
+                    faults="engine.cell:delay(0.3)@1-999",
+                )
+            )
+        wait_until(
+            lambda: metric("cluster_workers") == 2,
+            30.0, "workers never registered",
+        )
+        job = client.submit_experiment(EXPERIMENT, fast=True)
+        wait_until(
+            lambda: metric("cluster_leases_completed_total") >= 1,
+            120.0, "no lease completed before the kill",
+        )
+        killpg(coordinator)
+        print(f"SIGKILLed coordinator pid {coordinator.pid} mid-run")
+
+        coordinator = spawn_coordinator(port, tmp)
+        wait_until(healthy, 60.0, "restarted coordinator never came up")
+        recovered = metric("journal_recovered_jobs_total")
+        assert recovered >= 1, f"journal recovered {recovered} jobs"
+        view = client.status(job["id"])
+        assert view["state"] in ("queued", "running", "done"), view
+        # Workers re-attach on their own: heartbeat answers
+        # ``known: false`` and the loop re-registers.
+        wait_until(
+            lambda: metric("cluster_workers") == 2,
+            60.0, "workers never re-attached after the restart",
+        )
+        done = client.wait(job["id"], timeout=600)
+        assert done["state"] == "done", done
+        served = client.result_bytes(done["result_key"])
+        expected = local_payload()
+        if served != expected:
+            raise SystemExit(
+                "cluster smoke FAILED: post-recovery payload differs "
+                f"from run --jobs 1 ({len(served)} vs "
+                f"{len(expected)} bytes)"
+            )
+        print(
+            f"coordinator-kill OK: job {job['id']} recovered from the "
+            f"journal ({int(recovered)} job(s)), workers re-attached, "
+            f"{EXPERIMENT} payload byte-identical"
+        )
+        return 0
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+        if coordinator.poll() is None:
+            killpg(coordinator)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -84,7 +214,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="SIGKILL one worker mid-lease and gate the takeover",
     )
+    parser.add_argument(
+        "--kill-coordinator",
+        action="store_true",
+        help="SIGKILL the coordinator mid-run, restart it, and gate "
+        "journal recovery + worker re-attach",
+    )
     args = parser.parse_args(argv)
+    if args.kill_coordinator:
+        return kill_coordinator_drill()
 
     from repro.service.client import ServiceClient
     from repro.service.server import ReproService, ServiceConfig

@@ -34,7 +34,6 @@ produces the same bytes, and stale pushes are acknowledged-and-ignored.
 
 from __future__ import annotations
 
-import itertools
 import json
 import threading
 import time
@@ -130,6 +129,7 @@ class ClusterScheduler:
         worker_ttl: float = DEFAULT_WORKER_TTL_SECONDS,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         clock: Callable[[], float] = time.monotonic,
+        journal=None,
     ) -> None:
         #: Optional :class:`repro.service.result_store.ResultStore`;
         #: consulted before leasing and offered every completed cell,
@@ -142,7 +142,20 @@ class ClusterScheduler:
         self.lease_timeout = lease_timeout
         self.worker_ttl = worker_ttl
         self.max_attempts = max_attempts
-        self._clock = clock
+        # The scheduler owns an explicit clock *epoch* so every TTL and
+        # lease deadline survives a restart: ``now()`` reads the raw
+        # (injectable, monotonic) clock relative to the instant the
+        # epoch was (re-)based.  Recovery calls :meth:`restore` with
+        # the highest pre-crash reading, so post-restart timestamps
+        # keep increasing even though ``time.monotonic`` reset to an
+        # arbitrary origin with the new process.
+        self._raw_clock = clock
+        self._base = clock()
+        self._epoch = 0.0
+        #: Optional write-ahead journal; recovery-relevant transitions
+        #: are buffered under the lock and appended after release.
+        self.journal = journal
+        self._journal_pending: List[Dict[str, object]] = []
         self._lock = threading.Lock()
         self._workers: Dict[str, WorkerInfo] = {}
         self._tasks: Dict[str, CellTask] = {}
@@ -150,8 +163,8 @@ class ClusterScheduler:
         #: Tasks past their lease budget, reserved for local fallback.
         self._exhausted: Deque[CellTask] = deque()
         self._leases: Dict[str, Lease] = {}
-        self._worker_serial = itertools.count(1)
-        self._lease_serial = itertools.count(1)
+        self._worker_serial = 0
+        self._lease_serial = 0
         #: The lease audit log: every issue/complete/expiry/steal/
         #: takeover, most recent last (bounded).
         self.events: Deque[Dict[str, object]] = deque(maxlen=_MAX_EVENTS)
@@ -169,6 +182,30 @@ class ClusterScheduler:
             "cluster_trace_serves_total": 0,
         }
 
+    #: Scheduler events the journal records (enough to restore serial
+    #: high-water marks and the clock epoch on recovery; heartbeats are
+    #: deliberately not journaled — they are liveness, not state).
+    _JOURNALED_EVENTS = frozenset(
+        {
+            "register",
+            "deregister",
+            "worker_lost",
+            "issue",
+            "lease_expired",
+            "steal",
+            "complete",
+        }
+    )
+
+    # Clock -------------------------------------------------------------
+    def now(self) -> float:
+        """Scheduler time: epoch-based monotonic seconds.
+
+        Monotonic across restarts *of this scheduler* (via
+        :meth:`restore`), which is what lease deadlines and worker TTLs
+        are compared against."""
+        return self._epoch + (self._raw_clock() - self._base)
+
     # Bookkeeping -------------------------------------------------------
     def _log(self, event: str, **attrs) -> None:
         # Callers hold the lock.  The audit log mirrors into the span
@@ -176,6 +213,23 @@ class ClusterScheduler:
         entry: Dict[str, object] = {"event": event}
         entry.update(attrs)
         self.events.append(entry)
+        if self.journal is not None and event in self._JOURNALED_EVENTS:
+            record: Dict[str, object] = {"ev": event, "t": self.now()}
+            for key in ("worker", "lease"):
+                value = attrs.get(key)
+                if isinstance(value, str):
+                    record[key] = value
+            self._journal_pending.append(record)
+
+    def _flush_journal(self) -> None:
+        # Journal appends fsync and host a fault point, so buffered
+        # records drain strictly outside the scheduler lock.
+        if self.journal is None:
+            return
+        with self._lock:
+            pending, self._journal_pending = self._journal_pending, []
+        for record in pending:
+            self.journal.append_safe("sched", **record)
 
     def _count(self, name: str, amount: int = 1) -> None:
         self.counters[name] += amount
@@ -199,9 +253,10 @@ class ClusterScheduler:
         contract (heartbeat cadence, lease deadline)."""
         from repro.obs import tracing
 
-        now = self._clock()
+        now = self.now()
         with self._lock:
-            worker_id = f"w-{next(self._worker_serial):04d}"
+            self._worker_serial += 1
+            worker_id = f"w-{self._worker_serial:04d}"
             self._workers[worker_id] = WorkerInfo(
                 id=worker_id,
                 name=str(name),
@@ -212,6 +267,7 @@ class ClusterScheduler:
             )
             self._count("cluster_workers_registered_total")
             self._log("register", worker=worker_id, name=str(name))
+        self._flush_journal()
         tracing.event("cluster_worker_registered", worker=worker_id)
         return {
             "schema": WORKER_SCHEMA,
@@ -231,7 +287,7 @@ class ClusterScheduler:
             worker = self._workers.get(worker_id)
             if worker is None:
                 return {"schema": WORKER_SCHEMA, "known": False}
-            worker.last_seen = self._clock()
+            worker.last_seen = self.now()
             self._count("cluster_heartbeats_total")
         return {"schema": WORKER_SCHEMA, "known": True}
 
@@ -244,11 +300,12 @@ class ClusterScheduler:
                 return False
             self._log("deregister", worker=worker_id)
             self._requeue_worker_leases(worker, reason="deregister")
+        self._flush_journal()
         return True
 
     def live_worker_count(self) -> int:
         """Workers inside their TTL right now."""
-        now = self._clock()
+        now = self.now()
         with self._lock:
             return sum(
                 1
@@ -258,7 +315,7 @@ class ClusterScheduler:
 
     def workers_view(self) -> Dict:
         """The ``GET /v1/workers`` body: fabric topology + queue state."""
-        now = self._clock()
+        now = self.now()
         with self._lock:
             workers = [
                 {
@@ -311,7 +368,7 @@ class ClusterScheduler:
 
         lost: List[str] = []
         expired: List[str] = []
-        now = self._clock()
+        now = self.now()
         with self._lock:
             for worker_id in sorted(self._workers):
                 worker = self._workers[worker_id]
@@ -341,6 +398,7 @@ class ClusterScheduler:
                         worker=lease.worker_id,
                     )
                     del self._leases[lease_id]
+        self._flush_journal()
         for worker_id in lost:
             tracing.event("cluster_takeover", worker=worker_id, cause="worker_lost")
         for lease_id in expired:
@@ -397,7 +455,7 @@ class ClusterScheduler:
         fault_point("cluster.lease")
         self.reap()
         max_leases = max(1, int(max_leases))
-        now = self._clock()
+        now = self.now()
         with self._lock:
             worker = self._workers.get(worker_id)
             if worker is None:
@@ -417,8 +475,9 @@ class ClusterScheduler:
             for task in granted:
                 task.state = LEASED
                 task.attempts += 1
+                self._lease_serial += 1
                 lease = Lease(
-                    id=f"lease-{next(self._lease_serial):06d}",
+                    id=f"lease-{self._lease_serial:06d}",
                     task=task,
                     worker_id=worker_id,
                     issued=now,
@@ -439,6 +498,7 @@ class ClusterScheduler:
                         "cell": cell_fields(task.cell),
                     }
                 )
+        self._flush_journal()
         return {"schema": LEASE_SCHEMA, "known": True, "leases": leases}
 
     # Results -----------------------------------------------------------
@@ -462,6 +522,7 @@ class ClusterScheduler:
                 self._log("complete", task=task.key, source=source)
                 offer = True
         task.event.set()
+        self._flush_journal()
         if offer and self.store is not None:
             # The cluster-wide memo: identical bytes to a local run's
             # stored result, under the identical key.
@@ -488,7 +549,7 @@ class ClusterScheduler:
             worker = self._workers.get(worker_id)
             if worker is not None:
                 worker.lease_ids.discard(lease_id)
-                worker.last_seen = self._clock()
+                worker.last_seen = self.now()
             task = lease.task
             if not self._valid_payload(task, payload):
                 self._count("cluster_results_stale_total")
@@ -555,7 +616,7 @@ class ClusterScheduler:
     def _claim_local(self) -> Optional[CellTask]:
         # A task past its lease budget is always ours; a pending task
         # is ours only when no live worker could take it.
-        now = self._clock()
+        now = self.now()
         with self._lock:
             while self._exhausted:
                 task = self._exhausted.popleft()
@@ -643,6 +704,52 @@ class ClusterScheduler:
             stats=dict(payload["stats"]),
             extras=dict(payload["extras"]),
         )
+
+    # Durability --------------------------------------------------------
+    def restore(
+        self,
+        worker_serial: int = 0,
+        lease_serial: int = 0,
+        epoch: float = 0.0,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Re-base this scheduler on recovered control-plane state
+        (startup only, before any worker traffic).
+
+        The serial high-water marks guarantee post-restart worker and
+        lease ids never collide with ids pre-crash workers still hold —
+        a stale ``w-0002`` pushing against a dead ``lease-000007`` is
+        acknowledged stale instead of corrupting a fresh grant.  The
+        clock epoch re-bases :meth:`now` past the highest pre-crash
+        reading, so TTL and deadline arithmetic stays monotonic across
+        the restart.  Pre-crash leases and workers are deliberately
+        *not* recreated: their leases are dead by definition, and the
+        workers re-register through their heartbeat ``known: false``
+        loop.
+        """
+        with self._lock:
+            self._worker_serial = max(self._worker_serial, int(worker_serial))
+            self._lease_serial = max(self._lease_serial, int(lease_serial))
+            if counters:
+                for name in self.counters:
+                    if name in counters:
+                        self.counters[name] = int(counters[name])
+            # Re-base past BOTH the recovered epoch and whatever this
+            # incarnation's clock already read — now() must never rewind.
+            raw = self._raw_clock()
+            elapsed = self._epoch + (raw - self._base)
+            self._base = raw
+            self._epoch = max(elapsed, float(epoch))
+
+    def snapshot_state(self) -> Dict:
+        """The scheduler's contribution to the journal snapshot."""
+        with self._lock:
+            return {
+                "worker_serial": self._worker_serial,
+                "lease_serial": self._lease_serial,
+                "epoch": self.now(),
+                "counters": dict(self.counters),
+            }
 
     # Observability -----------------------------------------------------
     def metric_samples(self) -> Dict[str, Dict[str, object]]:
@@ -796,12 +903,12 @@ class ClusterExecutor:
         from repro.obs import tracing
         from repro.service import jobs as jobstates
 
-        job.attempts = 1
+        self.queue.note_attempt(job, 1)
         if self.registry is not None:
             self.registry.counter("worker_attempts_total").inc()
 
         def report(done: int, total: int) -> None:
-            job.progress = (done, total)
+            self.queue.note_progress(job, done, total)
 
         with tracing.span(
             "cluster.job",

@@ -268,11 +268,18 @@ def run_worker(config: WorkerConfig) -> int:
                     result = run_cell(cell, store)
                 payload = cell_payload(result)
                 try:
-                    client.push_cell_result(
+                    ack = client.push_cell_result(
                         lease["lease_id"], reg.current(), payload
                     )
                 except (ServiceError, CircuitOpenError):
                     continue  # lease expiry covers the lost push
+                if not ack.get("accepted", False):
+                    # Stale lease — expired, stolen, or the coordinator
+                    # restarted and invalidated every pre-crash grant.
+                    # The rest of this batch is just as dead: drop it
+                    # and re-lease (re-registering if needed) instead
+                    # of computing cells nobody will accept.
+                    break
                 completed += 1
                 if obs.enabled():
                     obs.registry().counter("cluster_cells_total").inc()

@@ -41,6 +41,19 @@ class IntegrityError(ReproError):
     """
 
 
+class StorageExhausted(ReproError):
+    """The control plane cannot durably record new work.
+
+    Raised at journal-append time when the serve state directory is out
+    of space (real ``ENOSPC`` or the configured ``--state-quota-bytes``
+    budget).  The service maps it to typed degradation — new
+    submissions are shed with ``503`` + ``Retry-After`` while reads and
+    already-accepted work keep being served — never to a crash.  The
+    condition self-heals as soon as an append succeeds again (snapshot
+    compaction or freed disk).
+    """
+
+
 class FaultInjected(ReproError):
     """A deterministic fault-injection plan fired at this point.
 

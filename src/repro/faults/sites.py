@@ -91,6 +91,25 @@ SITE_CATALOG: Dict[str, Site] = _catalog(
         "Between the checkpoint temp-file write and its atomic rename.",
     ),
     Site(
+        "journal.append",
+        "Control-plane journal append: the enveloped record bytes about "
+        "to be written to the write-ahead log (io_error models ENOSPC, "
+        "truncate a torn write, bitflip a corrupt record).",
+        carries_data=True,
+    ),
+    Site(
+        "journal.snapshot",
+        "Control-plane snapshot write: the enveloped snapshot bytes "
+        "about to be atomically published.",
+        carries_data=True,
+    ),
+    Site(
+        "journal.replay",
+        "Recovery-time journal/snapshot read: the bytes as loaded from "
+        "disk, before any record is applied.",
+        carries_data=True,
+    ),
+    Site(
         "engine.cell",
         "Entry of repro.engine.cells.run_cell, before any simulation.",
     ),

@@ -87,6 +87,17 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "result_store_entries",
         "result_store_capacity",
         "result_store_size_bytes",
+        # Service: write-ahead journal (repro.service.journal).
+        "journal_records_total",
+        "journal_append_failures_total",
+        "journal_snapshots_total",
+        "journal_compactions_total",
+        "journal_replayed_records_total",
+        "journal_torn_tail_truncated_total",
+        "journal_recovered_jobs_total",
+        "journal_size_bytes",
+        "journal_quota_bytes",
+        "storage_exhausted",
         # Service: HTTP front end (repro.service.server).
         "server_requests_total",
         "server_request_seconds",

@@ -152,6 +152,14 @@ class ServiceClient:
             raise ServiceError(
                 f"cannot reach {self.base_url}: {exc.reason}"
             ) from None
+        except OSError as exc:
+            # Raw socket failures (e.g. ECONNRESET mid-read against a
+            # server that was just killed or is mid-restart) escape
+            # urllib unwrapped; surface them as the same transient
+            # transport error so the retry/breaker paths engage.
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc}"
+            ) from None
 
     def _request(
         self, method: str, path: str, body: Optional[Dict] = None

@@ -21,13 +21,14 @@ Two service behaviours live here rather than in the workers:
 
 from __future__ import annotations
 
-import itertools
 import queue
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import StorageExhausted
 
 #: Lifecycle states.  ``queued`` and ``running`` are live; the rest are
 #: terminal.
@@ -135,6 +136,7 @@ class JobQueue:
         self,
         max_jobs: int = 10000,
         max_queue_depth: Optional[int] = None,
+        journal=None,
     ) -> None:
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
@@ -146,7 +148,13 @@ class JobQueue:
         #: Pending-job bound; ``None`` = unbounded.  At the bound, new
         #: (non-deduplicated) submissions raise :class:`QueueFullError`.
         self.max_queue_depth = max_queue_depth
-        self._serial = itertools.count(1)
+        #: Optional write-ahead journal (:class:`repro.service.journal
+        #: .Journal`).  When set, every lifecycle transition is appended
+        #: so a restarted coordinator can rebuild this queue.  Appends
+        #: always happen *outside* ``_lock`` — the journal fsyncs and
+        #: hosts a fault point, and neither may run under a lock.
+        self.journal = journal
+        self._serial = 0  # plain int so snapshots can capture/restore it
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -159,7 +167,8 @@ class JobQueue:
         # are addressed by the deterministic result_key, and ids appear
         # in no payload the store persists.  The random suffix guards
         # against id collisions across server restarts.
-        return f"job-{next(self._serial):05d}-{uuid.uuid4().hex[:8]}"  # repro: allow[DET001]
+        self._serial += 1
+        return f"job-{self._serial:05d}-{uuid.uuid4().hex[:8]}"  # repro: allow[DET001]
 
     def _trim(self) -> None:
         # Drop the oldest *terminal* records once the registry is full;
@@ -185,7 +194,9 @@ class JobQueue:
         no work — but a submission that *would* enqueue a new job while
         ``max_queue_depth`` jobs are already pending (across every
         lane) raises :class:`QueueFullError` instead of growing the
-        backlog.
+        backlog, and one that cannot be durably journalled (disk quota
+        or ``ENOSPC``) is rolled back and re-raises
+        :class:`StorageExhausted` — accepted means recorded.
         """
         if lane not in LANES:
             raise ValueError(f"unknown job lane {lane!r}")
@@ -212,6 +223,26 @@ class JobQueue:
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._trim()
+        if self.journal is not None:
+            try:
+                self.journal.append(
+                    "job.submit",
+                    id=job.id,
+                    spec=spec,
+                    result_key=result_key,
+                    lane=lane,
+                    created=job.created,
+                )
+            except StorageExhausted:
+                # The write-ahead contract: a job we cannot record is a
+                # job we never accepted.  Undo the insert and shed.
+                with self._lock:
+                    self._jobs.pop(job.id, None)
+                    if job.id in self._order:
+                        self._order.remove(job.id)
+                    self.submitted -= 1
+                    self.shed += 1
+                raise
         self._pending[lane].put(job.id)
         return job, False
 
@@ -235,6 +266,17 @@ class JobQueue:
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._trim()
+        if self.journal is not None:
+            # A cached answer adds no queue work, so exhaustion never
+            # sheds it — the store already holds the durable truth.
+            self.journal.append_safe(
+                "job.cached",
+                id=job.id,
+                spec=spec,
+                result_key=result_key,
+                lane=job.lane,
+                created=job.created,
+            )
         return job
 
     # Worker side -------------------------------------------------------
@@ -248,6 +290,7 @@ class JobQueue:
             job_id = self._pending[lane].get(timeout=timeout)
         except queue.Empty:
             return None
+        resolved_cancel = False
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None or job.state != QUEUED:
@@ -256,29 +299,48 @@ class JobQueue:
                 job.state = CANCELLED
                 job.finished = time.time()
                 self.cancelled += 1
-                return None
-            job.state = RUNNING
-            job.started = time.time()
-        return job
+                resolved_cancel = True
+            else:
+                job.state = RUNNING
+                job.started = time.time()
+        if self.journal is not None:
+            if resolved_cancel:
+                self.journal.append_safe(
+                    "job.finish", id=job.id, state=CANCELLED
+                )
+            else:
+                self.journal.append_safe("job.claim", id=job.id)
+        return None if resolved_cancel else job
 
     def note_retry(self) -> None:
         with self._lock:
             self.retries += 1
+        if self.journal is not None:
+            self.journal.append_safe("job.retry")
 
     def note_attempt(self, job: Job, attempt: int) -> None:
         """Record that ``job`` is starting attempt ``attempt``.
 
         Job records are read by HTTP threads (``GET /v1/jobs/<id>``)
         while a worker thread mutates them, so the write goes through
-        the queue's lock like every other job mutation.
+        the queue's lock like every other job mutation.  The count is
+        monotonic: a job recovered at attempt 2 whose executor restarts
+        its local loop at 1 keeps reporting 2.
         """
         with self._lock:
-            job.attempts = attempt
+            job.attempts = max(job.attempts, attempt)
+            recorded = job.attempts
+        if self.journal is not None:
+            self.journal.append_safe("job.attempt", id=job.id, n=recorded)
 
     def note_progress(self, job: Job, done: int, total: int) -> None:
         """Record engine-hook progress for ``job`` (cells done/total)."""
         with self._lock:
             job.progress = (done, total)
+        if self.journal is not None:
+            self.journal.append_safe(
+                "job.progress", id=job.id, done=done, total=total
+            )
 
     def finish(
         self,
@@ -303,6 +365,14 @@ class JobQueue:
                 self.failed += 1
             else:
                 self.cancelled += 1
+        if self.journal is not None:
+            self.journal.append_safe(
+                "job.finish",
+                id=job.id,
+                state=state,
+                error=error,
+                stored=stored,
+            )
 
     # Introspection -----------------------------------------------------
     def get(self, job_id: str) -> Optional[Job]:
@@ -320,6 +390,8 @@ class JobQueue:
             job = self._jobs.get(job_id)
         if job is not None and job.state in _LIVE:
             job.cancel_event.set()
+            if self.journal is not None:
+                self.journal.append_safe("job.cancel", id=job.id)
         return job
 
     def jobs(self) -> List[Job]:
@@ -354,4 +426,101 @@ class JobQueue:
                 "shed": self.shed,
                 "queued": sum(1 for s in live if s == QUEUED),
                 "running": sum(1 for s in live if s == RUNNING),
+            }
+
+    # Durability ---------------------------------------------------------
+    def restore(self, recovered, payloads: Dict[str, Dict]) -> int:
+        """Rebuild the queue from recovery state (startup only).
+
+        ``recovered`` is a :class:`repro.service.journal.RecoveredState`;
+        ``payloads`` maps result keys to store payloads the caller
+        prefetched (store reads block, so they must not happen under
+        this lock).  Jobs that were running at the crash re-enter the
+        queue at their recorded attempt count — their pre-crash leases
+        are dead, so ``queued`` is the truthful state.  Done jobs are
+        rehydrated from the store and never recomputed.  Returns the
+        number of jobs restored.
+        """
+        to_enqueue: List[Tuple[str, str]] = []
+        with self._lock:
+            for rec in recovered.jobs:
+                if rec.id in self._jobs:
+                    continue
+                job = Job(
+                    id=rec.id,
+                    spec=rec.spec,
+                    result_key=rec.result_key,
+                    lane=rec.lane if rec.lane in LANES else LOCAL_LANE,
+                    created=rec.created,
+                    attempts=rec.attempts,
+                    cached=rec.cached,
+                )
+                if rec.progress is not None:
+                    job.progress = rec.progress
+                if rec.state in _TERMINAL:
+                    job.state = rec.state
+                    job.finished = rec.created
+                    job.error = rec.error
+                    job.stored = rec.stored
+                    if rec.state == DONE:
+                        job.payload = payloads.get(rec.result_key)
+                else:
+                    job.state = QUEUED
+                    if rec.cancel_requested:
+                        job.cancel_event.set()
+                    to_enqueue.append((job.lane, job.id))
+                self._jobs[job.id] = job
+                self._order.append(job.id)
+            self._serial = max(self._serial, recovered.job_serial)
+            counters = recovered.queue_counters
+            self.submitted = counters.get("submitted", 0)
+            self.completed = counters.get("completed", 0)
+            self.failed = counters.get("failed", 0)
+            self.cancelled = counters.get("cancelled", 0)
+            self.retries = counters.get("retries", 0)
+            self.shed = counters.get("shed", 0)
+            restored = len(self._order)
+        for lane, job_id in to_enqueue:
+            self._pending[lane].put(job_id)
+        return restored
+
+    def snapshot_state(self) -> Dict:
+        """Absolute state for the journal snapshot: every job in
+        record form (no payloads — done results live in the store) plus
+        the lifecycle counters and the id serial high-water mark."""
+        with self._lock:
+            jobs = []
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                view: Dict[str, object] = {
+                    "id": job.id,
+                    "spec": job.spec,
+                    "result_key": job.result_key,
+                    "lane": job.lane,
+                    "state": job.state,
+                    "attempts": job.attempts,
+                    "created": job.created,
+                }
+                if job.progress is not None:
+                    view["progress"] = list(job.progress)
+                if job.error is not None:
+                    view["error"] = job.error
+                if job.cached:
+                    view["cached"] = True
+                if job.stored is not None:
+                    view["stored"] = job.stored
+                if job.state in _LIVE and job.cancel_event.is_set():
+                    view["cancel"] = True
+                jobs.append(view)
+            return {
+                "jobs": jobs,
+                "serial": self._serial,
+                "counters": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "cancelled": self.cancelled,
+                    "retries": self.retries,
+                    "shed": self.shed,
+                },
             }

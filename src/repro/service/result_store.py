@@ -194,6 +194,33 @@ class ResultStore:
         with self._lock:
             return key in self._index
 
+    def peek(self, key: str) -> Optional[bytes]:
+        """Read ``key`` without observability side effects.
+
+        The recovery path rehydrates done jobs through this: unlike
+        :meth:`get` it feeds no sketch, bumps no hit/miss counters and
+        refreshes no mtime, so replaying a journal does not distort the
+        admission policy or the metrics a restart should not invent.
+        Corrupt entries are still quarantined, never served.
+        """
+        with self._lock:
+            known = key in self._index
+        if not known:
+            return None
+        path = self._path(key)
+        try:
+            return read_enveloped(path, site="result_store.read")
+        except OSError:
+            with self._lock:
+                self._index.pop(key, None)
+            return None
+        except IntegrityError:
+            quarantine(path)
+            with self._lock:
+                self._index.pop(key, None)
+                self.corrupt_quarantined += 1
+            return None
+
     # Writes ------------------------------------------------------------
     def _write(self, key: str, payload: bytes) -> float:
         """Persist ``key`` and return the entry's mtime.  Pure IO — the

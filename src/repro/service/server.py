@@ -53,7 +53,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.common.errors import FaultInjected, ReproError
+from repro.common.errors import FaultInjected, ReproError, StorageExhausted
 from repro.experiments.render import dumps_line
 from repro.obs import (
     METRICS_SCHEMA,
@@ -103,6 +103,19 @@ class ServiceConfig:
     cluster_worker_ttl: float = 10.0
     #: Cluster: coordinator threads driving ``cluster``-lane jobs.
     cluster_dispatchers: int = 2
+    #: Control-plane durability: directory for the write-ahead journal
+    #: and its snapshots (``--state-dir``).  ``None`` disables the
+    #: journal — the pre-durability behaviour, and what embedded test
+    #: services get by default.
+    state_dir: Optional[Path] = None
+    #: Byte budget over journal + snapshot (``--state-quota-bytes``).
+    #: Appends past it shed new submissions with ``503`` instead of
+    #: filling the disk.  ``None`` = unbounded.
+    state_quota_bytes: Optional[int] = None
+    #: Records between automatic snapshot+compaction passes.
+    journal_snapshot_every: int = 512
+    #: fsync journal appends (disable only in tests).
+    journal_fsync: bool = True
 
 
 class ReproService:
@@ -117,7 +130,24 @@ class ReproService:
         self.store = ResultStore(
             store_dir, capacity=self.config.store_capacity
         )
-        self.jobs = JobQueue(max_queue_depth=self.config.max_queue_depth)
+        #: Optional write-ahead journal (``--state-dir``): the durable
+        #: record every lifecycle transition lands in before the
+        #: operation is acknowledged, and what :meth:`_recover` rebuilds
+        #: the control plane from after a crash (docs/ROBUSTNESS.md).
+        self.journal = None
+        if self.config.state_dir is not None:
+            from repro.service.journal import Journal
+
+            self.journal = Journal(
+                self.config.state_dir,
+                quota_bytes=self.config.state_quota_bytes,
+                fsync=self.config.journal_fsync,
+                snapshot_every=self.config.journal_snapshot_every,
+            )
+        self.jobs = JobQueue(
+            max_queue_depth=self.config.max_queue_depth,
+            journal=self.journal,
+        )
         #: Per-service registry (request counters/latency, worker
         #: attempts) — per-instance so embedded test services never
         #: share metric state.
@@ -143,6 +173,7 @@ class ReproService:
             registry=self.registry,
             lease_timeout=self.config.cluster_lease_timeout,
             worker_ttl=self.config.cluster_worker_ttl,
+            journal=self.journal,
         )
         self.cluster_exec = ClusterExecutor(
             self.jobs,
@@ -154,6 +185,78 @@ class ReproService:
         self.started_at = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        self._maint_stop = threading.Event()
+        self._maint_thread: Optional[threading.Thread] = None
+        #: Recovery report from the last startup replay (diagnostics).
+        self.recovery: Optional[Dict] = None
+        self._recover()
+
+    # Durability --------------------------------------------------------
+    def _gather_state(self) -> Dict:
+        """Everything a journal snapshot captures (job queue +
+        scheduler); called by the journal with no locks held."""
+        return {
+            "queue": self.jobs.snapshot_state(),
+            "sched": self.cluster.snapshot_state(),
+        }
+
+    def _recover(self) -> None:
+        """Rebuild the control plane from journal + snapshot (startup).
+
+        Runs before any worker thread or HTTP socket exists, so no
+        locks are contended.  Done jobs are rehydrated from the result
+        store (zero recomputation); jobs that were queued or running
+        re-enter the queue at their recorded attempt count; every
+        pre-crash lease is implicitly dead (the scheduler starts with
+        an empty lease table but serial high-water marks and clock
+        epoch restored, so stale pushes are acked stale and TTL math
+        stays monotonic).  Pre-crash workers re-attach through their
+        heartbeat ``known: false`` re-register loop.
+        """
+        if self.journal is None:
+            return
+        from repro.service.journal import recover
+
+        with tracing.span("service.recover"):
+            sweep = self.journal.sweep()
+            recovered = recover(self.journal)
+            # Store reads block (disk + fault point), so done payloads
+            # are prefetched here and handed to restore() — never read
+            # under the queue lock.
+            payloads: Dict[str, Dict] = {}
+            for rec in recovered.jobs:
+                if rec.state != "done" or rec.result_key in payloads:
+                    continue
+                blob = self.store.peek(rec.result_key)
+                if blob is not None:
+                    payloads[rec.result_key] = json.loads(blob)
+            restored = self.jobs.restore(recovered, payloads)
+            self.cluster.restore(
+                worker_serial=recovered.worker_serial,
+                lease_serial=recovered.lease_serial,
+                epoch=recovered.epoch,
+                counters=recovered.sched_counters,
+            )
+            self.journal.append_safe(
+                "recovered",
+                jobs=restored,
+                replayed=recovered.replayed,
+                torn=1 if recovered.torn else 0,
+            )
+            # Fold the tail into a fresh snapshot so the next crash
+            # replays from here, and the swept log stays compact.
+            self.journal.snapshot(self._gather_state)
+            self.recovery = {
+                "jobs": restored,
+                "replayed": recovered.replayed,
+                "torn": recovered.torn,
+                "sweep": sweep,
+            }
+
+    def _maintenance_loop(self) -> None:
+        while not self._maint_stop.wait(0.5):
+            if self.journal is not None and self.journal.snapshot_due():
+                self.journal.snapshot(self._gather_state)
 
     # Wiring ------------------------------------------------------------
     def _store_result(self, job, payload: Dict) -> bool:
@@ -199,7 +302,10 @@ class ReproService:
 
     def degraded(self) -> bool:
         """Whether the service is shedding: the pending queue sits at
-        its depth bound."""
+        its depth bound, or the journal cannot durably record new
+        work (disk quota / ``ENOSPC``)."""
+        if self.journal is not None and self.journal.exhausted:
+            return True
         limit = self.jobs.max_queue_depth
         return limit is not None and self.jobs.queue_depth() >= limit
 
@@ -224,6 +330,9 @@ class ReproService:
             "status": "degraded" if self.degraded() else "ok",
             "queue_depth": self.jobs.queue_depth(),
             "max_queue_depth": self.jobs.max_queue_depth,
+            "storage_exhausted": bool(
+                self.journal is not None and self.journal.exhausted
+            ),
         }
 
     #: Raw stats key → registered counter name (the catalogued
@@ -244,6 +353,15 @@ class ReproService:
         "admission_rejects": "result_store_admission_rejects_total",
         "evictions": "result_store_evictions_total",
         "corrupt_quarantined": "result_store_corrupt_quarantined_total",
+    }
+    _JOURNAL_COUNTERS = {
+        "records": "journal_records_total",
+        "append_failures": "journal_append_failures_total",
+        "snapshots": "journal_snapshots_total",
+        "compactions": "journal_compactions_total",
+        "replayed": "journal_replayed_records_total",
+        "torn_truncated": "journal_torn_tail_truncated_total",
+        "recovered_jobs": "journal_recovered_jobs_total",
     }
 
     def metric_samples(self) -> Dict[str, Dict[str, object]]:
@@ -272,6 +390,13 @@ class ReproService:
             "degraded": 1 if self.degraded() else 0,
             "uptime_seconds": round(time.time() - self.started_at, 3),
         }
+        if self.journal is not None:
+            journal = self.journal.stats()
+            for raw, name in self._JOURNAL_COUNTERS.items():
+                samples[name] = {"type": "counter", "value": journal[raw]}
+            gauges["journal_size_bytes"] = journal["size_bytes"]
+            gauges["journal_quota_bytes"] = journal["quota_bytes"]
+            gauges["storage_exhausted"] = journal["exhausted"]
         for name, value in gauges.items():
             samples[name] = {"type": "gauge", "value": value}
         # Cluster fabric state (registrations, leases, steals).
@@ -318,6 +443,14 @@ class ReproService:
         self._httpd.daemon_threads = True
         self.pool.start()
         self.cluster_exec.start()
+        if self.journal is not None and self._maint_thread is None:
+            self._maint_stop.clear()
+            self._maint_thread = threading.Thread(
+                target=self._maintenance_loop,
+                name="repro-service-journal",
+                daemon=True,
+            )
+            self._maint_thread.start()
         self._http_thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-service-http",
@@ -341,6 +474,15 @@ class ReproService:
             self._http_thread = None
         self.cluster_exec.stop(drain=drain, timeout=timeout)
         self.pool.stop(drain=drain, timeout=timeout)
+        if self._maint_thread is not None:
+            self._maint_stop.set()
+            self._maint_thread.join(timeout=5.0)
+            self._maint_thread = None
+        if self.journal is not None:
+            # A parting snapshot makes the next startup's replay a
+            # no-op tail; crashes skip this and replay instead.
+            self.journal.snapshot(self._gather_state)
+            self.journal.close()
 
 
 def serve(config: Optional[ServiceConfig] = None) -> int:
@@ -363,6 +505,13 @@ def serve(config: Optional[ServiceConfig] = None) -> int:
         f"({service.pool.workers} workers, store at {service.store.directory})",
         flush=True,
     )
+    if service.journal is not None and service.recovery is not None:
+        print(
+            f"journal at {service.journal.directory}: recovered "
+            f"{service.recovery['jobs']} job(s), replayed "
+            f"{service.recovery['replayed']} record(s)",
+            flush=True,
+        )
     try:
         while not stop_requested.wait(0.2):
             pass
@@ -532,7 +681,10 @@ def _make_handler(service: ReproService, quiet: bool = True):
                     return
                 try:
                     body, status = service.submit(raw)
-                except QueueFullError as exc:
+                except (QueueFullError, StorageExhausted) as exc:
+                    # Both are the same overload contract: new work is
+                    # rejected loudly with a back-off hint; accepted
+                    # work and reads keep being served.
                     self._error(
                         503,
                         str(exc),

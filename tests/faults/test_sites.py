@@ -36,6 +36,9 @@ class TestCatalog:
             "result_store.write",
             "checkpoint.read",
             "checkpoint.write",
+            "journal.append",
+            "journal.snapshot",
+            "journal.replay",
         }
 
     def test_every_site_documented(self):
