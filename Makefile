@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-sanitize lint bench bench-core bench-cluster bench-fast bench-quick bench-obs examples experiments clean
+.PHONY: install test test-fast test-sanitize lint bench bench-core bench-cluster bench-fast bench-quick bench-obs examples experiments sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -63,6 +63,10 @@ examples:
 
 experiments:
 	$(PYTHON) -m repro run all
+
+# The reference declarative study at reduced scale (docs/SWEEPS.md).
+sweep:
+	PYTHONPATH=src $(PYTHON) -m repro sweep run l1_size_study --fast
 
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt

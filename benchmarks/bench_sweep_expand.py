@@ -1,0 +1,58 @@
+"""The declarative sweep layer's own overhead.
+
+Expansion and aggregation are pure bookkeeping around the simulation
+cells — they must stay negligible next to a single cell's replay.
+Benchmarks the full-scale ``l1_size_study`` grid (120 points) through
+expand + a synthetic-snapshot report build, no simulation.
+"""
+
+from __future__ import annotations
+
+from repro.sweeps.catalog import get_sweep
+from repro.sweeps.expand import expand, unique_cells
+from repro.sweeps.report import build_report
+
+
+def _synthetic_snapshots(points):
+    snapshots = []
+    for point in points:
+        misses = 100 + 7 * (point.index % 13)
+        accesses = 10_000
+        snapshots.append(
+            (
+                {
+                    "read_hits": accesses - misses,
+                    "read_misses": misses,
+                    "write_hits": 0,
+                    "write_misses": 0,
+                    "fills": misses,
+                    "writebacks": 0,
+                    "fill_words": 8 * misses,
+                    "writeback_words": 0,
+                },
+                {},
+            )
+        )
+    return snapshots
+
+
+def test_sweep_expand(benchmark):
+    spec = get_sweep("l1_size_study")
+
+    def expand_grid():
+        points = expand(spec)
+        return points, unique_cells(points)
+
+    points, distinct = benchmark(expand_grid)
+    assert len(points) == 120
+    assert len(distinct) == 120
+
+
+def test_sweep_report(benchmark):
+    spec = get_sweep("l1_size_study")
+    points = expand(spec)
+    snapshots = _synthetic_snapshots(points)
+
+    headers, rows = benchmark(build_report, spec, points, snapshots)
+    assert headers[0] == "arm"
+    assert len(rows) == 120

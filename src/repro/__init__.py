@@ -62,20 +62,12 @@ from repro.workloads.store import TraceStore, get_trace, shared_store
 
 __version__ = "1.0.0"
 
-#: Deprecated top-level re-exports: name → (home module, attribute,
-#: suggested replacement on the stable facade).  Importing one still
-#: works for one release but warns; use :mod:`repro.api` instead.
-_DEPRECATED_EXPORTS = {
-    "EXPERIMENTS": (
-        "repro.experiments.registry",
-        "EXPERIMENTS",
-        "repro.api.list_experiments()",
-    ),
-    "get_experiment": (
-        "repro.experiments.registry",
-        "get_experiment",
-        "repro.api.run_experiment()",
-    ),
+#: Top-level re-exports retired after their one deprecated release:
+#: name → the stable replacement named in the AttributeError, so old
+#: callers get an actionable message instead of a bare failure.
+_RETIRED_EXPORTS = {
+    "EXPERIMENTS": "repro.api.list_experiments()",
+    "get_experiment": "repro.api.run_experiment()",
 }
 
 #: Submodules resolved lazily so ``import repro`` stays light and
@@ -88,20 +80,12 @@ def __getattr__(name: str):
         import importlib
 
         return importlib.import_module(f"repro.{name}")
-    entry = _DEPRECATED_EXPORTS.get(name)
-    if entry is not None:
-        import importlib
-        import warnings
-
-        module_name, attribute, replacement = entry
-        warnings.warn(
-            f"importing {name!r} from 'repro' is deprecated and will stop "
-            f"working in a future release; use {replacement} (the stable "
-            "facade is repro.api)",
-            DeprecationWarning,
-            stacklevel=2,
+    replacement = _RETIRED_EXPORTS.get(name)
+    if replacement is not None:
+        raise AttributeError(
+            f"'repro.{name}' was deprecated and has been removed; use "
+            f"{replacement} (the stable facade is repro.api)"
         )
-        return getattr(importlib.import_module(module_name), attribute)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
@@ -143,7 +127,5 @@ __all__ = [
     "SimCell",
     "run_cell",
     "run_cells",
-    "EXPERIMENTS",
-    "get_experiment",
     "__version__",
 ]

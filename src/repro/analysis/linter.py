@@ -51,7 +51,7 @@ DEFAULT_SUPPRESSION_BUDGET = 5
 PARSE_ERROR_CODE = "SYN001"
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*allow\[([A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*)\]"
+    r"#\s*repro:\s*allow\[([A-Z]{3,5}\d{3}(?:\s*,\s*[A-Z]{3,5}\d{3})*)\]"
 )
 
 

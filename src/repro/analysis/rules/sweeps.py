@@ -1,0 +1,171 @@
+"""SWEEP — declarative-sweep backing of the experiment registry.
+
+The sweep catalog (:mod:`repro.sweeps.catalog`) is the declarative
+source of truth for every paper study: each ``fig*``/``table*``
+experiment in the registry must be expressed there as a ``sweep/v1``
+spec with non-empty reportable fields, so the study's parameter space
+and report shape are inspectable without running (or even importing)
+the experiment.  An experiment that exists only imperatively is
+invisible to ``repro-fvc sweep list``, ``/v1/sweeps`` and the
+aggregation layer.
+
+* **SWEEP001** — every class-level ``experiment_id = "fig*" | "table*"``
+  declared under ``repro/experiments/`` must be backed by a catalog
+  entry (a ``_BUILDERS`` key or a ``WRAPPER_FIELDS`` key) whose report
+  declares at least one field.
+
+The audit is static: builder functions are credited when their body
+contains a ``"report"`` dict literal with a non-empty ``"fields"``
+list; wrapper entries are credited by their ``WRAPPER_FIELDS`` list.
+The rule skips silently when the experiment registry or the sweep
+catalog is absent from the linted set (linting a subtree cannot
+manufacture coverage findings).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.rules.base import ProjectRule, SourceFile
+
+_REGISTRY_SUFFIX = "repro/experiments/registry.py"
+_CATALOG_SUFFIX = "repro/sweeps/catalog.py"
+
+
+def _find_file(
+    files: Sequence[SourceFile], suffix: str
+) -> Optional[SourceFile]:
+    for source_file in files:
+        if source_file.relpath.endswith(suffix):
+            return source_file
+    return None
+
+
+def _gated_ids(
+    files: Sequence[SourceFile],
+) -> List[Tuple[str, SourceFile, int]]:
+    """Every ``experiment_id = "fig*"|"table*"`` class attribute under
+    ``repro/experiments/``, with its declaration site."""
+    found: List[Tuple[str, SourceFile, int]] = []
+    for source_file in files:
+        if not source_file.relpath.startswith("repro/experiments/"):
+            continue
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for statement in node.body:
+                if (
+                    isinstance(statement, ast.Assign)
+                    and len(statement.targets) == 1
+                    and isinstance(statement.targets[0], ast.Name)
+                    and statement.targets[0].id == "experiment_id"
+                    and isinstance(statement.value, ast.Constant)
+                    and isinstance(statement.value.value, str)
+                    and statement.value.value.startswith(("fig", "table"))
+                ):
+                    found.append(
+                        (statement.value.value, source_file, statement.lineno)
+                    )
+    return sorted(found, key=lambda item: (item[0], item[1].relpath))
+
+
+def _dict_literal(
+    tree: ast.Module, name: str
+) -> Optional[ast.Dict]:
+    """The dict literal assigned to module-level ``name``, if any."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == name
+            for target in targets
+        ):
+            continue
+        if isinstance(node.value, ast.Dict):
+            return node.value
+    return None
+
+
+def _builder_declares_fields(catalog: SourceFile) -> Dict[str, bool]:
+    """function name -> whether its body declares a ``"report"`` dict
+    with a non-empty ``"fields"`` list."""
+    declares: Dict[str, bool] = {}
+    for node in catalog.tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        ok = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Dict):
+                continue
+            for key, value in zip(sub.keys, sub.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "fields"
+                    and isinstance(value, (ast.List, ast.ListComp))
+                    and (
+                        isinstance(value, ast.ListComp) or len(value.elts) > 0
+                    )
+                ):
+                    ok = True
+        declares[node.name] = ok
+    return declares
+
+
+class SweepBackedExperiments(ProjectRule):
+    """SWEEP001: fig*/table* experiments must be catalogued sweeps."""
+
+    code = "SWEEP001"
+    title = "fig*/table* experiment not backed by a sweep spec with fields"
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Tuple[SourceFile, int, str]]:
+        registry = _find_file(files, _REGISTRY_SUFFIX)
+        catalog = _find_file(files, _CATALOG_SUFFIX)
+        if registry is None or catalog is None:
+            return
+        declares = _builder_declares_fields(catalog)
+        backed: Dict[str, bool] = {}
+        builders = _dict_literal(catalog.tree, "_BUILDERS")
+        if builders is not None:
+            for key, value in zip(builders.keys, builders.values):
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    credited = isinstance(
+                        value, ast.Name
+                    ) and declares.get(value.id, False)
+                    backed[key.value] = credited
+        wrapper_fields = _dict_literal(catalog.tree, "WRAPPER_FIELDS")
+        if wrapper_fields is not None:
+            for key, value in zip(wrapper_fields.keys, wrapper_fields.values):
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    backed[key.value] = (
+                        isinstance(value, ast.List) and len(value.elts) > 0
+                    )
+        for experiment_id, source_file, line in _gated_ids(files):
+            status = backed.get(experiment_id)
+            if status is None:
+                yield (
+                    source_file,
+                    line,
+                    f"experiment '{experiment_id}' is not backed by a "
+                    "sweep spec — add it to repro/sweeps/catalog.py "
+                    "(_BUILDERS or WRAPPER_FIELDS) with reportable fields",
+                )
+            elif not status:
+                yield (
+                    catalog,
+                    1,
+                    f"catalogued sweep '{experiment_id}' declares no "
+                    "report fields — a study without reportable fields "
+                    "cannot be aggregated",
+                )

@@ -1,14 +1,18 @@
 """``repro.api`` — the stable public facade.
 
-Everything a downstream script needs, behind six names that are
-guaranteed not to move between releases:
+Everything a downstream script needs, behind a handful of names that
+are guaranteed not to move between releases:
 
 * :func:`run_experiment` — run one paper experiment end to end;
+* :func:`run_sweep` — run one declarative ``sweep/v1`` matrix and get
+  its aggregated report (:class:`SweepResult`);
+* :func:`describe_sweep` — a sweep's expansion/report shape, statically;
 * :func:`simulate` — run one ``workload x cache-config`` simulation;
 * :func:`profile_trace` — the paper's frequent-value profile of one
   workload trace;
 * :func:`connect` — a client for a running simulation service;
-* :func:`list_experiments` / :func:`list_workloads` — the catalogs.
+* :func:`list_experiments` / :func:`list_sweeps` /
+  :func:`list_workloads` — the catalogs.
 
 Compatibility contract: names in ``__all__`` keep their signatures
 (new parameters are keyword-only with defaults); payloads returned by
@@ -27,6 +31,9 @@ Example::
 
     payload = api.run_experiment("fig13", fast=True)
     profile = api.profile_trace("gcc")
+
+    sweep = api.run_sweep("l1_size_study", fast=True, jobs=4)
+    print(sweep.to_csv())
 """
 
 from __future__ import annotations
@@ -36,11 +43,15 @@ from typing import Dict, List, Optional
 
 __all__ = [
     "SimulationOutcome",
+    "SweepResult",
     "connect",
+    "describe_sweep",
     "list_experiments",
+    "list_sweeps",
     "list_workloads",
     "profile_trace",
     "run_experiment",
+    "run_sweep",
     "simulate",
 ]
 
@@ -186,6 +197,100 @@ def connect(
     from repro.service.client import ServiceClient
 
     return ServiceClient(url, timeout=timeout, retry=retry, breaker=breaker)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The stable result shape of :func:`run_sweep`.
+
+    A thin view over the ``sweep.result/1`` payload: ``headers`` and
+    ``rows`` are the aggregated report table, ``payload`` is the full
+    canonical dict (what ``POST /v1/sweeps`` serves byte-identically).
+    """
+
+    name: str
+    sweep_id: str
+    result_key: str
+    points: int
+    distinct_cells: int
+    headers: List[str]
+    rows: List[Dict]
+    payload: Dict = field(repr=False)
+
+    def to_csv(self) -> str:
+        """The report table as CSV text."""
+        from repro.sweeps.report import render_csv
+
+        return render_csv(self.headers, self.rows)
+
+    def to_html(self) -> str:
+        """The report table as a self-contained HTML page."""
+        from repro.sweeps.report import render_html
+
+        return render_html(self.name, self.headers, self.rows)
+
+
+def _resolve_sweep(spec, fast: bool) -> Dict:
+    """A normalised ``sweep/v1`` spec from a catalog name or raw dict.
+
+    ``fast`` selects the shrunken variant of catalogued sweeps; explicit
+    dict specs carry their own scale and ignore it.
+    """
+    from repro.sweeps.catalog import get_sweep
+    from repro.sweeps.spec import normalise_sweep
+
+    if isinstance(spec, str):
+        return get_sweep(spec, fast=fast)
+    return normalise_sweep(spec)
+
+
+def run_sweep(
+    spec,
+    *,
+    fast: bool = False,
+    jobs: int = 1,
+    store=None,
+) -> SweepResult:
+    """Run one declarative sweep and return its aggregated result.
+
+    ``spec`` is a catalogued sweep name (see :func:`list_sweeps`) or a
+    ``sweep/v1`` spec dict.  ``jobs`` fans the distinct cells across
+    worker processes — payload bytes are identical for any ``jobs``
+    value, and identical to what the service's ``POST /v1/sweeps``
+    stores for the same spec.  Invalid specs raise
+    :class:`repro.common.errors.ConfigurationError` naming ``sweep/v1``.
+    """
+    from repro.sweeps.runner import run_sweep as _run
+
+    resolved = _resolve_sweep(spec, fast)
+    payload = _run(resolved, store=store, jobs=jobs)
+    return SweepResult(
+        name=resolved["name"],
+        sweep_id=payload["sweep_id"],
+        result_key=payload["result_key"],
+        points=payload["points"],
+        distinct_cells=payload["distinct_cells"],
+        headers=list(payload["headers"]),
+        rows=list(payload["rows"]),
+        payload=payload,
+    )
+
+
+def describe_sweep(spec, *, fast: bool = False) -> Dict:
+    """A static description of one sweep — identity, axis sizes,
+    expansion counts and report shape — without running anything.
+    Accepts the same ``spec`` forms as :func:`run_sweep`."""
+    from repro.sweeps.runner import describe_sweep as _describe
+
+    return _describe(_resolve_sweep(spec, fast))
+
+
+def list_sweeps() -> List[str]:
+    """Every catalogued sweep name (the 16 ``fig*``/``table*`` paper
+    studies plus the cross-cutting studies), sorted."""
+    from repro.sweeps.catalog import sweep_names
+
+    return sweep_names()
 
 
 def list_experiments() -> List[str]:

@@ -20,6 +20,16 @@
     repro-fvc reuse gcc                 # reuse-distance analysis
     repro-fvc simulate gcc --size-kb 16 --line 32 --fvc 512 --top 7
 
+Sweep mode (see docs/SWEEPS.md) — declarative parameter studies::
+
+    repro-fvc sweep list                      # catalogued sweeps
+    repro-fvc sweep run l1_size_study --fast  # run + aggregated table
+    repro-fvc sweep run spec.json --json      # canonical sweep.result/1
+    repro-fvc sweep expand fig13 --fast       # show every planned cell
+    repro-fvc sweep report fig14 --format csv -o fig14.csv
+    repro-fvc run spec.json --json            # 'run' accepts spec files
+    repro-fvc submit spec.json --wait         # POST /v1/sweeps + await
+
 Service mode (see docs/SERVICE.md)::
 
     repro-fvc serve --port 8031 --workers 4   # run the job server
@@ -40,6 +50,7 @@ coordinator; thin workers attach over the same ``/v1`` protocol::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -93,6 +104,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     fast = args.fast or args.scale == "test"
+    if _sweep_spec_source(args.experiment):
+        # A sweep/v1 spec file runs the declarative sweep path
+        # (docs/SWEEPS.md); malformed documents fail with an error
+        # naming the sweep/v1 contract.
+        if args.json:
+            fmt = "json"
+        elif args.csv:
+            fmt = "csv"
+        else:
+            fmt = "table"
+        return _run_sweep_to(args.experiment, fast, args.jobs, fmt, None)
     if args.sanitize:
         from repro.analysis import sanitize
 
@@ -101,8 +123,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # an unsanitized run exactly.
         sanitize.enable()
     if args.faults:
-        import os
-
         from repro.faults import FaultPlan, FaultSpecError, install
 
         try:
@@ -117,8 +137,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         os.environ["REPRO_FAULTS"] = args.faults
 
     if args.trace_out:
-        import os
-
         from repro.obs import tracing
 
         # The path travels through the environment so pool workers
@@ -553,6 +571,197 @@ def _print_json(payload) -> None:
     sys.stdout.write(dumps_canonical(payload))
 
 
+def _sweep_spec_source(token: str) -> bool:
+    """Whether a CLI experiment/sweep argument names a spec *file*.
+
+    Catalogued ids never contain a path separator or a ``.json``
+    suffix, so anything that does (or that exists on disk) is read as
+    a ``sweep/v1`` document.
+    """
+    return (
+        token.endswith(".json")
+        or os.path.sep in token
+        or os.path.isfile(token)
+    )
+
+
+def _resolve_cli_sweep(token: str, fast: bool):
+    """A normalised sweep spec from a catalog name or a JSON file.
+
+    Raises :class:`repro.common.errors.ConfigurationError` (message
+    names ``sweep/v1``) for malformed files and unknown names.
+    """
+    from repro.sweeps.catalog import get_sweep
+    from repro.sweeps.spec import load_sweep_file
+
+    if _sweep_spec_source(token):
+        return load_sweep_file(token)
+    return get_sweep(token, fast=fast)
+
+
+def _format_sweep_table(headers, rows) -> str:
+    """The aggregated report as an aligned plain-text table."""
+    cells = [[str(header) for header in headers]]
+    for row in rows:
+        cells.append(["" if row[h] is None else str(row[h]) for h in headers])
+    widths = [
+        max(len(line[column]) for line in cells)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for index, line in enumerate(cells):
+        lines.append(
+            "  ".join(
+                value.ljust(width) for value, width in zip(line, widths)
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _emit_sweep(payload, fmt: str, output) -> int:
+    """Write one assembled ``sweep.result/1`` payload as ``fmt``."""
+    from repro.experiments.render import dumps_canonical
+    from repro.sweeps.report import render_csv, render_html
+
+    if fmt == "json":
+        text = dumps_canonical(payload)
+    elif fmt == "csv":
+        text = render_csv(payload["headers"], payload["rows"])
+    elif fmt == "html":
+        title = payload["sweep"].get("title", payload["sweep"]["name"])
+        text = render_html(title, payload["headers"], payload["rows"])
+    else:
+        text = _format_sweep_table(payload["headers"], payload["rows"]) + "\n"
+    if output:
+        from pathlib import Path
+
+        Path(output).write_text(text, encoding="utf-8")
+        print(f"[sweep] wrote {fmt} report to {output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _run_sweep_to(token, fast, jobs, fmt, output) -> int:
+    """Resolve, execute and emit one sweep (shared by ``sweep run``,
+    ``sweep report`` and ``run <spec.json>``)."""
+    from repro.common.errors import ConfigurationError
+    from repro.sweeps.runner import run_sweep
+
+    try:
+        spec = _resolve_cli_sweep(token, fast)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = run_sweep(spec, store=shared_store, jobs=jobs)
+    return _emit_sweep(payload, fmt, output)
+
+
+def _cmd_sweep_list(_args: argparse.Namespace) -> int:
+    from repro.sweeps.catalog import get_sweep, sweep_names
+    from repro.sweeps.spec import is_experiment_sweep
+
+    for name in sweep_names():
+        spec = get_sweep(name)
+        if is_experiment_sweep(spec):
+            arm = spec["arms"][0]
+            shape = f"experiment wrapper ({arm['experiment_id']})"
+        else:
+            axes = ", ".join(
+                f"{axis}[{len(values)}]"
+                for axis, values in spec["axes"].items()
+            )
+            shape = f"{len(spec['arms'])} arm(s) x {axes}"
+        print(f"  {name:22s} {shape}")
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    if args.json:
+        fmt = "json"
+    elif args.csv:
+        fmt = "csv"
+    else:
+        fmt = "table"
+    return _run_sweep_to(args.sweep, args.fast, args.jobs, fmt, None)
+
+
+def _cmd_sweep_expand(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
+    from repro.sweeps.expand import expand
+    from repro.sweeps.runner import describe_sweep
+    from repro.sweeps.spec import is_experiment_sweep
+
+    try:
+        spec = _resolve_cli_sweep(args.sweep, args.fast)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    description = describe_sweep(spec)
+    print(
+        f"{description['name']}  sweep_id={description['sweep_id']}  "
+        f"points={description['points']}  "
+        f"distinct_cells={description['distinct_cells']}"
+    )
+    if is_experiment_sweep(spec):
+        print(f"  wraps experiment {description['experiment_id']}")
+        return 0
+    for point in expand(spec):
+        coords = " ".join(
+            f"{axis}={value}" for axis, value in point.coords.items()
+        )
+        cell = point.cell
+        print(
+            f"  #{point.index:<4d} {point.arm:12s} {coords}  -> "
+            f"{cell.kind} {cell.workload}/{cell.input_name} "
+            f"{cell.size_bytes}B/{cell.line_bytes}B/{cell.ways}w"
+            + (
+                f" fvc={cell.fvc_entries} top={cell.top_values}"
+                if cell.kind == "fvc"
+                else ""
+            )
+        )
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    return _run_sweep_to(
+        args.sweep, args.fast, args.jobs, args.format, args.output
+    )
+
+
+def _submit_sweep(client, args: argparse.Namespace) -> int:
+    """``submit <spec.json>``: POST the sweep and (with ``--wait``)
+    print the assembled payload — byte-identical to a local
+    ``sweep run --json`` of the same spec."""
+    from repro.common.errors import ConfigurationError
+    from repro.experiments.render import dumps_canonical
+    from repro.service.client import JobFailed, ServiceError
+    from repro.sweeps.spec import load_sweep_file
+
+    try:
+        spec = load_sweep_file(args.experiment)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        view = client.submit_sweep(spec)
+        if not args.wait:
+            _print_json(view)
+            return 0
+        view = client.wait_sweep(view["sweep_id"], timeout=args.timeout)
+        sys.stdout.write(dumps_canonical(view["result"]))
+        return 0
+    except JobFailed as exc:
+        _print_json(exc.job)
+        return 1
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.client import JobFailed, ServiceClient, ServiceError
     from repro.service.resilience import CircuitBreaker, RetryPolicy
@@ -565,6 +774,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         retry=RetryPolicy(retries=args.retries) if args.retries > 0 else None,
         breaker=CircuitBreaker(),
     )
+    if _sweep_spec_source(args.experiment):
+        return _submit_sweep(client, args)
     try:
         job = client.submit_experiment(args.experiment, fast=args.fast)
         if not args.wait:
@@ -619,8 +830,15 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", help="experiment id, e.g. fig10, or 'all'")
+    run = sub.add_parser(
+        "run",
+        help="run one experiment (or 'all', or a sweep/v1 spec file)",
+    )
+    run.add_argument(
+        "experiment",
+        help="experiment id, e.g. fig10, 'all', or a sweep/v1 spec "
+        "file (.json)",
+    )
     run.add_argument(
         "--fast", action="store_true", help="reduced configuration (tests)"
     )
@@ -982,9 +1200,15 @@ def build_parser() -> argparse.ArgumentParser:
         "service URL (default $REPRO_SERVICE_URL or http://127.0.0.1:8031)"
     )
     submit = sub.add_parser(
-        "submit", help="submit an experiment job to a running service"
+        "submit",
+        help="submit an experiment job (or a sweep/v1 spec file) to a "
+        "running service",
     )
-    submit.add_argument("experiment", help="experiment id, e.g. fig10")
+    submit.add_argument(
+        "experiment",
+        help="experiment id, e.g. fig10, or a sweep/v1 spec file (.json; "
+        "posted to /v1/sweeps)",
+    )
     submit.add_argument("--fast", action="store_true")
     submit.add_argument("--url", default=None, help=url_help)
     submit.add_argument(
@@ -1003,6 +1227,75 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 3)",
     )
     submit.set_defaults(func=_cmd_submit)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative sweep matrix: run, expand, report, list "
+        "(sweep/v1; see docs/SWEEPS.md)",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_help = "catalogued sweep name (see 'sweep list') or spec file (JSON)"
+    fast_help = (
+        "use the catalogued sweep's reduced variant (spec files carry "
+        "their own scale)"
+    )
+    jobs_help = (
+        "worker processes for the distinct cells; payload bytes are "
+        "identical for any value"
+    )
+    sweep_list = sweep_sub.add_parser(
+        "list", help="list the catalogued sweeps"
+    )
+    sweep_list.set_defaults(func=_cmd_sweep_list)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run one sweep locally and print its report"
+    )
+    sweep_run.add_argument("sweep", help=sweep_help)
+    sweep_run.add_argument("--fast", action="store_true", help=fast_help)
+    sweep_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help=jobs_help
+    )
+    sweep_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical sweep.result/1 payload (byte-identical "
+        "to what POST /v1/sweeps stores for the same spec)",
+    )
+    sweep_run.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of the table"
+    )
+    sweep_run.set_defaults(func=_cmd_sweep_run)
+    sweep_expand = sweep_sub.add_parser(
+        "expand",
+        help="show a sweep's expansion (every point and its cell) "
+        "without running anything",
+    )
+    sweep_expand.add_argument("sweep", help=sweep_help)
+    sweep_expand.add_argument("--fast", action="store_true", help=fast_help)
+    sweep_expand.set_defaults(func=_cmd_sweep_expand)
+    sweep_report = sweep_sub.add_parser(
+        "report",
+        help="run one sweep and write its aggregated report",
+    )
+    sweep_report.add_argument("sweep", help=sweep_help)
+    sweep_report.add_argument("--fast", action="store_true", help=fast_help)
+    sweep_report.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help=jobs_help
+    )
+    sweep_report.add_argument(
+        "--format",
+        choices=("table", "csv", "html", "json"),
+        default="csv",
+        help="report format (default: csv)",
+    )
+    sweep_report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    sweep_report.set_defaults(func=_cmd_sweep_report)
 
     status = sub.add_parser("status", help="show one service job")
     status.add_argument("job_id")
@@ -1032,7 +1325,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = [argv[0], "gen", *argv[1:]]
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: the
+        # conventional quiet exit, not a traceback.  Point stdout at
+        # devnull so interpreter shutdown does not re-raise on flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

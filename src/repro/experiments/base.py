@@ -115,6 +115,20 @@ class Experiment(ABC):
             f"{type(self).__name__} does not decompose into cells"
         )
 
+    def sweep_backing(self, fast: bool = False) -> Dict[str, object]:
+        """The catalogued ``sweep/v1`` spec backing this experiment
+        (every fig*/table* has one; see :mod:`repro.sweeps.catalog`)."""
+        from repro.sweeps.catalog import get_sweep
+
+        return get_sweep(self.experiment_id, fast=fast)
+
+    def _plan_from_sweep(self, fast: bool) -> List[SimCell]:
+        """Cell plan derived from the backing sweep spec: the
+        declarative form and the executed plan cannot drift."""
+        from repro.sweeps.expand import expand_cells
+
+        return expand_cells(self.sweep_backing(fast))
+
     def run_with_engine(
         self,
         store: Optional[TraceStore] = None,

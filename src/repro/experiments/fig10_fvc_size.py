@@ -6,7 +6,8 @@ FVC (conflict pairs need only a few entries); go, gcc and vortex grow
 steadily with FVC size (compressed capacity); li shows the smallest
 reduction.
 
-Decomposed into engine cells (one baseline + one cell per FVC size per
+The cell plan is derived from the ``fig10`` spec in
+:mod:`repro.sweeps.catalog` (one baseline + one cell per FVC size per
 workload), so ``repro-fvc run fig10 --jobs N`` fans the 6x8 grid across
 cores; the sequential run executes the identical cells in order.
 """
@@ -19,17 +20,15 @@ from repro.engine.cells import CellResult, SimCell
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import (
     FVL_NAMES,
-    input_for,
     reduction_percent,
 )
 from repro.workloads.store import TraceStore
 
-_FULL_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
-_FAST_SIZES = (64, 512, 4096)
-
 
 def _sizes(fast: bool) -> Sequence[int]:
-    return _FAST_SIZES if fast else _FULL_SIZES
+    from repro.sweeps.catalog import FIG10_FAST_SIZES, FIG10_SIZES
+
+    return FIG10_FAST_SIZES if fast else FIG10_SIZES
 
 
 class Fig10FvcSize(Experiment):
@@ -40,31 +39,7 @@ class Fig10FvcSize(Experiment):
     paper_reference = "Figure 10"
 
     def plan_cells(self, fast: bool = False) -> List[SimCell]:
-        input_name = input_for(fast)
-        cells = []
-        for name in FVL_NAMES:
-            cells.append(
-                SimCell(
-                    workload=name,
-                    input_name=input_name,
-                    kind="baseline",
-                    size_bytes=16 * 1024,
-                    line_bytes=32,
-                )
-            )
-            for entries in _sizes(fast):
-                cells.append(
-                    SimCell(
-                        workload=name,
-                        input_name=input_name,
-                        kind="fvc",
-                        size_bytes=16 * 1024,
-                        line_bytes=32,
-                        fvc_entries=entries,
-                        top_values=7,
-                    )
-                )
-        return cells
+        return self._plan_from_sweep(fast)
 
     def merge_cells(
         self,

@@ -4,25 +4,31 @@ A 512-entry FVC over the twelve DMC configurations whose access time is
 no less than the FVC's (the Fig. 9 admissibility rule), exploiting 1, 3
 or 7 frequent values.  Paper shape: going from 1 to 3 values often
 helps substantially; 3 to 7 helps less; reductions span ~1-68%.
+
+The cell plan is derived from the ``fig12`` spec in
+:mod:`repro.sweeps.catalog`: per workload, per admissible geometry, a
+baseline cell then one DMC+FVC cell per exploited-value count — so
+``--jobs N`` fans the grid across cores while the sequential run
+executes the identical cells in order.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.cache.geometry import CacheGeometry
+from repro.engine.cells import CellResult, SimCell
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import (
     DMC_SIZES_KB,
     FVL_NAMES,
     LINE_SIZES,
-    baseline_stats,
-    fvc_miss_stats,
-    input_for,
     reduction_percent,
 )
 from repro.timing.cacti import DEFAULT_MODEL
 from repro.workloads.store import TraceStore
+
+_TOPS = (1, 3, 7)
 
 
 def admissible_configs() -> List[CacheGeometry]:
@@ -36,6 +42,11 @@ def admissible_configs() -> List[CacheGeometry]:
     return configs
 
 
+def _configs(fast: bool) -> List[CacheGeometry]:
+    configs = admissible_configs()
+    return configs[:3] if fast else configs
+
+
 class Fig12ValueCount(Experiment):
     """Exploiting 1 vs 3 vs 7 frequently accessed values."""
 
@@ -43,28 +54,32 @@ class Fig12ValueCount(Experiment):
     title = "Reduction in miss rate: top 1 vs 3 vs 7 values (512-entry FVC)"
     paper_reference = "Figure 12"
 
-    def run(
-        self, store: Optional[TraceStore] = None, fast: bool = False
+    def plan_cells(self, fast: bool = False) -> List[SimCell]:
+        return self._plan_from_sweep(fast)
+
+    def merge_cells(
+        self,
+        cells: Sequence[SimCell],
+        results: Sequence[CellResult],
+        fast: bool = False,
     ) -> ExperimentResult:
-        store = self._store(store)
-        input_name = input_for(fast)
-        configs = admissible_configs()
-        if fast:
-            configs = configs[:3]
+        configs = _configs(fast)
         headers = ["benchmark", "dmc", "base_miss_%", "red_top1_%",
                    "red_top3_%", "red_top7_%"]
         rows = []
+        cursor = 0
         for name in FVL_NAMES:
-            trace = store.get(name, input_name)
             for geometry in configs:
-                base = baseline_stats(trace, geometry)
+                base = results[cursor].cache_stats()
+                cursor += 1
                 row = {
                     "benchmark": name,
                     "dmc": geometry.describe(),
                     "base_miss_%": round(100 * base.miss_rate, 3),
                 }
-                for top in (1, 3, 7):
-                    stats = fvc_miss_stats(trace, geometry, 512, top_values=top)
+                for top in _TOPS:
+                    stats = results[cursor].cache_stats()
+                    cursor += 1
                     row[f"red_top{top}_%"] = round(
                         reduction_percent(base, stats), 1
                     )
@@ -75,3 +90,9 @@ class Fig12ValueCount(Experiment):
             "512-entry FVC)"
         )
         return result
+
+    def run(
+        self, store: Optional[TraceStore] = None, fast: bool = False
+    ) -> ExperimentResult:
+        cells = self.plan_cells(fast)
+        return self.merge_cells(cells, self._run_cells(cells, store), fast)

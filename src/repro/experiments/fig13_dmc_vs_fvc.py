@@ -7,32 +7,20 @@ for these benchmarks the DMC+FVC configuration beats the doubled (and
 even quadrupled) DMC, because the misses the FVC removes are conflict
 misses between lines that alias at every tested size.
 
-Decomposed into engine cells (doubled-DMC baseline + one DMC+FVC cell
+The cell plan is derived from the ``fig13`` spec in
+:mod:`repro.sweeps.catalog` (doubled-DMC baseline + one DMC+FVC cell
 per exploited-value count, per pair, per benchmark) for ``--jobs``
 fan-out; the sequential run executes the identical cells in order.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.engine.cells import CellResult, SimCell
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import input_for
+from repro.sweeps.catalog import FIG13_BENCHMARKS, FIG13_PAIRS
 from repro.workloads.store import TraceStore
-
-#: (line bytes, small DMC KB, doubled DMC KB) pairs from the paper's table.
-_PAIRS: Tuple[Tuple[int, int, int], ...] = (
-    (8, 4, 8),
-    (16, 8, 16),
-    (16, 16, 32),
-    (16, 32, 64),
-    (32, 16, 32),
-    (32, 32, 64),
-    (64, 32, 64),
-)
-
-_BENCHMARKS = ("m88ksim", "perl")
 
 
 def _fvc_data_kb(line_bytes: int, code_bits: int, entries: int = 512) -> float:
@@ -42,7 +30,7 @@ def _fvc_data_kb(line_bytes: int, code_bits: int, entries: int = 512) -> float:
 
 
 def _plan_shape(fast: bool):
-    pairs = _PAIRS[:2] if fast else _PAIRS
+    pairs = FIG13_PAIRS[:2] if fast else FIG13_PAIRS
     tops = (7,) if fast else (7, 3, 1)
     return pairs, tops
 
@@ -55,33 +43,7 @@ class Fig13DmcVsFvc(Experiment):
     paper_reference = "Figure 13"
 
     def plan_cells(self, fast: bool = False) -> List[SimCell]:
-        input_name = input_for(fast)
-        pairs, tops = _plan_shape(fast)
-        cells = []
-        for name in _BENCHMARKS:
-            for line_bytes, small_kb, double_kb in pairs:
-                cells.append(
-                    SimCell(
-                        workload=name,
-                        input_name=input_name,
-                        kind="baseline",
-                        size_bytes=double_kb * 1024,
-                        line_bytes=line_bytes,
-                    )
-                )
-                for top in tops:
-                    cells.append(
-                        SimCell(
-                            workload=name,
-                            input_name=input_name,
-                            kind="fvc",
-                            size_bytes=small_kb * 1024,
-                            line_bytes=line_bytes,
-                            fvc_entries=512,
-                            top_values=top,
-                        )
-                    )
-        return cells
+        return self._plan_from_sweep(fast)
 
     def merge_cells(
         self,
@@ -103,7 +65,7 @@ class Fig13DmcVsFvc(Experiment):
         ]
         rows = []
         cursor = 0
-        for name in _BENCHMARKS:
+        for name in FIG13_BENCHMARKS:
             for line_bytes, small_kb, double_kb in pairs:
                 double_stats = results[cursor].cache_stats()
                 cursor += 1

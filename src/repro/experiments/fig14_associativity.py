@@ -6,9 +6,11 @@ once the base cache is 2-way (their removable misses were conflicts the
 associativity absorbs); go, gcc and vortex keep significant reductions
 (their removable misses are capacity misses).
 
-Decomposed into engine cells (baseline + FVC per associativity, plus a
-3C classification, per workload) for ``--jobs`` fan-out; the sequential
-run executes the identical cells in order.
+The cell plan is derived from the ``fig14`` spec in
+:mod:`repro.sweeps.catalog`: per workload, the baselines across
+associativities, then the FVC cells across associativities, then one
+3C classification — sweep expansion order (arms group, axes iterate
+within an arm), fanned across ``--jobs`` and merged in plan order.
 """
 
 from __future__ import annotations
@@ -19,14 +21,15 @@ from repro.engine.cells import CellResult, SimCell
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import (
     FVL_NAMES,
-    input_for,
     reduction_percent,
 )
 from repro.workloads.store import TraceStore
 
 
 def _ways_list(fast: bool):
-    return (1, 2) if fast else (1, 2, 4)
+    from repro.sweeps.catalog import FIG14_FAST_WAYS, FIG14_WAYS
+
+    return FIG14_FAST_WAYS if fast else FIG14_WAYS
 
 
 class Fig14Associativity(Experiment):
@@ -37,42 +40,7 @@ class Fig14Associativity(Experiment):
     paper_reference = "Figure 14"
 
     def plan_cells(self, fast: bool = False) -> List[SimCell]:
-        input_name = input_for(fast)
-        cells = []
-        for name in FVL_NAMES:
-            for ways in _ways_list(fast):
-                cells.append(
-                    SimCell(
-                        workload=name,
-                        input_name=input_name,
-                        kind="baseline",
-                        size_bytes=16 * 1024,
-                        line_bytes=32,
-                        ways=ways,
-                    )
-                )
-                cells.append(
-                    SimCell(
-                        workload=name,
-                        input_name=input_name,
-                        kind="fvc",
-                        size_bytes=16 * 1024,
-                        line_bytes=32,
-                        ways=ways,
-                        fvc_entries=512,
-                        top_values=7,
-                    )
-                )
-            cells.append(
-                SimCell(
-                    workload=name,
-                    input_name=input_name,
-                    kind="classify",
-                    size_bytes=16 * 1024,
-                    line_bytes=32,
-                )
-            )
-        return cells
+        return self._plan_from_sweep(fast)
 
     def merge_cells(
         self,
@@ -89,10 +57,15 @@ class Fig14Associativity(Experiment):
         cursor = 0
         for name in FVL_NAMES:
             row = {"benchmark": name}
-            for ways in ways_list:
-                base = results[cursor].cache_stats()
-                stats = results[cursor + 1].cache_stats()
-                cursor += 2
+            # Plan order per workload: baselines across `ways`, then the
+            # FVC cells across `ways`, then the classification.
+            bases = results[cursor : cursor + len(ways_list)]
+            cursor += len(ways_list)
+            fvcs = results[cursor : cursor + len(ways_list)]
+            cursor += len(ways_list)
+            for ways, base_result, fvc_result in zip(ways_list, bases, fvcs):
+                base = base_result.cache_stats()
+                stats = fvc_result.cache_stats()
                 row[f"{ways}w_base_%"] = round(100 * base.miss_rate, 3)
                 row[f"{ways}w_red_%"] = round(reduction_percent(base, stats), 1)
             classes = results[cursor].extras

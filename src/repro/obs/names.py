@@ -104,6 +104,13 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "workers",
         "degraded",
         "uptime_seconds",
+        # Service: sweep board (repro.service.sweeps).
+        "sweeps_submitted_total",
+        "sweeps_completed_total",
+        "sweeps_failed_total",
+        "sweep_cells_expanded_total",
+        "sweep_cells_reused_total",
+        "sweeps_tracked",
         # Cluster: coordinator-side fabric state (repro.cluster).
         "cluster_workers",
         "cluster_workers_registered_total",

@@ -238,6 +238,54 @@ class ServiceClient:
         """The stored payload, JSON-decoded."""
         return json.loads(self.result_bytes(key))
 
+    # Sweeps ------------------------------------------------------------
+    def submit_sweep(self, spec: Dict) -> Dict:
+        """Submit one ``sweep/v1`` spec; returns the ``sweep.view/1``
+        tracking body (idempotent by content address)."""
+        return self._json("POST", "/v1/sweeps", body=spec)
+
+    def sweep(self, sweep_id: str) -> Dict:
+        """One sweep's current view, including the assembled
+        ``sweep.result/1`` payload once every job is done."""
+        return self._json("GET", f"/v1/sweeps/{sweep_id}")
+
+    def sweeps(self) -> Dict:
+        """Every tracked sweep, submission order."""
+        return self._json("GET", "/v1/sweeps")
+
+    def wait_sweep(
+        self, sweep_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> Dict:
+        """Poll until the sweep reaches a terminal state.
+
+        Returns the final view (``result`` populated on success);
+        raises :class:`JobFailed` when any member job ends
+        ``failed``/``cancelled`` and :class:`ServiceError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.sweep(sweep_id)
+            state = view.get("state")
+            if state == "done":
+                return view
+            if state in ("failed", "cancelled"):
+                raise JobFailed(
+                    {"id": sweep_id, "state": state, "error": view.get("jobs")}
+                )
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"sweep {sweep_id} still {state} after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def run_sweep(self, spec: Dict, timeout: float = 300.0) -> Dict:
+        """Submit a sweep, wait, and return the ``sweep.result/1``
+        payload."""
+        view = self.submit_sweep(spec)
+        if view.get("state") != "done" or "result" not in view:
+            view = self.wait_sweep(view["sweep_id"], timeout=timeout)
+        return view["result"]
+
     # Cluster protocol --------------------------------------------------
     def register_worker(
         self,

@@ -22,6 +22,12 @@ Endpoints (all JSON, all under ``/v1``):
 ``POST /v1/cells/lease``          pull cell leases for a worker
 ``POST /v1/cells/<id>/result``    push one computed cell payload
 ``GET /v1/traces/<wl>/<input>``   enveloped trace-cache entry bytes
+``POST /v1/sweeps``               submit a ``sweep/v1`` spec; expands into
+                                  cell jobs through the queue (idempotent by
+                                  content address)
+``GET /v1/sweeps``                every tracked sweep, submission order
+``GET /v1/sweeps/<id>``           one sweep's fan-out state and, when done,
+                                  its assembled ``sweep.result/1`` payload
 ================================  ============================================
 
 The server is a :class:`http.server.ThreadingHTTPServer` — requests are
@@ -182,6 +188,12 @@ class ReproService:
             dispatchers=self.config.cluster_dispatchers,
             registry=self.registry,
         )
+        # Imported lazily for symmetry with the cluster wiring:
+        # repro.service.sweeps leans on repro.service.api.
+        from repro.service.sweeps import SweepBoard
+
+        #: Sweep fan-out/assembly over the job queue (``/v1/sweeps``).
+        self.sweeps = SweepBoard(self)
         self.started_at = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
@@ -401,6 +413,8 @@ class ReproService:
             samples[name] = {"type": "gauge", "value": value}
         # Cluster fabric state (registrations, leases, steals).
         samples.update(self.cluster.metric_samples())
+        # Sweep board state (tracked sweeps).
+        samples.update(self.sweeps.metric_samples())
         # Request counters/latency and worker attempts live in the
         # per-service registry; engine metrics (REPRO_OBS=1 in-process
         # runs) in the process-global one.
@@ -647,6 +661,14 @@ def _make_handler(service: ReproService, quiet: bool = True):
                     self._send(200, payload, "application/json")
             elif route == ("v1", "workers"):
                 self._json(200, service.cluster.workers_view())
+            elif route == ("v1", "sweeps"):
+                self._json(200, {"sweeps": service.sweeps.views()})
+            elif len(route) == 3 and route[:2] == ("v1", "sweeps"):
+                view = service.sweeps.view(route[2], include_result=True)
+                if view is None:
+                    self._error(404, f"no such sweep: {route[2]}")
+                else:
+                    self._json(200, view)
             elif len(route) == 4 and route[:2] == ("v1", "traces"):
                 try:
                     blob = service.cluster.trace_entry_bytes(
@@ -694,6 +716,28 @@ def _make_handler(service: ReproService, quiet: bool = True):
                 except ReproError as exc:
                     # SpecError, unknown experiments/workloads, bad
                     # geometry — all client mistakes.
+                    self._error(400, str(exc))
+                    return
+                self._json(status, body)
+            elif route == ("v1", "sweeps"):
+                raw = self._read_json()
+                if raw is None:
+                    return
+                try:
+                    body, status = service.sweeps.submit(raw)
+                except (QueueFullError, StorageExhausted) as exc:
+                    # Same overload contract as /v1/jobs: the sweep's
+                    # remaining cells are rejected loudly; re-POST the
+                    # spec after backing off (idempotent).
+                    self._error(
+                        503,
+                        str(exc),
+                        headers={"Retry-After": str(service.retry_after())},
+                    )
+                    return
+                except ReproError as exc:
+                    # SweepSpecError and friends — client mistakes;
+                    # the message names the sweep/v1 schema.
                     self._error(400, str(exc))
                     return
                 self._json(status, body)

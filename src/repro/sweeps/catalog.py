@@ -1,0 +1,407 @@
+"""The built-in sweep catalog: every fig*/table* experiment expressed
+as a ``sweep/v1`` spec, plus standalone studies.
+
+Two flavours live here:
+
+* **Cell sweeps** (fig10, fig12, fig13, fig14, ``l1_size_study``) —
+  the study is a grid of engine cells; the experiment's
+  ``plan_cells`` is *derived from the spec* through the expander, so
+  the declarative form and the imperative experiment can never drift.
+* **Experiment wrappers** (the remaining figures/tables) — studies
+  whose work is not a cell grid (occurrence profiling, per-miss
+  attribution, timing-model tables).  The spec declares the study's
+  axes descriptively and its reportable fields (= the experiment's
+  table columns); execution delegates to the registered experiment,
+  so the payload is the experiment's own ``repro.experiment/1`` bytes.
+
+``SWEEP001`` (:mod:`repro.analysis.rules.sweeps`) holds the registry
+to this catalog: every fig*/table* id must be backed here with
+non-empty reportable fields.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.sweeps.spec import SWEEP_SCHEMA, SweepSpecError, normalise_sweep
+
+#: fig10's FVC-entry grid (full / fast).
+FIG10_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
+FIG10_FAST_SIZES = (64, 512, 4096)
+
+#: fig13's (line bytes, small DMC KB, doubled DMC KB) pairs.
+FIG13_PAIRS = (
+    (8, 4, 8),
+    (16, 8, 16),
+    (16, 16, 32),
+    (16, 32, 64),
+    (32, 16, 32),
+    (32, 32, 64),
+    (64, 32, 64),
+)
+FIG13_BENCHMARKS = ("m88ksim", "perl")
+
+#: fig14's base-cache associativities (full / fast).
+FIG14_WAYS = (1, 2, 4)
+FIG14_FAST_WAYS = (1, 2)
+
+#: Exploited value counts the paper compares throughout.
+TOP_VALUES = (1, 3, 7)
+
+
+def _workloads(fast: bool) -> List[str]:
+    # Lazy: experiment modules import this catalog's grid constants at
+    # module level, so the catalog must not import repro.experiments
+    # (and thereby the registry) until a builder actually runs.
+    from repro.experiments.common import FVL_NAMES
+
+    return list(FVL_NAMES)
+
+
+def input_for(fast: bool) -> str:
+    from repro.experiments.common import input_for as _input_for
+
+    return _input_for(fast)
+
+
+def _fig10(fast: bool) -> Dict[str, object]:
+    sizes = FIG10_FAST_SIZES if fast else FIG10_SIZES
+    return {
+        "schema": SWEEP_SCHEMA,
+        "name": "fig10",
+        "title": "Miss rate reduction vs FVC size (16KB DMC, 8 words/line, top 7)",
+        "axes": {
+            "workload": _workloads(fast),
+            "input": [input_for(fast)],
+            "fvc_entries": list(sizes),
+        },
+        "arms": [
+            {
+                "name": "base",
+                "kind": "baseline",
+                "cell": {"size_bytes": 16 * 1024, "line_bytes": 32},
+            },
+            {
+                "name": "fvc",
+                "kind": "fvc",
+                "cell": {
+                    "size_bytes": 16 * 1024,
+                    "line_bytes": 32,
+                    "top_values": 7,
+                },
+            },
+        ],
+        "report": {
+            "fields": ["miss_rate_percent", "reduction_percent"],
+            "aggregates": ["mean"],
+        },
+    }
+
+
+def _fig12(fast: bool) -> Dict[str, object]:
+    from repro.experiments.fig12_value_count import admissible_configs
+
+    configs = admissible_configs()
+    if fast:
+        configs = configs[:3]
+    return {
+        "schema": SWEEP_SCHEMA,
+        "name": "fig12",
+        "title": "Reduction in miss rate: top 1 vs 3 vs 7 values (512-entry FVC)",
+        "axes": {
+            "workload": _workloads(fast),
+            "input": [input_for(fast)],
+            "geometry": [
+                {
+                    "size_bytes": geometry.size_bytes,
+                    "line_bytes": geometry.line_bytes,
+                }
+                for geometry in configs
+            ],
+            "top_values": list(TOP_VALUES),
+        },
+        "arms": [
+            {
+                "name": "base",
+                "kind": "baseline",
+                "cell": {
+                    "size_bytes": "$geometry.size_bytes",
+                    "line_bytes": "$geometry.line_bytes",
+                },
+            },
+            {
+                "name": "fvc",
+                "kind": "fvc",
+                "cell": {
+                    "size_bytes": "$geometry.size_bytes",
+                    "line_bytes": "$geometry.line_bytes",
+                    "fvc_entries": 512,
+                },
+            },
+        ],
+        "report": {
+            "fields": ["miss_rate_percent", "reduction_percent"],
+            "aggregates": ["mean"],
+        },
+    }
+
+
+def _fig13(fast: bool) -> Dict[str, object]:
+    pairs = FIG13_PAIRS[:2] if fast else FIG13_PAIRS
+    tops = (7,) if fast else (7, 3, 1)
+    return {
+        "schema": SWEEP_SCHEMA,
+        "name": "fig13",
+        "title": "DMC + FVC vs larger DMC (miss rates, m88ksim & perl analogs)",
+        "axes": {
+            "workload": list(FIG13_BENCHMARKS),
+            "input": [input_for(fast)],
+            "pair": [
+                {
+                    "line_bytes": line_bytes,
+                    "small_bytes": small_kb * 1024,
+                    "double_bytes": double_kb * 1024,
+                }
+                for line_bytes, small_kb, double_kb in pairs
+            ],
+            "top_values": list(tops),
+        },
+        "arms": [
+            {
+                "name": "double",
+                "kind": "baseline",
+                "cell": {
+                    "size_bytes": "$pair.double_bytes",
+                    "line_bytes": "$pair.line_bytes",
+                },
+            },
+            {
+                "name": "fvc",
+                "kind": "fvc",
+                "cell": {
+                    "size_bytes": "$pair.small_bytes",
+                    "line_bytes": "$pair.line_bytes",
+                    "fvc_entries": 512,
+                },
+            },
+        ],
+        "report": {
+            "fields": ["miss_rate_percent"],
+            "aggregates": ["mean"],
+        },
+    }
+
+
+def _fig14(fast: bool) -> Dict[str, object]:
+    ways = FIG14_FAST_WAYS if fast else FIG14_WAYS
+    return {
+        "schema": SWEEP_SCHEMA,
+        "name": "fig14",
+        "title": "FVC with 1/2/4-way base caches (16KB, 8 words/line, top 7)",
+        "axes": {
+            "workload": _workloads(fast),
+            "input": [input_for(fast)],
+            "ways": list(ways),
+        },
+        "arms": [
+            {
+                "name": "base",
+                "kind": "baseline",
+                "cell": {"size_bytes": 16 * 1024, "line_bytes": 32},
+            },
+            {
+                "name": "fvc",
+                "kind": "fvc",
+                "cell": {
+                    "size_bytes": 16 * 1024,
+                    "line_bytes": 32,
+                    "fvc_entries": 512,
+                    "top_values": 7,
+                },
+            },
+            {
+                "name": "classify",
+                "kind": "classify",
+                "cell": {
+                    "size_bytes": 16 * 1024,
+                    "line_bytes": 32,
+                    "ways": 1,
+                },
+            },
+        ],
+        "report": {
+            "fields": [
+                "miss_rate_percent",
+                "reduction_percent",
+                "conflict",
+                "capacity",
+                "compulsory",
+            ],
+            "aggregates": ["mean"],
+        },
+    }
+
+
+def _l1_size_study(fast: bool) -> Dict[str, object]:
+    workloads = ["m88ksim", "perl"] if fast else _workloads(fast)
+    sizes = [4 * 1024, 16 * 1024] if fast else [
+        4 * 1024,
+        8 * 1024,
+        16 * 1024,
+        32 * 1024,
+        64 * 1024,
+    ]
+    tops = [1, 7] if fast else list(TOP_VALUES)
+    return {
+        "schema": SWEEP_SCHEMA,
+        "name": "l1_size_study",
+        "title": "L1 size study: DMC geometry x exploited-value-count grid",
+        "axes": {
+            "workload": workloads,
+            "input": [input_for(fast)],
+            "size_bytes": sizes,
+            "top_values": tops,
+        },
+        "arms": [
+            {
+                "name": "base",
+                "kind": "baseline",
+                "cell": {"line_bytes": 32},
+            },
+            {
+                "name": "fvc",
+                "kind": "fvc",
+                "cell": {"line_bytes": 32, "fvc_entries": 512},
+            },
+        ],
+        "report": {
+            "fields": [
+                "miss_rate_percent",
+                "reduction_percent",
+                "traffic_words",
+            ],
+            "aggregates": ["mean"],
+        },
+    }
+
+
+#: Table columns of every experiment-wrapper sweep — the experiment's
+#: (fast-invariant) headers, declared as the study's reportable fields.
+#: Drift against the real tables is pinned by the regression suite.
+WRAPPER_FIELDS: Dict[str, List[str]] = {
+    "fig1": [
+        "benchmark",
+        "occ_top1_%", "occ_top3_%", "occ_top7_%", "occ_top10_%",
+        "acc_top1_%", "acc_top3_%", "acc_top7_%", "acc_top10_%",
+    ],
+    "fig2": [
+        "benchmark",
+        "occ_top1_%", "occ_top3_%", "occ_top7_%", "occ_top10_%",
+        "acc_top1_%", "acc_top3_%", "acc_top7_%", "acc_top10_%",
+    ],
+    "fig3": [
+        "accesses", "live_locs",
+        "locs_top1", "locs_top3", "locs_top7", "locs_top10",
+        "distinct_in_mem",
+        "acc_top1", "acc_top3", "acc_top7", "acc_top10",
+        "distinct_accessed",
+    ],
+    "fig4": [
+        "benchmark", "miss_rate_%",
+        "miss_top10_accessed_%", "miss_top10_occurring_%",
+    ],
+    "fig5": ["block", "freq_per_line"],
+    "fig9": ["structure", "config", "access_ns", "fvc512_fits"],
+    "fig11": [
+        "benchmark", "frequent_content_%", "storage_factor_x",
+        "fvc_read_hits", "fvc_write_hits",
+    ],
+    "fig15": [
+        "benchmark", "base_miss_%",
+        "vc16_red_%", "fvc128_red_%", "vc4_red_%", "fvc512_red_%",
+    ],
+    "table1": [
+        "rank",
+        "go_accessed", "go_occurring",
+        "m88ksim_accessed", "m88ksim_occurring",
+        "gcc_accessed", "gcc_occurring",
+        "li_accessed", "li_occurring",
+        "perl_accessed", "perl_occurring",
+        "vortex_accessed", "vortex_occurring",
+    ],
+    "table2": [
+        "benchmark", "test_top7", "test_top10", "train_top7", "train_top10",
+    ],
+    "table3": [
+        "benchmark", "accesses",
+        "order_top1_%", "order_top3_%", "order_top7_%",
+        "in_top10_top1_%", "in_top10_top3_%", "in_top10_top7_%",
+    ],
+    "table4": ["benchmark", "referenced", "constant", "constant_%"],
+}
+
+
+def _wrapper(experiment_id: str) -> Callable[[bool], Dict[str, object]]:
+    def build(fast: bool) -> Dict[str, object]:
+        from repro.experiments.registry import get_experiment
+
+        return {
+            "schema": SWEEP_SCHEMA,
+            "name": experiment_id,
+            "title": get_experiment(experiment_id).title,
+            "axes": {},
+            "arms": [
+                {
+                    "name": "experiment",
+                    "kind": "experiment",
+                    "experiment_id": experiment_id,
+                    "fast": fast,
+                }
+            ],
+            "report": {
+                "fields": list(WRAPPER_FIELDS[experiment_id]),
+                "aggregates": ["mean"],
+            },
+        }
+
+    return build
+
+
+#: name -> builder(fast) for every catalogued sweep.
+_BUILDERS: Dict[str, Callable[[bool], Dict[str, object]]] = {
+    "fig10": _fig10,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "l1_size_study": _l1_size_study,
+}
+_BUILDERS.update(
+    {experiment_id: _wrapper(experiment_id) for experiment_id in WRAPPER_FIELDS}
+)
+
+
+def sweep_names() -> List[str]:
+    """Every catalogued sweep name, sorted."""
+    return sorted(_BUILDERS)
+
+
+def get_sweep(name: str, fast: bool = False) -> Dict[str, object]:
+    """The normalised catalogued spec, or :class:`SweepSpecError` for
+    an unknown name."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise SweepSpecError(
+            f"unknown catalogued sweep {name!r} "
+            f"(known: {', '.join(sweep_names())})"
+        )
+    return normalise_sweep(builder(fast))
+
+
+def catalog_report_fields() -> Dict[str, List[str]]:
+    """``name -> declared report fields`` for every catalogued sweep —
+    what ``SWEEP001`` audits the experiment registry against.  Static:
+    reads the builders' declarations without running anything."""
+    fields: Dict[str, List[str]] = {}
+    for name in sweep_names():
+        fields[name] = list(get_sweep(name, fast=True)["report"]["fields"])
+    return fields

@@ -1,0 +1,299 @@
+"""Sweep reporting: declared fields, aggregation across seeds, and
+CSV / JSON / HTML table rendering.
+
+A sweep's ``report`` block declares *which* quantities each expanded
+point contributes (:data:`REPORT_FIELDS`) and *how* they aggregate
+across the replicate axis (:data:`AGGREGATES` — mean, median, a normal
+95% confidence half-width, min, max).  The report builder is a pure
+function of the spec and the per-point ``(stats, extras)`` snapshots,
+so a report assembled from served cell payloads is byte-identical to
+one assembled from a local run — the property the ``/v1/sweeps``
+end-to-end test pins.
+
+Replicates come from the workload *inputs*: every
+:class:`~repro.workloads.base.WorkloadInput` carries its own data
+seed, so an ``input`` axis with several values is a seed sweep.  The
+seed dimension is never a :class:`~repro.engine.cells.SimCell` field —
+cells stay schema-stable — it is collapsed here instead.
+"""
+
+from __future__ import annotations
+
+import html
+import io
+import math
+import statistics
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sweeps.expand import (
+    SweepPoint,
+    coord_columns,
+    relevant_axes,
+    replicate_axis,
+)
+
+Snapshot = Tuple[Dict[str, int], Dict[str, int]]
+Row = Dict[str, object]
+
+
+def _accesses(stats: Dict[str, int], extras: Dict[str, int]) -> int:
+    if "accesses" in extras:  # classify cells carry no cache stats
+        return extras["accesses"]
+    return (
+        stats["read_hits"]
+        + stats["read_misses"]
+        + stats["write_hits"]
+        + stats["write_misses"]
+    )
+
+
+def _misses(stats: Dict[str, int], extras: Dict[str, int]) -> int:
+    return stats["read_misses"] + stats["write_misses"]
+
+
+def _miss_rate_percent(
+    stats: Dict[str, int], extras: Dict[str, int]
+) -> Optional[float]:
+    total = _accesses(stats, extras)
+    if "accesses" in extras:
+        return None
+    return 100.0 * _misses(stats, extras) / total if total else 0.0
+
+
+def _traffic_words(stats: Dict[str, int], extras: Dict[str, int]) -> int:
+    return stats["fill_words"] + stats["writeback_words"]
+
+
+def _extra(name: str) -> Callable[[Dict[str, int], Dict[str, int]], object]:
+    def read(stats: Dict[str, int], extras: Dict[str, int]):
+        return extras.get(name)
+
+    return read
+
+
+#: Reportable per-point fields a spec may declare: name -> extractor
+#: over the cell's ``(stats, extras)`` snapshot.  Extractors return
+#: ``None`` when a field does not apply to a point's kind (e.g.
+#: ``fvc_hits`` on a baseline cell); inapplicable fields render empty.
+REPORT_FIELDS: Dict[str, Callable[[Dict[str, int], Dict[str, int]], object]] = {
+    "accesses": _accesses,
+    "misses": _misses,
+    "miss_rate_percent": _miss_rate_percent,
+    "traffic_words": _traffic_words,
+    "fills": lambda stats, extras: stats["fills"],
+    "writebacks": lambda stats, extras: stats["writebacks"],
+    "fvc_hits": _extra("fvc_hits"),
+    "fvc_read_hits": _extra("fvc_read_hits"),
+    "fvc_write_hits": _extra("fvc_write_hits"),
+    "main_hits": _extra("main_hits"),
+    "compulsory": _extra("compulsory"),
+    "capacity": _extra("capacity"),
+    "conflict": _extra("conflict"),
+    "reduction_percent": None,  # derived against the baseline arm below
+}
+
+
+def _mean(values: Sequence[float]) -> float:
+    return statistics.fmean(values)
+
+
+def _ci95(values: Sequence[float]) -> float:
+    """Half-width of a normal-approximation 95% confidence interval.
+
+    Degenerate by design for a single replicate: one seed has no
+    spread, so the half-width is 0.0 rather than undefined.
+    """
+    if len(values) < 2:
+        return 0.0
+    return 1.96 * statistics.stdev(values) / math.sqrt(len(values))
+
+
+#: Aggregation functions across the replicate axis.
+AGGREGATES: Dict[str, Callable[[Sequence[float]], float]] = {
+    "mean": _mean,
+    "median": statistics.median,
+    "ci95": _ci95,
+    "min": min,
+    "max": max,
+}
+
+
+def _baseline_index(
+    points: Sequence[SweepPoint], snapshots: Sequence[Snapshot]
+) -> Dict[Tuple[Tuple[str, object], ...], Snapshot]:
+    """Baseline snapshots keyed by their (hashable) coordinates, for
+    the derived ``reduction_percent`` field."""
+
+    def freeze(coords: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+        return tuple(
+            (axis, tuple(sorted(value.items())) if isinstance(value, dict) else value)
+            for axis, value in sorted(coords.items())
+        )
+
+    index = {}
+    for point, snapshot in zip(points, snapshots):
+        if point.kind == "baseline":
+            index[freeze(point.coords)] = snapshot
+    return index
+
+
+def _reduction_percent(
+    point: SweepPoint,
+    snapshot: Snapshot,
+    baselines: Dict[Tuple[Tuple[str, object], ...], Snapshot],
+    baseline_axes: Sequence[str],
+) -> Optional[float]:
+    """Miss-rate reduction vs the baseline sharing the point's
+    coordinates (projected onto the baseline arm's axes), the paper's
+    headline metric.  ``None`` off the FVC arm or with no match."""
+    if point.kind != "fvc":
+        return None
+    projected = {
+        axis: value
+        for axis, value in point.coords.items()
+        if axis in baseline_axes
+    }
+    key = tuple(
+        (axis, tuple(sorted(value.items())) if isinstance(value, dict) else value)
+        for axis, value in sorted(projected.items())
+    )
+    base = baselines.get(key)
+    if base is None:
+        return None
+    base_rate = _miss_rate_percent(*base)
+    rate = _miss_rate_percent(*snapshot)
+    if base_rate is None or rate is None or base_rate == 0:
+        return 0.0
+    return 100.0 * (base_rate - rate) / base_rate
+
+
+def build_report(
+    spec: Dict[str, object],
+    points: Sequence[SweepPoint],
+    snapshots: Sequence[Snapshot],
+) -> Tuple[List[str], List[Row]]:
+    """Aggregate per-point snapshots into the sweep's report table.
+
+    Rows appear in expansion order of their first replicate; one row
+    per (arm, non-replicate coordinates) group.  Columns: ``arm``, the
+    coordinate columns, ``n`` (replicate count), then one
+    ``<field>_<aggregate>`` column per declared field and aggregate.
+    Aggregated values are rounded to 6 decimals so report bytes are
+    stable across float-formatting environments.
+    """
+    if len(points) != len(snapshots):
+        raise ValueError(
+            f"{len(points)} points but {len(snapshots)} snapshots"
+        )
+    fields: List[str] = spec["report"]["fields"]
+    aggregates: List[str] = spec["report"]["aggregates"]
+    collapsed = replicate_axis(spec)
+    columns = coord_columns(spec)
+    baselines = _baseline_index(points, snapshots)
+    baseline_axes: List[str] = []
+    for arm in spec["arms"]:
+        if arm["kind"] == "baseline":
+            baseline_axes = relevant_axes(spec, arm)
+            break
+
+    headers = ["arm"]
+    headers += [
+        axis if component is None else f"{axis}.{component}"
+        for axis, component in columns
+    ]
+    headers += ["n"]
+    headers += [
+        f"{field}_{aggregate}" for field in fields for aggregate in aggregates
+    ]
+
+    groups: Dict[Tuple[object, ...], Dict[str, List[object]]] = {}
+    order: List[Tuple[object, ...]] = []
+    group_meta: Dict[Tuple[object, ...], SweepPoint] = {}
+    for point, snapshot in zip(points, snapshots):
+        key_parts: List[object] = [point.arm]
+        for axis, component in columns:
+            value = point.coords.get(axis)
+            if component is not None and isinstance(value, dict):
+                value = value.get(component)
+            key_parts.append(value)
+        key = tuple(key_parts)
+        if key not in groups:
+            groups[key] = {field: [] for field in fields}
+            order.append(key)
+            group_meta[key] = point
+        bucket = groups[key]
+        for field in fields:
+            if field == "reduction_percent":
+                value = _reduction_percent(
+                    point, snapshot, baselines, baseline_axes
+                )
+            else:
+                value = REPORT_FIELDS[field](*snapshot)
+            if value is not None:
+                bucket[field].append(value)
+
+    rows: List[Row] = []
+    for key in order:
+        point = group_meta[key]
+        row: Row = {"arm": point.arm}
+        for (axis, component), value in zip(columns, key[1:]):
+            column = axis if component is None else f"{axis}.{component}"
+            row[column] = value if value is not None else ""
+        replicates = 1
+        if collapsed is not None and collapsed in point.coords:
+            replicates = len(spec["axes"][collapsed])
+        row["n"] = replicates
+        for field in fields:
+            values = groups[key][field]
+            for aggregate in aggregates:
+                column = f"{field}_{aggregate}"
+                if not values:
+                    row[column] = ""
+                else:
+                    row[column] = round(
+                        float(AGGREGATES[aggregate](values)), 6
+                    )
+        rows.append(row)
+    return headers, rows
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Row]) -> str:
+    """The report table as CSV, column order preserved."""
+    import csv
+
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(headers), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({header: row.get(header, "") for header in headers})
+    return buffer.getvalue()
+
+
+def render_html(
+    title: str, headers: Sequence[str], rows: Sequence[Row]
+) -> str:
+    """The report table as a self-contained static HTML page."""
+    out = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset=\"utf-8\">",
+        f"<title>{html.escape(title)}</title>",
+        "<style>table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:4px 8px;"
+        "font:13px monospace;text-align:right}"
+        "th{background:#eee}td:first-child,th:first-child"
+        "{text-align:left}</style>",
+        "</head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<table><thead><tr>",
+    ]
+    out += [f"<th>{html.escape(str(header))}</th>" for header in headers]
+    out.append("</tr></thead><tbody>")
+    for row in rows:
+        out.append("<tr>")
+        out += [
+            f"<td>{html.escape(str(row.get(header, '')))}</td>"
+            for header in headers
+        ]
+        out.append("</tr>")
+    out.append("</tbody></table></body></html>")
+    return "\n".join(out) + "\n"

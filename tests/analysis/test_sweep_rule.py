@@ -1,0 +1,187 @@
+"""SWEEP001 against fixture registry/catalog trees.
+
+The rule is a static audit: every ``experiment_id = "fig*"|"table*"``
+class attribute under ``repro/experiments/`` must be backed by a sweep
+catalog entry (``_BUILDERS`` or ``WRAPPER_FIELDS``) that declares at
+least one report field.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.linter import Linter
+
+
+def _lint(tmp_path: Path, files: dict):
+    root = tmp_path / "repro"
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return Linter(select=["SWEEP001"]).lint_paths([root])
+
+
+REGISTRY = """\
+EXPERIMENTS = {}
+"""
+
+FIG1_MODULE = """\
+class Fig1Study:
+    experiment_id = "fig1"
+"""
+
+
+class TestSweep001:
+    def test_unbacked_experiment_flagged_at_declaration(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": REGISTRY,
+                "experiments/fig1_study.py": FIG1_MODULE,
+                "sweeps/catalog.py": """\
+                _BUILDERS = {}
+                WRAPPER_FIELDS = {}
+                """,
+            },
+        )
+        assert [(f.code, f.line) for f in report.findings] == [("SWEEP001", 2)]
+        finding = report.findings[0]
+        assert finding.path.endswith("fig1_study.py")
+        assert "'fig1'" in finding.message
+        assert "catalog" in finding.message
+
+    def test_builder_with_fields_backs_the_experiment(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": REGISTRY,
+                "experiments/fig1_study.py": FIG1_MODULE,
+                "sweeps/catalog.py": """\
+                def _fig1(fast):
+                    return {
+                        "schema": "sweep/v1",
+                        "report": {
+                            "fields": ["miss_rate_percent"],
+                            "aggregates": ["mean"],
+                        },
+                    }
+
+                _BUILDERS = {"fig1": _fig1}
+                WRAPPER_FIELDS = {}
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_builder_without_fields_flagged_on_catalog(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": REGISTRY,
+                "experiments/fig1_study.py": FIG1_MODULE,
+                "sweeps/catalog.py": """\
+                def _fig1(fast):
+                    return {"schema": "sweep/v1", "report": {"fields": []}}
+
+                _BUILDERS = {"fig1": _fig1}
+                WRAPPER_FIELDS = {}
+                """,
+            },
+        )
+        assert [(f.code, f.line) for f in report.findings] == [("SWEEP001", 1)]
+        finding = report.findings[0]
+        assert finding.path.endswith("catalog.py")
+        assert "no" in finding.message and "fields" in finding.message
+
+    def test_wrapper_fields_entry_backs_the_experiment(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": REGISTRY,
+                "experiments/table2_study.py": """\
+                class Table2Study:
+                    experiment_id = "table2"
+                """,
+                "sweeps/catalog.py": """\
+                _BUILDERS = {}
+                WRAPPER_FIELDS = {"table2": ["value", "share_percent"]}
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_empty_wrapper_fields_flagged_on_catalog(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": REGISTRY,
+                "experiments/table2_study.py": """\
+                class Table2Study:
+                    experiment_id = "table2"
+                """,
+                "sweeps/catalog.py": """\
+                _BUILDERS = {}
+                WRAPPER_FIELDS = {"table2": []}
+                """,
+            },
+        )
+        assert [(f.code, f.line) for f in report.findings] == [("SWEEP001", 1)]
+
+    def test_non_gated_ids_ignored(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": REGISTRY,
+                "experiments/smoke.py": """\
+                class SmokeStudy:
+                    experiment_id = "smoke"
+                """,
+                "sweeps/catalog.py": """\
+                _BUILDERS = {}
+                WRAPPER_FIELDS = {}
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_skips_when_catalog_absent(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": REGISTRY,
+                "experiments/fig1_study.py": FIG1_MODULE,
+            },
+        )
+        assert report.findings == []
+
+    def test_skips_when_registry_absent(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/fig1_study.py": FIG1_MODULE,
+                "sweeps/catalog.py": """\
+                _BUILDERS = {}
+                WRAPPER_FIELDS = {}
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_suppression_comment_is_honoured(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            {
+                "experiments/registry.py": REGISTRY,
+                "experiments/fig1_study.py": """\
+                class Fig1Study:
+                    experiment_id = "fig1"  # repro: allow[SWEEP001] staged
+                """,
+                "sweeps/catalog.py": """\
+                _BUILDERS = {}
+                WRAPPER_FIELDS = {}
+                """,
+            },
+        )
+        assert report.findings == []

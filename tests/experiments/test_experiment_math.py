@@ -82,12 +82,12 @@ class TestFig13Plumbing:
         assert _fvc_data_kb(8, 1) == pytest.approx(0.125)
 
     def test_pairings_cover_paper_line_sizes(self):
-        # The module-level table drives the experiment.
-        from repro.experiments.fig13_dmc_vs_fvc import _PAIRS
+        # The catalogued pairing table drives the experiment.
+        from repro.sweeps.catalog import FIG13_PAIRS
 
-        lines = {line for line, _, _ in _PAIRS}
+        lines = {line for line, _, _ in FIG13_PAIRS}
         assert lines == {8, 16, 32, 64}
-        for line, small, big in _PAIRS:
+        for line, small, big in FIG13_PAIRS:
             assert big == 2 * small
 
 

@@ -1,0 +1,43 @@
+"""Byte-identity regression gate for every fig*/table* payload.
+
+The golden files were captured from the experiment implementations
+before they were re-expressed over the declarative sweep layer
+(``repro.sweeps``); this test pins that the sweep-spec-backed path
+still produces the exact same canonical ``repro.experiment/1`` bytes.
+Any intentional payload change must re-capture the goldens and say
+why.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.render import dumps_canonical, experiment_payload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GATED = sorted(
+    experiment_id
+    for experiment_id in EXPERIMENTS
+    if experiment_id.startswith(("fig", "table"))
+)
+
+
+def test_every_gated_experiment_has_a_golden():
+    assert len(GATED) == 16
+    missing = [
+        experiment_id
+        for experiment_id in GATED
+        if not (GOLDEN_DIR / f"{experiment_id}.json").is_file()
+    ]
+    assert missing == []
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("experiment_id", GATED)
+def test_payload_byte_identical_to_golden(experiment_id):
+    golden = (GOLDEN_DIR / f"{experiment_id}.json").read_text(encoding="utf-8")
+    result = run_experiment(experiment_id, fast=True)
+    assert dumps_canonical(experiment_payload(result)) == golden

@@ -1,8 +1,6 @@
-"""The stable facade (``repro.api``) and the deprecation shims."""
+"""The stable facade (``repro.api``) and the retired top-level shims."""
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
@@ -79,34 +77,68 @@ class TestFacadeContract:
         assert repro.obs.ENV_VAR == "REPRO_OBS"
 
 
-class TestDeprecatedTopLevelExports:
-    def test_experiments_warns(self):
+class TestRetiredTopLevelExports:
+    """The PR-5 deprecation shims completed their one release and are
+    gone; the error still points at the stable replacement."""
+
+    def test_experiments_removed_with_pointer(self):
         import repro
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            experiments = repro.EXPERIMENTS
-        assert experiments  # still functional for one release
-        assert any(
-            issubclass(item.category, DeprecationWarning)
-            and "repro.api" in str(item.message)
-            for item in caught
-        )
+        with pytest.raises(AttributeError, match="list_experiments"):
+            repro.EXPERIMENTS
+        assert "EXPERIMENTS" not in repro.__all__
 
-    def test_get_experiment_warns(self):
+    def test_get_experiment_removed_with_pointer(self):
         import repro
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            get_experiment = repro.get_experiment
-        assert callable(get_experiment)
-        assert any(
-            issubclass(item.category, DeprecationWarning)
-            for item in caught
-        )
+        with pytest.raises(AttributeError, match="repro.api"):
+            repro.get_experiment
+        assert "get_experiment" not in repro.__all__
 
     def test_unknown_attribute_raises(self):
         import repro
 
         with pytest.raises(AttributeError):
             repro.definitely_not_a_thing
+
+
+class TestSweepFacade:
+    def test_list_sweeps_covers_every_gated_experiment(self):
+        names = api.list_sweeps()
+        assert names == sorted(names)
+        for experiment_id in api.list_experiments():
+            if experiment_id.startswith(("fig", "table")):
+                assert experiment_id in names
+        assert "l1_size_study" in names
+
+    def test_describe_sweep_by_name(self):
+        description = api.describe_sweep("l1_size_study", fast=True)
+        assert description["schema"] == "sweep/v1"
+        assert description["points"] > 0
+        assert description["distinct_cells"] > 0
+
+    def test_run_sweep_by_spec_dict(self, store):
+        spec = {
+            "schema": "sweep/v1",
+            "name": "tiny",
+            "axes": {"size_bytes": [1024, 2048]},
+            "arms": [{"name": "base", "kind": "baseline",
+                      "cell": {"workload": "go", "input_name": "test"}}],
+            "report": {"fields": ["miss_rate_percent"],
+                       "aggregates": ["mean"]},
+        }
+        result = api.run_sweep(spec, store=store)
+        assert isinstance(result, api.SweepResult)
+        assert result.points == 2
+        assert result.distinct_cells == 2
+        assert result.headers[0] == "arm"
+        assert "miss_rate_percent_mean" in result.headers
+        assert result.payload["schema"] == "sweep.result/1"
+        assert result.to_csv().splitlines()[0].startswith("arm,")
+        assert "<table>" in result.to_html()
+
+    def test_run_sweep_rejects_bad_spec(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="sweep/v1"):
+            api.run_sweep({"schema": "sweep/v2"})

@@ -1,0 +1,239 @@
+"""Aggregation and rendering over synthetic snapshots.
+
+Snapshots are fabricated with exactly-known counters so every
+aggregate (mean, median, ci95, min, max) and the derived
+``reduction_percent`` can be asserted arithmetically.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.sweeps.expand import expand
+from repro.sweeps.report import (
+    AGGREGATES,
+    REPORT_FIELDS,
+    build_report,
+    render_csv,
+    render_html,
+)
+from repro.sweeps.spec import AGGREGATE_NAMES, normalise_sweep
+
+
+def snapshot(misses, accesses=1000, fills=None, writeback_words=0):
+    """A baseline-shaped (stats, extras) snapshot with a known rate."""
+    stats = {
+        "read_hits": accesses - misses,
+        "read_misses": misses,
+        "write_hits": 0,
+        "write_misses": 0,
+        "fills": fills if fills is not None else misses,
+        "writebacks": 0,
+        "fill_words": 8 * misses,
+        "writeback_words": writeback_words,
+    }
+    return (stats, {})
+
+
+def seeded_spec(inputs, fields, aggregates):
+    return normalise_sweep(
+        {
+            "schema": "sweep/v1",
+            "name": "seeded",
+            "axes": {
+                "workload": ["go"],
+                "input": list(inputs),
+                "size_bytes": [1024],
+            },
+            "arms": [
+                {
+                    "name": "base",
+                    "kind": "baseline",
+                    "cell": {"line_bytes": 32},
+                },
+                {
+                    "name": "fvc",
+                    "kind": "fvc",
+                    "cell": {
+                        "line_bytes": 32,
+                        "fvc_entries": 512,
+                        "top_values": 7,
+                    },
+                },
+            ],
+            "report": {"fields": list(fields), "aggregates": list(aggregates)},
+        }
+    )
+
+
+class TestAggregates:
+    def test_catalog_matches_spec_grammar(self):
+        assert sorted(AGGREGATES) == sorted(AGGREGATE_NAMES)
+
+    def test_ci95_single_value_degenerates_to_zero(self):
+        assert AGGREGATES["ci95"]([42.0]) == 0.0
+
+    def test_ci95_matches_normal_half_width(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        expected = 1.96 * statistics.stdev(values) / math.sqrt(4)
+        assert AGGREGATES["ci95"](values) == pytest.approx(expected)
+
+    def test_mean_median_min_max(self):
+        values = [1.0, 2.0, 9.0]
+        assert AGGREGATES["mean"](values) == pytest.approx(4.0)
+        assert AGGREGATES["median"](values) == 2.0
+        assert AGGREGATES["min"](values) == 1.0
+        assert AGGREGATES["max"](values) == 9.0
+
+
+class TestBuildReport:
+    def test_aggregation_across_input_replicates(self):
+        spec = seeded_spec(
+            ["test", "train", "ref"],
+            ["miss_rate_percent"],
+            ["mean", "ci95", "min", "max"],
+        )
+        points = expand(spec)
+        # Per replicate: baseline misses 100/200/300 (10%/20%/30%),
+        # fvc misses 50/100/150 (5%/10%/15%).
+        by_arm = {"base": [100, 200, 300], "fvc": [50, 100, 150]}
+        counters = {"base": 0, "fvc": 0}
+        snapshots = []
+        for point in points:
+            misses = by_arm[point.arm][counters[point.arm]]
+            counters[point.arm] += 1
+            snapshots.append(snapshot(misses))
+        headers, rows = build_report(spec, points, snapshots)
+        assert headers == [
+            "arm",
+            "workload",
+            "size_bytes",
+            "n",
+            "miss_rate_percent_mean",
+            "miss_rate_percent_ci95",
+            "miss_rate_percent_min",
+            "miss_rate_percent_max",
+        ]
+        assert len(rows) == 2  # one per arm; replicates collapsed
+        base, fvc = rows
+        assert base["arm"] == "base"
+        assert base["n"] == 3
+        assert base["miss_rate_percent_mean"] == pytest.approx(20.0)
+        assert base["miss_rate_percent_min"] == pytest.approx(10.0)
+        assert base["miss_rate_percent_max"] == pytest.approx(30.0)
+        expected_ci = round(1.96 * statistics.stdev([10, 20, 30]) / math.sqrt(3), 6)
+        assert base["miss_rate_percent_ci95"] == pytest.approx(expected_ci)
+        assert fvc["miss_rate_percent_mean"] == pytest.approx(10.0)
+
+    def test_single_seed_degenerate_ci95(self):
+        spec = seeded_spec(["test"], ["miss_rate_percent"], ["mean", "ci95"])
+        points = expand(spec)
+        headers, rows = build_report(
+            spec, points, [snapshot(100) for _ in points]
+        )
+        for row in rows:
+            assert row["n"] == 1
+            assert row["miss_rate_percent_ci95"] == 0.0
+
+    def test_reduction_percent_against_matching_baseline(self):
+        spec = seeded_spec(
+            ["test"], ["miss_rate_percent", "reduction_percent"], ["mean"]
+        )
+        points = expand(spec)
+        snapshots = [
+            snapshot(100) if point.arm == "base" else snapshot(25)
+            for point in points
+        ]
+        _headers, rows = build_report(spec, points, snapshots)
+        base, fvc = rows
+        # Baselines have no reduction; the column renders empty.
+        assert base["reduction_percent_mean"] == ""
+        assert fvc["reduction_percent_mean"] == pytest.approx(75.0)
+
+    def test_traffic_words_field(self):
+        spec = seeded_spec(["test"], ["traffic_words"], ["mean"])
+        points = expand(spec)
+        snapshots = [
+            snapshot(10, writeback_words=16) for _point in points
+        ]
+        _headers, rows = build_report(spec, points, snapshots)
+        assert rows[0]["traffic_words_mean"] == pytest.approx(96.0)
+
+    def test_classify_extras_fields(self):
+        spec = normalise_sweep(
+            {
+                "schema": "sweep/v1",
+                "name": "classes",
+                "axes": {"workload": ["go"], "input": ["test"]},
+                "arms": [
+                    {
+                        "name": "classify",
+                        "kind": "classify",
+                        "cell": {"size_bytes": 1024, "line_bytes": 32},
+                    }
+                ],
+                "report": {
+                    "fields": [
+                        "miss_rate_percent",
+                        "compulsory",
+                        "capacity",
+                        "conflict",
+                    ],
+                    "aggregates": ["mean"],
+                },
+            }
+        )
+        points = expand(spec)
+        extras = {
+            "accesses": 1000,
+            "compulsory": 10,
+            "capacity": 20,
+            "conflict": 30,
+        }
+        _headers, rows = build_report(spec, points, [({}, extras)])
+        row = rows[0]
+        # miss_rate_percent does not apply to classify cells.
+        assert row["miss_rate_percent_mean"] == ""
+        assert row["compulsory_mean"] == 10.0
+        assert row["capacity_mean"] == 20.0
+        assert row["conflict_mean"] == 30.0
+
+    def test_mismatched_snapshots_rejected(self):
+        spec = seeded_spec(["test"], ["misses"], ["mean"])
+        points = expand(spec)
+        with pytest.raises(ValueError, match="snapshots"):
+            build_report(spec, points, [])
+
+    def test_every_declared_field_has_an_extractor(self):
+        for name, extractor in REPORT_FIELDS.items():
+            if name == "reduction_percent":
+                assert extractor is None  # derived, not extracted
+            else:
+                assert callable(extractor)
+
+
+class TestRendering:
+    def _table(self):
+        spec = seeded_spec(["test"], ["miss_rate_percent"], ["mean"])
+        points = expand(spec)
+        return build_report(spec, points, [snapshot(100) for _ in points])
+
+    def test_csv_round_trip(self):
+        import csv
+        import io
+
+        headers, rows = self._table()
+        text = render_csv(headers, rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(rows)
+        assert parsed[0]["arm"] == "base"
+        assert float(parsed[0]["miss_rate_percent_mean"]) == 10.0
+
+    def test_html_escapes_and_includes_all_rows(self):
+        headers, rows = self._table()
+        page = render_html("study <&>", headers, rows)
+        assert "study &lt;&amp;&gt;" in page
+        assert page.count("<tr>") == 1 + len(rows)
